@@ -1,0 +1,75 @@
+//! End-to-end and per-stage benchmarks of the full pipeline on a
+//! moderate network: generation, local MDS frames, UBF+IFF detection,
+//! and surface construction.
+
+use ballfit::config::{CoordinateSource, DetectorConfig, SurfaceConfig};
+use ballfit::detector::BoundaryDetector;
+use ballfit::iff::apply_iff;
+use ballfit::localizer::neighborhood_frame;
+use ballfit::surface::SurfaceBuilder;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_model() -> ballfit_netgen::model::NetworkModel {
+    NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(250)
+        .interior_nodes(450)
+        .target_degree(15.0)
+        .seed(8)
+        .build()
+        .expect("bench network generates")
+}
+
+fn pipeline_benches(c: &mut Criterion) {
+    let model = bench_model();
+
+    c.bench_function("netgen_build_700_nodes", |b| {
+        b.iter(|| {
+            NetworkBuilder::new(Scenario::SolidSphere)
+                .surface_nodes(250)
+                .interior_nodes(450)
+                .target_degree(15.0)
+                .seed(std::hint::black_box(8))
+                .build()
+                .unwrap()
+        });
+    });
+
+    c.bench_function("local_mds_frame_one_node", |b| {
+        let source = CoordinateSource::paper_error(10, 1);
+        let node = (0..model.len()).max_by_key(|&i| model.topology().degree(i)).unwrap();
+        b.iter(|| neighborhood_frame(&model, std::hint::black_box(node), &source));
+    });
+
+    c.bench_function("detect_ground_truth_700_nodes", |b| {
+        let det = BoundaryDetector::new(DetectorConfig::default());
+        b.iter(|| det.detect(std::hint::black_box(&model)));
+    });
+
+    c.bench_function("detect_mds_10pct_700_nodes", |b| {
+        let det = BoundaryDetector::new(DetectorConfig::paper(10, 1));
+        b.iter(|| det.detect(std::hint::black_box(&model)));
+    });
+
+    let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+
+    c.bench_function("iff_700_nodes", |b| {
+        let cfg = ballfit::config::IffConfig::default();
+        b.iter(|| {
+            apply_iff(model.topology(), std::hint::black_box(&detection.candidates), &cfg)
+        });
+    });
+
+    c.bench_function("surface_build_700_nodes", |b| {
+        let builder = SurfaceBuilder::new(SurfaceConfig::default());
+        b.iter(|| builder.build(std::hint::black_box(&model), &detection));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pipeline_benches
+}
+criterion_main!(benches);

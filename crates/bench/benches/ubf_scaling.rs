@@ -1,0 +1,90 @@
+//! E8 — complexity microbenchmarks for Unit Ball Fitting.
+//!
+//! Theorem 1: a node decides by testing `Θ(ρ²)` unit balls with `Θ(ρ)`
+//! emptiness checks each, i.e. `Θ(ρ³)` work in the neighborhood size ρ.
+//! The `ubf_interior_by_density` group should therefore scale roughly
+//! cubically in the neighbor count (interior nodes are the worst case —
+//! no early exit).
+
+use ballfit::config::UbfConfig;
+use ballfit::ubf::ubf_test;
+use ballfit_geom::Vec3;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An interior node at the origin caged by `n` random neighbors within
+/// radius 0.9 (dense enough that no unit ball is empty).
+fn interior_neighborhood(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = vec![Vec3::ZERO];
+    while coords.len() <= n {
+        let v = Vec3::new(
+            rng.gen_range(-0.9..0.9),
+            rng.gen_range(-0.9..0.9),
+            rng.gen_range(-0.9..0.9),
+        );
+        if v.norm() <= 0.9 && v.norm() > 0.05 {
+            coords.push(v);
+        }
+    }
+    coords
+}
+
+/// A boundary node: neighbors fill only the lower half-space.
+fn boundary_neighborhood(n: usize, seed: u64) -> Vec<Vec3> {
+    interior_neighborhood(2 * n, seed)
+        .into_iter()
+        .filter(|v| v.z <= 0.0)
+        .take(n + 1)
+        .collect()
+}
+
+fn ubf_benches(c: &mut Criterion) {
+    let cfg = UbfConfig::default();
+
+    let mut group = c.benchmark_group("ubf_interior_by_density");
+    for &n in &[10usize, 15, 20, 30, 40] {
+        let coords = interior_neighborhood(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &coords, |b, coords| {
+            b.iter(|| ubf_test(std::hint::black_box(coords), 0, 1.0, &cfg));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ubf_boundary_early_exit");
+    for &n in &[10usize, 20, 40] {
+        let coords = boundary_neighborhood(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &coords, |b, coords| {
+            b.iter(|| {
+                let out = ubf_test(std::hint::black_box(coords), 0, 1.0, &cfg);
+                assert!(out.is_boundary);
+                out
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("balls_through_three_points", |b| {
+        let p = [
+            Vec3::new(0.4, 0.1, -0.2),
+            Vec3::new(-0.3, 0.5, 0.1),
+            Vec3::new(0.2, -0.4, 0.3),
+        ];
+        b.iter(|| {
+            ballfit_geom::sphere::balls_through_three_points(
+                std::hint::black_box(p[0]),
+                p[1],
+                p[2],
+                1.0,
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = ubf_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! E12 — protocol audit: runs every localized protocol on the round-based
+//! message-passing simulator and checks it against the
+//! centralized-equivalent executor, reporting message complexity.
+//!
+//! ```sh
+//! cargo run --release -p ballfit-bench --bin protocol_audit
+//! ```
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::grouping::group_boundaries;
+use ballfit::iff::apply_iff;
+use ballfit::landmarks::elect_landmarks;
+use ballfit::protocols::{run_grouping_protocol, run_landmark_protocol, run_ubf_protocol};
+use ballfit::surface::SurfaceBuilder;
+use ballfit_bench::format_table;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_wsn::flood::{fragment_sizes, FragmentFlood};
+use ballfit_wsn::sim::Simulator;
+
+fn main() {
+    let model = NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(250)
+        .interior_nodes(400)
+        .target_degree(14.0)
+        .seed(99)
+        .build()
+        .expect("audit network generates");
+    let topo = model.topology();
+    let n = model.len();
+    let edges = topo.edge_count();
+    println!("audit network: {n} nodes, {edges} edges");
+
+    let cfg = DetectorConfig::paper(10, 5);
+    let detector = BoundaryDetector::new(cfg);
+    let central = detector.detect(&model);
+
+    let mut table = vec![vec![
+        "protocol".into(),
+        "matches centralized".into(),
+        "messages".into(),
+        "msg/node".into(),
+    ]];
+
+    // 1. UBF: one neighbor-table broadcast per node.
+    let (ubf_flags, ubf_msgs) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+    table.push(vec![
+        "UBF (table exchange)".into(),
+        (ubf_flags == central.candidates).to_string(),
+        ubf_msgs.to_string(),
+        format!("{:.1}", ubf_msgs as f64 / n as f64),
+    ]);
+
+    // 2. IFF: scoped flooding with TTL 3 among candidates.
+    let candidates = central.candidates.clone();
+    let mut sim = Simulator::new(topo, |id| FragmentFlood::new(candidates[id], cfg.iff.ttl));
+    let stats = sim.run(cfg.iff.ttl as usize + 2);
+    let via_protocol: Vec<bool> = (0..n)
+        .map(|i| candidates[i] && sim.node(i).fragment_size() >= cfg.iff.theta)
+        .collect();
+    let central_iff = apply_iff(topo, &candidates, &cfg.iff);
+    let sizes_match = {
+        let sizes = fragment_sizes(topo, cfg.iff.ttl, |i| candidates[i]);
+        (0..n).all(|i| sim.node(i).fragment_size() == sizes[i])
+    };
+    table.push(vec![
+        "IFF (scoped flood)".into(),
+        (via_protocol == central_iff && sizes_match).to_string(),
+        stats.messages.to_string(),
+        format!("{:.1}", stats.messages as f64 / n as f64),
+    ]);
+
+    // 3. Grouping: min-ID label flooding.
+    let (labels, group_msgs) = run_grouping_protocol(topo, &central.boundary);
+    let groups = group_boundaries(topo, &central.boundary);
+    let grouping_ok = groups.iter().all(|g| g.iter().all(|&m| labels[m] == Some(g[0])));
+    table.push(vec![
+        "grouping (min-ID flood)".into(),
+        grouping_ok.to_string(),
+        group_msgs.to_string(),
+        format!("{:.1}", group_msgs as f64 / n as f64),
+    ]);
+
+    // 4. Landmark election on the largest boundary group.
+    if let Some(group) = groups.first() {
+        let k = 3;
+        let central_lm = elect_landmarks(topo, group, k);
+        let (dist_lm, lm_msgs) = run_landmark_protocol(topo, group, k);
+        table.push(vec![
+            "landmark election (k=3)".into(),
+            (dist_lm == central_lm).to_string(),
+            lm_msgs.to_string(),
+            format!("{:.1}", lm_msgs as f64 / group.len() as f64),
+        ]);
+    }
+
+    // 5. CDM / triangulation probes are source-routed unicasts; their cost
+    //    is the total path length (one probe + one ACK per edge).
+    let surfaces = SurfaceBuilder::default().build(&model, &central);
+    for s in &surfaces {
+        let path_hops: usize = {
+            // Recover path lengths from the final edges' hop distances.
+            let member = |x: usize| s.group.binary_search(&x).is_ok();
+            s.edges
+                .iter()
+                .map(|&(a, b)| {
+                    ballfit_wsn::bfs::shortest_path(topo, a, b, member)
+                        .map(|p| p.len() - 1)
+                        .unwrap_or(0)
+                })
+                .sum()
+        };
+        table.push(vec![
+            "CDM+completion probes".into(),
+            "n/a (deterministic routes)".into(),
+            (2 * path_hops).to_string(),
+            format!("{:.1}", (2 * path_hops) as f64 / s.group.len() as f64),
+        ]);
+    }
+
+    println!("{}", format_table(&table));
+    println!(
+        "UBF exchanges exactly 2|E| = {} messages; IFF and grouping stay within the boundary \
+         subgraph — all protocols are one-hop localized (enforced by the simulator).",
+        2 * edges
+    );
+}

@@ -1,0 +1,233 @@
+//! # ballfit-bench
+//!
+//! Experiment harness for the `ballfit` reproduction of *"Localized
+//! Algorithm for Precise Boundary Detection in 3D Wireless Networks"*
+//! (ICDCS 2010).
+//!
+//! The binaries under `src/bin/` regenerate every figure of the paper's
+//! evaluation (see `DESIGN.md`'s experiment index, E1–E12) plus ablations;
+//! the Criterion benches under `benches/` measure the complexity claims.
+//! This library hosts what they share: standard network configurations,
+//! the error-sweep driver, a tiny parallel map, CSV emission and console
+//! tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ballfit::metrics::DetectionStats;
+use ballfit::Pipeline;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use parking_lot::Mutex;
+
+/// Error percentages swept in the paper's Figs. 1(g–i) and 11: 0–100% in
+/// steps of 10.
+pub const PAPER_ERROR_SWEEP: [u32; 11] = [0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+/// The large single-network workload of Fig. 1: the paper uses a 3D
+/// network of 4210 nodes with an average nodal degree of 18.8 and one
+/// interior hole. Surface/interior split chosen so the boundary population
+/// matches the ~1800 boundary nodes visible in Fig. 1(g).
+pub fn fig1_network(seed: u64) -> NetworkModel {
+    NetworkBuilder::new(Scenario::SpaceOneHole)
+        .surface_nodes(1800)
+        .interior_nodes(2410)
+        .target_degree(18.8)
+        .seed(seed)
+        .build()
+        .expect("fig1 network generates")
+}
+
+/// A reduced Fig. 1-style network for quick runs (same shape, ~1/4 size).
+pub fn fig1_network_small(seed: u64) -> NetworkModel {
+    NetworkBuilder::new(Scenario::SpaceOneHole)
+        .surface_nodes(500)
+        .interior_nodes(650)
+        .target_degree(16.0)
+        .seed(seed)
+        .build()
+        .expect("small fig1 network generates")
+}
+
+/// One gallery network (Figs. 6–10 scale): ~700 surface + 1200 interior
+/// nodes at the paper's density.
+pub fn gallery_network(scenario: Scenario, seed: u64) -> NetworkModel {
+    let (surface, interior) = match scenario {
+        // The pipe is thin: fewer nodes keep the degree target reachable.
+        Scenario::BendedPipe => (500, 800),
+        _ => (700, 1200),
+    };
+    NetworkBuilder::new(scenario)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(18.5)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("gallery network {scenario} (seed {seed}) failed: {e}"))
+}
+
+/// Runs the paper pipeline over an error sweep, in parallel, returning
+/// `(error_percent, stats)` pairs in sweep order.
+pub fn error_sweep(model: &NetworkModel, percents: &[u32], noise_seed: u64) -> Vec<(u32, DetectionStats)> {
+    parallel_map(percents.to_vec(), |&pct| {
+        let result = Pipeline::paper(pct, noise_seed.wrapping_add(pct as u64)).run(model);
+        (pct, result.stats)
+    })
+}
+
+/// Index-preserving parallel map over `inputs` using scoped threads (one
+/// per available core, capped at the input length).
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(n);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                slots.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
+}
+
+/// Where experiment outputs land (`results/` at the workspace root, or
+/// `$BALLFIT_RESULTS` when set).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("BALLFIT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir
+}
+
+/// Writes a CSV file into the results directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures) or when a
+/// row's width differs from the header's.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut w = BufWriter::new(File::create(&path).expect("CSV file creatable"));
+    writeln!(w, "{}", header.join(",")).expect("write CSV header");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "CSV row width mismatch in {name}");
+        writeln!(w, "{}", row.join(",")).expect("write CSV row");
+    }
+    path
+}
+
+/// Renders rows as an aligned console table (first row = header).
+pub fn format_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let render = |row: &[String]| -> String {
+        row.iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&render(&rows[0]));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(2)));
+    out.push('\n');
+    for row in &rows[1..] {
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as `xx.x%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Writes a mesh OBJ file into the results directory and returns its path.
+pub fn export_mesh(name: &str, mesh: &ballfit_geom::mesh::TriMesh) -> PathBuf {
+    let path = results_dir().join(name);
+    let w = BufWriter::new(File::create(&path).expect("OBJ file creatable"));
+    ballfit_geom::io::write_obj(w, mesh).expect("OBJ export");
+    path
+}
+
+/// Small helper: does a results file exist already (used by bins that can
+/// reuse expensive sweeps)?
+pub fn results_file_exists(name: &str) -> bool {
+    Path::new(&results_dir()).join(name).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<i64>>(), |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i64>>());
+        assert!(parallel_map(Vec::<i64>::new(), |&x| x).is_empty());
+    }
+
+    #[test]
+    fn table_and_pct() {
+        let t = format_table(&[vec!["h".into()], vec!["row".into()]]);
+        assert!(t.contains('h'));
+        assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn small_fig1_network_has_a_hole() {
+        let model = fig1_network_small(3);
+        assert!(model.topology().is_connected());
+        assert_eq!(model.scenario().expected_boundaries(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("BALLFIT_RESULTS", std::env::temp_dir().join("ballfit_test_results"));
+        let path = write_csv(
+            "unit_test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        std::env::remove_var("BALLFIT_RESULTS");
+    }
+}

@@ -1,0 +1,153 @@
+//! Hand-rolled flag parsing (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing and extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A required option is absent.
+    Required(String),
+    /// An option's value failed to parse.
+    Invalid {
+        /// Option name.
+        option: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::Required(o) => write!(f, "required option --{o} is missing"),
+            ArgError::Invalid { option, value } => {
+                write!(f, "invalid value '{value}' for --{option}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name). Options are
+    /// `--key value`; bare `--key` at the end or followed by another
+    /// option is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(name.to_string(), value);
+                    }
+                    _ => out.flags.push(name.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(token);
+            } else {
+                return Err(ArgError::Invalid { option: "<positional>".into(), value: token });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> Result<&str, ArgError> {
+        self.command.as_deref().ok_or(ArgError::MissingCommand)
+    }
+
+    /// A boolean flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed option.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError::Invalid {
+                option: name.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        Ok(self.get_parsed(name)?.unwrap_or(default))
+    }
+
+    /// A required parsed option.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        self.get_parsed(name)?.ok_or_else(|| ArgError::Required(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = args("detect --seed 7 --error 30 --verbose");
+        assert_eq!(a.command().unwrap(), "detect");
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_or("error", 0u32).unwrap(), 30);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_or("missing", 5i32).unwrap(), 5);
+    }
+
+    #[test]
+    fn required_and_invalid() {
+        let a = args("gen --nodes abc");
+        assert!(matches!(a.require::<u32>("seed"), Err(ArgError::Required(_))));
+        assert!(matches!(
+            a.get_parsed::<u32>("nodes"),
+            Err(ArgError::Invalid { .. })
+        ));
+        let e = ArgError::Required("seed".into());
+        assert!(e.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn missing_command() {
+        let a = Args::parse(Vec::new()).unwrap();
+        assert!(matches!(a.command(), Err(ArgError::MissingCommand)));
+    }
+
+    #[test]
+    fn stray_positional_is_rejected() {
+        assert!(Args::parse(["a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn flag_before_option() {
+        let a = args("run --fast --seed 3");
+        assert!(a.flag("fast"));
+        assert_eq!(a.get("seed"), Some("3"));
+    }
+}

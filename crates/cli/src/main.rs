@@ -1,0 +1,185 @@
+//! `ballfit-cli` — drive the boundary-detection pipeline from the shell.
+//!
+//! ```text
+//! ballfit-cli generate --scenario sphere --surface 400 --interior 800 --seed 1 --out net.json
+//! ballfit-cli detect   --net net.json --error 20 [--json]
+//! ballfit-cli mesh     --net net.json --error 20 --k 3 --out-prefix mesh
+//! ballfit-cli sweep    --scenario one_hole --surface 500 --interior 800 --seed 1
+//! ballfit-cli scenarios
+//! ```
+
+mod args;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+use args::Args;
+use ballfit::Pipeline;
+use ballfit_geom::io::write_obj;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+
+const USAGE: &str = "\
+ballfit-cli — localized 3D boundary detection (ICDCS 2010 reproduction)
+
+USAGE:
+  ballfit-cli <command> [--option value]...
+
+COMMANDS:
+  scenarios                                List available scenarios
+  generate   --scenario S --out FILE       Generate a network (JSON)
+             [--surface N] [--interior N] [--degree D] [--seed X]
+  detect     --net FILE [--error P]        Detect boundary nodes
+             [--seed X] [--json]
+  mesh       --net FILE --out-prefix P     Detect + build surface meshes (OBJ)
+             [--error P] [--k K] [--seed X]
+  sweep      --scenario S                  Error sweep 0..100% on a fresh network
+             [--surface N] [--interior N] [--degree D] [--seed X]
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.command()? {
+        "scenarios" => {
+            for s in [
+                Scenario::SolidSphere,
+                Scenario::BendedPipe,
+                Scenario::SpaceOneHole,
+                Scenario::SpaceTwoHoles,
+                Scenario::Underwater,
+                Scenario::SolidBox,
+                Scenario::Torus,
+            ] {
+                println!("{:<12} ({} boundaries expected)", s.name(), s.expected_boundaries());
+            }
+            Ok(())
+        }
+        "generate" => generate(args),
+        "detect" => detect(args),
+        "mesh" => mesh(args),
+        "sweep" => sweep(args),
+        other => Err(format!("unknown command '{other}'").into()),
+    }
+}
+
+fn scenario_by_name(name: &str) -> Result<Scenario, String> {
+    [
+        Scenario::SolidSphere,
+        Scenario::BendedPipe,
+        Scenario::SpaceOneHole,
+        Scenario::SpaceTwoHoles,
+        Scenario::Underwater,
+        Scenario::SolidBox,
+        Scenario::Torus,
+    ]
+    .into_iter()
+    .find(|s| s.name() == name)
+    .ok_or_else(|| format!("unknown scenario '{name}' (try `ballfit-cli scenarios`)"))
+}
+
+fn build_network(args: &Args) -> Result<NetworkModel, Box<dyn std::error::Error>> {
+    let scenario = scenario_by_name(args.get("scenario").unwrap_or("sphere"))?;
+    let model = NetworkBuilder::new(scenario)
+        .surface_nodes(args.get_or("surface", 400usize)?)
+        .interior_nodes(args.get_or("interior", 700usize)?)
+        .target_degree(args.get_or("degree", 18.5f64)?)
+        .seed(args.get_or("seed", 0u64)?)
+        .build()?;
+    Ok(model)
+}
+
+fn load_network(args: &Args) -> Result<NetworkModel, Box<dyn std::error::Error>> {
+    let path: String = args.require("net")?;
+    let file = BufReader::new(File::open(&path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let model = build_network(args)?;
+    let out: String = args.require("out")?;
+    let file = BufWriter::new(File::create(&out)?);
+    serde_json::to_writer(file, &model)?;
+    println!(
+        "wrote {out}: {} nodes ({} boundary ground truth), range {:.3}, avg degree {:.1}",
+        model.len(),
+        model.surface_count(),
+        model.radio_range(),
+        model.topology().degree_stats().mean
+    );
+    Ok(())
+}
+
+fn detect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let model = load_network(args)?;
+    let error: u32 = args.get_or("error", 0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let result = Pipeline::paper(error, seed).run(&model);
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&result.stats)?);
+    } else {
+        println!("{}", result.stats);
+        println!("groups: {}", result.detection.groups.len());
+        for (i, g) in result.detection.groups.iter().enumerate() {
+            println!("  boundary {i}: {} nodes", g.len());
+        }
+    }
+    Ok(())
+}
+
+fn mesh(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let model = load_network(args)?;
+    let error: u32 = args.get_or("error", 0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut pipeline = Pipeline::paper(error, seed);
+    pipeline.surface.k = args.get_or("k", 3)?;
+    let result = pipeline.run(&model);
+    let prefix: String = args.require("out-prefix")?;
+    for (i, surface) in result.surfaces.iter().enumerate() {
+        let path = format!("{prefix}_{i}.obj");
+        write_obj(BufWriter::new(File::create(&path)?), &surface.mesh)?;
+        println!(
+            "{path}: {} landmarks, {} faces, Euler {}, manifold {:.0}%",
+            surface.stats.landmarks,
+            surface.stats.faces,
+            surface.stats.euler,
+            100.0 * surface.stats.audit.manifold_fraction()
+        );
+    }
+    if result.surfaces.is_empty() {
+        println!("no boundary group produced enough landmarks to mesh");
+    }
+    Ok(())
+}
+
+fn sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let model = build_network(args)?;
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "error,truth,found,correct,mistaken,missing")?;
+    for error in [0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let stats = Pipeline::paper(error, 1).run(&model).stats;
+        writeln!(
+            out,
+            "{error},{},{},{},{},{}",
+            stats.truth, stats.found, stats.correct, stats.mistaken, stats.missing
+        )?;
+    }
+    Ok(())
+}

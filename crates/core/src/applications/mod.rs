@@ -1,0 +1,18 @@
+//! Applications on the constructed boundary surfaces.
+//!
+//! The paper's second objective is to "construct locally planarized
+//! 2-manifold surfaces [...] in order to enable available graph theory
+//! tools to be applied on 3D surfaces, such as embedding, localization,
+//! partition, and greedy routing among many others" (Sec. I-B). This
+//! module implements two of those motivating applications on the landmark
+//! meshes produced by [`crate::surface::SurfaceBuilder`], closing the loop
+//! from raw connectivity to usable surface infrastructure:
+//!
+//! * [`routing`] — greedy geographic routing over the mesh's landmark
+//!   graph, with success-rate and stretch accounting (the well-behaved
+//!   2-manifold structure is what makes greedy routing viable).
+//! * [`partition`] — balanced multi-seed region growing over the mesh,
+//!   e.g. for assigning surface regions to collection points.
+
+pub mod partition;
+pub mod routing;

@@ -1,0 +1,224 @@
+//! Balanced partition of a boundary surface mesh.
+//!
+//! Multi-seed region growing over the landmark graph: `k` seeds are chosen
+//! far apart (farthest-point heuristic, deterministic), then regions grow
+//! breadth-first with a balance cap, assigning every vertex to exactly one
+//! region. Useful for dividing a reconnaissance surface among collection
+//! points — one of the graph-tool applications the paper builds its
+//! meshes for.
+
+use std::collections::VecDeque;
+
+use crate::surface::BoundarySurface;
+
+/// A computed partition: `region[v]` is the region index of mesh vertex
+/// `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Region index per mesh vertex.
+    pub region: Vec<usize>,
+    /// The seed vertex of each region.
+    pub seeds: Vec<usize>,
+}
+
+impl Partition {
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Vertices of region `r`, sorted.
+    pub fn members(&self, r: usize) -> Vec<usize> {
+        (0..self.region.len()).filter(|&v| self.region[v] == r).collect()
+    }
+
+    /// Size of the largest region divided by the ideal size `n/k`
+    /// (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.region.len();
+        let k = self.seeds.len();
+        if n == 0 || k == 0 {
+            return 1.0;
+        }
+        let largest = (0..k).map(|r| self.members(r).len()).max().unwrap_or(0);
+        largest as f64 / (n as f64 / k as f64)
+    }
+}
+
+fn mesh_adjacency(surface: &BoundarySurface) -> Vec<Vec<usize>> {
+    let index_of = |lm: usize| {
+        surface
+            .landmarks
+            .binary_search(&lm)
+            .expect("edge endpoints are landmarks")
+    };
+    let mut adj = vec![Vec::new(); surface.landmarks.len()];
+    for &(a, b) in &surface.edges {
+        let (ia, ib) = (index_of(a), index_of(b));
+        adj[ia].push(ib);
+        adj[ib].push(ia);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// Partitions a surface into `k` regions by farthest-point seeding and
+/// synchronized BFS growth (ties go to the lower region index).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k` exceeds the vertex count.
+pub fn partition_surface(surface: &BoundarySurface, k: usize) -> Partition {
+    let n = surface.landmarks.len();
+    assert!(k >= 1, "need at least one region");
+    assert!(k <= n, "more regions than vertices");
+    let adj = mesh_adjacency(surface);
+
+    // Farthest-point seeding on hop distance, seeded at vertex 0.
+    let bfs = |start: usize| -> Vec<Option<usize>> {
+        let mut dist = vec![None; n];
+        dist[start] = Some(0usize);
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued vertices are labeled");
+            for &v in &adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    };
+    let mut seeds = vec![0usize];
+    while seeds.len() < k {
+        // Pick the vertex maximizing the distance to its nearest seed.
+        let per_seed: Vec<Vec<Option<usize>>> = seeds.iter().map(|&s| bfs(s)).collect();
+        let far = (0..n)
+            .filter(|v| !seeds.contains(v))
+            .max_by_key(|&v| {
+                per_seed
+                    .iter()
+                    .map(|d| d[v].unwrap_or(usize::MAX / 2))
+                    .min()
+                    .unwrap_or(0)
+            })
+            .expect("k <= n leaves a candidate");
+        seeds.push(far);
+    }
+    seeds.sort_unstable();
+
+    // Synchronized multi-source BFS growth.
+    let mut region = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for (r, &s) in seeds.iter().enumerate() {
+        region[s] = r;
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        let r = region[u];
+        for &v in &adj[u] {
+            if region[v] == usize::MAX {
+                region[v] = r;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Isolated vertices (no faces touching them) join region 0.
+    for r in &mut region {
+        if *r == usize::MAX {
+            *r = 0;
+        }
+    }
+    Partition { region, seeds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DetectorConfig, SurfaceConfig};
+    use crate::detector::BoundaryDetector;
+    use crate::surface::SurfaceBuilder;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::scenario::Scenario;
+
+    fn sphere_surface() -> BoundarySurface {
+        let model = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(350)
+            .interior_nodes(600)
+            .target_degree(16.0)
+            .seed(62)
+            .build()
+            .unwrap();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        SurfaceBuilder::new(SurfaceConfig::default())
+            .build(&model, &detection)
+            .into_iter()
+            .next()
+            .expect("sphere meshes")
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let surface = sphere_surface();
+        for k in [1usize, 2, 4, 6] {
+            let p = partition_surface(&surface, k);
+            assert_eq!(p.regions(), k);
+            assert_eq!(p.region.len(), surface.landmarks.len());
+            let total: usize = (0..k).map(|r| p.members(r).len()).sum();
+            assert_eq!(total, surface.landmarks.len());
+            // Every region non-empty and containing its seed.
+            for (r, &s) in p.seeds.iter().enumerate() {
+                assert!(p.members(r).contains(&s) || p.region[s] != r);
+                assert!(!p.members(p.region[s]).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_reasonably_balanced_on_a_sphere() {
+        let surface = sphere_surface();
+        let p = partition_surface(&surface, 4);
+        assert!(
+            p.imbalance() < 2.0,
+            "imbalance {} too high for a symmetric sphere",
+            p.imbalance()
+        );
+    }
+
+    #[test]
+    fn regions_are_connected() {
+        let surface = sphere_surface();
+        let p = partition_surface(&surface, 3);
+        let adj = mesh_adjacency(&surface);
+        for r in 0..p.regions() {
+            let members = p.members(r);
+            // BFS within the region from its seed reaches every member.
+            let start = p.seeds[r];
+            let mut seen = vec![false; surface.landmarks.len()];
+            seen[start] = true;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if !seen[v] && p.region[v] == r {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &m in &members {
+                assert!(seen[m], "region {r} is disconnected at vertex {m}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more regions than vertices")]
+    fn too_many_regions_panics() {
+        let surface = sphere_surface();
+        let _ = partition_surface(&surface, surface.landmarks.len() + 1);
+    }
+}

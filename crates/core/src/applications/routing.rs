@@ -1,0 +1,282 @@
+//! Greedy geographic routing over a boundary surface mesh.
+//!
+//! Each step forwards to the mesh neighbor strictly closest (Euclidean)
+//! to the destination; routing fails at a local minimum (no neighbor
+//! closer than the current vertex). On a well-formed 2-manifold landmark
+//! mesh of a convex-ish boundary greedy routing almost always succeeds —
+//! one of the paper's motivations for building the mesh at all.
+
+use ballfit_geom::Vec3;
+
+use crate::surface::BoundarySurface;
+
+/// Outcome of one greedy route.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteOutcome {
+    /// Destination reached; the vertex path is recorded (mesh-vertex
+    /// indices, endpoints included).
+    Delivered {
+        /// Visited mesh-vertex indices from source to destination.
+        path: Vec<usize>,
+    },
+    /// Stuck at a local minimum before reaching the destination.
+    Stuck {
+        /// Vertices visited before getting stuck.
+        path: Vec<usize>,
+    },
+}
+
+impl RouteOutcome {
+    /// `true` for a delivered route.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RouteOutcome::Delivered { .. })
+    }
+
+    /// Hop count of the traversed path (delivered or not).
+    pub fn hops(&self) -> usize {
+        match self {
+            RouteOutcome::Delivered { path } | RouteOutcome::Stuck { path } => {
+                path.len().saturating_sub(1)
+            }
+        }
+    }
+}
+
+/// Greedy router over a [`BoundarySurface`]'s landmark mesh.
+#[derive(Debug, Clone)]
+pub struct GreedyRouter {
+    positions: Vec<Vec3>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl GreedyRouter {
+    /// Builds the router from a constructed surface (mesh-vertex indices
+    /// are positions in `surface.landmarks`).
+    pub fn new(surface: &BoundarySurface) -> Self {
+        let positions = surface.mesh.vertices().to_vec();
+        let index_of = |lm: usize| {
+            surface
+                .landmarks
+                .binary_search(&lm)
+                .expect("edge endpoints are landmarks")
+        };
+        let mut adjacency = vec![Vec::new(); positions.len()];
+        for &(a, b) in &surface.edges {
+            let (ia, ib) = (index_of(a), index_of(b));
+            adjacency[ia].push(ib);
+            adjacency[ib].push(ia);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        GreedyRouter { positions, adjacency }
+    }
+
+    /// Number of routable vertices.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the mesh has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Routes greedily from vertex `from` to vertex `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn route(&self, from: usize, to: usize) -> RouteOutcome {
+        assert!(from < self.len() && to < self.len(), "vertex out of range");
+        let target = self.positions[to];
+        let mut path = vec![from];
+        let mut current = from;
+        // The strict-progress rule bounds the walk by the vertex count.
+        while current != to {
+            let here = self.positions[current].distance_squared(target);
+            let next = self.adjacency[current]
+                .iter()
+                .copied()
+                .map(|n| (self.positions[n].distance_squared(target), n))
+                .filter(|&(d, _)| d < here)
+                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            match next {
+                Some((_, n)) => {
+                    path.push(n);
+                    current = n;
+                }
+                None => return RouteOutcome::Stuck { path },
+            }
+        }
+        RouteOutcome::Delivered { path }
+    }
+
+    /// Shortest-path hop distance on the mesh (for stretch computation);
+    /// `None` if unreachable.
+    pub fn mesh_hops(&self, from: usize, to: usize) -> Option<usize> {
+        let mut dist = vec![None; self.len()];
+        dist[from] = Some(0usize);
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            if u == to {
+                return dist[to];
+            }
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in &self.adjacency[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist[to]
+    }
+}
+
+/// Aggregate routing statistics over all ordered vertex pairs (or a
+/// deterministic sample of `max_pairs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingStats {
+    /// Routed pairs.
+    pub pairs: usize,
+    /// Pairs delivered greedily.
+    pub delivered: usize,
+    /// Mean stretch (greedy hops / shortest hops) over delivered pairs
+    /// with a nonzero shortest path; 0 when no such pair exists.
+    pub mean_stretch: f64,
+}
+
+impl RoutingStats {
+    /// Delivery success rate in [0, 1]; 1.0 for zero pairs.
+    pub fn success_rate(&self) -> f64 {
+        if self.pairs == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.pairs as f64
+        }
+    }
+}
+
+/// Routes a deterministic sample of vertex pairs and aggregates the
+/// outcome. Pairs are taken in row-major order `(i, j), i ≠ j` up to
+/// `max_pairs`.
+pub fn evaluate_routing(router: &GreedyRouter, max_pairs: usize) -> RoutingStats {
+    let n = router.len();
+    let mut pairs = 0usize;
+    let mut delivered = 0usize;
+    let mut stretch_sum = 0.0;
+    let mut stretch_count = 0usize;
+    'outer: for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if pairs >= max_pairs {
+                break 'outer;
+            }
+            pairs += 1;
+            let outcome = router.route(i, j);
+            if outcome.is_delivered() {
+                delivered += 1;
+                if let Some(opt) = router.mesh_hops(i, j) {
+                    if opt > 0 {
+                        stretch_sum += outcome.hops() as f64 / opt as f64;
+                        stretch_count += 1;
+                    }
+                }
+            }
+        }
+    }
+    RoutingStats {
+        pairs,
+        delivered,
+        mean_stretch: if stretch_count == 0 { 0.0 } else { stretch_sum / stretch_count as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DetectorConfig, SurfaceConfig};
+    use crate::detector::BoundaryDetector;
+    use crate::surface::SurfaceBuilder;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::scenario::Scenario;
+
+    fn sphere_surface() -> BoundarySurface {
+        let model = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(350)
+            .interior_nodes(600)
+            .target_degree(16.0)
+            .seed(61)
+            .build()
+            .unwrap();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        SurfaceBuilder::new(SurfaceConfig::default())
+            .build(&model, &detection)
+            .into_iter()
+            .next()
+            .expect("sphere meshes")
+    }
+
+    #[test]
+    fn greedy_routing_on_a_sphere_mesh_mostly_delivers() {
+        let surface = sphere_surface();
+        let router = GreedyRouter::new(&surface);
+        assert!(!router.is_empty());
+        let stats = evaluate_routing(&router, 500);
+        assert!(stats.pairs > 100);
+        assert!(
+            stats.success_rate() > 0.9,
+            "greedy delivery too low: {:.1}% of {} pairs",
+            100.0 * stats.success_rate(),
+            stats.pairs
+        );
+        assert!(stats.mean_stretch >= 1.0 || stats.delivered == 0);
+        assert!(stats.mean_stretch < 2.5, "stretch {}", stats.mean_stretch);
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let surface = sphere_surface();
+        let router = GreedyRouter::new(&surface);
+        let out = router.route(0, 0);
+        assert!(out.is_delivered());
+        assert_eq!(out.hops(), 0);
+    }
+
+    #[test]
+    fn delivered_paths_are_mesh_walks_with_strict_progress() {
+        let surface = sphere_surface();
+        let router = GreedyRouter::new(&surface);
+        for (a, b) in [(0usize, 5usize), (1, 9), (3, 7)] {
+            if a >= router.len() || b >= router.len() {
+                continue;
+            }
+            if let RouteOutcome::Delivered { path } = router.route(a, b) {
+                assert_eq!(path[0], a);
+                assert_eq!(*path.last().unwrap(), b);
+                let target = surface.mesh.vertices()[b];
+                for w in path.windows(2) {
+                    let d0 = surface.mesh.vertices()[w[0]].distance(target);
+                    let d1 = surface.mesh.vertices()[w[1]].distance(target);
+                    assert!(d1 < d0, "no progress at step {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_hops_bfs() {
+        let surface = sphere_surface();
+        let router = GreedyRouter::new(&surface);
+        assert_eq!(router.mesh_hops(0, 0), Some(0));
+        // Neighbors are one hop.
+        if let Some(&n) = surface.edges.iter().find(|&&(a, _)| a == surface.landmarks[0]).map(|(_, b)| b) {
+            let bi = surface.landmarks.binary_search(&n).unwrap();
+            assert_eq!(router.mesh_hops(0, bi), Some(1));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Step II: Combinatorial Delaunay Graph (CDG).
+//!
+//! "Each non-landmark boundary node checks if it has a neighboring
+//! boundary node that is associated with a different landmark. If it has,
+//! a message is sent to both landmarks to indicate that they are
+//! neighboring landmarks. If we simply connect all neighboring landmarks,
+//! we arrive at a Combinatorial Delaunay Graph — the dual of the Voronoi
+//! cells. Such a CDG is not planar in general." (Sec. III, step II)
+
+use std::collections::BTreeSet;
+
+use ballfit_wsn::{NodeId, Topology};
+
+use crate::cells::CellAssignment;
+
+/// An undirected landmark-pair edge, stored `(lo, hi)`.
+pub type LandmarkEdge = (NodeId, NodeId);
+
+/// Builds the CDG edge set: landmark pairs whose Voronoi cells are
+/// adjacent (some group member of one cell has a radio neighbor in the
+/// other cell, both within `group`). Edges are sorted.
+pub fn build_cdg(topo: &Topology, group: &[NodeId], cells: &CellAssignment) -> Vec<LandmarkEdge> {
+    let mut edges: BTreeSet<LandmarkEdge> = BTreeSet::new();
+    for &u in group {
+        let Some(ou) = cells.owner_of(u) else { continue };
+        for &v in topo.neighbors(u) {
+            if group.binary_search(&v).is_err() {
+                continue;
+            }
+            let Some(ov) = cells.owner_of(v) else { continue };
+            if ou != ov {
+                edges.insert(if ou < ov { (ou, ov) } else { (ov, ou) });
+            }
+        }
+    }
+    edges.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::assign_cells;
+
+    fn ring(n: usize) -> Topology {
+        Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn ring_cdg_is_the_cycle_of_cells() {
+        let topo = ring(12);
+        let group: Vec<usize> = (0..12).collect();
+        let landmarks = vec![0, 3, 6, 9];
+        let cells = assign_cells(&topo, &group, &landmarks);
+        let cdg = build_cdg(&topo, &group, &cells);
+        // Cells wrap the ring: 0–3, 3–6, 6–9, 9–0 are adjacent.
+        assert_eq!(cdg, vec![(0, 3), (0, 9), (3, 6), (6, 9)]);
+    }
+
+    #[test]
+    fn two_landmark_path() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let group: Vec<usize> = (0..5).collect();
+        let cells = assign_cells(&topo, &group, &[0, 4]);
+        assert_eq!(build_cdg(&topo, &group, &cells), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn single_cell_has_no_edges() {
+        let topo = ring(5);
+        let group: Vec<usize> = (0..5).collect();
+        let cells = assign_cells(&topo, &group, &[2]);
+        assert!(build_cdg(&topo, &group, &cells).is_empty());
+    }
+
+    #[test]
+    fn adjacency_through_non_group_nodes_is_ignored() {
+        // Two cells whose only contact goes through an interior
+        // (non-group) node: not CDG-adjacent.
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let group = vec![0, 1, 3, 4]; // node 2 is interior
+        let cells = assign_cells(&topo, &group, &[0, 4]);
+        assert!(build_cdg(&topo, &group, &cells).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Step III: Combinatorial Delaunay Map (CDM).
+//!
+//! For every CDG-adjacent landmark pair, a packet travels the shortest
+//! path (over identified boundary nodes only). The pair is connected iff
+//! (1) every node on the path is associated with one of the two landmarks,
+//! and (2) the path visits the source landmark's cell first and then the
+//! destination's, without interleaving. The surviving edge set — the CDM —
+//! is a planar graph on each boundary (Funke–Milosavljević, extended to 3D
+//! surfaces by the paper).
+
+use std::collections::BTreeMap;
+
+use ballfit_wsn::bfs::shortest_path;
+use ballfit_wsn::{NodeId, Topology};
+
+use crate::cdg::LandmarkEdge;
+use crate::cells::CellAssignment;
+
+/// Result of CDM construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cdm {
+    /// Accepted (connected) landmark edges, sorted.
+    pub edges: Vec<LandmarkEdge>,
+    /// CDG edges rejected by the path conditions.
+    pub rejected: Vec<LandmarkEdge>,
+    /// For each accepted edge, the boundary path that realized it
+    /// (including both landmark endpoints).
+    pub paths: BTreeMap<LandmarkEdge, Vec<NodeId>>,
+}
+
+impl Cdm {
+    /// Nodes lying on any accepted path ("on the shortest path between two
+    /// connected landmarks") — the crossing guards of step IV.
+    pub fn marked_nodes(&self, n: usize) -> Vec<bool> {
+        let mut marked = vec![false; n];
+        for path in self.paths.values() {
+            for &p in path {
+                marked[p] = true;
+            }
+        }
+        marked
+    }
+}
+
+/// Checks the paper's two CDM conditions on a path from landmark `a` to
+/// landmark `b`.
+pub fn path_is_valid(path: &[NodeId], a: NodeId, b: NodeId, cells: &CellAssignment) -> bool {
+    // (1) All path nodes associated with a or b only.
+    // (2) a-cell prefix then b-cell suffix, no interleaving.
+    let mut seen_b = false;
+    for &node in path {
+        match cells.owner_of(node) {
+            Some(o) if o == a => {
+                if seen_b {
+                    return false; // interleaved back into a's cell
+                }
+            }
+            Some(o) if o == b => {
+                seen_b = true;
+            }
+            _ => return false, // foreign or unassigned cell
+        }
+    }
+    true
+}
+
+/// Builds the CDM from the CDG by probing each adjacent pair's shortest
+/// boundary path (deterministic min-ID BFS, traversal restricted to the
+/// group). Pairs whose endpoints have no path inside the group are
+/// rejected.
+pub fn build_cdm(
+    topo: &Topology,
+    group: &[NodeId],
+    cells: &CellAssignment,
+    cdg_edges: &[LandmarkEdge],
+) -> Cdm {
+    let member = |n: NodeId| group.binary_search(&n).is_ok();
+    let mut edges = Vec::new();
+    let mut rejected = Vec::new();
+    let mut paths = BTreeMap::new();
+    for &(a, b) in cdg_edges {
+        match shortest_path(topo, a, b, member) {
+            Some(path) if path_is_valid(&path, a, b, cells) => {
+                paths.insert((a, b), path);
+                edges.push((a, b));
+            }
+            _ => rejected.push((a, b)),
+        }
+    }
+    Cdm { edges, rejected, paths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::assign_cells;
+    use crate::cdg::build_cdg;
+
+    fn ring(n: usize) -> Topology {
+        Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn ring_cdm_keeps_all_cycle_edges() {
+        let topo = ring(12);
+        let group: Vec<usize> = (0..12).collect();
+        let landmarks = vec![0, 3, 6, 9];
+        let cells = assign_cells(&topo, &group, &landmarks);
+        let cdg = build_cdg(&topo, &group, &cells);
+        let cdm = build_cdm(&topo, &group, &cells, &cdg);
+        assert_eq!(cdm.edges, cdg, "ring paths are clean two-cell paths");
+        assert!(cdm.rejected.is_empty());
+        // Paths recorded for every accepted edge.
+        for e in &cdm.edges {
+            let p = &cdm.paths[e];
+            assert_eq!(p.first(), Some(&e.0));
+            assert_eq!(p.last(), Some(&e.1));
+        }
+        let marked = cdm.marked_nodes(12);
+        assert!(marked.iter().filter(|&&m| m).count() >= 8);
+    }
+
+    #[test]
+    fn path_validity_conditions() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let group: Vec<usize> = (0..5).collect();
+        let cells = assign_cells(&topo, &group, &[0, 4]);
+        // 0,1,2 owned by 0; 3,4 owned by 4.
+        assert!(path_is_valid(&[0, 1, 2, 3, 4], 0, 4, &cells));
+        // Interleaving: back into a's cell after b's.
+        assert!(!path_is_valid(&[0, 3, 1, 4], 0, 4, &cells));
+        // Foreign owner.
+        let cells3 = assign_cells(&topo, &group, &[0, 2, 4]);
+        assert!(!path_is_valid(&[0, 1, 2, 3, 4], 0, 4, &cells3));
+    }
+
+    #[test]
+    fn third_cell_on_path_rejects_the_edge() {
+        // Path topology: 0-1-2-3-4 with landmarks 0, 2, 4. CDG adjacency
+        // 0–2 and 2–4 are fine; 0–4's path passes through 2's cell ⇒ if 0–4
+        // were CDG-adjacent it must be rejected.
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let group: Vec<usize> = (0..5).collect();
+        let cells = assign_cells(&topo, &group, &[0, 2, 4]);
+        let forced_cdg = vec![(0, 2), (0, 4), (2, 4)];
+        let cdm = build_cdm(&topo, &group, &cells, &forced_cdg);
+        assert_eq!(cdm.edges, vec![(0, 2), (2, 4)]);
+        assert_eq!(cdm.rejected, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn unreachable_pair_is_rejected() {
+        let topo = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        let group = vec![0, 1, 2, 3];
+        let cells = assign_cells(&topo, &group, &[0, 2]);
+        let cdm = build_cdm(&topo, &group, &cells, &[(0, 2)]);
+        assert!(cdm.edges.is_empty());
+        assert_eq!(cdm.rejected, vec![(0, 2)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Voronoi-cell association of boundary nodes to landmarks (Sec. III,
+//! step I, second half).
+//!
+//! "A non-landmark boundary node is associated with the closest landmark.
+//! If it has the same distance (in hop counts) to multiple landmarks, it
+//! chooses the one with the smallest ID as a tiebreaker. This step creates
+//! a set of approximate Voronoi cells on each boundary."
+
+use ballfit_wsn::bfs::multi_source_hops;
+use ballfit_wsn::{NodeId, Topology};
+
+/// Per-node cell assignment on one boundary group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellAssignment {
+    /// `owner[n] = Some(landmark)` for group members, `None` otherwise.
+    pub owner: Vec<Option<NodeId>>,
+    /// `hops[n] = Some(d)` hop distance to the owning landmark.
+    pub hops: Vec<Option<u32>>,
+}
+
+impl CellAssignment {
+    /// The owning landmark of `node`, if assigned.
+    pub fn owner_of(&self, node: NodeId) -> Option<NodeId> {
+        self.owner[node]
+    }
+
+    /// Members of the cell of `landmark`, sorted.
+    pub fn cell_members(&self, landmark: NodeId) -> Vec<NodeId> {
+        (0..self.owner.len()).filter(|&n| self.owner[n] == Some(landmark)).collect()
+    }
+}
+
+/// Assigns every node of `group` to its closest landmark (hop distance on
+/// the group subgraph, ties to the smallest landmark ID).
+///
+/// # Panics
+///
+/// Panics if `landmarks` is empty or not a subset of `group`.
+pub fn assign_cells(topo: &Topology, group: &[NodeId], landmarks: &[NodeId]) -> CellAssignment {
+    assert!(!landmarks.is_empty(), "cannot assign cells without landmarks");
+    assert!(
+        landmarks.iter().all(|l| group.binary_search(l).is_ok()),
+        "landmarks must be group members"
+    );
+    let member = |n: NodeId| group.binary_search(&n).is_ok();
+    let labeled = multi_source_hops(topo, landmarks, member);
+    let mut owner = vec![None; topo.len()];
+    let mut hops = vec![None; topo.len()];
+    for &n in group {
+        if let Some((d, lm)) = labeled[n] {
+            owner[n] = Some(lm);
+            hops[n] = Some(d);
+        }
+    }
+    CellAssignment { owner, hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Topology {
+        Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn ring_cells_partition_the_group() {
+        let topo = ring(12);
+        let group: Vec<usize> = (0..12).collect();
+        let landmarks = vec![0, 3, 6, 9];
+        let cells = assign_cells(&topo, &group, &landmarks);
+        // Every member owned; owners are landmarks.
+        for &n in &group {
+            let o = cells.owner_of(n).expect("member must be owned");
+            assert!(landmarks.contains(&o));
+        }
+        // Landmarks own themselves at distance 0.
+        for &lm in &landmarks {
+            assert_eq!(cells.owner_of(lm), Some(lm));
+            assert_eq!(cells.hops[lm], Some(0));
+        }
+        // Node 1 is 1 hop from 0 and 2 hops from 3 → owner 0.
+        assert_eq!(cells.owner_of(1), Some(0));
+        // Node 2 is 2 hops from 0 and 1 hop from 3 → owner 3.
+        assert_eq!(cells.owner_of(2), Some(3));
+    }
+
+    #[test]
+    fn hop_ties_go_to_smaller_landmark_id() {
+        // Node 2 equidistant (2 hops) from landmarks 0 and 4 on a 8-ring?
+        // Use a path 0-1-2-3-4 with landmarks {0, 4}: node 2 ties.
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let group: Vec<usize> = (0..5).collect();
+        let cells = assign_cells(&topo, &group, &[0, 4]);
+        assert_eq!(cells.owner_of(2), Some(0), "tie must break to smaller ID");
+    }
+
+    #[test]
+    fn cells_respect_group_restriction() {
+        // Path 0-1-2; group excludes 1, so node 2 is unreachable from
+        // landmark 0 within the group and stays unowned.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let group = vec![0, 2];
+        let cells = assign_cells(&topo, &group, &[0]);
+        assert_eq!(cells.owner_of(0), Some(0));
+        assert_eq!(cells.owner_of(2), None);
+        assert_eq!(cells.owner_of(1), None);
+    }
+
+    #[test]
+    fn cell_members_listing() {
+        let topo = ring(6);
+        let group: Vec<usize> = (0..6).collect();
+        let cells = assign_cells(&topo, &group, &[0, 3]);
+        let c0 = cells.cell_members(0);
+        let c3 = cells.cell_members(3);
+        assert!(c0.contains(&0));
+        assert!(c3.contains(&3));
+        assert_eq!(c0.len() + c3.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "without landmarks")]
+    fn empty_landmarks_panics() {
+        let topo = ring(4);
+        let _ = assign_cells(&topo, &[0, 1, 2, 3], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group members")]
+    fn foreign_landmark_panics() {
+        let topo = ring(4);
+        let _ = assign_cells(&topo, &[0, 1], &[3]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Pipeline configuration.
+
+use ballfit_mds::local::LocalFrameConfig;
+use ballfit_netgen::measure::ErrorModel;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Unit Ball Fitting parameters (Sec. II-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct UbfConfig {
+    /// Ball radius as a multiple of the radio range — the paper's
+    /// `r = 1 + ε`. Larger values only detect larger holes (Sec. II-A3).
+    pub ball_radius_factor: f64,
+    /// Shrink margin for the strict-containment test, as a fraction of the
+    /// radio range: points within this margin of the ball surface do not
+    /// invalidate the ball. Absorbs floating-point noise so the three
+    /// defining nodes never "block" their own ball.
+    pub containment_tolerance: f64,
+    /// Whether a node with fewer than 2 neighbors is declared a boundary
+    /// candidate outright. The paper's well-connectedness assumption
+    /// (Definition 3) excludes such nodes; real samples occasionally
+    /// contain them and they are certainly exposed.
+    pub degenerate_is_boundary: bool,
+    /// Neighborhood radius (hops) used for ball definition and emptiness
+    /// witnesses. The paper's Algorithm 1 is the 1-hop ("truly localized")
+    /// variant; Lemma 1's correctness argument actually ranges over the
+    /// `2r` ball, i.e. 2 hops. The 2-hop variant trades one extra exchange
+    /// round for fewer hidden-witness false positives (ablation E13).
+    pub witness_hops: u32,
+}
+
+impl Default for UbfConfig {
+    fn default() -> Self {
+        UbfConfig {
+            ball_radius_factor: 1.0 + 1e-6,
+            containment_tolerance: 1e-7,
+            degenerate_is_boundary: true,
+            witness_hops: 1,
+        }
+    }
+}
+
+impl UbfConfig {
+    /// The absolute ball radius for a network with the given radio range.
+    pub fn ball_radius(&self, radio_range: f64) -> f64 {
+        self.ball_radius_factor * radio_range
+    }
+}
+
+/// Isolated Fragment Filtering parameters (Sec. II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct IffConfig {
+    /// Fragment-size threshold θ: fragments with fewer members are
+    /// demoted. The paper derives θ = 20 from the icosahedron bound on the
+    /// smallest hole.
+    pub theta: usize,
+    /// Flooding TTL `T`; the paper uses 3, the maximum hop distance
+    /// between two nodes on a minimum (icosahedral) hole boundary.
+    pub ttl: u32,
+}
+
+impl Default for IffConfig {
+    fn default() -> Self {
+        IffConfig { theta: 20, ttl: 3 }
+    }
+}
+
+/// How nodes obtain the coordinates of their one-hop neighborhood
+/// (step I of UBF).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum CoordinateSource {
+    /// Nodes know their true coordinates ("If all nodes have known their
+    /// coordinates, this step can be skipped", Sec. II-A3).
+    GroundTruth,
+    /// Nodes build a local frame by MDS over measured pairwise distances —
+    /// the paper's default. The error model drives the measurement noise.
+    LocalMds {
+        /// Distance-measurement error model.
+        error: ErrorModel,
+        /// Seed of the per-pair measurement noise.
+        noise_seed: u64,
+        /// Whether SMACOF refinement runs after classical MDS.
+        refine: bool,
+    },
+}
+
+impl CoordinateSource {
+    /// The paper's sweep point: local MDS with uniform distance error of
+    /// `percent`% of the radio range.
+    pub fn paper_error(percent: u32, noise_seed: u64) -> Self {
+        CoordinateSource::LocalMds {
+            error: ErrorModel::paper_percent(percent),
+            noise_seed,
+            refine: true,
+        }
+    }
+
+    /// MDS frame configuration implied by this source (for `LocalMds`).
+    pub fn frame_config(&self) -> LocalFrameConfig {
+        match self {
+            CoordinateSource::GroundTruth => LocalFrameConfig::default(),
+            CoordinateSource::LocalMds { refine, .. } => {
+                LocalFrameConfig { refine: *refine, ..Default::default() }
+            }
+        }
+    }
+}
+
+/// Full boundary-detection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct DetectorConfig {
+    /// Coordinate acquisition (step I).
+    pub coordinates: CoordinateSource,
+    /// Unit Ball Fitting (phase 1).
+    pub ubf: UbfConfig,
+    /// Isolated Fragment Filtering (phase 2).
+    pub iff: IffConfig,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            coordinates: CoordinateSource::GroundTruth,
+            ubf: UbfConfig::default(),
+            iff: IffConfig::default(),
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The paper's default evaluation setting: local MDS coordinates at the
+    /// given distance-error percentage.
+    pub fn paper(percent: u32, noise_seed: u64) -> Self {
+        DetectorConfig {
+            coordinates: CoordinateSource::paper_error(percent, noise_seed),
+            ..Default::default()
+        }
+    }
+}
+
+/// Surface-construction parameters (Sec. III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct SurfaceConfig {
+    /// Landmark spacing `k`: any two landmarks are at least `k` hops apart
+    /// on the boundary subgraph. "Usually set between 3 to 5" (Sec. III);
+    /// Fig. 1(f) uses 3.
+    pub k: u32,
+    /// Upper bound on edge flips, as a multiple of the pre-flip edge count
+    /// (the flip budget is `max_flip_passes · |edges|`; a handful of flips
+    /// is typical, so the default of 8 is generous).
+    pub max_flip_passes: usize,
+    /// Minimum number of landmarks a boundary group must produce to
+    /// attempt meshing (fewer cannot form a closed surface).
+    pub min_landmarks: usize,
+    /// Whether triangulation completion may re-route blocked connection
+    /// probes around already-marked nodes (default true). The paper drops
+    /// a probe on first contact with a marked node; on networks sparser
+    /// than its 4210-node evaluation that leaves many open polygons, and
+    /// the detour — which still never walks over a recorded path — closes
+    /// them. Set false for the strictly paper-faithful rule (the two are
+    /// compared in the `ablation_k` harness).
+    pub route_around: bool,
+}
+
+impl Default for SurfaceConfig {
+    fn default() -> Self {
+        SurfaceConfig { k: 3, max_flip_passes: 8, min_landmarks: 4, route_around: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let iff = IffConfig::default();
+        assert_eq!(iff.theta, 20);
+        assert_eq!(iff.ttl, 3);
+        let ubf = UbfConfig::default();
+        assert!(ubf.ball_radius_factor > 1.0);
+        assert!((ubf.ball_radius(2.0) - 2.0 * ubf.ball_radius_factor).abs() < 1e-15);
+        let s = SurfaceConfig::default();
+        assert_eq!(s.k, 3);
+    }
+
+    #[test]
+    fn paper_error_constructor() {
+        match CoordinateSource::paper_error(30, 7) {
+            CoordinateSource::LocalMds { error, noise_seed, refine } => {
+                assert_eq!(error, ErrorModel::UniformRadius { fraction: 0.3 });
+                assert_eq!(noise_seed, 7);
+                assert!(refine);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match CoordinateSource::paper_error(0, 7) {
+            CoordinateSource::LocalMds { error, .. } => assert_eq!(error, ErrorModel::None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detector_config_paper() {
+        let cfg = DetectorConfig::paper(20, 3);
+        assert!(matches!(cfg.coordinates, CoordinateSource::LocalMds { .. }));
+        assert_eq!(cfg.iff.theta, 20);
+    }
+}

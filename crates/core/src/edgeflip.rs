@@ -1,0 +1,404 @@
+//! Step V: edge flips toward a 2-manifold.
+//!
+//! "To ensure the mesh to be a 2-manifold, each virtual edge must be
+//! associated with two triangles. [...] there still possibly exist edges
+//! with three triangular faces, formed with three corresponding nodes C,
+//! D, and E. [...] Edge AB is removed; two shortest edges are added
+//! between the corresponding nodes." (Sec. III, step V; Fig. 5)
+//!
+//! With more than three apexes (rare, but possible on noisy meshes) the
+//! same idea generalizes: remove the over-full edge and reconnect the
+//! apexes by their minimum spanning tree under the same length measure —
+//! for exactly three apexes that is precisely "the two shortest of
+//! {CD, DE, CE}".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ballfit_wsn::NodeId;
+
+use crate::cdg::LandmarkEdge;
+
+/// One performed flip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlipRecord {
+    /// The removed over-full edge.
+    pub removed: LandmarkEdge,
+    /// The apex landmarks that shared it.
+    pub apexes: Vec<NodeId>,
+    /// The edges added to reconnect the apexes.
+    pub added: Vec<LandmarkEdge>,
+}
+
+/// Result of the flip pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlipOutcome {
+    /// Final edge set, sorted.
+    pub edges: Vec<LandmarkEdge>,
+    /// Flips performed, in order.
+    pub flips: Vec<FlipRecord>,
+    /// `true` if no over-full edge remains.
+    pub converged: bool,
+}
+
+fn normalize(a: NodeId, b: NodeId) -> LandmarkEdge {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Common neighbors of `a` and `b` in the adjacency map.
+fn apexes_of(
+    adj: &BTreeMap<NodeId, BTreeSet<NodeId>>,
+    a: NodeId,
+    b: NodeId,
+) -> Vec<NodeId> {
+    match (adj.get(&a), adj.get(&b)) {
+        (Some(na), Some(nb)) => na.intersection(nb).copied().collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Apexes of `(a, b)` whose triangle is *empty*: no further vertex is
+/// adjacent to all three corners. An empty triangle is a genuine surface
+/// face; a non-empty one spans a region subdivided by interior landmarks
+/// and must be neither flipped on nor emitted as a face.
+fn face_apexes_of(
+    adj: &BTreeMap<NodeId, BTreeSet<NodeId>>,
+    a: NodeId,
+    b: NodeId,
+) -> Vec<NodeId> {
+    // A vertex adjacent to a, b and c is, in particular, another apex of
+    // (a, b) adjacent to c.
+    let apexes = apexes_of(adj, a, b);
+    apexes
+        .iter()
+        .copied()
+        .filter(|&c| {
+            !apexes
+                .iter()
+                .any(|&d| d != c && adj.get(&c).is_some_and(|nc| nc.contains(&d)))
+        })
+        .collect()
+}
+
+/// Minimum spanning tree over `apexes` under `length`, as normalized
+/// edges (Prim's algorithm; apex counts are tiny).
+fn apex_spanning_tree<L: FnMut(NodeId, NodeId) -> f64>(
+    apexes: &[NodeId],
+    mut length: L,
+) -> Vec<LandmarkEdge> {
+    if apexes.len() < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![apexes[0]];
+    let mut rest: Vec<NodeId> = apexes[1..].to_vec();
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        let mut best: Option<(f64, LandmarkEdge, usize)> = None;
+        for (ri, &r) in rest.iter().enumerate() {
+            for &t in &in_tree {
+                let len = length(t, r);
+                let edge = normalize(t, r);
+                let cand = (len, edge, ri);
+                let better = match &best {
+                    None => true,
+                    Some((bl, be, _)) => len < *bl || (len == *bl && edge < *be),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, edge, ri) = best.expect("non-empty rest");
+        out.push(edge);
+        in_tree.push(rest.remove(ri));
+    }
+    out
+}
+
+/// Repeatedly removes edges bordering three or more triangles, replacing
+/// each with the apex spanning tree, until convergence or until
+/// `max_flips` individual flips have been performed. Triangles are counted
+/// as raw 3-cliques (the paper's local signaling); use
+/// [`flip_to_manifold_filtered`] to refine which cliques count as faces.
+///
+/// `length(a, b)` measures candidate edges (the pipeline uses hop distance
+/// over the boundary subgraph — the algorithm is connectivity-only).
+pub fn flip_to_manifold<L: FnMut(NodeId, NodeId) -> f64>(
+    edges: &[LandmarkEdge],
+    max_flips: usize,
+    length: L,
+) -> FlipOutcome {
+    flip_scan(edges, max_flips, length, false)
+}
+
+/// [`flip_to_manifold`] with the empty-triangle face rule of [`faces_of`]:
+/// only edges bordering three or more *empty* cliques flip. This is what
+/// the surface builder runs — raw-clique counting cascades on sparse
+/// networks where large non-face cliques abound.
+pub fn flip_to_manifold_empty_faces<L: FnMut(NodeId, NodeId) -> f64>(
+    edges: &[LandmarkEdge],
+    max_flips: usize,
+    length: L,
+) -> FlipOutcome {
+    // Rebuild adjacency inside the filter: the filter only sees raw
+    // apexes, and emptiness needs the evolving edge set. Rather than
+    // duplicate state, flip on the scan's own adjacency via the dedicated
+    // scan below.
+    flip_scan(edges, max_flips, length, true)
+}
+
+/// Like [`flip_to_manifold`], but a `face_filter` decides which of an
+/// edge's clique apexes form genuine *faces*; only edges with three or
+/// more face apexes are flipped (e.g. a geometric subdivision filter).
+pub fn flip_to_manifold_filtered<L, F>(
+    edges: &[LandmarkEdge],
+    max_flips: usize,
+    mut length: L,
+    mut face_filter: F,
+) -> FlipOutcome
+where
+    L: FnMut(NodeId, NodeId) -> f64,
+    F: FnMut(LandmarkEdge, &[NodeId]) -> Vec<NodeId>,
+{
+    flip_impl(edges, max_flips, &mut length, &mut |adj, a, b| {
+        face_filter((a, b), &apexes_of(adj, a, b))
+    })
+}
+
+fn flip_scan<L: FnMut(NodeId, NodeId) -> f64>(
+    edges: &[LandmarkEdge],
+    max_flips: usize,
+    mut length: L,
+    empty_faces: bool,
+) -> FlipOutcome {
+    flip_impl(edges, max_flips, &mut length, &mut |adj, a, b| {
+        if empty_faces {
+            face_apexes_of(adj, a, b)
+        } else {
+            apexes_of(adj, a, b)
+        }
+    })
+}
+
+fn flip_impl(
+    edges: &[LandmarkEdge],
+    max_flips: usize,
+    length: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    apex_provider: &mut dyn FnMut(
+        &BTreeMap<NodeId, BTreeSet<NodeId>>,
+        NodeId,
+        NodeId,
+    ) -> Vec<NodeId>,
+) -> FlipOutcome {
+    let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().insert(b);
+        adj.entry(b).or_default().insert(a);
+    }
+    let mut flips = Vec::new();
+    // The paper's step V is detect-then-transform: over-full edges are
+    // found by local signaling *once*, then each is flipped. Restricting
+    // flips to that initial set (instead of re-scanning after every flip)
+    // prevents flip cascades from shredding sparse meshes — edges created
+    // by a flip are never themselves flipped in the same pass.
+    let mut initial: Vec<LandmarkEdge> = Vec::new();
+    for (&a, nbrs) in &adj {
+        for &b in nbrs.range((a + 1)..) {
+            if apex_provider(&adj, a, b).len() >= 3 {
+                initial.push((a, b));
+            }
+        }
+    }
+    // Removed edges must never be re-introduced by a later apex
+    // reconnection.
+    let mut banned: BTreeSet<LandmarkEdge> = BTreeSet::new();
+    for (a, b) in initial {
+        if flips.len() >= max_flips {
+            break;
+        }
+        // Re-check: an earlier flip may have already resolved this edge.
+        if !adj.get(&a).is_some_and(|n| n.contains(&b)) {
+            continue;
+        }
+        let apexes = apex_provider(&adj, a, b);
+        if apexes.len() < 3 {
+            continue;
+        }
+        // Remove AB and ban it from ever returning.
+        adj.get_mut(&a).expect("endpoint exists").remove(&b);
+        adj.get_mut(&b).expect("endpoint exists").remove(&a);
+        banned.insert((a, b));
+        // Reconnect apexes with their spanning tree (new, un-banned edges
+        // only; banned pairs are priced out of the tree).
+        let tree = apex_spanning_tree(&apexes, |c, d| {
+            if banned.contains(&normalize(c, d)) {
+                f64::INFINITY
+            } else {
+                length(c, d)
+            }
+        });
+        let mut added = Vec::new();
+        for (c, d) in tree {
+            if banned.contains(&(c, d)) {
+                continue;
+            }
+            if adj.entry(c).or_default().insert(d) {
+                adj.entry(d).or_default().insert(c);
+                added.push((c, d));
+            }
+        }
+        flips.push(FlipRecord { removed: (a, b), apexes, added });
+    }
+    // Converged when no over-full edge remains.
+    let mut converged = true;
+    'check: for (&a, nbrs) in &adj {
+        for &b in nbrs.range((a + 1)..) {
+            if apex_provider(&adj, a, b).len() >= 3 {
+                converged = false;
+                break 'check;
+            }
+        }
+    }
+    let mut out_edges = Vec::new();
+    for (&a, nbrs) in &adj {
+        for &b in nbrs.range((a + 1)..) {
+            out_edges.push((a, b));
+        }
+    }
+    FlipOutcome { edges: out_edges, flips, converged }
+}
+
+/// Enumerates the triangles (3-cliques) of a landmark edge set, each as a
+/// sorted triple, in sorted order.
+pub fn triangles_of(edges: &[LandmarkEdge]) -> Vec<[NodeId; 3]> {
+    let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().insert(b);
+        adj.entry(b).or_default().insert(a);
+    }
+    let mut out = Vec::new();
+    for &(a, b) in edges {
+        for &c in apexes_of(&adj, a, b).iter() {
+            if c > b {
+                out.push([a, b, c]);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Enumerates the *faces* of a landmark edge set: empty triangles only —
+/// 3-cliques with no vertex adjacent to all three corners. These are the
+/// triangles emitted into the final mesh and counted by the flip step.
+pub fn faces_of(edges: &[LandmarkEdge]) -> Vec<[NodeId; 3]> {
+    let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().insert(b);
+        adj.entry(b).or_default().insert(a);
+    }
+    let mut out = Vec::new();
+    for &(a, b) in edges {
+        for &c in face_apexes_of(&adj, a, b).iter() {
+            if c > b {
+                out.push([a, b, c]);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Euclidean-free toy length: |a − b| as f64.
+    fn id_len(a: NodeId, b: NodeId) -> f64 {
+        (a as f64 - b as f64).abs()
+    }
+
+    #[test]
+    fn paper_figure_five_case() {
+        // Edge AB=(0,1) with three apexes C=2, D=3, E=4 (Fig. 5(a)).
+        // Lengths: make CD (2,3) and DE (3,4) shorter than CE (2,4).
+        let edges = vec![
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (0, 4),
+            (1, 4),
+        ];
+        let out = flip_to_manifold(&edges, 8, id_len);
+        assert!(out.converged);
+        assert_eq!(out.flips.len(), 1);
+        let flip = &out.flips[0];
+        assert_eq!(flip.removed, (0, 1));
+        assert_eq!(flip.apexes, vec![2, 3, 4]);
+        assert_eq!(flip.added, vec![(2, 3), (3, 4)], "two shortest apex edges");
+        // No over-full edge remains.
+        for &(a, b) in &out.edges {
+            let adj_edges = out.edges.clone();
+            let tris = triangles_of(&adj_edges);
+            let count = tris.iter().filter(|t| t.contains(&a) && t.contains(&b)).count();
+            assert!(count <= 2, "edge ({a},{b}) still has {count} faces");
+        }
+    }
+
+    #[test]
+    fn manifold_input_is_untouched() {
+        // Tetrahedron graph: every edge has exactly two triangles.
+        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let out = flip_to_manifold(&edges, 8, id_len);
+        assert!(out.converged);
+        assert!(out.flips.is_empty());
+        assert_eq!(out.edges, edges);
+        assert_eq!(triangles_of(&edges).len(), 4);
+    }
+
+    #[test]
+    fn triangles_enumeration() {
+        let edges = vec![(0, 1), (1, 2), (0, 2), (2, 3)];
+        assert_eq!(triangles_of(&edges), vec![[0, 1, 2]]);
+        assert!(triangles_of(&[(0, 1)]).is_empty());
+        assert!(triangles_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn spanning_tree_reconnects_four_apexes() {
+        // Edge (0,1) with four apexes 2,3,4,5.
+        let mut edges = vec![(0, 1)];
+        for apex in 2..6 {
+            edges.push((0, apex));
+            edges.push((1, apex));
+        }
+        let out = flip_to_manifold(&edges, 8, id_len);
+        assert!(out.converged);
+        assert_eq!(out.flips[0].apexes, vec![2, 3, 4, 5]);
+        // Spanning tree over 4 apexes has 3 edges: chain 2-3-4-5 by id_len.
+        assert_eq!(out.flips[0].added, vec![(2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn zero_flip_budget_leaves_graph_unchanged() {
+        let edges = vec![(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4)];
+        let out = flip_to_manifold(&edges, 0, id_len);
+        assert!(!out.converged, "over-full edge remains with zero budget");
+        assert!(out.flips.is_empty());
+        let mut expected = edges.clone();
+        expected.sort_unstable();
+        assert_eq!(out.edges, expected, "no flip means no change");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let out = flip_to_manifold(&[], 4, id_len);
+        assert!(out.converged);
+        assert!(out.edges.is_empty());
+    }
+}

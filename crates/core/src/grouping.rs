@@ -1,0 +1,60 @@
+//! Boundary grouping (Sec. II-B, last paragraph).
+//!
+//! Nodes on the same boundary are connected through boundary nodes only;
+//! nodes on different boundaries are not. Grouping is therefore connected
+//! components of the boundary-induced subgraph; the outer boundary and
+//! each hole boundary come out as separate groups.
+
+use ballfit_wsn::components::components_of;
+use ballfit_wsn::{NodeId, Topology};
+
+/// One boundary group (a connected component of boundary nodes), sorted.
+pub type BoundaryGroup = Vec<NodeId>;
+
+/// Groups the boundary nodes into per-boundary components, ordered by
+/// descending size (ties by smallest member ID). The largest group is
+/// typically the outer boundary.
+///
+/// # Panics
+///
+/// Panics if `boundary.len() != topo.len()`.
+pub fn group_boundaries(topo: &Topology, boundary: &[bool]) -> Vec<BoundaryGroup> {
+    assert_eq!(boundary.len(), topo.len(), "boundary flag length mismatch");
+    let mut groups = components_of(topo, |n| boundary[n]);
+    groups.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_boundaries_with_interior_bridge() {
+        // Boundary ring 0-1-2 and boundary pair 5-6, joined only through
+        // interior nodes 3,4.
+        let topo = Topology::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6)],
+        );
+        let boundary = [true, true, true, false, false, true, true];
+        let groups = group_boundaries(&topo, &boundary);
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![5, 6]]);
+    }
+
+    #[test]
+    fn ordering_is_by_size_then_min_id() {
+        let topo = Topology::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let groups = group_boundaries(&topo, &[true; 6]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 1]); // size tie → min id first
+        assert_eq!(groups[1], vec![2, 3]);
+        assert_eq!(groups[2], vec![4, 5]);
+    }
+
+    #[test]
+    fn no_boundary_nodes() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(group_boundaries(&topo, &[false; 3]).is_empty());
+    }
+}

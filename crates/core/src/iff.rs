@@ -1,0 +1,133 @@
+//! Phase 2: Isolated Fragment Filtering (Sec. II-B of the paper).
+//!
+//! UBF occasionally promotes interior nodes (coordinate noise, locally thin
+//! sampling) into small isolated fragments. Genuine boundaries form
+//! well-connected closed surfaces of at least θ nodes (θ = 20, the
+//! icosahedron bound), so each candidate floods the candidate subgraph
+//! with TTL `T` and demotes itself when it observes a fragment smaller
+//! than θ.
+
+use ballfit_wsn::flood::fragment_sizes;
+use ballfit_wsn::Topology;
+
+use crate::config::IffConfig;
+
+/// Applies IFF to the phase-1 candidate set, returning the surviving
+/// boundary flags (centralized-equivalent execution; see
+/// [`crate::protocols`] for the message-passing version).
+///
+/// Semantics: every candidate evaluates the *phase-1* candidate set (all
+/// floods run concurrently in the protocol, so demotions are based on the
+/// original membership), counts distinct candidates within `ttl` hops of
+/// itself on the candidate subgraph *including itself*, and survives iff
+/// that count is at least `theta`.
+///
+/// # Panics
+///
+/// Panics if `candidates.len() != topo.len()`.
+pub fn apply_iff(topo: &Topology, candidates: &[bool], cfg: &IffConfig) -> Vec<bool> {
+    assert_eq!(candidates.len(), topo.len(), "candidate flag length mismatch");
+    let sizes = fragment_sizes(topo, cfg.ttl, |n| candidates[n]);
+    (0..topo.len())
+        .map(|n| candidates[n] && sizes[n] >= cfg.theta)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of `n` candidates: fragment size visible within TTL t is
+    /// min(n, 2t + 1).
+    fn ring(n: usize) -> Topology {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn small_fragment_is_filtered() {
+        let topo = ring(30);
+        // Candidates: a 5-node arc (isolated fragment) and a 25-node arc.
+        let mut cand = vec![false; 30];
+        for i in 0..5 {
+            cand[i] = true;
+        }
+        for i in 10..29 {
+            cand[i] = true;
+        }
+        let cfg = IffConfig { theta: 7, ttl: 5 };
+        let out = apply_iff(&topo, &cand, &cfg);
+        for i in 0..5 {
+            assert!(!out[i], "small fragment node {i} must be demoted");
+        }
+        for i in 13..26 {
+            assert!(out[i], "large fragment interior node {i} must survive");
+        }
+    }
+
+    #[test]
+    fn ttl_limits_visibility_and_can_demote_fragment_edges() {
+        let topo = ring(40);
+        let cand = vec![true; 40];
+        // TTL 2 on a ring: every node sees 5 candidates including itself.
+        let out = apply_iff(&topo, &cand, &IffConfig { theta: 6, ttl: 2 });
+        assert!(out.iter().all(|&b| !b), "θ=6 > visible 5 ⇒ all demoted");
+        let out = apply_iff(&topo, &cand, &IffConfig { theta: 5, ttl: 2 });
+        assert!(out.iter().all(|&b| b), "θ=5 = visible 5 ⇒ all survive");
+    }
+
+    #[test]
+    fn paper_defaults_keep_icosahedral_fragment() {
+        // The paper's minimum hole: 20 boundary nodes with pairwise hop
+        // distance ≤ 3. Model it as a 20-node graph of diameter 3
+        // (two stacked 10-rings with rungs).
+        let mut edges = Vec::new();
+        for i in 0..10usize {
+            edges.push((i, (i + 1) % 10)); // bottom ring
+            edges.push((10 + i, 10 + (i + 1) % 10)); // top ring
+            edges.push((i, 10 + i)); // rungs
+            edges.push((i, 10 + (i + 1) % 10)); // diagonals shrink diameter
+            edges.push((i, (i + 2) % 10)); // chords
+            edges.push((10 + i, 10 + (i + 2) % 10));
+        }
+        let topo = Topology::from_edges(20, &edges);
+        let cand = vec![true; 20];
+        let out = apply_iff(&topo, &cand, &IffConfig::default());
+        // Every node must see all 20 members within 3 hops.
+        assert!(out.iter().all(|&b| b), "paper defaults must keep a θ-sized fragment");
+    }
+
+    #[test]
+    fn demotions_do_not_cascade() {
+        // Chain of 10 candidates, θ=4, TTL=1: every node sees ≤ 3 → all
+        // demoted, but crucially based on the original set (no ordering
+        // effects).
+        let topo = Topology::from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let out = apply_iff(&topo, &vec![true; 10], &IffConfig { theta: 4, ttl: 1 });
+        assert!(out.iter().all(|&b| !b));
+        // With θ=3 all interior chain nodes see exactly 3 and survive while
+        // endpoints see 2 and are demoted — if demotions cascaded, the
+        // whole chain would unravel.
+        let out = apply_iff(&topo, &vec![true; 10], &IffConfig { theta: 3, ttl: 1 });
+        assert!(!out[0] && !out[9]);
+        for i in 1..9 {
+            assert!(out[i], "interior chain node {i} must survive");
+        }
+    }
+
+    #[test]
+    fn non_candidates_never_promoted() {
+        let topo = ring(25);
+        let mut cand = vec![true; 25];
+        cand[3] = false;
+        let out = apply_iff(&topo, &cand, &IffConfig { theta: 1, ttl: 3 });
+        assert!(!out[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let topo = ring(5);
+        let _ = apply_iff(&topo, &[true; 3], &IffConfig::default());
+    }
+}

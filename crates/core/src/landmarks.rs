@@ -1,0 +1,158 @@
+//! Step I of surface construction: landmark election.
+//!
+//! "The boundary nodes employ a distributed algorithm to elect a subset of
+//! nodes as landmarks. Any two landmarks must be k-hops apart. k determines
+//! the fineness of the mesh." (Sec. III)
+//!
+//! The reference realization is the *greedy minimum-ID maximal independent
+//! set in the (k−1)-power* of the boundary subgraph: scanning boundary
+//! nodes in ascending ID, a node becomes a landmark unless an existing
+//! landmark lies within `k − 1` hops (so elected landmarks are pairwise
+//! ≥ k hops apart, and every boundary node has a landmark within `k − 1`
+//! hops — maximality). This lexicographically-first MIS is exactly what
+//! the iterated local-minimum distributed election converges to, so the
+//! centralized and protocol executions agree (see [`crate::protocols`]).
+
+use ballfit_wsn::bfs::nodes_within;
+use ballfit_wsn::{NodeId, Topology};
+
+/// Elects landmarks on one boundary group.
+///
+/// `group` must be sorted (as produced by
+/// [`crate::grouping::group_boundaries`]); `k` is the landmark spacing.
+/// Traversal is restricted to the group members. Returns the landmark IDs
+/// in ascending order.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `group` is unsorted.
+pub fn elect_landmarks(topo: &Topology, group: &[NodeId], k: u32) -> Vec<NodeId> {
+    assert!(k >= 1, "landmark spacing k must be at least 1");
+    assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted");
+    let member = |n: NodeId| group.binary_search(&n).is_ok();
+
+    let mut suppressed = vec![false; topo.len()];
+    let mut landmarks = Vec::new();
+    for &node in group {
+        if suppressed[node] {
+            continue;
+        }
+        landmarks.push(node);
+        // Suppress everything within k−1 hops on the boundary subgraph.
+        suppressed[node] = true;
+        for n in nodes_within(topo, node, k - 1, member) {
+            suppressed[n] = true;
+        }
+    }
+    landmarks
+}
+
+/// Validates the landmark invariants on a group: pairwise hop distance
+/// ≥ k (within the group subgraph) and every member within k−1 hops of
+/// some landmark. Returns an error description on violation (test helper,
+/// also used by the protocol audit).
+pub fn check_landmark_invariants(
+    topo: &Topology,
+    group: &[NodeId],
+    landmarks: &[NodeId],
+    k: u32,
+) -> Result<(), String> {
+    let member = |n: NodeId| group.binary_search(&n).is_ok();
+    // Coverage and separation via one BFS per landmark.
+    let mut covered = vec![false; topo.len()];
+    for &lm in landmarks {
+        if !member(lm) {
+            return Err(format!("landmark {lm} is not in the group"));
+        }
+        covered[lm] = true;
+        for n in nodes_within(topo, lm, k - 1, member) {
+            if landmarks.binary_search(&n).is_ok() && n != lm {
+                return Err(format!("landmarks {lm} and {n} are closer than {k} hops"));
+            }
+            covered[n] = true;
+        }
+    }
+    for &g in group {
+        if !covered[g] {
+            return Err(format!("node {g} has no landmark within {} hops", k - 1));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Topology {
+        Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn ring_election_spacing() {
+        let topo = ring(12);
+        let group: Vec<usize> = (0..12).collect();
+        let landmarks = elect_landmarks(&topo, &group, 3);
+        // Greedy by ID on a 12-ring with k=3: 0, 3, 6, 9.
+        assert_eq!(landmarks, vec![0, 3, 6, 9]);
+        check_landmark_invariants(&topo, &group, &landmarks, 3).unwrap();
+    }
+
+    #[test]
+    fn k_one_selects_everyone() {
+        let topo = ring(5);
+        let group: Vec<usize> = (0..5).collect();
+        assert_eq!(elect_landmarks(&topo, &group, 1), group);
+    }
+
+    #[test]
+    fn larger_k_fewer_landmarks() {
+        let topo = ring(30);
+        let group: Vec<usize> = (0..30).collect();
+        let l3 = elect_landmarks(&topo, &group, 3);
+        let l5 = elect_landmarks(&topo, &group, 5);
+        assert!(l5.len() < l3.len());
+        check_landmark_invariants(&topo, &group, &l5, 5).unwrap();
+    }
+
+    #[test]
+    fn election_is_restricted_to_the_group() {
+        // Two boundary rings joined by an interior path; electing on one
+        // group must ignore the other entirely.
+        let mut edges: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        edges.extend((6..12).map(|i| (i, if i == 11 { 6 } else { i + 1 })));
+        edges.push((0, 12));
+        edges.push((12, 6));
+        let topo = Topology::from_edges(13, &edges);
+        let group_a: Vec<usize> = (0..6).collect();
+        let landmarks = elect_landmarks(&topo, &group_a, 3);
+        assert!(landmarks.iter().all(|l| *l < 6));
+        check_landmark_invariants(&topo, &group_a, &landmarks, 3).unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_catches_violations() {
+        let topo = ring(12);
+        let group: Vec<usize> = (0..12).collect();
+        // 0 and 1 are adjacent: spacing violation for k=3.
+        assert!(check_landmark_invariants(&topo, &group, &[0, 1], 3).is_err());
+        // 0 alone cannot cover the far side of the ring within 2 hops.
+        assert!(check_landmark_invariants(&topo, &group, &[0], 3).is_err());
+        // Node outside the group.
+        assert!(check_landmark_invariants(&topo, &group[..6], &[7], 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let topo = ring(4);
+        let _ = elect_landmarks(&topo, &[0, 1, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_group_panics() {
+        let topo = ring(4);
+        let _ = elect_landmarks(&topo, &[2, 1], 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! # ballfit
+//!
+//! A from-scratch Rust reproduction of **"Localized Algorithm for Precise
+//! Boundary Detection in 3D Wireless Networks"** (Hongyu Zhou, Su Xia,
+//! Miao Jin, Hongyi Wu — ICDCS 2010).
+//!
+//! Given a 3D wireless network described only by local connectivity and
+//! (noisy) pairwise distance measurements, the pipeline:
+//!
+//! 1. **Detects boundary nodes** — [`ubf`] (Unit Ball Fitting, phase 1)
+//!    finds every node that an empty radio-range ball can touch;
+//!    [`iff`] (Isolated Fragment Filtering, phase 2) removes spurious
+//!    small fragments; [`grouping`] separates the outer boundary from each
+//!    interior hole.
+//! 2. **Constructs locally planarized 2-manifold triangular meshes** per
+//!    boundary — [`landmarks`] election, Voronoi [`cells`], the
+//!    combinatorial Delaunay graph ([`cdg`]) and map ([`cdm`]),
+//!    [`triangulate`] completion and [`edgeflip`] repair, assembled by
+//!    [`surface::SurfaceBuilder`].
+//!
+//! Every step is *localized*: nodes use one-hop information only. The
+//! [`protocols`] module runs the same algorithms as genuine message-passing
+//! protocols on the `ballfit-wsn` round simulator and is tested equivalent
+//! to the fast centralized-equivalent executors used by the experiment
+//! harness. Detection quality against ground truth is measured by
+//! [`metrics::DetectionStats`] — the quantities of the paper's Figs. 1
+//! and 11.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ballfit::Pipeline;
+//! use ballfit_netgen::builder::NetworkBuilder;
+//! use ballfit_netgen::scenario::Scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a 3D network in a sphere (ground truth included).
+//! let model = NetworkBuilder::new(Scenario::SolidSphere)
+//!     .surface_nodes(300)
+//!     .interior_nodes(500)
+//!     .target_degree(16.0)
+//!     .seed(7)
+//!     .build()?;
+//!
+//! // Detect boundary nodes and build the boundary surface.
+//! let result = Pipeline::default().run(&model);
+//! assert!(result.stats.recall() > 0.8);
+//! assert_eq!(result.surfaces.len(), 1); // one boundary: the sphere shell
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod applications;
+pub mod cdg;
+pub mod cdm;
+pub mod cells;
+pub mod config;
+pub mod detector;
+pub mod edgeflip;
+pub mod grouping;
+pub mod iff;
+pub mod landmarks;
+pub mod localizer;
+pub mod metrics;
+pub mod protocols;
+pub mod surface;
+pub mod triangulate;
+pub mod ubf;
+
+pub use config::{CoordinateSource, DetectorConfig, IffConfig, SurfaceConfig, UbfConfig};
+pub use detector::{BoundaryDetection, BoundaryDetector};
+pub use metrics::DetectionStats;
+pub use surface::{BoundarySurface, SurfaceBuilder};
+
+/// The full paper pipeline: boundary-node detection followed by surface
+/// construction and ground-truth evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    /// Detection configuration (coordinates, UBF, IFF).
+    pub detector: DetectorConfig,
+    /// Surface-construction configuration (k, flips).
+    pub surface: SurfaceConfig,
+}
+
+/// Everything the pipeline produces for one network.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Phase 1+2 output: per-node flags and boundary groups.
+    pub detection: BoundaryDetection,
+    /// One triangular mesh per (large enough) boundary group.
+    pub surfaces: Vec<BoundarySurface>,
+    /// Detection quality against the model's ground truth.
+    pub stats: DetectionStats,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from explicit configurations.
+    pub fn new(detector: DetectorConfig, surface: SurfaceConfig) -> Self {
+        Pipeline { detector, surface }
+    }
+
+    /// The paper's default evaluation pipeline at a given distance-error
+    /// percentage (local-MDS coordinates, θ=20/T=3 IFF, k=3 meshes).
+    pub fn paper(error_percent: u32, noise_seed: u64) -> Self {
+        Pipeline {
+            detector: DetectorConfig::paper(error_percent, noise_seed),
+            surface: SurfaceConfig::default(),
+        }
+    }
+
+    /// Runs detection, evaluation and surface construction on a network.
+    pub fn run(&self, model: &ballfit_netgen::model::NetworkModel) -> PipelineResult {
+        let detection = BoundaryDetector::new(self.detector).detect(model);
+        let stats = DetectionStats::evaluate(model, &detection);
+        let surfaces = SurfaceBuilder::new(self.surface).build(model, &detection);
+        PipelineResult { detection, surfaces, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::scenario::Scenario;
+
+    #[test]
+    fn pipeline_end_to_end_on_a_sphere() {
+        let model = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(300)
+            .interior_nodes(500)
+            .target_degree(16.0)
+            .seed(55)
+            .build()
+            .unwrap();
+        let result = Pipeline::default().run(&model);
+        assert!(result.stats.recall() > 0.85, "{}", result.stats);
+        assert_eq!(result.surfaces.len(), 1);
+        assert!(result.surfaces[0].stats.faces > 0);
+    }
+
+    #[test]
+    fn paper_constructor_wires_error_percent() {
+        let p = Pipeline::paper(30, 4);
+        match p.detector.coordinates {
+            CoordinateSource::LocalMds { error, .. } => {
+                assert_eq!(
+                    error,
+                    ballfit_netgen::measure::ErrorModel::UniformRadius { fraction: 0.3 }
+                );
+            }
+            other => panic!("unexpected source {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Step I of UBF: per-node neighborhood coordinates.
+//!
+//! Each node needs coordinates for its closed one-hop neighborhood `N(i)`.
+//! Depending on [`CoordinateSource`] these are either the true positions
+//! (coordinates known) or a local MDS frame built from noisy pairwise
+//! distance measurements between mutually-adjacent neighborhood members
+//! (the paper's default; Shang–Ruml-style localization from
+//! `ballfit-mds`).
+
+use ballfit_geom::Vec3;
+use ballfit_mds::local::{embed_local, LocalDistances};
+use ballfit_netgen::model::NetworkModel;
+use ballfit_wsn::NodeId;
+
+use crate::config::CoordinateSource;
+
+/// Coordinates for one node's closed neighborhood.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodFrame {
+    /// Neighborhood members (sorted; includes the node itself).
+    pub members: Vec<NodeId>,
+    /// Index of the node itself within `members`.
+    pub self_index: usize,
+    /// Coordinates per member, in `members` order. Local frames are
+    /// centered and arbitrarily oriented; ground-truth frames are global.
+    pub coords: Vec<Vec3>,
+    /// Residual stress of the embedding (0 for ground truth).
+    pub stress: f64,
+}
+
+/// Computes the neighborhood frame of `node`.
+///
+/// Returns `None` when a local frame cannot be built (neighborhood smaller
+/// than 2, or its measured-distance graph is disconnected) — the caller
+/// treats such nodes per [`crate::config::UbfConfig::degenerate_is_boundary`].
+pub fn neighborhood_frame(
+    model: &NetworkModel,
+    node: NodeId,
+    source: &CoordinateSource,
+) -> Option<NeighborhoodFrame> {
+    neighborhood_frame_k(model, node, source, 1)
+}
+
+/// [`neighborhood_frame`] over the closed `k`-hop neighborhood (the 2-hop
+/// variant realizes Lemma 1's full `2r` witness scope; see
+/// [`crate::config::UbfConfig::witness_hops`]).
+pub fn neighborhood_frame_k(
+    model: &NetworkModel,
+    node: NodeId,
+    source: &CoordinateSource,
+    k: u32,
+) -> Option<NeighborhoodFrame> {
+    let topo = model.topology();
+    let members = topo.closed_k_hop_neighborhood(node, k);
+    let self_index = members.binary_search(&node).expect("node is in its own neighborhood");
+    match source {
+        CoordinateSource::GroundTruth => {
+            let coords = members.iter().map(|&m| model.positions()[m]).collect();
+            Some(NeighborhoodFrame { members, self_index, coords, stress: 0.0 })
+        }
+        CoordinateSource::LocalMds { error, noise_seed, .. } => {
+            if members.len() < 2 {
+                return None;
+            }
+            let oracle = model.oracle(*error, *noise_seed);
+            let mut table = LocalDistances::new(members.len());
+            for a in 0..members.len() {
+                for b in (a + 1)..members.len() {
+                    let (i, j) = (members[a], members[b]);
+                    // Only mutually-adjacent pairs can range each other.
+                    if topo.are_neighbors(i, j) {
+                        table.set(a, b, oracle.measure(i, j, model.true_distance(i, j)));
+                    }
+                }
+            }
+            // Unmeasured pairs are out-of-range pairs: assert the radio
+            // range as a distance floor during refinement.
+            // Note on floors: `ballfit-mds` can assert a distance floor on
+            // unmeasured (out-of-range) pairs during refinement. At
+            // moderate noise that trades a little recall for precision,
+            // but at extreme noise it suppresses detection entirely and
+            // breaks the paper's Fig. 1(g) shape — so the pipeline leaves
+            // it off (see DESIGN.md §6b).
+            let frame = embed_local(&table, source.frame_config()).ok()?;
+            Some(NeighborhoodFrame {
+                members,
+                self_index,
+                coords: frame.coords,
+                stress: frame.stress,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::measure::ErrorModel;
+    use ballfit_netgen::scenario::Scenario;
+
+    fn small_model() -> NetworkModel {
+        NetworkBuilder::new(Scenario::SolidBox)
+            .surface_nodes(120)
+            .interior_nodes(180)
+            .target_degree(12.0)
+            .require_connected(false)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ground_truth_frame_uses_true_positions() {
+        let model = small_model();
+        let f = neighborhood_frame(&model, 10, &CoordinateSource::GroundTruth).unwrap();
+        assert_eq!(f.members[f.self_index], 10);
+        assert_eq!(f.stress, 0.0);
+        for (idx, &m) in f.members.iter().enumerate() {
+            assert_eq!(f.coords[idx], model.positions()[m]);
+        }
+    }
+
+    #[test]
+    fn noiseless_mds_frame_preserves_measured_distances() {
+        let model = small_model();
+        let source = CoordinateSource::LocalMds {
+            error: ErrorModel::None,
+            noise_seed: 0,
+            refine: true,
+        };
+        // Pick a node with a decent neighborhood.
+        let node = (0..model.len())
+            .max_by_key(|&i| model.topology().degree(i))
+            .unwrap();
+        let f = neighborhood_frame(&model, node, &source).unwrap();
+        let topo = model.topology();
+        let mut checked = 0;
+        for a in 0..f.members.len() {
+            for b in (a + 1)..f.members.len() {
+                let (i, j) = (f.members[a], f.members[b]);
+                if topo.are_neighbors(i, j) {
+                    let truth = model.true_distance(i, j);
+                    let embedded = f.coords[a].distance(f.coords[b]);
+                    assert!(
+                        (truth - embedded).abs() < 0.15,
+                        "pair ({i},{j}): true {truth}, embedded {embedded}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 5, "too few measured pairs exercised");
+    }
+
+    #[test]
+    fn noisy_frames_have_higher_stress() {
+        let model = small_model();
+        let node = (0..model.len())
+            .max_by_key(|&i| model.topology().degree(i))
+            .unwrap();
+        let clean = neighborhood_frame(
+            &model,
+            node,
+            &CoordinateSource::LocalMds { error: ErrorModel::None, noise_seed: 0, refine: true },
+        )
+        .unwrap();
+        let noisy = neighborhood_frame(
+            &model,
+            node,
+            &CoordinateSource::LocalMds {
+                error: ErrorModel::UniformRadius { fraction: 0.5 },
+                noise_seed: 0,
+                refine: true,
+            },
+        )
+        .unwrap();
+        assert!(noisy.stress > clean.stress);
+    }
+}

@@ -1,0 +1,284 @@
+//! Detection-quality metrics (the quantities plotted in Figs. 1(g–i) and
+//! 11(a–c) of the paper).
+
+use ballfit_netgen::model::NetworkModel;
+use ballfit_wsn::bfs::multi_source_hops;
+
+use crate::detector::BoundaryDetection;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Histogram over hop distances 1, 2, 3 and >3 (the paper buckets 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct HopHistogram {
+    /// Nodes at exactly 1 hop.
+    pub one: usize,
+    /// Nodes at exactly 2 hops.
+    pub two: usize,
+    /// Nodes at exactly 3 hops.
+    pub three: usize,
+    /// Nodes farther than 3 hops (or unreachable).
+    pub beyond: usize,
+}
+
+impl HopHistogram {
+    /// Total counted nodes.
+    pub fn total(&self) -> usize {
+        self.one + self.two + self.three + self.beyond
+    }
+
+    /// Fractions `(1 hop, 2 hop, 3 hop, beyond)`; zeros when empty.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.one as f64 / t,
+            self.two as f64 / t,
+            self.three as f64 / t,
+            self.beyond as f64 / t,
+        )
+    }
+
+    fn record(&mut self, hops: Option<u32>) {
+        match hops {
+            Some(1) => self.one += 1,
+            Some(2) => self.two += 1,
+            Some(3) => self.three += 1,
+            Some(0) => self.one += 1, // co-located (shouldn't occur; fold into 1)
+            _ => self.beyond += 1,
+        }
+    }
+}
+
+/// Detection statistics against ground truth — the series of Fig. 11(a)
+/// plus the error-locality distributions of Figs. 11(b,c).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct DetectionStats {
+    /// Ground-truth boundary nodes in the network.
+    pub truth: usize,
+    /// Nodes the detector reported as boundary ("Found").
+    pub found: usize,
+    /// Found ∩ truth ("Correct").
+    pub correct: usize,
+    /// Found \ truth ("Mistaken").
+    pub mistaken: usize,
+    /// Truth \ found ("Missing").
+    pub missing: usize,
+    /// Hop distance from each mistaken node to the nearest *correctly
+    /// identified* boundary node (Fig. 11(b)).
+    pub mistaken_hops: HopHistogram,
+    /// Hop distance from each missing node to the nearest *correctly
+    /// identified* boundary node (Fig. 11(c)).
+    pub missing_hops: HopHistogram,
+}
+
+impl DetectionStats {
+    /// Evaluates a detection against the model's ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detection was produced for a different-sized network.
+    pub fn evaluate(model: &NetworkModel, detection: &BoundaryDetection) -> Self {
+        assert_eq!(detection.boundary.len(), model.len(), "detection/model size mismatch");
+        let truth_flags = model.is_surface();
+        let found_flags = &detection.boundary;
+
+        let mut correct_nodes = Vec::new();
+        let mut mistaken_nodes = Vec::new();
+        let mut missing_nodes = Vec::new();
+        for i in 0..model.len() {
+            match (found_flags[i], truth_flags[i]) {
+                (true, true) => correct_nodes.push(i),
+                (true, false) => mistaken_nodes.push(i),
+                (false, true) => missing_nodes.push(i),
+                (false, false) => {}
+            }
+        }
+
+        // Hop distances to the nearest correct node, over the full topology
+        // (the paper measures plain hop distance in the network).
+        let hops = if correct_nodes.is_empty() {
+            vec![None; model.len()]
+        } else {
+            multi_source_hops(model.topology(), &correct_nodes, |_| true)
+                .into_iter()
+                .map(|o| o.map(|(d, _)| d))
+                .collect()
+        };
+        let mut mistaken_hops = HopHistogram::default();
+        for &n in &mistaken_nodes {
+            mistaken_hops.record(hops[n]);
+        }
+        let mut missing_hops = HopHistogram::default();
+        for &n in &missing_nodes {
+            missing_hops.record(hops[n]);
+        }
+
+        DetectionStats {
+            truth: truth_flags.iter().filter(|&&b| b).count(),
+            found: found_flags.iter().filter(|&&b| b).count(),
+            correct: correct_nodes.len(),
+            mistaken: mistaken_nodes.len(),
+            missing: missing_nodes.len(),
+            mistaken_hops,
+            missing_hops,
+        }
+    }
+
+    /// Fraction of ground-truth nodes found correctly (recall).
+    pub fn recall(&self) -> f64 {
+        if self.truth == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.truth as f64
+    }
+
+    /// Fraction of reported nodes that are genuine (precision).
+    pub fn precision(&self) -> f64 {
+        if self.found == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.found as f64
+    }
+}
+
+impl std::fmt::Display for DetectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truth {} | found {} correct {} mistaken {} missing {} | recall {:.1}% precision {:.1}%",
+            self.truth,
+            self.found,
+            self.correct,
+            self.mistaken,
+            self.missing,
+            100.0 * self.recall(),
+            100.0 * self.precision()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::detector::BoundaryDetector;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::scenario::Scenario;
+    use ballfit_wsn::Topology;
+    use ballfit_geom::Vec3;
+
+    #[test]
+    fn histogram_bookkeeping() {
+        let mut h = HopHistogram::default();
+        h.record(Some(1));
+        h.record(Some(2));
+        h.record(Some(2));
+        h.record(Some(3));
+        h.record(Some(7));
+        h.record(None);
+        assert_eq!(h.one, 1);
+        assert_eq!(h.two, 2);
+        assert_eq!(h.three, 1);
+        assert_eq!(h.beyond, 2);
+        assert_eq!(h.total(), 6);
+        let (f1, f2, f3, fb) = h.fractions();
+        assert!((f1 - 1.0 / 6.0).abs() < 1e-12);
+        assert!((f2 - 2.0 / 6.0).abs() < 1e-12);
+        assert!((f3 - 1.0 / 6.0).abs() < 1e-12);
+        assert!((fb - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(HopHistogram::default().fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    /// Hand-built 5-node line: truth = {0, 4}; detected = {0, 2}.
+    #[test]
+    fn stats_on_a_crafted_case() {
+        let positions = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.9, 0.0, 0.0),
+            Vec3::new(1.8, 0.0, 0.0),
+            Vec3::new(2.7, 0.0, 0.0),
+            Vec3::new(3.6, 0.0, 0.0),
+        ];
+        let topo = Topology::from_positions(&positions, 1.0);
+        let model = ballfit_netgen::model::NetworkModel::from_parts(
+            Scenario::SolidBox,
+            0,
+            positions,
+            vec![true, false, false, false, true],
+            1.0,
+            topo,
+        );
+        let detection = BoundaryDetection {
+            candidates: vec![true, false, true, false, false],
+            boundary: vec![true, false, true, false, false],
+            groups: vec![vec![0], vec![2]],
+            balls_tested: 0,
+            degenerate_nodes: vec![],
+        };
+        let stats = DetectionStats::evaluate(&model, &detection);
+        assert_eq!(stats.truth, 2);
+        assert_eq!(stats.found, 2);
+        assert_eq!(stats.correct, 1); // node 0
+        assert_eq!(stats.mistaken, 1); // node 2, two hops from correct node 0
+        assert_eq!(stats.missing, 1); // node 4, four hops from node 0
+        assert_eq!(stats.mistaken_hops.two, 1);
+        assert_eq!(stats.missing_hops.beyond, 1);
+        assert!((stats.recall() - 0.5).abs() < 1e-12);
+        assert!((stats.precision() - 0.5).abs() < 1e-12);
+        assert!(stats.to_string().contains("recall 50.0%"));
+    }
+
+    #[test]
+    fn perfect_detection_scores_perfectly() {
+        let model = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(250)
+            .interior_nodes(400)
+            .target_degree(15.0)
+            .seed(31)
+            .build()
+            .unwrap();
+        let fake = BoundaryDetection {
+            candidates: model.is_surface().to_vec(),
+            boundary: model.is_surface().to_vec(),
+            groups: vec![model.surface_indices()],
+            balls_tested: 0,
+            degenerate_nodes: vec![],
+        };
+        let stats = DetectionStats::evaluate(&model, &fake);
+        assert_eq!(stats.mistaken, 0);
+        assert_eq!(stats.missing, 0);
+        assert_eq!(stats.recall(), 1.0);
+        assert_eq!(stats.precision(), 1.0);
+    }
+
+    #[test]
+    fn real_detection_has_localized_errors() {
+        let model = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(300)
+            .interior_nodes(500)
+            .target_degree(16.0)
+            .seed(32)
+            .build()
+            .unwrap();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        let stats = DetectionStats::evaluate(&model, &detection);
+        assert!(stats.recall() > 0.85, "{stats}");
+        // The paper's locality claim: mistaken nodes sit within ≤3 hops of
+        // correctly identified boundary nodes.
+        if stats.mistaken > 0 {
+            let (f1, f2, f3, _) = stats.mistaken_hops.fractions();
+            assert!(
+                f1 + f2 + f3 > 0.9,
+                "mistaken nodes not near the boundary: {:?}",
+                stats.mistaken_hops
+            );
+        }
+    }
+}

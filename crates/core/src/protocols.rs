@@ -1,0 +1,502 @@
+//! Message-passing executions of the pipeline's localized protocols.
+//!
+//! The centralized functions in this crate ([`crate::detector`],
+//! [`crate::iff`], [`crate::grouping`], [`crate::landmarks`]) are
+//! *centralized-equivalent* executions of distributed algorithms. This
+//! module provides the genuine message-passing versions on the
+//! [`ballfit_wsn::sim`] round engine, with full message accounting. The
+//! test-suite (and the `protocol_audit` experiment binary) asserts that
+//! both executions produce identical outputs — evidence that the paper's
+//! "localized, one-hop information only" claim holds for this
+//! implementation.
+//!
+//! Protocols provided:
+//!
+//! * [`UbfProtocol`] — one round of neighbor-table exchange, then local
+//!   MDS + Unit Ball Fitting per node (Algorithm 1).
+//! * [`ballfit_wsn::flood::FragmentFlood`] — IFF's scoped flooding
+//!   (already hosted in the substrate crate).
+//! * [`GroupingProtocol`] — min-ID label flooding over the boundary
+//!   subgraph (boundary grouping, Sec. II-B).
+//! * [`LandmarkElection`] — iterated local-minimum MIS election in the
+//!   (k−1)-power of the boundary subgraph, converging to the same
+//!   lexicographically-first landmark set as the greedy reference.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ballfit_mds::local::{embed_local, LocalDistances};
+use ballfit_netgen::model::NetworkModel;
+use ballfit_wsn::sim::{Ctx, Protocol, Simulator};
+use ballfit_wsn::{NodeId, Topology};
+
+use crate::config::{CoordinateSource, UbfConfig};
+use crate::ubf::ubf_test;
+
+/// Per-node state of the distributed UBF phase.
+///
+/// Round 0: every node broadcasts its measured-distance table (one entry
+/// per radio neighbor). Round 1: tables arrive; each node now knows the
+/// measured distance for every mutually-adjacent pair within its closed
+/// neighborhood and runs step (I) local embedding + steps (II–III) ball
+/// tests locally. No further communication — UBF is a 1-round protocol.
+#[derive(Debug, Clone)]
+pub struct UbfProtocol {
+    id: NodeId,
+    own_table: Vec<(NodeId, f64)>,
+    received: BTreeMap<NodeId, Vec<(NodeId, f64)>>,
+}
+
+impl UbfProtocol {
+    /// Builds the per-node state: `own_table` holds the node's measured
+    /// distances to each radio neighbor.
+    pub fn new(id: NodeId, own_table: Vec<(NodeId, f64)>) -> Self {
+        UbfProtocol { id, own_table, received: BTreeMap::new() }
+    }
+
+    /// Convenience: constructs all per-node states for a model under a
+    /// coordinate source (which fixes the measurement oracle).
+    pub fn for_model(model: &NetworkModel, source: &CoordinateSource) -> Vec<UbfProtocol> {
+        let topo = model.topology();
+        (0..model.len())
+            .map(|i| {
+                let table = topo
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| {
+                        let d = match source {
+                            CoordinateSource::GroundTruth => model.true_distance(i, j),
+                            CoordinateSource::LocalMds { error, noise_seed, .. } => model
+                                .oracle(*error, *noise_seed)
+                                .measure(i, j, model.true_distance(i, j)),
+                        };
+                        (j, d)
+                    })
+                    .collect();
+                UbfProtocol::new(i, table)
+            })
+            .collect()
+    }
+
+    /// After the run: decide boundary membership from the collected
+    /// tables, exactly as the centralized detector does.
+    ///
+    /// For [`CoordinateSource::GroundTruth`] the centralized path uses true
+    /// positions directly; the protocol only ever sees distances, so it
+    /// embeds them — the frames are isometric and the outcome identical.
+    pub fn decide(&self, radio_range: f64, cfg: &UbfConfig, source: &CoordinateSource) -> bool {
+        // Closed neighborhood in ascending ID order (self + neighbors).
+        let mut members: Vec<NodeId> = self.own_table.iter().map(|&(j, _)| j).collect();
+        members.push(self.id);
+        members.sort_unstable();
+        if members.len() < 2 {
+            return cfg.degenerate_is_boundary;
+        }
+        let index: BTreeMap<NodeId, usize> =
+            members.iter().enumerate().map(|(a, &m)| (m, a)).collect();
+        let mut table = LocalDistances::new(members.len());
+        let mut add = |a: NodeId, b: NodeId, d: f64| {
+            table.set(index[&a], index[&b], d);
+        };
+        for &(j, d) in &self.own_table {
+            add(self.id, j, d);
+        }
+        for (&j, jt) in &self.received {
+            for &(k, d) in jt {
+                if k != self.id && index.contains_key(&k) {
+                    add(j, k, d);
+                }
+            }
+        }
+        let Ok(frame) = embed_local(&table, source.frame_config()) else {
+            return cfg.degenerate_is_boundary;
+        };
+        let self_index = index[&self.id];
+        ubf_test(&frame.coords, self_index, radio_range, cfg).is_boundary
+    }
+}
+
+impl Protocol for UbfProtocol {
+    type Msg = Vec<(NodeId, f64)>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        ctx.broadcast(self.own_table.clone());
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
+        self.received.insert(from, msg.clone());
+    }
+}
+
+/// Runs the distributed UBF phase end to end, returning the per-node
+/// boundary-candidate flags and the message count.
+pub fn run_ubf_protocol(
+    model: &NetworkModel,
+    cfg: &UbfConfig,
+    source: &CoordinateSource,
+) -> (Vec<bool>, u64) {
+    let states = UbfProtocol::for_model(model, source);
+    let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
+    let stats = sim.run(4);
+    debug_assert!(stats.quiescent);
+    let flags = (0..model.len())
+        .map(|i| sim.node(i).decide(model.radio_range(), cfg, source))
+        .collect();
+    (flags, stats.messages)
+}
+
+/// Min-ID label flooding over the boundary subgraph: after quiescence,
+/// every boundary node's label is the smallest node ID of its boundary
+/// component — the distributed form of [`crate::grouping`].
+#[derive(Debug, Clone)]
+pub struct GroupingProtocol {
+    member: bool,
+    label: Option<NodeId>,
+}
+
+impl GroupingProtocol {
+    /// Creates per-node state; `member` marks boundary nodes.
+    pub fn new(id: NodeId, member: bool) -> Self {
+        GroupingProtocol { member, label: member.then_some(id) }
+    }
+
+    /// The component label after the run (`None` for non-members).
+    pub fn label(&self) -> Option<NodeId> {
+        self.label
+    }
+}
+
+impl Protocol for GroupingProtocol {
+    type Msg = NodeId;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if let Some(l) = self.label {
+            ctx.broadcast(l);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return;
+        }
+        let current = self.label.expect("members are labeled");
+        if *msg < current {
+            self.label = Some(*msg);
+            ctx.broadcast(*msg);
+        }
+    }
+}
+
+/// Runs boundary grouping distributively; returns per-node component
+/// labels (min member ID per component) and the message count.
+pub fn run_grouping_protocol(topo: &Topology, boundary: &[bool]) -> (Vec<Option<NodeId>>, u64) {
+    let mut sim = Simulator::new(topo, |id| GroupingProtocol::new(id, boundary[id]));
+    let stats = sim.run(topo.len() + 2);
+    debug_assert!(stats.quiescent);
+    let labels = (0..topo.len()).map(|i| sim.node(i).label()).collect();
+    (labels, stats.messages)
+}
+
+/// Messages of the landmark election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkMsg {
+    /// "I am undecided this iteration": flooded k−1 hops.
+    Probe {
+        /// Originating undecided node.
+        origin: NodeId,
+        /// Remaining forwarding budget.
+        ttl: u32,
+    },
+    /// "I became a landmark": suppresses nodes within k−1 hops.
+    Suppress {
+        /// The new landmark.
+        origin: NodeId,
+        /// Remaining forwarding budget.
+        ttl: u32,
+    },
+}
+
+/// Iterated local-minimum landmark election (distributed form of
+/// [`crate::landmarks::elect_landmarks`]).
+///
+/// Each iteration spans `2·(k−1)` rounds: undecided members flood probes
+/// for k−1 rounds; a member whose ID is smaller than every probe received
+/// becomes a landmark and floods suppression for the next k−1 rounds,
+/// deciding its (k−1)-ball to non-landmark. Iterations repeat until all
+/// members are decided; the fixed point is the lexicographically-first
+/// maximal independent set of the (k−1)-power graph — identical to the
+/// greedy centralized election.
+#[derive(Debug, Clone)]
+pub struct LandmarkElection {
+    member: bool,
+    k: u32,
+    decided: Option<bool>,
+    probes_seen: BTreeSet<NodeId>,
+    suppress_seen: BTreeSet<NodeId>,
+}
+
+impl LandmarkElection {
+    /// Creates per-node state; `member` marks this group's boundary nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(member: bool, k: u32) -> Self {
+        assert!(k >= 1, "landmark spacing k must be at least 1");
+        LandmarkElection {
+            member,
+            k,
+            decided: None,
+            probes_seen: BTreeSet::new(),
+            suppress_seen: BTreeSet::new(),
+        }
+    }
+
+    /// `Some(true)` if elected landmark, `Some(false)` if suppressed,
+    /// `None` if not a member (or the run was truncated).
+    pub fn decision(&self) -> Option<bool> {
+        if self.member {
+            self.decided
+        } else {
+            None
+        }
+    }
+
+    fn reach(&self) -> u32 {
+        self.k - 1
+    }
+
+    fn iteration_len(&self) -> usize {
+        2 * self.reach().max(1) as usize
+    }
+
+    fn start_iteration(&mut self, ctx: &mut Ctx<'_, LandmarkMsg>, me: NodeId) {
+        // Probe dedup is per-iteration for *all* members: decided nodes
+        // keep forwarding later iterations' probes.
+        self.probes_seen.clear();
+        if self.member && self.decided.is_none() && self.reach() > 0 {
+            ctx.broadcast(LandmarkMsg::Probe { origin: me, ttl: self.reach() - 1 });
+        }
+    }
+}
+
+impl Protocol for LandmarkElection {
+    type Msg = LandmarkMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let me = ctx.node();
+        if self.member && self.reach() == 0 {
+            // k = 1: everyone is a landmark immediately.
+            self.decided = Some(true);
+            return;
+        }
+        self.start_iteration(ctx, me);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return; // probes travel the boundary subgraph only
+        }
+        match *msg {
+            LandmarkMsg::Probe { origin, ttl } => {
+                if origin != ctx.node() && self.probes_seen.insert(origin) && ttl > 0 {
+                    ctx.broadcast(LandmarkMsg::Probe { origin, ttl: ttl - 1 });
+                }
+            }
+            LandmarkMsg::Suppress { origin, ttl } => {
+                if self.suppress_seen.insert(origin) {
+                    if self.decided.is_none() {
+                        self.decided = Some(false);
+                    }
+                    if ttl > 0 {
+                        ctx.broadcast(LandmarkMsg::Suppress { origin, ttl: ttl - 1 });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_round_end(&mut self, round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member || self.reach() == 0 {
+            return;
+        }
+        let me = ctx.node();
+        let len = self.iteration_len();
+        let phase = (round + 1) % len;
+        let half = self.reach().max(1) as usize;
+        if phase == half {
+            // Probe phase complete: local minima become landmarks.
+            if self.decided.is_none()
+                && self.probes_seen.iter().all(|&origin| origin > me)
+            {
+                self.decided = Some(true);
+                ctx.broadcast(LandmarkMsg::Suppress { origin: me, ttl: self.reach() - 1 });
+            }
+        } else if phase == 0 {
+            // Suppress phase complete: next iteration begins (every member
+            // resets its probe dedup so it can forward again).
+            self.start_iteration(ctx, me);
+        }
+    }
+
+    fn wants_tick(&self) -> bool {
+        // Undecided members drive the round clock even when the radio is
+        // silent (e.g. the last undecided node waiting out its own probe
+        // phase to self-elect).
+        self.member && self.decided.is_none()
+    }
+}
+
+/// Runs the distributed landmark election on one boundary group; returns
+/// the elected landmark IDs (ascending) and the message count.
+///
+/// # Panics
+///
+/// Panics if the election fails to converge within `4 · n · k` rounds
+/// (cannot happen on well-formed inputs; the bound is a safety net).
+pub fn run_landmark_protocol(topo: &Topology, group: &[NodeId], k: u32) -> (Vec<NodeId>, u64) {
+    let member: Vec<bool> = {
+        let mut m = vec![false; topo.len()];
+        for &g in group {
+            m[g] = true;
+        }
+        m
+    };
+    let mut sim = Simulator::new(topo, |id| LandmarkElection::new(member[id], k));
+    let max_rounds = 4 * (topo.len() + 1) * k as usize;
+    let stats = sim.run(max_rounds);
+    assert!(stats.quiescent, "landmark election failed to converge");
+    let landmarks = (0..topo.len())
+        .filter(|&i| sim.node(i).decision() == Some(true))
+        .collect();
+    (landmarks, stats.messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::detector::BoundaryDetector;
+    use crate::grouping::group_boundaries;
+    use crate::iff::apply_iff;
+    use crate::landmarks::elect_landmarks;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::scenario::Scenario;
+    use ballfit_wsn::flood::{fragment_sizes, FragmentFlood};
+
+    fn model() -> NetworkModel {
+        NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(200)
+            .interior_nodes(300)
+            .target_degree(14.0)
+            .seed(77)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ubf_protocol_matches_centralized_detector() {
+        let model = model();
+        let cfg = DetectorConfig::paper(10, 3);
+        let detector = BoundaryDetector::new(cfg);
+        let central = detector.detect(&model);
+        let (distributed, messages) =
+            run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+        assert_eq!(distributed, central.candidates, "UBF protocol diverged");
+        // One broadcast per node: 2·|E| point-to-point messages.
+        assert_eq!(messages, 2 * model.topology().edge_count() as u64);
+    }
+
+    #[test]
+    fn iff_protocol_matches_centralized() {
+        let model = model();
+        let cfg = DetectorConfig::default();
+        let central = BoundaryDetector::new(cfg).detect(&model);
+        let candidates = central.candidates.clone();
+        let mut sim = Simulator::new(model.topology(), |id| {
+            FragmentFlood::new(candidates[id], cfg.iff.ttl)
+        });
+        let stats = sim.run(cfg.iff.ttl as usize + 2);
+        assert!(stats.quiescent);
+        let sizes = fragment_sizes(model.topology(), cfg.iff.ttl, |n| candidates[n]);
+        for i in 0..model.len() {
+            assert_eq!(sim.node(i).fragment_size(), sizes[i], "node {i}");
+        }
+        let via_protocol: Vec<bool> = (0..model.len())
+            .map(|i| candidates[i] && sim.node(i).fragment_size() >= cfg.iff.theta)
+            .collect();
+        assert_eq!(via_protocol, apply_iff(model.topology(), &candidates, &cfg.iff));
+    }
+
+    #[test]
+    fn grouping_protocol_matches_components() {
+        let model = model();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        let (labels, _messages) = run_grouping_protocol(model.topology(), &detection.boundary);
+        let groups = group_boundaries(model.topology(), &detection.boundary);
+        for group in &groups {
+            let expected = group[0]; // min ID of the component
+            for &n in group {
+                assert_eq!(labels[n], Some(expected), "node {n}");
+            }
+        }
+        for i in 0..model.len() {
+            if !detection.boundary[i] {
+                assert_eq!(labels[i], None);
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_protocol_matches_greedy_on_rings() {
+        for n in [8usize, 12, 20, 31] {
+            let topo = Topology::from_edges(
+                n,
+                &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>(),
+            );
+            let group: Vec<usize> = (0..n).collect();
+            for k in [1u32, 2, 3, 4] {
+                let central = elect_landmarks(&topo, &group, k);
+                let (distributed, _) = run_landmark_protocol(&topo, &group, k);
+                assert_eq!(distributed, central, "ring n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_protocol_matches_greedy_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..8 {
+            let n = 40;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.08) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let topo = Topology::from_edges(n, &edges);
+            let group: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.7)).collect();
+            if group.is_empty() {
+                continue;
+            }
+            for k in [2u32, 3] {
+                let central = elect_landmarks(&topo, &group, k);
+                let (distributed, _) = run_landmark_protocol(&topo, &group, k);
+                assert_eq!(distributed, central, "trial={trial} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_protocol_on_detected_boundary() {
+        let model = model();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        let group = &detection.groups[0];
+        let central = elect_landmarks(model.topology(), group, 3);
+        let (distributed, messages) = run_landmark_protocol(model.topology(), group, 3);
+        assert_eq!(distributed, central);
+        assert!(messages > 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Step IV: triangulation completion.
+//!
+//! The CDM is planar but may contain faces with more than three sides. For
+//! every CDG-adjacent landmark pair left unconnected, a connection packet
+//! retraces the shortest boundary path; it is dropped at any intermediate
+//! node that already lies on the shortest path between two *connected*
+//! landmarks (which would create a crossing edge). If it arrives, the
+//! virtual edge is added and its path nodes become marked in turn.
+
+use std::collections::BTreeMap;
+
+use ballfit_wsn::bfs::shortest_path;
+use ballfit_wsn::{NodeId, Topology};
+
+use crate::cdg::LandmarkEdge;
+use crate::cdm::Cdm;
+
+/// Result of the completion step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triangulation {
+    /// Full edge set after completion (CDM edges plus added edges), sorted.
+    pub edges: Vec<LandmarkEdge>,
+    /// The edges added by this step.
+    pub added: Vec<LandmarkEdge>,
+    /// Connection attempts dropped to avoid crossings.
+    pub dropped: Vec<LandmarkEdge>,
+    /// Realizing path for every edge (CDM paths plus new ones).
+    pub paths: BTreeMap<LandmarkEdge, Vec<NodeId>>,
+}
+
+/// Completes the CDM toward a triangulation by probing every unconnected
+/// CDG pair in ascending `(lo, hi)` order — the deterministic stand-in for
+/// the paper's distributed race.
+///
+/// When `route_around` is set, a pair whose shortest path hits a marked
+/// node retries with a detour restricted to unmarked boundary nodes before
+/// giving up. The paper drops on first contact; on its dense 4210-node
+/// networks cells are wide and collisions rare, while sparser networks
+/// funnel many shortest paths through the same nodes near landmarks —
+/// the detour recovers those triangles without ever crossing a recorded
+/// path (the non-crossing invariant is preserved by construction).
+pub fn complete_triangulation(
+    topo: &Topology,
+    group: &[NodeId],
+    cdm: &Cdm,
+    cdg_edges: &[LandmarkEdge],
+    route_around: bool,
+) -> Triangulation {
+    let member = |n: NodeId| group.binary_search(&n).is_ok();
+    let mut marked = cdm.marked_nodes(topo.len());
+    let mut paths = cdm.paths.clone();
+    let mut edges = cdm.edges.clone();
+    let mut added = Vec::new();
+    let mut dropped = Vec::new();
+
+    for &(a, b) in cdg_edges {
+        if paths.contains_key(&(a, b)) {
+            continue; // already connected by the CDM
+        }
+        // Primary probe: the plain shortest boundary path; valid only if
+        // no *intermediate* node already lies on a connected pair's path
+        // (landmark endpoints are naturally on their own paths).
+        let primary = shortest_path(topo, a, b, member)
+            .filter(|path| !path[1..path.len() - 1].iter().any(|&n| marked[n]));
+        // Detour probe: restrict intermediates to unmarked boundary nodes.
+        let path = primary.or_else(|| {
+            if route_around {
+                shortest_path(topo, a, b, |n| member(n) && !marked[n])
+            } else {
+                None
+            }
+        });
+        let Some(path) = path else {
+            dropped.push((a, b));
+            continue;
+        };
+        for &n in &path {
+            marked[n] = true;
+        }
+        paths.insert((a, b), path);
+        edges.push((a, b));
+        added.push((a, b));
+    }
+    edges.sort_unstable();
+    Triangulation { edges, added, dropped, paths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::build_cdg;
+    use crate::cdm::build_cdm;
+    use crate::cells::assign_cells;
+
+    fn ring(n: usize) -> Topology {
+        Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn nothing_to_add_when_cdm_is_complete() {
+        let topo = ring(12);
+        let group: Vec<usize> = (0..12).collect();
+        let cells = assign_cells(&topo, &group, &[0, 3, 6, 9]);
+        let cdg = build_cdg(&topo, &group, &cells);
+        let cdm = build_cdm(&topo, &group, &cells, &cdg);
+        let tri = complete_triangulation(&topo, &group, &cdm, &cdg, false);
+        assert_eq!(tri.edges, cdm.edges);
+        assert!(tri.added.is_empty());
+        assert!(tri.dropped.is_empty());
+    }
+
+    #[test]
+    fn rejected_cdm_edge_can_be_added_when_clear() {
+        // Line 0..=4, landmarks {0, 2, 4}; CDM rejected (0,4) because its
+        // path crosses 2's cell, and the path 0-1-2-3-4 runs through nodes
+        // marked by the accepted edges (0,2) and (2,4) → stays dropped.
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let group: Vec<usize> = (0..5).collect();
+        let cells = assign_cells(&topo, &group, &[0, 2, 4]);
+        let cdg = vec![(0, 2), (0, 4), (2, 4)];
+        let cdm = build_cdm(&topo, &group, &cells, &cdg);
+        let tri = complete_triangulation(&topo, &group, &cdm, &cdg, false);
+        assert_eq!(tri.edges, vec![(0, 2), (2, 4)]);
+        assert_eq!(tri.dropped, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn unconnected_pair_with_clear_path_gets_connected() {
+        // Two parallel paths between landmarks 0 and 5:
+        //   0-1-2-5 (via low IDs) and 0-3-4-5.
+        // Force a CDM that connected nothing; completion should add (0,5)
+        // via the min-ID path and mark it.
+        let topo = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)]);
+        let group: Vec<usize> = (0..6).collect();
+        let empty_cdm = Cdm { edges: vec![], rejected: vec![], paths: BTreeMap::new() };
+        let tri = complete_triangulation(&topo, &group, &empty_cdm, &[(0, 5)], false);
+        assert_eq!(tri.edges, vec![(0, 5)]);
+        assert_eq!(tri.paths[&(0, 5)], vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn crossing_attempt_is_dropped() {
+        // Landmarks 0 and 5 connected through node 2 (marked); a later
+        // pair (6,7) whose only path goes through node 2 must be dropped.
+        let topo = Topology::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 5), (6, 2), (2, 7)],
+        );
+        let group: Vec<usize> = (0..8).collect();
+        let mut paths = BTreeMap::new();
+        paths.insert((0, 5), vec![0, 1, 2, 3, 5]);
+        let cdm = Cdm { edges: vec![(0, 5)], rejected: vec![], paths };
+        let tri = complete_triangulation(&topo, &group, &cdm, &[(0, 5), (6, 7)], false);
+        assert_eq!(tri.dropped, vec![(6, 7)]);
+        assert_eq!(tri.edges, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn route_around_recovers_blocked_pairs() {
+        // (6,7)'s direct path goes through marked node 2, but an unmarked
+        // detour 6-8-7 exists: with route_around it connects, without it
+        // drops.
+        let topo = Topology::from_edges(
+            9,
+            &[(0, 1), (1, 2), (2, 3), (3, 5), (6, 2), (2, 7), (6, 8), (8, 7)],
+        );
+        let group: Vec<usize> = (0..9).collect();
+        let mut paths = BTreeMap::new();
+        paths.insert((0, 5), vec![0, 1, 2, 3, 5]);
+        let cdm = Cdm { edges: vec![(0, 5)], rejected: vec![], paths };
+        let strict = complete_triangulation(&topo, &group, &cdm, &[(0, 5), (6, 7)], false);
+        assert_eq!(strict.dropped, vec![(6, 7)]);
+        let detour = complete_triangulation(&topo, &group, &cdm, &[(0, 5), (6, 7)], true);
+        assert!(detour.added.contains(&(6, 7)));
+        assert_eq!(detour.paths[&(6, 7)], vec![6, 8, 7]);
+    }
+
+    #[test]
+    fn earlier_pairs_win_the_deterministic_race() {
+        // Pairs (0,3) and (1,2) both need node 4; ascending order means
+        // (0,3) connects first and (1,2) drops.
+        let topo = Topology::from_edges(5, &[(0, 4), (4, 3), (1, 4), (4, 2)]);
+        let group: Vec<usize> = (0..5).collect();
+        let empty = Cdm { edges: vec![], rejected: vec![], paths: BTreeMap::new() };
+        let tri = complete_triangulation(&topo, &group, &empty, &[(0, 3), (1, 2)], false);
+        assert_eq!(tri.added, vec![(0, 3)]);
+        assert_eq!(tri.dropped, vec![(1, 2)]);
+    }
+}

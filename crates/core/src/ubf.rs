@@ -1,0 +1,244 @@
+//! Phase 1: Unit Ball Fitting (Algorithm 1 of the paper).
+//!
+//! A node is a boundary candidate iff an *empty unit ball* — a ball of
+//! radius `r = 1 + ε` (radio ranges) containing no neighborhood node —
+//! can be placed touching it. Lemma 1 reduces the search to the balls
+//! determined by the node and two of its neighbors; Theorem 1 bounds the
+//! per-node work by `Θ(ρ³)` for nodal density `ρ`.
+//!
+//! The *localized* variant (the paper's Algorithm 1) tests only one-hop
+//! neighbors both as ball-defining points and as emptiness witnesses.
+
+use ballfit_geom::sphere::balls_through_three_points;
+use ballfit_geom::Vec3;
+
+use crate::config::UbfConfig;
+
+/// Outcome of a UBF test on one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UbfOutcome {
+    /// `true` if an empty unit ball touching the node exists.
+    pub is_boundary: bool,
+    /// Number of candidate balls examined before deciding.
+    pub balls_tested: usize,
+}
+
+/// Runs the UBF test for the node at `self_index` within a neighborhood
+/// given by `coords` (any rigid frame; UBF is isometry-invariant).
+///
+/// `radio_range` scales the configured ball-radius factor. Neighborhoods
+/// with fewer than 3 members cannot define any ball; they yield
+/// `is_boundary == cfg.degenerate_is_boundary`.
+///
+/// # Panics
+///
+/// Panics if `self_index` is out of range.
+pub fn ubf_test(
+    coords: &[Vec3],
+    self_index: usize,
+    radio_range: f64,
+    cfg: &UbfConfig,
+) -> UbfOutcome {
+    assert!(self_index < coords.len(), "self index out of range");
+    let n = coords.len();
+    if n < 3 {
+        return UbfOutcome { is_boundary: cfg.degenerate_is_boundary, balls_tested: 0 };
+    }
+    let r = cfg.ball_radius(radio_range);
+    let tol = cfg.containment_tolerance * radio_range;
+    let me = coords[self_index];
+
+    let mut balls_tested = 0usize;
+    for j in 0..n {
+        if j == self_index {
+            continue;
+        }
+        for k in (j + 1)..n {
+            if k == self_index {
+                continue;
+            }
+            for ball in balls_through_three_points(me, coords[j], coords[k], r) {
+                balls_tested += 1;
+                let empty = coords
+                    .iter()
+                    .all(|&p| !ball.strictly_contains(p, tol));
+                if empty {
+                    return UbfOutcome { is_boundary: true, balls_tested };
+                }
+            }
+        }
+    }
+    if balls_tested == 0 {
+        // Every triple was degenerate (collinear neighborhood or all
+        // circumradii exceed r): the well-connectedness assumption
+        // (Definition 3) is violated, so fall back to the degenerate
+        // policy rather than claiming "interior".
+        return UbfOutcome { is_boundary: cfg.degenerate_is_boundary, balls_tested: 0 };
+    }
+    UbfOutcome { is_boundary: false, balls_tested }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> UbfConfig {
+        UbfConfig::default()
+    }
+
+    /// A node at the center of a dense spherical shell of neighbors:
+    /// every unit ball touching it contains shell nodes → interior.
+    #[test]
+    fn interior_node_in_dense_cage_is_not_boundary() {
+        let mut coords = vec![Vec3::ZERO]; // the node under test
+        // Shell of 26 nodes at radius 0.75 (grid directions).
+        for x in -1..=1 {
+            for y in -1..=1 {
+                for z in -1..=1 {
+                    if (x, y, z) == (0, 0, 0) {
+                        continue;
+                    }
+                    let v = Vec3::new(x as f64, y as f64, z as f64).normalized() * 0.75;
+                    coords.push(v);
+                }
+            }
+        }
+        let out = ubf_test(&coords, 0, 1.0, &cfg());
+        assert!(!out.is_boundary, "caged node misread as boundary");
+        assert!(out.balls_tested > 0);
+    }
+
+    /// A node on a planar sheet of neighbors: the half-space above is
+    /// empty, so a unit ball fits → boundary.
+    #[test]
+    fn node_on_a_plane_is_boundary() {
+        let mut coords = vec![Vec3::ZERO];
+        for x in -2..=2 {
+            for y in -2..=2 {
+                if (x, y) != (0, 0) {
+                    coords.push(Vec3::new(x as f64 * 0.4, y as f64 * 0.4, 0.0));
+                }
+            }
+        }
+        let out = ubf_test(&coords, 0, 1.0, &cfg());
+        assert!(out.is_boundary, "planar-sheet node must be boundary");
+    }
+
+    /// Nodes below a half-space of neighbors but near its edge.
+    #[test]
+    fn node_under_thick_slab_is_interior() {
+        // Node at origin below a slab z ∈ {0.35, 0.7} of neighbors, plus
+        // lateral neighbors in its own plane: every ball touching the node
+        // from above hits slab nodes; from below... the slab does not
+        // block below, so place the node inside a full box grid instead.
+        let mut coords = vec![Vec3::ZERO];
+        for x in -2..=2 {
+            for y in -2..=2 {
+                for z in -2..=2 {
+                    if (x, y, z) == (0, 0, 0) {
+                        continue;
+                    }
+                    coords.push(Vec3::new(x as f64, y as f64, z as f64) * 0.45);
+                }
+            }
+        }
+        let out = ubf_test(&coords, 0, 1.0, &cfg());
+        assert!(!out.is_boundary);
+    }
+
+    #[test]
+    fn degenerate_neighborhoods_follow_config() {
+        let lonely = vec![Vec3::ZERO, Vec3::X];
+        let out = ubf_test(&lonely, 0, 1.0, &cfg());
+        assert!(out.is_boundary, "default marks degenerate nodes as boundary");
+        assert_eq!(out.balls_tested, 0);
+
+        let strict = UbfConfig { degenerate_is_boundary: false, ..cfg() };
+        assert!(!ubf_test(&lonely, 0, 1.0, &strict).is_boundary);
+    }
+
+    /// The defining nodes themselves must not invalidate a ball
+    /// (containment tolerance).
+    #[test]
+    fn defining_points_do_not_block_their_ball() {
+        // Exactly three nodes: the ball through them is always "empty".
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(0.0, 0.5, 0.0),
+        ];
+        let out = ubf_test(&coords, 0, 1.0, &cfg());
+        assert!(out.is_boundary);
+    }
+
+    /// Larger ball radii ignore smaller voids (the hole-size knob of
+    /// Sec. II-A3).
+    #[test]
+    fn ball_radius_controls_detectable_hole_size() {
+        // Node on the wall of a small spherical void of radius ~0.8:
+        // neighbors populate everything except the void.
+        let mut coords = vec![Vec3::ZERO];
+        let void_center = Vec3::new(0.78, 0.0, 0.0);
+        for x in -3..=3 {
+            for y in -3..=3 {
+                for z in -3..=3 {
+                    let p = Vec3::new(x as f64, y as f64, z as f64) * 0.4;
+                    if p.norm() < 1e-9 {
+                        continue;
+                    }
+                    if p.distance(void_center) > 0.78 && p.norm() <= 1.45 {
+                        coords.push(p);
+                    }
+                }
+            }
+        }
+        // r = 0.75 fits in the void → boundary of the small hole found.
+        let small = UbfConfig { ball_radius_factor: 0.75, ..cfg() };
+        assert!(ubf_test(&coords, 0, 1.0, &small).is_boundary);
+        // r = 1.15 cannot fit into the small void → hole ignored.
+        let large = UbfConfig { ball_radius_factor: 1.15, ..cfg() };
+        assert!(!ubf_test(&coords, 0, 1.0, &large).is_boundary);
+    }
+
+    /// UBF is invariant under rigid motion of the local frame.
+    #[test]
+    fn isometry_invariance() {
+        let base = vec![
+            Vec3::ZERO,
+            Vec3::new(0.6, 0.1, 0.0),
+            Vec3::new(-0.2, 0.55, 0.2),
+            Vec3::new(0.1, -0.5, 0.4),
+            Vec3::new(0.3, 0.3, -0.5),
+        ];
+        let out1 = ubf_test(&base, 0, 1.0, &cfg());
+        // Rotate 90° about z and translate.
+        let moved: Vec<Vec3> = base
+            .iter()
+            .map(|p| Vec3::new(-p.y, p.x, p.z) + Vec3::new(5.0, -3.0, 2.0))
+            .collect();
+        let out2 = ubf_test(&moved, 0, 1.0, &cfg());
+        assert_eq!(out1.is_boundary, out2.is_boundary);
+    }
+
+    /// Collinear neighborhoods define no balls at all: the degenerate
+    /// policy applies (Definition 3 violation).
+    #[test]
+    fn collinear_neighborhood_is_degenerate() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(-0.5, 0.0, 0.0),
+        ];
+        let out = ubf_test(&coords, 0, 1.0, &cfg());
+        assert!(out.is_boundary);
+        assert_eq!(out.balls_tested, 0);
+        let strict = UbfConfig { degenerate_is_boundary: false, ..cfg() };
+        assert!(!ubf_test(&coords, 0, 1.0, &strict).is_boundary);
+    }
+
+    #[test]
+    #[should_panic(expected = "self index out of range")]
+    fn bad_self_index_panics() {
+        let _ = ubf_test(&[Vec3::ZERO], 5, 1.0, &cfg());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the boundary-detection pipeline invariants.
+
+use ballfit::config::{IffConfig, UbfConfig};
+use ballfit::edgeflip::{flip_to_manifold, triangles_of};
+use ballfit::grouping::group_boundaries;
+use ballfit::iff::apply_iff;
+use ballfit::landmarks::{check_landmark_invariants, elect_landmarks};
+use ballfit::ubf::ubf_test;
+use ballfit_geom::Vec3;
+use ballfit_wsn::Topology;
+use proptest::prelude::*;
+
+fn vec3_in(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+/// Random sparse graph as an edge list over n nodes.
+fn graph(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..(3 * n))
+        .prop_map(|pairs| pairs.into_iter().filter(|&(a, b)| a != b).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// UBF is invariant under translation of the local frame.
+    #[test]
+    fn ubf_translation_invariance(
+        pts in proptest::collection::vec(vec3_in(0.9), 3..12),
+        shift in vec3_in(50.0),
+    ) {
+        let cfg = UbfConfig::default();
+        let moved: Vec<Vec3> = pts.iter().map(|&p| p + shift).collect();
+        let a = ubf_test(&pts, 0, 1.0, &cfg);
+        let b = ubf_test(&moved, 0, 1.0, &cfg);
+        prop_assert_eq!(a.is_boundary, b.is_boundary);
+    }
+
+    /// UBF is invariant under reflection (local frames have arbitrary
+    /// handedness — MDS can only recover shape up to reflection).
+    #[test]
+    fn ubf_reflection_invariance(
+        pts in proptest::collection::vec(vec3_in(0.9), 3..12),
+    ) {
+        let cfg = UbfConfig::default();
+        let mirrored: Vec<Vec3> = pts.iter().map(|&p| Vec3::new(-p.x, p.y, p.z)).collect();
+        let a = ubf_test(&pts, 0, 1.0, &cfg);
+        let b = ubf_test(&mirrored, 0, 1.0, &cfg);
+        prop_assert_eq!(a.is_boundary, b.is_boundary);
+    }
+
+    /// UBF is scale-invariant: scaling the frame and the radio range
+    /// together cannot change the verdict.
+    #[test]
+    fn ubf_scale_invariance(
+        pts in proptest::collection::vec(vec3_in(0.9), 3..12),
+        scale in 0.2f64..5.0,
+    ) {
+        let cfg = UbfConfig::default();
+        let scaled: Vec<Vec3> = pts.iter().map(|&p| p * scale).collect();
+        let a = ubf_test(&pts, 0, 1.0, &cfg);
+        let b = ubf_test(&scaled, 0, scale, &cfg);
+        prop_assert_eq!(a.is_boundary, b.is_boundary);
+    }
+
+    /// IFF never promotes, is idempotent at TTL-stable inputs, and is
+    /// monotone in θ.
+    #[test]
+    fn iff_laws(
+        edges in graph(25),
+        flags in proptest::collection::vec(any::<bool>(), 25),
+        theta in 1usize..8,
+        ttl in 0u32..4,
+    ) {
+        let topo = Topology::from_edges(25, &edges);
+        let cfg = IffConfig { theta, ttl };
+        let out = apply_iff(&topo, &flags, &cfg);
+        for i in 0..25 {
+            prop_assert!(!out[i] || flags[i], "IFF promoted node {}", i);
+        }
+        // Monotone: larger θ keeps a subset.
+        let stricter = apply_iff(&topo, &flags, &IffConfig { theta: theta + 1, ttl });
+        for i in 0..25 {
+            prop_assert!(!stricter[i] || out[i]);
+        }
+    }
+
+    /// Grouping partitions exactly the boundary set, with connected,
+    /// disjoint groups.
+    #[test]
+    fn grouping_partitions(
+        edges in graph(30),
+        flags in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let topo = Topology::from_edges(30, &edges);
+        let groups = group_boundaries(&topo, &flags);
+        let mut seen = vec![false; 30];
+        for g in &groups {
+            for &m in g {
+                prop_assert!(flags[m], "non-boundary node grouped");
+                prop_assert!(!seen[m], "node in two groups");
+                seen[m] = true;
+            }
+        }
+        for i in 0..30 {
+            prop_assert_eq!(flags[i], seen[i], "boundary node left ungrouped");
+        }
+        // Sizes are non-increasing.
+        for w in groups.windows(2) {
+            prop_assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    /// Landmark election always satisfies the k-spacing + coverage
+    /// invariants on arbitrary graphs.
+    #[test]
+    fn landmark_invariants_hold(
+        edges in graph(30),
+        members in proptest::collection::vec(any::<bool>(), 30),
+        k in 1u32..5,
+    ) {
+        let topo = Topology::from_edges(30, &edges);
+        let group: Vec<usize> = (0..30).filter(|&i| members[i]).collect();
+        let landmarks = elect_landmarks(&topo, &group, k);
+        prop_assert!(check_landmark_invariants(&topo, &group, &landmarks, k).is_ok());
+        // Landmarks are sorted and within the group.
+        prop_assert!(landmarks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Flip-pass invariants on arbitrary graphs: every initially over-full
+    /// edge that was flipped is gone from the result and never re-added;
+    /// flips stay within budget; the outcome is well-formed (sorted,
+    /// deduplicated, no self-loops).
+    #[test]
+    fn flip_pass_invariants(edges in graph(18)) {
+        let norm: Vec<(usize, usize)> = {
+            let mut e: Vec<(usize, usize)> = edges
+                .iter()
+                .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect();
+            e.sort_unstable();
+            e.dedup();
+            e
+        };
+        let budget = 10 * norm.len().max(1);
+        let out = flip_to_manifold(&norm, budget, |a, b| (a as f64 - b as f64).abs());
+        prop_assert!(out.flips.len() <= budget);
+        for flip in &out.flips {
+            prop_assert!(
+                out.edges.binary_search(&flip.removed).is_err(),
+                "removed edge {:?} reappeared", flip.removed
+            );
+            prop_assert!(flip.apexes.len() >= 3);
+            for added in &flip.added {
+                prop_assert!(added.0 < added.1);
+            }
+        }
+        // Result edges are sorted, unique, loop-free.
+        prop_assert!(out.edges.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.edges.iter().all(|&(a, b)| a < b));
+        // Convergence means no raw 3-clique edge has 3+ apexes.
+        if out.converged {
+            let tris = triangles_of(&out.edges);
+            for &(a, b) in &out.edges {
+                let count = tris.iter().filter(|t| t.contains(&a) && t.contains(&b)).count();
+                prop_assert!(count <= 2, "edge ({},{}) has {} faces despite convergence", a, b, count);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box defined by its minimum and maximum corners.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::{Aabb, Vec3};
+/// let b = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+/// assert!(b.contains(Vec3::splat(1.0)));
+/// assert_eq!(b.volume(), 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `min` exceeds the corresponding component
+    /// of `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "Aabb min must not exceed max: min={min}, max={max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Creates the smallest box containing all `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_points(points: &[Vec3]) -> Option<Self> {
+        let first = *points.first()?;
+        let (min, max) = points
+            .iter()
+            .fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        Some(Aabb { min, max })
+    }
+
+    /// A cube centered at `center` with half-extent `half`.
+    pub fn cube(center: Vec3, half: f64) -> Self {
+        assert!(half >= 0.0, "half-extent must be non-negative");
+        Aabb::new(center - Vec3::splat(half), center + Vec3::splat(half))
+    }
+
+    /// Center of the box.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Extent along each axis (`max - min`).
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Returns `true` if `p` lies inside or on the box.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns `true` if the two boxes overlap (sharing a face counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// The smallest box containing both boxes.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Grows the box by `margin` in every direction.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        let m = Vec3::splat(margin);
+        let min = self.min - m;
+        let max = self.max + m;
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inflation by {margin} inverted the box"
+        );
+        Aabb { min, max }
+    }
+
+    /// Clamps a point to the box.
+    #[inline]
+    pub fn clamp(&self, p: Vec3) -> Vec3 {
+        p.max(self.min).min(self.max)
+    }
+
+    /// Squared distance from `p` to the box (zero if inside).
+    #[inline]
+    pub fn distance_squared(&self, p: Vec3) -> f64 {
+        self.clamp(p).distance_squared(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = unit();
+        assert_eq!(b.center(), Vec3::splat(0.5));
+        assert_eq!(b.extent(), Vec3::splat(1.0));
+        assert_eq!(b.volume(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_panics() {
+        let _ = Aabb::new(Vec3::splat(1.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn from_points_bounds_everything() {
+        let pts = [Vec3::new(1.0, -2.0, 0.5), Vec3::new(-1.0, 3.0, 2.0), Vec3::ZERO];
+        let b = Aabb::from_points(&pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 3.0, 2.0));
+        assert!(Aabb::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_and_outside() {
+        let b = unit();
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::splat(1.0)));
+        assert!(!b.contains(Vec3::new(1.0 + 1e-12, 0.5, 0.5)));
+        assert!(!b.contains(Vec3::new(0.5, -0.1, 0.5)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = unit();
+        let apart = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let touch = Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0));
+        let overlap = Aabb::new(Vec3::splat(0.5), Vec3::splat(1.5));
+        assert!(!a.intersects(&apart));
+        assert!(a.intersects(&touch));
+        assert!(a.intersects(&overlap));
+        assert!(overlap.intersects(&a));
+    }
+
+    #[test]
+    fn union_and_inflate() {
+        let a = unit();
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::ZERO);
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec3::splat(-1.0));
+        assert_eq!(u.max, Vec3::splat(1.0));
+        let infl = a.inflated(0.5);
+        assert_eq!(infl.min, Vec3::splat(-0.5));
+        assert_eq!(infl.max, Vec3::splat(1.5));
+    }
+
+    #[test]
+    fn cube_and_distance() {
+        let c = Aabb::cube(Vec3::ZERO, 1.0);
+        assert_eq!(c.min, Vec3::splat(-1.0));
+        assert_eq!(c.distance_squared(Vec3::ZERO), 0.0);
+        assert_eq!(c.distance_squared(Vec3::new(2.0, 0.0, 0.0)), 1.0);
+        assert_eq!(c.clamp(Vec3::new(5.0, 0.0, -9.0)), Vec3::new(1.0, 0.0, -1.0));
+    }
+}

@@ -1,0 +1,251 @@
+//! Uniform spatial hash grid for fixed-radius neighbor queries.
+//!
+//! Building radio adjacency for an `n`-node network naively costs `O(n²)`
+//! distance checks; the paper's networks have thousands of nodes and the
+//! experiment harness sweeps many of them, so the generator bins points into
+//! cells of side `cell_size` and only inspects the 27 neighboring cells.
+
+use std::collections::HashMap;
+
+use crate::Vec3;
+
+/// A uniform spatial hash over a set of points, supporting radius queries.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::{grid::SpatialGrid, Vec3};
+/// let pts = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(3.0, 0.0, 0.0)];
+/// let grid = SpatialGrid::build(&pts, 1.0);
+/// let mut near = grid.neighbors_within(&pts, 0, 1.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    cells: HashMap<(i64, i64, i64), Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with the given `cell_size`.
+    ///
+    /// For radius-`r` queries, `cell_size >= r` gives the classic
+    /// 27-cell scan; smaller cells also work but scan more cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn build(points: &[Vec3], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive: {cell_size}"
+        );
+        let mut cells: HashMap<(i64, i64, i64), Vec<usize>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            cells.entry(Self::key(p, cell_size)).or_default().push(i);
+        }
+        SpatialGrid { cell_size, cells }
+    }
+
+    #[inline]
+    fn key(p: Vec3, cell: f64) -> (i64, i64, i64) {
+        (
+            (p.x / cell).floor() as i64,
+            (p.y / cell).floor() as i64,
+            (p.z / cell).floor() as i64,
+        )
+    }
+
+    /// Cell side length this grid was built with.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of non-empty cells.
+    #[inline]
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Indices of all points within distance `radius` of `points[query]`,
+    /// excluding `query` itself. `points` must be the same slice the grid
+    /// was built from.
+    pub fn neighbors_within(&self, points: &[Vec3], query: usize, radius: f64) -> Vec<usize> {
+        let center = points[query];
+        let mut out = self.points_within(points, center, radius);
+        out.retain(|&i| i != query);
+        out
+    }
+
+    /// Indices of all points within distance `radius` of an arbitrary
+    /// location `center`.
+    pub fn points_within(&self, points: &[Vec3], center: Vec3, radius: f64) -> Vec<usize> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let r2 = radius * radius;
+        let reach = (radius / self.cell_size).ceil() as i64;
+        let (cx, cy, cz) = Self::key(center, self.cell_size);
+        let mut out = Vec::new();
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                for dz in -reach..=reach {
+                    if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        for &i in bucket {
+                            if points[i].distance_squared(center) <= r2 {
+                                out.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the full fixed-radius adjacency: `result[i]` holds the sorted
+    /// indices of every point within `radius` of point `i` (excluding `i`).
+    pub fn adjacency(&self, points: &[Vec3], radius: f64) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); points.len()];
+        let r2 = radius * radius;
+        // Scan each occupied cell against its half-neighborhood so every
+        // pair is tested exactly once.
+        let offsets: Vec<(i64, i64, i64)> = {
+            let mut o = Vec::new();
+            let reach = (radius / self.cell_size).ceil() as i64;
+            for dx in -reach..=reach {
+                for dy in -reach..=reach {
+                    for dz in -reach..=reach {
+                        if (dx, dy, dz) > (0, 0, 0) || (dx, dy, dz) == (0, 0, 0) {
+                            o.push((dx, dy, dz));
+                        }
+                    }
+                }
+            }
+            o
+        };
+        for (&(x, y, z), bucket) in &self.cells {
+            for &(dx, dy, dz) in &offsets {
+                let same = (dx, dy, dz) == (0, 0, 0);
+                let other = if same {
+                    bucket
+                } else {
+                    match self.cells.get(&(x + dx, y + dy, z + dz)) {
+                        Some(b) => b,
+                        None => continue,
+                    }
+                };
+                for (ai, &i) in bucket.iter().enumerate() {
+                    let start = if same { ai + 1 } else { 0 };
+                    for &j in &other[start..] {
+                        if points[i].distance_squared(points[j]) <= r2 {
+                            adj[i].push(j);
+                            adj[j].push(i);
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_adjacency(points: &[Vec3], radius: f64) -> Vec<Vec<usize>> {
+        let r2 = radius * radius;
+        let mut adj = vec![Vec::new(); points.len()];
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if points[i].distance_squared(points[j]) <= r2 {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        adj
+    }
+
+    fn random_points(n: usize, seed: u64, span: f64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-span..span),
+                    rng.gen_range(-span..span),
+                    rng.gen_range(-span..span),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_bruteforce_adjacency() {
+        for seed in 0..4 {
+            let pts = random_points(300, seed, 3.0);
+            let grid = SpatialGrid::build(&pts, 1.0);
+            assert_eq!(grid.adjacency(&pts, 1.0), brute_adjacency(&pts, 1.0));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_with_small_cells() {
+        let pts = random_points(200, 7, 2.0);
+        let grid = SpatialGrid::build(&pts, 0.35);
+        assert_eq!(grid.adjacency(&pts, 1.0), brute_adjacency(&pts, 1.0));
+    }
+
+    #[test]
+    fn neighbors_within_excludes_self() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.2, 0.0, 0.0)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.neighbors_within(&pts, 0, 1.0), vec![1]);
+        assert_eq!(grid.neighbors_within(&pts, 1, 1.0), vec![0]);
+    }
+
+    #[test]
+    fn points_within_arbitrary_center() {
+        let pts = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let mut hits = grid.points_within(&pts, Vec3::new(0.5, 0.0, 0.0), 0.6);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+        assert!(grid.points_within(&pts, Vec3::new(100.0, 0.0, 0.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reported() {
+        let pts = vec![Vec3::ZERO, Vec3::ZERO, Vec3::ZERO];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.neighbors_within(&pts, 0, 0.5).len(), 2);
+        let adj = grid.adjacency(&pts, 0.5);
+        assert_eq!(adj[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<Vec3> = Vec::new();
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.occupied_cells(), 0);
+        assert!(grid.adjacency(&pts, 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_panics() {
+        let _ = SpatialGrid::build(&[], 0.0);
+    }
+
+    #[test]
+    fn radius_larger_than_cell() {
+        let pts = random_points(150, 11, 2.0);
+        let grid = SpatialGrid::build(&pts, 0.5);
+        assert_eq!(grid.adjacency(&pts, 1.7), brute_adjacency(&pts, 1.7));
+    }
+}

@@ -1,0 +1,140 @@
+//! Mesh and point-cloud export (Wavefront OBJ and ASCII PLY).
+//!
+//! The paper's figures are renderings of detected boundary nodes and
+//! constructed meshes; these writers let every experiment binary dump its
+//! geometry for external visualization.
+
+use std::io::{self, Write};
+
+use crate::mesh::TriMesh;
+use crate::Vec3;
+
+/// Writes a [`TriMesh`] as Wavefront OBJ.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// # use ballfit_geom::{io::write_obj, mesh::TriMesh, Vec3};
+/// # fn main() -> std::io::Result<()> {
+/// let mesh = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]).unwrap();
+/// let mut buf = Vec::new();
+/// write_obj(&mut buf, &mesh)?;
+/// assert!(String::from_utf8_lossy(&buf).contains("f 1 2 3"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_obj<W: Write>(mut w: W, mesh: &TriMesh) -> io::Result<()> {
+    writeln!(w, "# ballfit boundary mesh: {} vertices, {} faces", mesh.vertex_count(), mesh.face_count())?;
+    for v in mesh.vertices() {
+        writeln!(w, "v {} {} {}", v.x, v.y, v.z)?;
+    }
+    for f in mesh.faces() {
+        // OBJ indices are 1-based.
+        writeln!(w, "f {} {} {}", f[0] + 1, f[1] + 1, f[2] + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes a point cloud as OBJ vertices (optionally with per-point labels as
+/// comments). `labels`, when given, must be the same length as `points`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `labels` is `Some` and its length differs from `points`.
+pub fn write_obj_points<W: Write>(
+    mut w: W,
+    points: &[Vec3],
+    labels: Option<&[&str]>,
+) -> io::Result<()> {
+    if let Some(labels) = labels {
+        assert_eq!(labels.len(), points.len(), "label/point length mismatch");
+    }
+    writeln!(w, "# ballfit point cloud: {} points", points.len())?;
+    for (i, p) in points.iter().enumerate() {
+        match labels {
+            Some(labels) => writeln!(w, "v {} {} {} # {}", p.x, p.y, p.z, labels[i])?,
+            None => writeln!(w, "v {} {} {}", p.x, p.y, p.z)?,
+        }
+    }
+    Ok(())
+}
+
+/// Writes a [`TriMesh`] as ASCII PLY.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ply<W: Write>(mut w: W, mesh: &TriMesh) -> io::Result<()> {
+    writeln!(w, "ply")?;
+    writeln!(w, "format ascii 1.0")?;
+    writeln!(w, "comment ballfit boundary mesh")?;
+    writeln!(w, "element vertex {}", mesh.vertex_count())?;
+    writeln!(w, "property double x")?;
+    writeln!(w, "property double y")?;
+    writeln!(w, "property double z")?;
+    writeln!(w, "element face {}", mesh.face_count())?;
+    writeln!(w, "property list uchar int vertex_indices")?;
+    writeln!(w, "end_header")?;
+    for v in mesh.vertices() {
+        writeln!(w, "{} {} {}", v.x, v.y, v.z)?;
+    }
+    for f in mesh.faces() {
+        writeln!(w, "3 {} {} {}", f[0], f[1], f[2])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> TriMesh {
+        TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]).unwrap()
+    }
+
+    #[test]
+    fn obj_round_shape() {
+        let mut buf = Vec::new();
+        write_obj(&mut buf, &tri()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.lines().filter(|l| l.starts_with("v ")).count(), 3);
+        assert_eq!(s.lines().filter(|l| l.starts_with("f ")).count(), 1);
+        assert!(s.contains("f 1 2 3"));
+    }
+
+    #[test]
+    fn obj_points_with_labels() {
+        let mut buf = Vec::new();
+        write_obj_points(&mut buf, &[Vec3::ZERO, Vec3::X], Some(&["interior", "boundary"]))
+            .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("# boundary"));
+        assert!(s.contains("# interior"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn obj_points_label_mismatch_panics() {
+        let mut buf = Vec::new();
+        let _ = write_obj_points(&mut buf, &[Vec3::ZERO], Some(&[]));
+    }
+
+    #[test]
+    fn ply_header_counts() {
+        let mut buf = Vec::new();
+        write_ply(&mut buf, &tri()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("ply\n"));
+        assert!(s.contains("element vertex 3"));
+        assert!(s.contains("element face 1"));
+        assert!(s.trim_end().ends_with("3 0 1 2"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # ballfit-geom
+//!
+//! 3D geometry substrate for the `ballfit` reproduction of *"Localized
+//! Algorithm for Precise Boundary Detection in 3D Wireless Networks"*
+//! (ICDCS 2010).
+//!
+//! This crate provides everything the boundary-detection pipeline and the
+//! scenario generator need from computational geometry, implemented from
+//! scratch:
+//!
+//! * [`Vec3`] — double-precision 3D vectors with the usual algebra.
+//! * [`Sphere`] and [`sphere::balls_through_three_points`] — the geometric
+//!   heart of the paper's Unit Ball Fitting test: the (zero, one or two)
+//!   balls of a fixed radius whose surface passes through three given points.
+//! * [`Triangle`] / [`Tetrahedron`] — circumcenters, areas, volumes and
+//!   degeneracy predicates.
+//! * [`Aabb`] — axis-aligned bounding boxes.
+//! * [`grid::SpatialGrid`] — a uniform spatial hash used to build radio
+//!   adjacency in `O(n)` instead of `O(n²)`.
+//! * [`sdf`] — a signed-distance-function shape algebra (primitives + CSG +
+//!   noise displacement) used by `ballfit-netgen` to replace the paper's
+//!   TetGen-generated models.
+//! * [`noise::ValueNoise3`] — seeded, smooth 3D value noise for the
+//!   "bumpy ocean bottom" underwater scenario.
+//! * [`mesh::TriMesh`] — an indexed triangle mesh with edge–face incidence,
+//!   manifold auditing, Euler characteristic and connected components, used
+//!   to validate the constructed boundary surfaces.
+//! * [`io`] — Wavefront OBJ / PLY export for visual inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use ballfit_geom::{Vec3, sphere::balls_through_three_points};
+//!
+//! // Three points on the unit circle in the z = 0 plane admit exactly two
+//! // unit balls through them: centered at (0, 0, ±h).
+//! let a = Vec3::new(0.9, 0.0, 0.0);
+//! let b = Vec3::new(-0.9, 0.0, 0.0);
+//! let c = Vec3::new(0.0, 0.9, 0.0);
+//! let balls = balls_through_three_points(a, b, c, 1.0);
+//! assert_eq!(balls.len(), 2);
+//! for ball in &balls {
+//!     assert!((ball.center.distance(a) - 1.0).abs() < 1e-9);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod grid;
+pub mod io;
+pub mod mesh;
+pub mod noise;
+pub mod predicates;
+pub mod sdf;
+pub mod sphere;
+pub mod svg;
+pub mod tetrahedron;
+pub mod triangle;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use sphere::Sphere;
+pub use tetrahedron::Tetrahedron;
+pub use triangle::Triangle;
+pub use vec3::Vec3;
+
+/// Default absolute tolerance used by the geometric predicates in this crate.
+///
+/// Coordinates in the ballfit pipeline are normalized to a radio range of 1,
+/// and networks span a few tens of units, so `1e-9` comfortably separates
+/// true degeneracies from rounding noise.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,488 @@
+//! Indexed triangle meshes with incidence auditing.
+//!
+//! The surface-construction pipeline (Sec. III of the paper) produces a
+//! triangular mesh over the landmark nodes and claims it is a *locally
+//! planarized 2-manifold*: every edge borders at most two triangular faces,
+//! and on a closed boundary exactly two. [`TriMesh`] stores the mesh and
+//! provides the audits used to verify those claims: edge–face incidence,
+//! Euler characteristic, genus, connected components and manifoldness.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::{Triangle, Vec3};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// An undirected mesh edge, stored with `lo <= hi`.
+pub type Edge = (usize, usize);
+
+/// Normalizes an edge to `lo <= hi` form.
+#[inline]
+pub fn edge(a: usize, b: usize) -> Edge {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// An indexed triangle mesh.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::{mesh::TriMesh, Vec3};
+/// // A tetrahedron surface: closed 2-manifold with Euler characteristic 2.
+/// let mesh = TriMesh::new(
+///     vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+///     vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]],
+/// ).unwrap();
+/// assert!(mesh.audit().is_closed_manifold());
+/// assert_eq!(mesh.euler_characteristic(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct TriMesh {
+    vertices: Vec<Vec3>,
+    faces: Vec<[usize; 3]>,
+}
+
+/// Result of a manifoldness audit of a [`TriMesh`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct MeshAudit {
+    /// Total number of distinct undirected edges.
+    pub edges: usize,
+    /// Edges bordering exactly one face (surface boundary).
+    pub border_edges: usize,
+    /// Edges bordering exactly two faces (manifold interior).
+    pub manifold_edges: usize,
+    /// Edges bordering three or more faces (non-manifold).
+    pub non_manifold_edges: usize,
+    /// Number of duplicate faces (same vertex set appearing twice).
+    pub duplicate_faces: usize,
+}
+
+impl MeshAudit {
+    /// `true` if every edge borders exactly two faces and the mesh has at
+    /// least one face — a closed 2-manifold (the paper's target property).
+    pub fn is_closed_manifold(&self) -> bool {
+        self.edges > 0
+            && self.border_edges == 0
+            && self.non_manifold_edges == 0
+            && self.duplicate_faces == 0
+    }
+
+    /// Fraction of edges that are manifold (2-face); `1.0` for a perfect
+    /// closed surface. Returns 1.0 for an edgeless mesh.
+    pub fn manifold_fraction(&self) -> f64 {
+        if self.edges == 0 {
+            1.0
+        } else {
+            self.manifold_edges as f64 / self.edges as f64
+        }
+    }
+}
+
+/// Errors from [`TriMesh::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A face references a vertex index `>= vertices.len()`.
+    IndexOutOfRange {
+        /// Offending face index.
+        face: usize,
+        /// Offending vertex index.
+        index: usize,
+    },
+    /// A face repeats a vertex (degenerate).
+    DegenerateFace {
+        /// Offending face index.
+        face: usize,
+    },
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::IndexOutOfRange { face, index } => {
+                write!(f, "face {face} references out-of-range vertex {index}")
+            }
+            MeshError::DegenerateFace { face } => {
+                write!(f, "face {face} repeats a vertex")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl TriMesh {
+    /// Creates a mesh, validating that all face indices are in range and no
+    /// face repeats a vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError`] on invalid faces.
+    pub fn new(vertices: Vec<Vec3>, faces: Vec<[usize; 3]>) -> Result<Self, MeshError> {
+        for (fi, f) in faces.iter().enumerate() {
+            for &v in f {
+                if v >= vertices.len() {
+                    return Err(MeshError::IndexOutOfRange { face: fi, index: v });
+                }
+            }
+            if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+                return Err(MeshError::DegenerateFace { face: fi });
+            }
+        }
+        Ok(TriMesh { vertices, faces })
+    }
+
+    /// An empty mesh.
+    pub fn empty() -> Self {
+        TriMesh { vertices: Vec::new(), faces: Vec::new() }
+    }
+
+    /// Vertex positions.
+    pub fn vertices(&self) -> &[Vec3] {
+        &self.vertices
+    }
+
+    /// Faces as vertex-index triples.
+    pub fn faces(&self) -> &[[usize; 3]] {
+        &self.faces
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of faces.
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Geometry of face `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= face_count()`.
+    pub fn face_triangle(&self, i: usize) -> Triangle {
+        let [a, b, c] = self.faces[i];
+        Triangle::new(self.vertices[a], self.vertices[b], self.vertices[c])
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        (0..self.faces.len()).map(|i| self.face_triangle(i).area()).sum()
+    }
+
+    /// Map from each undirected edge to the faces incident on it,
+    /// deterministically ordered.
+    pub fn edge_faces(&self) -> BTreeMap<Edge, Vec<usize>> {
+        let mut map: BTreeMap<Edge, Vec<usize>> = BTreeMap::new();
+        for (fi, f) in self.faces.iter().enumerate() {
+            for (a, b) in [(f[0], f[1]), (f[1], f[2]), (f[0], f[2])] {
+                map.entry(edge(a, b)).or_default().push(fi);
+            }
+        }
+        map
+    }
+
+    /// Distinct undirected edges.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.edge_faces().keys().copied().collect()
+    }
+
+    /// Number of distinct undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_faces().len()
+    }
+
+    /// Runs the manifoldness audit.
+    pub fn audit(&self) -> MeshAudit {
+        let ef = self.edge_faces();
+        let mut audit = MeshAudit { edges: ef.len(), ..MeshAudit::default() };
+        for faces in ef.values() {
+            match faces.len() {
+                1 => audit.border_edges += 1,
+                2 => audit.manifold_edges += 1,
+                _ => audit.non_manifold_edges += 1,
+            }
+        }
+        let mut seen: BTreeSet<[usize; 3]> = BTreeSet::new();
+        for f in &self.faces {
+            let mut key = *f;
+            key.sort_unstable();
+            if !seen.insert(key) {
+                audit.duplicate_faces += 1;
+            }
+        }
+        audit
+    }
+
+    /// Euler characteristic `V − E + F`, counting only vertices referenced
+    /// by at least one face (landmark meshes may carry unused vertices).
+    pub fn euler_characteristic(&self) -> i64 {
+        let used: BTreeSet<usize> = self.faces.iter().flatten().copied().collect();
+        used.len() as i64 - self.edge_count() as i64 + self.face_count() as i64
+    }
+
+    /// Genus of a closed connected orientable surface: `(2 − χ) / 2`.
+    ///
+    /// Returns `None` if the mesh is not a closed manifold or not connected,
+    /// in which case genus is undefined.
+    pub fn genus(&self) -> Option<i64> {
+        if !self.audit().is_closed_manifold() || self.face_components().len() != 1 {
+            return None;
+        }
+        Some((2 - self.euler_characteristic()) / 2)
+    }
+
+    /// Connected components of faces (two faces are adjacent when they
+    /// share an edge). Each component is a sorted list of face indices.
+    pub fn face_components(&self) -> Vec<Vec<usize>> {
+        let ef = self.edge_faces();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.faces.len()];
+        for faces in ef.values() {
+            for i in 0..faces.len() {
+                for j in (i + 1)..faces.len() {
+                    adj[faces[i]].push(faces[j]);
+                    adj[faces[j]].push(faces[i]);
+                }
+            }
+        }
+        let mut seen = vec![false; self.faces.len()];
+        let mut components = Vec::new();
+        for start in 0..self.faces.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            let mut comp = Vec::new();
+            while let Some(f) = queue.pop_front() {
+                comp.push(f);
+                for &g in &adj[f] {
+                    if !seen[g] {
+                        seen[g] = true;
+                        queue.push_back(g);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Returns a copy with unreferenced vertices removed and face indices
+    /// remapped accordingly.
+    pub fn compacted(&self) -> TriMesh {
+        let used: BTreeSet<usize> = self.faces.iter().flatten().copied().collect();
+        let remap: BTreeMap<usize, usize> =
+            used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let vertices = used.iter().map(|&i| self.vertices[i]).collect();
+        let faces = self
+            .faces
+            .iter()
+            .map(|f| [remap[&f[0]], remap[&f[1]], remap[&f[2]]])
+            .collect();
+        TriMesh { vertices, faces }
+    }
+
+    /// Distance from `p` to the closest point on any face (brute force
+    /// over faces; landmark meshes have at most a few hundred).
+    ///
+    /// Returns `None` when the mesh has no faces.
+    pub fn distance_to_point(&self, p: Vec3) -> Option<f64> {
+        (0..self.faces.len())
+            .map(|f| self.face_triangle(f).distance_to_point(p))
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.min(d))))
+    }
+
+    /// Mean distance of the vertices to a reference surface given as a
+    /// signed-distance function (absolute value of the SDF). Used to
+    /// quantify how far a constructed boundary mesh deviates from the true
+    /// model surface. Returns 0.0 for a vertex-less mesh.
+    pub fn mean_abs_distance_to<S: crate::sdf::Sdf + ?Sized>(&self, surface: &S) -> f64 {
+        if self.vertices.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.vertices.iter().map(|&v| surface.distance(v).abs()).sum();
+        total / self.vertices.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tetra() -> TriMesh {
+        TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+            vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    /// Octahedron: 6 vertices, 8 faces, closed manifold, χ = 2.
+    fn octa() -> TriMesh {
+        let v = vec![
+            Vec3::X,
+            -Vec3::X,
+            Vec3::Y,
+            -Vec3::Y,
+            Vec3::Z,
+            -Vec3::Z,
+        ];
+        let f = vec![
+            [0, 2, 4],
+            [2, 1, 4],
+            [1, 3, 4],
+            [3, 0, 4],
+            [2, 0, 5],
+            [1, 2, 5],
+            [3, 1, 5],
+            [0, 3, 5],
+        ];
+        TriMesh::new(v, f).unwrap()
+    }
+
+    #[test]
+    fn validation_errors() {
+        let verts = vec![Vec3::ZERO, Vec3::X, Vec3::Y];
+        assert!(matches!(
+            TriMesh::new(verts.clone(), vec![[0, 1, 5]]),
+            Err(MeshError::IndexOutOfRange { face: 0, index: 5 })
+        ));
+        assert!(matches!(
+            TriMesh::new(verts, vec![[0, 1, 1]]),
+            Err(MeshError::DegenerateFace { face: 0 })
+        ));
+        let e = MeshError::DegenerateFace { face: 3 };
+        assert!(e.to_string().contains("face 3"));
+    }
+
+    #[test]
+    fn tetra_is_closed_manifold() {
+        let m = tetra();
+        let audit = m.audit();
+        assert!(audit.is_closed_manifold());
+        assert_eq!(audit.edges, 6);
+        assert_eq!(audit.manifold_edges, 6);
+        assert_eq!(m.euler_characteristic(), 2);
+        assert_eq!(m.genus(), Some(0));
+        assert_eq!(m.face_components().len(), 1);
+        assert!((audit.manifold_fraction() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn octa_is_closed_manifold_genus_zero() {
+        let m = octa();
+        assert!(m.audit().is_closed_manifold());
+        assert_eq!(m.edge_count(), 12);
+        assert_eq!(m.euler_characteristic(), 2);
+        assert_eq!(m.genus(), Some(0));
+        // Octahedron with unit axis vertices: area = 8 · (√3/2) ≈ 6.928? No:
+        // each face is an equilateral triangle with side √2, area √3/2.
+        assert!((m.area() - 8.0 * 3f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_mesh_has_border_edges() {
+        let m = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]).unwrap();
+        let audit = m.audit();
+        assert!(!audit.is_closed_manifold());
+        assert_eq!(audit.border_edges, 3);
+        assert_eq!(m.genus(), None);
+    }
+
+    #[test]
+    fn non_manifold_edge_detected() {
+        // Three triangles sharing edge (0,1) — the exact situation the
+        // paper's edge-flip step must remove.
+        let m = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.0, -1.0, 0.0)],
+            vec![[0, 1, 2], [0, 1, 3], [0, 1, 4]],
+        )
+        .unwrap();
+        let audit = m.audit();
+        assert_eq!(audit.non_manifold_edges, 1);
+        assert!(!audit.is_closed_manifold());
+    }
+
+    #[test]
+    fn duplicate_faces_detected() {
+        let m = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            vec![[0, 1, 2], [2, 0, 1]],
+        )
+        .unwrap();
+        assert_eq!(m.audit().duplicate_faces, 1);
+    }
+
+    #[test]
+    fn components_of_two_tetrahedra() {
+        let mut v = tetra().vertices().to_vec();
+        let offset = Vec3::new(10.0, 0.0, 0.0);
+        v.extend(tetra().vertices().iter().map(|&p| p + offset));
+        let mut f = tetra().faces().to_vec();
+        f.extend(tetra().faces().iter().map(|t| [t[0] + 4, t[1] + 4, t[2] + 4]));
+        let m = TriMesh::new(v, f).unwrap();
+        assert_eq!(m.face_components().len(), 2);
+        // χ of a disjoint union of two spheres is 4.
+        assert_eq!(m.euler_characteristic(), 4);
+        assert_eq!(m.genus(), None); // not connected
+    }
+
+    #[test]
+    fn compaction_drops_unused_vertices() {
+        let m = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::splat(9.0)],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let c = m.compacted();
+        assert_eq!(c.vertex_count(), 3);
+        assert_eq!(c.face_count(), 1);
+        assert_eq!(c.faces()[0], [0, 1, 2]);
+        assert_eq!(c.euler_characteristic(), m.euler_characteristic());
+    }
+
+    #[test]
+    fn mean_distance_to_sphere_surface() {
+        use crate::sdf::SphereSdf;
+        let m = octa();
+        let s = SphereSdf::new(Vec3::ZERO, 1.0);
+        // All octahedron vertices lie exactly on the unit sphere.
+        assert!(m.mean_abs_distance_to(&s) < 1e-12);
+        let s2 = SphereSdf::new(Vec3::ZERO, 2.0);
+        assert!((m.mean_abs_distance_to(&s2) - 1.0).abs() < 1e-12);
+        assert_eq!(TriMesh::empty().mean_abs_distance_to(&s), 0.0);
+    }
+
+    #[test]
+    fn point_to_mesh_distance() {
+        let m = tetra();
+        // On a face: zero.
+        assert!(m.distance_to_point(Vec3::new(0.3, 0.3, 0.0)).unwrap() < 1e-12);
+        // Off the xy-face by 1... closest face may be a slanted one; at
+        // least it is ≤ 1 and > 0.
+        let d = m.distance_to_point(Vec3::new(0.25, 0.25, -1.0)).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        assert!(TriMesh::empty().distance_to_point(Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn edge_helpers() {
+        assert_eq!(edge(3, 1), (1, 3));
+        assert_eq!(edge(1, 3), (1, 3));
+        let m = tetra();
+        assert_eq!(m.edges().len(), 6);
+        assert_eq!(m.edge_faces()[&(0, 1)].len(), 2);
+        let t = m.face_triangle(0);
+        assert!(t.area() > 0.0);
+    }
+}

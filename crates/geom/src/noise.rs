@@ -1,0 +1,162 @@
+//! Seeded, smooth 3D value noise.
+//!
+//! Used by the scenario generator to displace the ocean floor of the
+//! underwater network (the paper's "bumpy bottom", Fig. 6) without any
+//! external noise library. The noise is deterministic in the seed, smooth
+//! (C¹ via smoothstep interpolation) and bounded in `[-1, 1]`.
+
+/// Deterministic 3D value-noise field.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::noise::ValueNoise3;
+/// let n = ValueNoise3::new(42);
+/// let v = n.sample(0.3, 1.7, -2.2);
+/// assert!((-1.0..=1.0).contains(&v));
+/// // Deterministic:
+/// assert_eq!(v, ValueNoise3::new(42).sample(0.3, 1.7, -2.2));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise3 {
+    seed: u64,
+}
+
+impl ValueNoise3 {
+    /// Creates a noise field for the given seed.
+    pub const fn new(seed: u64) -> Self {
+        ValueNoise3 { seed }
+    }
+
+    /// The seed this field was constructed with.
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hash a lattice point to a pseudo-random value in `[-1, 1]`.
+    fn lattice(&self, x: i64, y: i64, z: i64) -> f64 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((x as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((y as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add((z as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        // Map to [-1, 1].
+        (h >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    /// Samples the noise field at `(x, y, z)`. The result is in `[-1, 1]`.
+    pub fn sample(&self, x: f64, y: f64, z: f64) -> f64 {
+        let (x0, y0, z0) = (x.floor(), y.floor(), z.floor());
+        let (ix, iy, iz) = (x0 as i64, y0 as i64, z0 as i64);
+        let (fx, fy, fz) = (x - x0, y - y0, z - z0);
+        let (sx, sy, sz) = (smoothstep(fx), smoothstep(fy), smoothstep(fz));
+
+        let mut corners = [0.0f64; 8];
+        for (idx, corner) in corners.iter_mut().enumerate() {
+            let dx = (idx & 1) as i64;
+            let dy = ((idx >> 1) & 1) as i64;
+            let dz = ((idx >> 2) & 1) as i64;
+            *corner = self.lattice(ix + dx, iy + dy, iz + dz);
+        }
+        let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+        let x00 = lerp(corners[0], corners[1], sx);
+        let x10 = lerp(corners[2], corners[3], sx);
+        let x01 = lerp(corners[4], corners[5], sx);
+        let x11 = lerp(corners[6], corners[7], sx);
+        let y0v = lerp(x00, x10, sy);
+        let y1v = lerp(x01, x11, sy);
+        lerp(y0v, y1v, sz)
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of noise, each at double the
+    /// frequency and `gain` times the amplitude of the previous. Result is
+    /// normalized back to roughly `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves == 0`.
+    pub fn fbm(&self, x: f64, y: f64, z: f64, octaves: u32, gain: f64) -> f64 {
+        assert!(octaves > 0, "fbm requires at least one octave");
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut frequency = 1.0;
+        let mut norm = 0.0;
+        for octave in 0..octaves {
+            // Offset each octave so layers decorrelate.
+            let off = octave as f64 * 19.19;
+            total += amplitude
+                * self.sample(x * frequency + off, y * frequency + off, z * frequency + off);
+            norm += amplitude;
+            amplitude *= gain;
+            frequency *= 2.0;
+        }
+        total / norm
+    }
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ValueNoise3::new(1);
+        let b = ValueNoise3::new(1);
+        let c = ValueNoise3::new(2);
+        assert_eq!(a.sample(1.5, 2.5, 3.5), b.sample(1.5, 2.5, 3.5));
+        assert_ne!(a.sample(1.5, 2.5, 3.5), c.sample(1.5, 2.5, 3.5));
+        assert_eq!(a.seed(), 1);
+    }
+
+    #[test]
+    fn bounded() {
+        let n = ValueNoise3::new(99);
+        for i in 0..500 {
+            let t = i as f64 * 0.173;
+            let v = n.sample(t, t * 0.7 - 3.0, -t * 1.3);
+            assert!((-1.0..=1.0).contains(&v), "sample out of range: {v}");
+            let f = n.fbm(t, -t, t * 0.5, 4, 0.5);
+            assert!((-1.0..=1.0).contains(&f), "fbm out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn continuity_across_lattice_boundaries() {
+        let n = ValueNoise3::new(7);
+        // Values just left/right of an integer lattice plane must be close.
+        let eps = 1e-6;
+        for k in -3..4 {
+            let x = k as f64;
+            let a = n.sample(x - eps, 0.4, 0.7);
+            let b = n.sample(x + eps, 0.4, 0.7);
+            assert!((a - b).abs() < 1e-4, "discontinuity at x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn not_constant() {
+        let n = ValueNoise3::new(3);
+        let samples: Vec<f64> = (0..50).map(|i| n.sample(i as f64 * 0.37, 0.0, 0.0)).collect();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.2, "noise looks constant: range {}", max - min);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one octave")]
+    fn fbm_zero_octaves_panics() {
+        ValueNoise3::new(0).fbm(0.0, 0.0, 0.0, 0, 0.5);
+    }
+}

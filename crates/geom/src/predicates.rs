@@ -1,0 +1,113 @@
+//! Tolerance-based geometric predicates.
+//!
+//! The ballfit pipeline works with measured, noisy coordinates, so exact
+//! arithmetic buys nothing; instead every predicate takes (or defaults to)
+//! an absolute tolerance calibrated to the normalized radio range of 1.
+
+use crate::{Vec3, EPS};
+
+/// Signed volume ×6 of the tetrahedron `(a, b, c, d)`.
+///
+/// Positive when `d` lies on the side of plane `(a, b, c)` pointed to by the
+/// right-handed normal `(b − a) × (c − a)`.
+#[inline]
+pub fn orient3d(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    (b - a).cross(c - a).dot(d - a)
+}
+
+/// Returns `true` if the three points are collinear within tolerance `tol`
+/// (interpreted as an area threshold: twice the triangle area must be ≤ tol).
+#[inline]
+pub fn collinear(a: Vec3, b: Vec3, c: Vec3, tol: f64) -> bool {
+    (b - a).cross(c - a).norm() <= tol
+}
+
+/// Returns `true` if four points are coplanar within tolerance `tol`
+/// (interpreted as a ×6-volume threshold).
+#[inline]
+pub fn coplanar(a: Vec3, b: Vec3, c: Vec3, d: Vec3, tol: f64) -> bool {
+    orient3d(a, b, c, d).abs() <= tol
+}
+
+/// Returns `true` if `p` lies strictly inside the ball of radius `r`
+/// centered at `center`, using `tol` as a shrink margin.
+///
+/// The margin makes nodes *on* the ball surface (the three defining nodes of
+/// a unit ball in UBF) reliably test as *not inside* despite rounding.
+#[inline]
+pub fn strictly_inside_ball(p: Vec3, center: Vec3, r: f64, tol: f64) -> bool {
+    p.distance_squared(center) < (r - tol) * (r - tol)
+}
+
+/// Relative-tolerance float comparison used throughout the test-suites.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Default-tolerance variant of [`collinear`].
+#[inline]
+pub fn collinear_default(a: Vec3, b: Vec3, c: Vec3) -> bool {
+    collinear(a, b, c, EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orient3d_signs() {
+        let a = Vec3::ZERO;
+        let b = Vec3::X;
+        let c = Vec3::Y;
+        assert!(orient3d(a, b, c, Vec3::Z) > 0.0);
+        assert!(orient3d(a, b, c, -Vec3::Z) < 0.0);
+        assert_eq!(orient3d(a, b, c, Vec3::new(0.3, 0.3, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn orient3d_magnitude_is_six_volumes() {
+        // Unit right tetrahedron: volume 1/6, so orient3d = 1.
+        let v = orient3d(Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z);
+        assert!((v - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn collinearity() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(1.0, 1.0, 1.0);
+        let c = Vec3::new(2.0, 2.0, 2.0);
+        assert!(collinear(a, b, c, EPS));
+        assert!(collinear_default(a, b, c));
+        assert!(!collinear(a, b, Vec3::new(2.0, 2.0, 2.1), EPS));
+        // Tolerance is an area threshold: a sliver passes with loose tol.
+        assert!(collinear(a, Vec3::X, Vec3::new(2.0, 1e-6, 0.0), 1e-3));
+    }
+
+    #[test]
+    fn coplanarity() {
+        let a = Vec3::ZERO;
+        let b = Vec3::X;
+        let c = Vec3::Y;
+        assert!(coplanar(a, b, c, Vec3::new(0.7, -0.3, 0.0), EPS));
+        assert!(!coplanar(a, b, c, Vec3::new(0.0, 0.0, 0.01), EPS));
+    }
+
+    #[test]
+    fn ball_membership_margins() {
+        let c = Vec3::ZERO;
+        assert!(strictly_inside_ball(Vec3::new(0.5, 0.0, 0.0), c, 1.0, 1e-9));
+        // A point exactly on the surface is not "inside".
+        assert!(!strictly_inside_ball(Vec3::X, c, 1.0, 1e-9));
+        // A point just inside the margin is not "inside" either.
+        assert!(!strictly_inside_ball(Vec3::new(1.0 - 1e-12, 0.0, 0.0), c, 1.0, 1e-9));
+        assert!(!strictly_inside_ball(Vec3::new(2.0, 0.0, 0.0), c, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_scales() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e9, 1e9 + 1.0, 1e-8));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+}

@@ -1,0 +1,515 @@
+//! Signed-distance shape algebra.
+//!
+//! The paper builds its test networks with TetGen and "a set of 3D graphic
+//! tools"; this module is the from-scratch replacement. A [`Sdf`] describes
+//! a solid: `distance(p) < 0` inside, `> 0` outside, `≈ 0` on the surface.
+//! CSG combinators ([`Union`], [`Intersection`], [`Difference`]) and the
+//! primitives below compose into every scenario of the evaluation
+//! (underwater column, space networks with interior holes, bended pipe,
+//! sphere).
+//!
+//! Distances returned by combined shapes are *bounds* (they may
+//! underestimate the true distance) — the standard CSG caveat — which is
+//! sufficient for inside tests, shell rejection sampling and iterative
+//! surface projection as used by `ballfit-netgen`.
+
+use std::fmt::Debug;
+
+use crate::noise::ValueNoise3;
+use crate::{Aabb, Vec3};
+
+/// A solid described by a signed distance (or distance bound) function.
+pub trait Sdf: Debug + Send + Sync {
+    /// Signed distance bound at `p`: negative inside, positive outside.
+    fn distance(&self, p: Vec3) -> f64;
+
+    /// A conservative axis-aligned bounding box of the solid.
+    fn bounds(&self) -> Aabb;
+
+    /// Returns `true` if `p` is inside the solid.
+    fn contains(&self, p: Vec3) -> bool {
+        self.distance(p) < 0.0
+    }
+
+    /// Numerical gradient of the distance field (central differences).
+    fn gradient(&self, p: Vec3) -> Vec3 {
+        let h = 1e-5;
+        Vec3::new(
+            self.distance(p + Vec3::X * h) - self.distance(p - Vec3::X * h),
+            self.distance(p + Vec3::Y * h) - self.distance(p - Vec3::Y * h),
+            self.distance(p + Vec3::Z * h) - self.distance(p - Vec3::Z * h),
+        ) / (2.0 * h)
+    }
+
+    /// Newton-projects `p` toward the zero level set. Returns the projected
+    /// point; convergence is approximate for non-exact distance bounds.
+    fn project_to_surface(&self, p: Vec3, iterations: usize) -> Vec3 {
+        let mut q = p;
+        for _ in 0..iterations {
+            let d = self.distance(q);
+            if d.abs() < 1e-9 {
+                break;
+            }
+            let g = self.gradient(q);
+            let g2 = g.norm_squared();
+            if g2 < 1e-12 {
+                break;
+            }
+            q -= g * (d / g2);
+        }
+        q
+    }
+}
+
+impl<S: Sdf + ?Sized> Sdf for &S {
+    fn distance(&self, p: Vec3) -> f64 {
+        (**self).distance(p)
+    }
+    fn bounds(&self) -> Aabb {
+        (**self).bounds()
+    }
+}
+
+impl<S: Sdf + ?Sized> Sdf for Box<S> {
+    fn distance(&self, p: Vec3) -> f64 {
+        (**self).distance(p)
+    }
+    fn bounds(&self) -> Aabb {
+        (**self).bounds()
+    }
+}
+
+/// A solid ball.
+#[derive(Debug, Clone, Copy)]
+pub struct SphereSdf {
+    /// Center of the ball.
+    pub center: Vec3,
+    /// Radius of the ball.
+    pub radius: f64,
+}
+
+impl SphereSdf {
+    /// Creates a solid ball.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0`.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        SphereSdf { center, radius }
+    }
+}
+
+impl Sdf for SphereSdf {
+    fn distance(&self, p: Vec3) -> f64 {
+        p.distance(self.center) - self.radius
+    }
+    fn bounds(&self) -> Aabb {
+        Aabb::cube(self.center, self.radius)
+    }
+}
+
+/// An axis-aligned solid box (exact SDF).
+#[derive(Debug, Clone, Copy)]
+pub struct BoxSdf {
+    /// The box region.
+    pub aabb: Aabb,
+}
+
+impl BoxSdf {
+    /// Creates a solid box from an [`Aabb`].
+    pub fn new(aabb: Aabb) -> Self {
+        BoxSdf { aabb }
+    }
+}
+
+impl Sdf for BoxSdf {
+    fn distance(&self, p: Vec3) -> f64 {
+        let c = self.aabb.center();
+        let half = self.aabb.extent() * 0.5;
+        let q = (p - c).abs() - half;
+        let outside = q.max(Vec3::ZERO).norm();
+        let inside = q.max_component().min(0.0);
+        outside + inside
+    }
+    fn bounds(&self) -> Aabb {
+        self.aabb
+    }
+}
+
+/// A solid torus around an axis through `center` with direction `axis`
+/// (exact SDF for the canonical axis; general axes via frame rotation).
+#[derive(Debug, Clone, Copy)]
+pub struct TorusSdf {
+    /// Center of the torus.
+    pub center: Vec3,
+    /// Unit axis of revolution.
+    pub axis: Vec3,
+    /// Major radius (center of tube circle).
+    pub major: f64,
+    /// Minor (tube) radius.
+    pub minor: f64,
+}
+
+impl TorusSdf {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if radii are non-positive or `minor >= major`.
+    pub fn new(center: Vec3, axis: Vec3, major: f64, minor: f64) -> Self {
+        assert!(major > 0.0 && minor > 0.0, "torus radii must be positive");
+        assert!(minor < major, "tube radius must be smaller than major radius");
+        TorusSdf { center, axis: axis.normalized(), major, minor }
+    }
+}
+
+impl Sdf for TorusSdf {
+    fn distance(&self, p: Vec3) -> f64 {
+        let rel = p - self.center;
+        let along = rel.dot(self.axis);
+        let radial = (rel - self.axis * along).norm();
+        let q = Vec3::new(radial - self.major, along, 0.0);
+        q.norm() - self.minor
+    }
+    fn bounds(&self) -> Aabb {
+        let r = self.major + self.minor;
+        Aabb::cube(self.center, r)
+    }
+}
+
+/// A round-capped tube following a polyline (exact SDF): the union of
+/// capsules over consecutive points. Used for the paper's "bended pipe".
+#[derive(Debug, Clone)]
+pub struct PolylineTube {
+    points: Vec<Vec3>,
+    radius: f64,
+}
+
+impl PolylineTube {
+    /// Creates a tube of the given `radius` along `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or `radius <= 0`.
+    pub fn new(points: Vec<Vec3>, radius: f64) -> Self {
+        assert!(points.len() >= 2, "a tube needs at least two points");
+        assert!(radius > 0.0, "tube radius must be positive");
+        PolylineTube { points, radius }
+    }
+
+    /// The polyline backbone.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Tube radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    fn segment_distance(p: Vec3, a: Vec3, b: Vec3) -> f64 {
+        let ab = b - a;
+        let t = ((p - a).dot(ab) / ab.norm_squared()).clamp(0.0, 1.0);
+        p.distance(a + ab * t)
+    }
+}
+
+impl Sdf for PolylineTube {
+    fn distance(&self, p: Vec3) -> f64 {
+        let mut best = f64::INFINITY;
+        for w in self.points.windows(2) {
+            best = best.min(Self::segment_distance(p, w[0], w[1]));
+        }
+        best - self.radius
+    }
+    fn bounds(&self) -> Aabb {
+        Aabb::from_points(&self.points)
+            .expect("tube has points")
+            .inflated(self.radius)
+    }
+}
+
+/// Union of solids (distance = min; a distance bound).
+#[derive(Debug)]
+pub struct Union {
+    parts: Vec<Box<dyn Sdf>>,
+}
+
+impl Union {
+    /// Creates the union of the given solids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn new(parts: Vec<Box<dyn Sdf>>) -> Self {
+        assert!(!parts.is_empty(), "union of zero solids");
+        Union { parts }
+    }
+}
+
+impl Sdf for Union {
+    fn distance(&self, p: Vec3) -> f64 {
+        self.parts
+            .iter()
+            .map(|s| s.distance(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+    fn bounds(&self) -> Aabb {
+        self.parts
+            .iter()
+            .map(|s| s.bounds())
+            .reduce(|a, b| a.union(&b))
+            .expect("union is non-empty")
+    }
+}
+
+/// Intersection of solids (distance = max; a distance bound).
+#[derive(Debug)]
+pub struct Intersection {
+    parts: Vec<Box<dyn Sdf>>,
+}
+
+impl Intersection {
+    /// Creates the intersection of the given solids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn new(parts: Vec<Box<dyn Sdf>>) -> Self {
+        assert!(!parts.is_empty(), "intersection of zero solids");
+        Intersection { parts }
+    }
+}
+
+impl Sdf for Intersection {
+    fn distance(&self, p: Vec3) -> f64 {
+        self.parts
+            .iter()
+            .map(|s| s.distance(p))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+    fn bounds(&self) -> Aabb {
+        // Conservative: bounds of the first part (a superset of the result).
+        self.parts[0].bounds()
+    }
+}
+
+/// Difference `base \ cut` (distance = max(d_base, −d_cut); a bound).
+///
+/// This is how the "space network with interior holes" scenarios carve
+/// their holes.
+#[derive(Debug)]
+pub struct Difference {
+    base: Box<dyn Sdf>,
+    cut: Box<dyn Sdf>,
+}
+
+impl Difference {
+    /// Creates `base` minus `cut`.
+    pub fn new(base: Box<dyn Sdf>, cut: Box<dyn Sdf>) -> Self {
+        Difference { base, cut }
+    }
+}
+
+impl Sdf for Difference {
+    fn distance(&self, p: Vec3) -> f64 {
+        self.base.distance(p).max(-self.cut.distance(p))
+    }
+    fn bounds(&self) -> Aabb {
+        self.base.bounds()
+    }
+}
+
+/// A terrain-bounded column: the underwater scenario of Fig. 6. The solid is
+/// the water body between a flat surface plane `z = z_surface` and a bumpy
+/// bottom `z = bottom(x, y)` produced by fractal value noise, clipped to a
+/// rectangular footprint.
+#[derive(Debug, Clone)]
+pub struct TerrainColumn {
+    footprint_min: Vec3,
+    footprint_max: Vec3,
+    z_surface: f64,
+    z_bottom: f64,
+    amplitude: f64,
+    frequency: f64,
+    noise: ValueNoise3,
+}
+
+impl TerrainColumn {
+    /// Creates a column over the rectangle `[x0, x1] × [y0, y1]` with the
+    /// water surface at `z_surface` and the mean bottom at `z_bottom`,
+    /// displaced by `± amplitude` noise at the given `frequency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is inverted or if
+    /// `z_bottom + amplitude >= z_surface` (no water would remain).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        x0: f64,
+        x1: f64,
+        y0: f64,
+        y1: f64,
+        z_surface: f64,
+        z_bottom: f64,
+        amplitude: f64,
+        frequency: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(x0 < x1 && y0 < y1, "inverted footprint");
+        assert!(amplitude >= 0.0 && frequency > 0.0, "invalid terrain parameters");
+        assert!(
+            z_bottom + amplitude < z_surface,
+            "terrain would breach the water surface"
+        );
+        TerrainColumn {
+            footprint_min: Vec3::new(x0, y0, 0.0),
+            footprint_max: Vec3::new(x1, y1, 0.0),
+            z_surface,
+            z_bottom,
+            amplitude,
+            frequency,
+            noise: ValueNoise3::new(seed),
+        }
+    }
+
+    /// The bottom height at `(x, y)`.
+    pub fn bottom_height(&self, x: f64, y: f64) -> f64 {
+        self.z_bottom
+            + self.amplitude * self.noise.fbm(x * self.frequency, y * self.frequency, 0.0, 3, 0.5)
+    }
+}
+
+impl Sdf for TerrainColumn {
+    fn distance(&self, p: Vec3) -> f64 {
+        let lateral = (self.footprint_min.x - p.x)
+            .max(p.x - self.footprint_max.x)
+            .max(self.footprint_min.y - p.y)
+            .max(p.y - self.footprint_max.y);
+        let vertical = (p.z - self.z_surface).max(self.bottom_height(p.x, p.y) - p.z);
+        lateral.max(vertical)
+    }
+    fn bounds(&self) -> Aabb {
+        Aabb::new(
+            Vec3::new(self.footprint_min.x, self.footprint_min.y, self.z_bottom - self.amplitude),
+            Vec3::new(self.footprint_max.x, self.footprint_max.y, self.z_surface),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_sdf_values() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        assert_eq!(s.distance(Vec3::ZERO), -2.0);
+        assert_eq!(s.distance(Vec3::new(3.0, 0.0, 0.0)), 1.0);
+        assert!(s.contains(Vec3::X));
+        assert!(!s.contains(Vec3::new(2.5, 0.0, 0.0)));
+        assert!(s.bounds().contains(Vec3::new(2.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn box_sdf_exactness() {
+        let b = BoxSdf::new(Aabb::cube(Vec3::ZERO, 1.0));
+        assert_eq!(b.distance(Vec3::ZERO), -1.0);
+        assert_eq!(b.distance(Vec3::new(2.0, 0.0, 0.0)), 1.0);
+        // Corner distance is Euclidean.
+        let d = b.distance(Vec3::new(2.0, 2.0, 2.0));
+        assert!((d - 3f64.sqrt()).abs() < 1e-12);
+        assert!(b.contains(Vec3::new(0.99, 0.99, 0.99)));
+    }
+
+    #[test]
+    fn torus_sdf() {
+        let t = TorusSdf::new(Vec3::ZERO, Vec3::Z, 2.0, 0.5);
+        // On the tube circle: inside by 0.5.
+        assert!((t.distance(Vec3::new(2.0, 0.0, 0.0)) + 0.5).abs() < 1e-12);
+        // Center of the hole: outside.
+        assert!(t.distance(Vec3::ZERO) > 0.0);
+        assert!((t.distance(Vec3::ZERO) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tube radius must be smaller")]
+    fn degenerate_torus_panics() {
+        let _ = TorusSdf::new(Vec3::ZERO, Vec3::Z, 1.0, 1.0);
+    }
+
+    #[test]
+    fn tube_sdf() {
+        let tube =
+            PolylineTube::new(vec![Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0)], 1.0);
+        assert!((tube.distance(Vec3::new(2.0, 0.0, 0.0)) + 1.0).abs() < 1e-12);
+        assert!((tube.distance(Vec3::new(2.0, 2.0, 0.0)) - 1.0).abs() < 1e-12);
+        // Round cap.
+        assert!((tube.distance(Vec3::new(-2.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!(tube.bounds().contains(Vec3::new(5.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn csg_union_difference() {
+        let a = Box::new(SphereSdf::new(Vec3::ZERO, 1.0));
+        let b = Box::new(SphereSdf::new(Vec3::new(3.0, 0.0, 0.0), 1.0));
+        let u = Union::new(vec![a, b]);
+        assert!(u.contains(Vec3::ZERO));
+        assert!(u.contains(Vec3::new(3.0, 0.0, 0.0)));
+        assert!(!u.contains(Vec3::new(1.5, 0.0, 0.0)));
+        assert!(u.bounds().contains(Vec3::new(4.0, 0.0, 0.0)));
+
+        let hole = Difference::new(
+            Box::new(BoxSdf::new(Aabb::cube(Vec3::ZERO, 2.0))),
+            Box::new(SphereSdf::new(Vec3::ZERO, 1.0)),
+        );
+        assert!(!hole.contains(Vec3::ZERO)); // carved out
+        assert!(hole.contains(Vec3::new(1.5, 0.0, 0.0))); // in box, outside hole
+        assert!(!hole.contains(Vec3::new(3.0, 0.0, 0.0))); // outside box
+    }
+
+    #[test]
+    fn csg_intersection() {
+        let a = Box::new(SphereSdf::new(Vec3::ZERO, 1.0));
+        let b = Box::new(SphereSdf::new(Vec3::new(1.0, 0.0, 0.0), 1.0));
+        let i = Intersection::new(vec![a, b]);
+        assert!(i.contains(Vec3::new(0.5, 0.0, 0.0)));
+        assert!(!i.contains(Vec3::ZERO)); // on b's surface, not inside
+        assert!(!i.contains(Vec3::new(-0.5, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn gradient_points_outward() {
+        let s = SphereSdf::new(Vec3::ZERO, 1.0);
+        let g = s.gradient(Vec3::new(2.0, 0.0, 0.0));
+        assert!((g - Vec3::X).norm() < 1e-4);
+    }
+
+    #[test]
+    fn projection_lands_on_surface() {
+        let s = SphereSdf::new(Vec3::new(0.5, -0.5, 1.0), 2.0);
+        for start in [Vec3::ZERO, Vec3::new(5.0, 5.0, 5.0), Vec3::new(0.6, -0.4, 1.1)] {
+            let q = s.project_to_surface(start, 20);
+            assert!(s.distance(q).abs() < 1e-6, "projection failed from {start}");
+        }
+    }
+
+    #[test]
+    fn terrain_column_contains_water_only() {
+        let t = TerrainColumn::new(0.0, 10.0, 0.0, 10.0, 5.0, 0.0, 1.0, 0.3, 42);
+        assert!(t.contains(Vec3::new(5.0, 5.0, 3.0)));
+        assert!(!t.contains(Vec3::new(5.0, 5.0, 6.0))); // above surface
+        assert!(!t.contains(Vec3::new(5.0, 5.0, -2.0))); // below bottom
+        assert!(!t.contains(Vec3::new(-1.0, 5.0, 3.0))); // outside footprint
+        let h = t.bottom_height(5.0, 5.0);
+        assert!((-1.0..=1.0).contains(&h));
+        assert!(t.bounds().contains(Vec3::new(5.0, 5.0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "breach")]
+    fn terrain_breach_panics() {
+        let _ = TerrainColumn::new(0.0, 1.0, 0.0, 1.0, 1.0, 0.5, 1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Spheres and the fixed-radius ball construction at the heart of
+//! Unit Ball Fitting (UBF).
+
+use crate::{Triangle, Vec3, EPS};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A sphere (ball) with a center and radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Sphere {
+    /// Center of the sphere.
+    pub center: Vec3,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "invalid sphere radius: {radius}");
+        Sphere { center, radius }
+    }
+
+    /// Returns `true` if `p` lies strictly inside the sphere, with a shrink
+    /// margin `tol` (points within `tol` of the surface count as outside).
+    #[inline]
+    pub fn strictly_contains(&self, p: Vec3, tol: f64) -> bool {
+        crate::predicates::strictly_inside_ball(p, self.center, self.radius, tol)
+    }
+
+    /// Returns `true` if `p` lies on the sphere surface within `tol`.
+    #[inline]
+    pub fn touches(&self, p: Vec3, tol: f64) -> bool {
+        (p.distance(self.center) - self.radius).abs() <= tol
+    }
+
+    /// Signed distance from `p` to the sphere surface (negative inside).
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        p.distance(self.center) - self.radius
+    }
+
+    /// Volume of the ball.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        (4.0 / 3.0) * std::f64::consts::PI * self.radius.powi(3)
+    }
+}
+
+/// Computes the balls of radius `r` whose surface passes through the three
+/// points `a`, `b`, `c` — the construction of Eq. (1) in the paper.
+///
+/// Geometrically: the centers are the circumcenter of the triangle offset
+/// along ± its plane normal by `sqrt(r² − R²)`, where `R` is the
+/// circumradius.
+///
+/// Returns:
+/// * an empty vector when the triangle is degenerate or `R > r`
+///   (no such ball exists),
+/// * one ball when `R ≈ r` (the two mirror solutions coincide),
+/// * two mirror-image balls otherwise.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::{Vec3, sphere::balls_through_three_points};
+/// let balls = balls_through_three_points(
+///     Vec3::new(0.5, 0.0, 0.0),
+///     Vec3::new(-0.5, 0.0, 0.0),
+///     Vec3::new(0.0, 0.5, 0.0),
+///     1.0,
+/// );
+/// assert_eq!(balls.len(), 2);
+/// ```
+pub fn balls_through_three_points(a: Vec3, b: Vec3, c: Vec3, r: f64) -> Vec<Sphere> {
+    assert!(r.is_finite() && r > 0.0, "ball radius must be positive: {r}");
+    let tri = Triangle::new(a, b, c);
+    let (center, normal) = match (tri.circumcenter(), tri.normal()) {
+        (Some(o), Some(n)) => (o, n),
+        _ => return Vec::new(),
+    };
+    let circum_r2 = center.distance_squared(a);
+    let h2 = r * r - circum_r2;
+    if h2 < -EPS {
+        return Vec::new();
+    }
+    if h2 <= EPS {
+        // Tangent case: single ball with its center in the triangle plane.
+        return vec![Sphere::new(center, r)];
+    }
+    let h = h2.sqrt();
+    vec![
+        Sphere::new(center + normal * h, r),
+        Sphere::new(center - normal * h, r),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_membership() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        assert!(s.strictly_contains(Vec3::new(0.5, 0.0, 0.0), 1e-9));
+        assert!(!s.strictly_contains(Vec3::X, 1e-9));
+        assert!(s.touches(Vec3::X, 1e-9));
+        assert!(!s.touches(Vec3::new(0.9, 0.0, 0.0), 1e-9));
+        assert!((s.signed_distance(Vec3::new(2.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((s.volume() - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sphere radius")]
+    fn negative_radius_panics() {
+        let _ = Sphere::new(Vec3::ZERO, -1.0);
+    }
+
+    #[test]
+    fn two_mirror_balls() {
+        let a = Vec3::new(0.5, 0.0, 0.0);
+        let b = Vec3::new(-0.5, 0.0, 0.0);
+        let c = Vec3::new(0.0, 0.5, 0.0);
+        let balls = balls_through_three_points(a, b, c, 1.0);
+        assert_eq!(balls.len(), 2);
+        for ball in &balls {
+            for p in [a, b, c] {
+                assert!(ball.touches(p, 1e-9), "ball must touch all three points");
+            }
+        }
+        // Mirror symmetry across the z = 0 plane.
+        assert!((balls[0].center.z + balls[1].center.z).abs() < 1e-12);
+        assert!(balls[0].center.z.abs() > 0.1);
+    }
+
+    #[test]
+    fn no_ball_when_circumradius_exceeds_r() {
+        // Circumradius of this triangle is 2 > 1 → no unit ball through it.
+        let a = Vec3::new(2.0, 0.0, 0.0);
+        let b = Vec3::new(-2.0, 0.0, 0.0);
+        let c = Vec3::new(0.0, 2.0, 0.0);
+        assert!(balls_through_three_points(a, b, c, 1.0).is_empty());
+    }
+
+    #[test]
+    fn tangent_case_single_ball() {
+        // Equatorial triangle: circumradius exactly r → one ball centered in plane.
+        let r = 1.0;
+        let a = Vec3::new(r, 0.0, 0.0);
+        let b = Vec3::new(-r, 0.0, 0.0);
+        let c = Vec3::new(0.0, r, 0.0);
+        let balls = balls_through_three_points(a, b, c, r);
+        assert_eq!(balls.len(), 1);
+        assert!(balls[0].center.norm() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_triangle_yields_nothing() {
+        let a = Vec3::ZERO;
+        let b = Vec3::X;
+        let c = Vec3::new(2.0, 0.0, 0.0);
+        assert!(balls_through_three_points(a, b, c, 1.0).is_empty());
+    }
+
+    #[test]
+    fn works_in_arbitrary_orientation() {
+        // Rotate/translate a known configuration and verify touch invariants.
+        let base = [
+            Vec3::new(0.3, 0.1, 0.0),
+            Vec3::new(-0.2, 0.4, 0.1),
+            Vec3::new(0.0, -0.3, 0.35),
+        ];
+        let shift = Vec3::new(10.0, -5.0, 2.5);
+        let pts: Vec<Vec3> = base.iter().map(|&p| p + shift).collect();
+        let balls = balls_through_three_points(pts[0], pts[1], pts[2], 1.0);
+        assert_eq!(balls.len(), 2);
+        for ball in &balls {
+            for &p in &pts {
+                assert!(ball.touches(p, 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal SVG rendering of 3D point clouds and meshes.
+//!
+//! The paper's figures are renders of networks, boundary nodes and
+//! constructed meshes. This module produces comparable 2D images with an
+//! orthographic projection — enough to eyeball a reproduction without any
+//! external tooling. Depth is conveyed by painter's-order sorting and
+//! per-element opacity.
+
+use std::io::{self, Write};
+
+use crate::mesh::TriMesh;
+use crate::Vec3;
+
+/// An orthographic camera: projects 3D points onto the plane orthogonal
+/// to `view`, with `up` fixing the roll.
+#[derive(Debug, Clone, Copy)]
+pub struct OrthoCamera {
+    right: Vec3,
+    up: Vec3,
+    view: Vec3,
+}
+
+impl OrthoCamera {
+    /// Creates a camera looking along `view` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` is (near) zero or parallel to `up_hint`.
+    pub fn new(view: Vec3, up_hint: Vec3) -> Self {
+        let view = view.normalized();
+        let right = up_hint.cross(view).try_normalized(1e-9).expect("view parallel to up");
+        let up = view.cross(right);
+        OrthoCamera { right, up, view }
+    }
+
+    /// A pleasant default isometric-ish viewpoint.
+    pub fn isometric() -> Self {
+        OrthoCamera::new(Vec3::new(1.0, 0.8, 0.6), Vec3::Z)
+    }
+
+    /// Projects a point to `(x, y, depth)` in camera coordinates.
+    #[inline]
+    pub fn project(&self, p: Vec3) -> (f64, f64, f64) {
+        (p.dot(self.right), p.dot(self.up), p.dot(self.view))
+    }
+}
+
+/// A renderable scene of styled points and mesh wireframes.
+#[derive(Debug, Default)]
+pub struct SvgScene {
+    points: Vec<(Vec3, &'static str, f64)>,
+    meshes: Vec<(TriMesh, &'static str)>,
+}
+
+impl SvgScene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        SvgScene::default()
+    }
+
+    /// Adds points with a CSS color and pixel radius.
+    pub fn add_points(&mut self, points: &[Vec3], color: &'static str, radius: f64) -> &mut Self {
+        self.points.extend(points.iter().map(|&p| (p, color, radius)));
+        self
+    }
+
+    /// Adds a mesh drawn as a wireframe of the given color.
+    pub fn add_mesh(&mut self, mesh: &TriMesh, color: &'static str) -> &mut Self {
+        self.meshes.push((mesh.clone(), color));
+        self
+    }
+
+    /// Renders the scene to SVG with the given camera and canvas width
+    /// (height follows the content aspect ratio).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn render<W: Write>(&self, mut w: W, camera: &OrthoCamera, width: f64) -> io::Result<()> {
+        // Project everything, collect bounds.
+        let mut projected_pts: Vec<(f64, f64, f64, &str, f64)> = self
+            .points
+            .iter()
+            .map(|&(p, color, r)| {
+                let (x, y, z) = camera.project(p);
+                (x, y, z, color, r)
+            })
+            .collect();
+        let mut segments: Vec<(f64, f64, f64, f64, f64, &str)> = Vec::new();
+        for (mesh, color) in &self.meshes {
+            for (a, b) in mesh.edges() {
+                let (x1, y1, z1) = camera.project(mesh.vertices()[a]);
+                let (x2, y2, z2) = camera.project(mesh.vertices()[b]);
+                segments.push((x1, y1, x2, y2, 0.5 * (z1 + z2), color));
+            }
+        }
+        let xs = projected_pts
+            .iter()
+            .map(|p| p.0)
+            .chain(segments.iter().flat_map(|s| [s.0, s.2]));
+        let ys = projected_pts
+            .iter()
+            .map(|p| p.1)
+            .chain(segments.iter().flat_map(|s| [s.1, s.3]));
+        let (min_x, max_x) = bounds(xs);
+        let (min_y, max_y) = bounds(ys);
+        let span_x = (max_x - min_x).max(1e-9);
+        let span_y = (max_y - min_y).max(1e-9);
+        let scale = width / span_x;
+        let height = span_y * scale;
+        let pad = 10.0;
+        let map = |x: f64, y: f64| -> (f64, f64) {
+            ((x - min_x) * scale + pad, height - (y - min_y) * scale + pad)
+        };
+
+        writeln!(
+            w,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+            width + 2.0 * pad,
+            height + 2.0 * pad,
+            width + 2.0 * pad,
+            height + 2.0 * pad
+        )?;
+        writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+
+        // Painter's order: far first.
+        segments.sort_by(|a, b| a.4.partial_cmp(&b.4).expect("finite depth"));
+        for &(x1, y1, x2, y2, _, color) in &segments {
+            let (ax, ay) = map(x1, y1);
+            let (bx, by) = map(x2, y2);
+            writeln!(
+                w,
+                r#"<line x1="{ax:.1}" y1="{ay:.1}" x2="{bx:.1}" y2="{by:.1}" stroke="{color}" stroke-width="0.8" stroke-opacity="0.6"/>"#
+            )?;
+        }
+        projected_pts.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite depth"));
+        for &(x, y, _, color, r) in &projected_pts {
+            let (cx, cy) = map(x, y);
+            writeln!(
+                w,
+                r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" fill="{color}" fill-opacity="0.7"/>"#
+            )?;
+        }
+        writeln!(w, "</svg>")
+    }
+}
+
+fn bounds<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camera_axes_are_orthonormal() {
+        let cam = OrthoCamera::isometric();
+        let (x, y, z) = cam.project(Vec3::ZERO);
+        assert_eq!((x, y, z), (0.0, 0.0, 0.0));
+        // Projection preserves distances along camera axes.
+        let (rx, ry, _) = cam.project(cam.right);
+        assert!((rx - 1.0).abs() < 1e-12 && ry.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn degenerate_camera_panics() {
+        let _ = OrthoCamera::new(Vec3::Z, Vec3::Z);
+    }
+
+    #[test]
+    fn renders_points_and_mesh() {
+        let mesh = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+            vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]],
+        )
+        .unwrap();
+        let mut scene = SvgScene::new();
+        scene.add_points(&[Vec3::splat(0.5), Vec3::splat(0.2)], "red", 2.0);
+        scene.add_mesh(&mesh, "steelblue");
+        let mut buf = Vec::new();
+        scene.render(&mut buf, &OrthoCamera::isometric(), 400.0).unwrap();
+        let svg = String::from_utf8(buf).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<line").count(), 6); // tetra edges
+        assert!(svg.contains("steelblue"));
+    }
+
+    #[test]
+    fn empty_scene_is_valid_svg() {
+        let scene = SvgScene::new();
+        let mut buf = Vec::new();
+        scene.render(&mut buf, &OrthoCamera::isometric(), 100.0).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("</svg>"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Tetrahedra: volumes and circumspheres.
+
+use crate::{predicates, Sphere, Vec3, EPS};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A tetrahedron defined by four vertices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Tetrahedron {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+    /// Fourth vertex.
+    pub d: Vec3,
+}
+
+impl Tetrahedron {
+    /// Creates a tetrahedron from its vertices.
+    #[inline]
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Self {
+        Tetrahedron { a, b, c, d }
+    }
+
+    /// Signed volume (positive when `(a, b, c)` is right-handed seen from `d`...
+    /// more precisely `orient3d(a,b,c,d) / 6`).
+    #[inline]
+    pub fn signed_volume(&self) -> f64 {
+        predicates::orient3d(self.a, self.b, self.c, self.d) / 6.0
+    }
+
+    /// Absolute volume.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.signed_volume().abs()
+    }
+
+    /// Returns `true` if the four vertices are coplanar within `tol`.
+    #[inline]
+    pub fn is_degenerate(&self, tol: f64) -> bool {
+        predicates::coplanar(self.a, self.b, self.c, self.d, tol)
+    }
+
+    /// Circumsphere — the unique sphere through all four vertices, or `None`
+    /// for a degenerate tetrahedron.
+    pub fn circumsphere(&self) -> Option<Sphere> {
+        // Solve the 3x3 linear system arising from equating squared
+        // distances to the unknown center.
+        let ba = self.b - self.a;
+        let ca = self.c - self.a;
+        let da = self.d - self.a;
+        let det = predicates::orient3d(self.a, self.b, self.c, self.d);
+        if det.abs() <= EPS {
+            return None;
+        }
+        let sq_ba = ba.norm_squared();
+        let sq_ca = ca.norm_squared();
+        let sq_da = da.norm_squared();
+        let offset = (ca.cross(da) * sq_ba + da.cross(ba) * sq_ca + ba.cross(ca) * sq_da)
+            / (2.0 * det);
+        let center = self.a + offset;
+        Some(Sphere::new(center, center.distance(self.a)))
+    }
+
+    /// Centroid of the tetrahedron.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c + self.d) / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tet() -> Tetrahedron {
+        Tetrahedron::new(Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z)
+    }
+
+    #[test]
+    fn volumes() {
+        let t = unit_tet();
+        assert!((t.volume() - 1.0 / 6.0).abs() < 1e-15);
+        assert!(t.signed_volume() > 0.0);
+        let flipped = Tetrahedron::new(t.a, t.c, t.b, t.d);
+        assert!(flipped.signed_volume() < 0.0);
+        assert_eq!(flipped.volume(), t.volume());
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let flat = Tetrahedron::new(Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::new(0.5, 0.5, 0.0));
+        assert!(flat.is_degenerate(EPS));
+        assert!(flat.circumsphere().is_none());
+        assert!(!unit_tet().is_degenerate(EPS));
+    }
+
+    #[test]
+    fn circumsphere_touches_all_vertices() {
+        let t = Tetrahedron::new(
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(1.0, -0.2, 0.4),
+            Vec3::new(-0.3, 0.9, -0.1),
+            Vec3::new(0.2, 0.3, 1.2),
+        );
+        let s = t.circumsphere().unwrap();
+        for p in [t.a, t.b, t.c, t.d] {
+            assert!(s.touches(p, 1e-9));
+        }
+    }
+
+    #[test]
+    fn regular_tetrahedron_circumsphere() {
+        // Regular tetrahedron inscribed in the unit sphere (cube-corner form).
+        let inv = 1.0 / 3f64.sqrt();
+        let t = Tetrahedron::new(
+            Vec3::new(inv, inv, inv),
+            Vec3::new(inv, -inv, -inv),
+            Vec3::new(-inv, inv, -inv),
+            Vec3::new(-inv, -inv, inv),
+        );
+        let s = t.circumsphere().unwrap();
+        assert!(s.center.norm() < 1e-12);
+        assert!((s.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid() {
+        assert_eq!(unit_tet().centroid(), Vec3::new(0.25, 0.25, 0.25));
+    }
+}

@@ -1,0 +1,287 @@
+//! Triangles in 3D: areas, normals, circumcircles.
+
+use crate::{predicates, Vec3, EPS};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A triangle defined by three vertices in 3D.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::{Triangle, Vec3};
+/// let t = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+/// assert_eq!(t.area(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from its vertices (degenerate triangles allowed;
+    /// query [`Triangle::is_degenerate`]).
+    #[inline]
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Twice the area vector: `(b − a) × (c − a)`.
+    #[inline]
+    pub fn area_vector(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Triangle area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        0.5 * self.area_vector().norm()
+    }
+
+    /// Unit normal, or `None` for (near-)degenerate triangles.
+    #[inline]
+    pub fn normal(&self) -> Option<Vec3> {
+        self.area_vector().try_normalized(EPS)
+    }
+
+    /// Returns `true` if the vertices are collinear within `tol`
+    /// (an area threshold on twice the area).
+    #[inline]
+    pub fn is_degenerate(&self, tol: f64) -> bool {
+        predicates::collinear(self.a, self.b, self.c, tol)
+    }
+
+    /// Centroid of the triangle.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Perimeter of the triangle.
+    #[inline]
+    pub fn perimeter(&self) -> f64 {
+        self.a.distance(self.b) + self.b.distance(self.c) + self.c.distance(self.a)
+    }
+
+    /// Circumcenter of the triangle — the point in the triangle's plane
+    /// equidistant from all three vertices.
+    ///
+    /// Returns `None` for degenerate (collinear) triangles.
+    pub fn circumcenter(&self) -> Option<Vec3> {
+        // Standard barycentric formulation:
+        //   O = a + ( |c-a|² (ab × ac) × ab + |b-a|² (ac × (ab × ac)) ) / (2 |ab × ac|²)
+        let ab = self.b - self.a;
+        let ac = self.c - self.a;
+        let n = ab.cross(ac);
+        let n2 = n.norm_squared();
+        if n2 <= EPS * EPS {
+            return None;
+        }
+        let offset = (n.cross(ab) * ac.norm_squared() + ac.cross(n) * ab.norm_squared()) / (2.0 * n2);
+        Some(self.a + offset)
+    }
+
+    /// Circumradius, or `None` for degenerate triangles.
+    pub fn circumradius(&self) -> Option<f64> {
+        self.circumcenter().map(|o| o.distance(self.a))
+    }
+
+    /// Longest edge length.
+    pub fn longest_edge(&self) -> f64 {
+        self.a
+            .distance(self.b)
+            .max(self.b.distance(self.c))
+            .max(self.c.distance(self.a))
+    }
+
+    /// Closest point on the (solid) triangle to `p`.
+    ///
+    /// Handles all Voronoi regions (face, edges, vertices); degenerate
+    /// triangles reduce gracefully to their edges/vertices.
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        // Ericson, "Real-Time Collision Detection", §5.1.5.
+        let (a, b, c) = (self.a, self.b, self.c);
+        let ab = b - a;
+        let ac = c - a;
+        let ap = p - a;
+        let d1 = ab.dot(ap);
+        let d2 = ac.dot(ap);
+        if d1 <= 0.0 && d2 <= 0.0 {
+            return a;
+        }
+        let bp = p - b;
+        let d3 = ab.dot(bp);
+        let d4 = ac.dot(bp);
+        if d3 >= 0.0 && d4 <= d3 {
+            return b;
+        }
+        let vc = d1 * d4 - d3 * d2;
+        if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+            let t = d1 / (d1 - d3);
+            return a + ab * t;
+        }
+        let cp = p - c;
+        let d5 = ab.dot(cp);
+        let d6 = ac.dot(cp);
+        if d6 >= 0.0 && d5 <= d6 {
+            return c;
+        }
+        let vb = d5 * d2 - d1 * d6;
+        if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+            let t = d2 / (d2 - d6);
+            return a + ac * t;
+        }
+        let va = d3 * d6 - d5 * d4;
+        if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+            let t = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+            return b + (c - b) * t;
+        }
+        let denom = 1.0 / (va + vb + vc);
+        let v = vb * denom;
+        let w = vc * denom;
+        a + ab * v + ac * w
+    }
+
+    /// Distance from `p` to the (solid) triangle.
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Barycentric coordinates `(u, v, w)` of the in-plane projection of
+    /// `p` (u at `a`, v at `b`, w at `c`; they sum to 1 but may be
+    /// negative outside the triangle). Returns `None` for degenerate
+    /// triangles.
+    pub fn barycentric(&self, p: Vec3) -> Option<(f64, f64, f64)> {
+        let v0 = self.b - self.a;
+        let v1 = self.c - self.a;
+        let v2 = p - self.a;
+        let d00 = v0.dot(v0);
+        let d01 = v0.dot(v1);
+        let d11 = v1.dot(v1);
+        let d20 = v2.dot(v0);
+        let d21 = v2.dot(v1);
+        let denom = d00 * d11 - d01 * d01;
+        if denom.abs() <= EPS * EPS {
+            return None;
+        }
+        let v = (d11 * d20 - d01 * d21) / denom;
+        let w = (d00 * d21 - d01 * d20) / denom;
+        Some((1.0 - v - w, v, w))
+    }
+
+    /// Returns `true` if `p` is within `dist_tol` of the triangle plane
+    /// patch *and* its projection falls strictly inside the triangle
+    /// (all barycentric coordinates above `bary_tol`).
+    ///
+    /// Used by the surface builder to reject landmark triangles that span
+    /// a region subdivided by another landmark.
+    pub fn projects_strictly_inside(&self, p: Vec3, dist_tol: f64, bary_tol: f64) -> bool {
+        if self.distance_to_point(p) > dist_tol {
+            return false;
+        }
+        match self.barycentric(p) {
+            Some((u, v, w)) => u > bary_tol && v > bary_tol && w > bary_tol,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_normal() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+        assert_eq!(t.area(), 0.5);
+        assert_eq!(t.normal().unwrap(), Vec3::Z);
+        assert_eq!(t.centroid(), Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_has_no_normal_or_circumcenter() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::new(2.0, 0.0, 0.0));
+        assert!(t.is_degenerate(EPS));
+        assert!(t.normal().is_none());
+        assert!(t.circumcenter().is_none());
+        assert!(t.circumradius().is_none());
+    }
+
+    #[test]
+    fn circumcenter_is_equidistant() {
+        let t = Triangle::new(
+            Vec3::new(0.2, -0.4, 0.9),
+            Vec3::new(1.1, 0.5, -0.3),
+            Vec3::new(-0.7, 0.8, 0.1),
+        );
+        let o = t.circumcenter().unwrap();
+        let r = o.distance(t.a);
+        assert!((o.distance(t.b) - r).abs() < 1e-12);
+        assert!((o.distance(t.c) - r).abs() < 1e-12);
+        // Circumcenter lies in the triangle's plane.
+        let n = t.normal().unwrap();
+        assert!((o - t.a).dot(n).abs() < 1e-12);
+        assert!((t.circumradius().unwrap() - r).abs() < 1e-15);
+    }
+
+    #[test]
+    fn right_triangle_circumcenter_is_hypotenuse_midpoint() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        let o = t.circumcenter().unwrap();
+        assert!((o - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_regions() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        // Above the face interior: projects straight down.
+        let p = Vec3::new(0.5, 0.5, 3.0);
+        assert!((t.closest_point(p) - Vec3::new(0.5, 0.5, 0.0)).norm() < 1e-12);
+        assert!((t.distance_to_point(p) - 3.0).abs() < 1e-12);
+        // Beyond vertex a.
+        assert_eq!(t.closest_point(Vec3::new(-1.0, -1.0, 0.0)), Vec3::ZERO);
+        // Beside edge ab.
+        let q = t.closest_point(Vec3::new(1.0, -2.0, 0.0));
+        assert!((q - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-12);
+        // Beside the hypotenuse.
+        let h = t.closest_point(Vec3::new(2.0, 2.0, 0.0));
+        assert!((h - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-12);
+        // On the triangle itself: distance 0.
+        assert!(t.distance_to_point(Vec3::new(0.3, 0.3, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn barycentric_and_interior_projection() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        let (u, v, w) = t.barycentric(t.centroid()).unwrap();
+        assert!((u - 1.0 / 3.0).abs() < 1e-12);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        assert!((w - 1.0 / 3.0).abs() < 1e-12);
+        // Inside, slightly above the plane: projects inside.
+        assert!(t.projects_strictly_inside(Vec3::new(0.5, 0.5, 0.1), 0.2, 0.05));
+        // Too far above the plane.
+        assert!(!t.projects_strictly_inside(Vec3::new(0.5, 0.5, 1.0), 0.2, 0.05));
+        // A vertex of an adjacent triangle: projection lands on the edge,
+        // not strictly inside.
+        assert!(!t.projects_strictly_inside(Vec3::new(1.0, 0.0, 0.0), 0.2, 0.05));
+        assert!(!t.projects_strictly_inside(Vec3::new(3.0, 3.0, 0.0), 0.2, 0.05));
+        // Degenerate triangle: no barycentric coordinates.
+        let d = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::new(2.0, 0.0, 0.0));
+        assert!(d.barycentric(Vec3::Y).is_none());
+        assert!(!d.projects_strictly_inside(Vec3::Y, 10.0, 0.0));
+    }
+
+    #[test]
+    fn perimeter_and_longest_edge() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0));
+        assert!((t.perimeter() - 12.0).abs() < 1e-12);
+        assert_eq!(t.longest_edge(), 5.0);
+    }
+}

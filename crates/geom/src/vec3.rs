@@ -1,0 +1,463 @@
+//! Double-precision 3D vectors and points.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A 3D vector (also used as a point) with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::Vec3;
+/// let v = Vec3::new(1.0, 2.0, 2.0);
+/// assert_eq!(v.norm(), 3.0);
+/// assert_eq!(v.normalized().norm(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The unit X axis.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// The unit Y axis.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// The unit Z axis.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (cheaper than [`Vec3::norm`]).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn distance_squared(self, other: Vec3) -> f64 {
+        (self - other).norm_squared()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vector is (near) zero; use
+    /// [`Vec3::try_normalized`] for a fallible version.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Returns the unit vector in this direction, or `None` if the norm is
+    /// below `tol`.
+    #[inline]
+    pub fn try_normalized(self, tol: f64) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= tol {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Returns `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Returns an arbitrary unit vector orthogonal to `self`.
+    ///
+    /// Useful for constructing local frames. The input need not be
+    /// normalized but must be non-zero.
+    pub fn any_orthonormal(self) -> Vec3 {
+        // Pick the axis least aligned with self to avoid degeneracy.
+        let axis = if self.x.abs() <= self.y.abs() && self.x.abs() <= self.z.abs() {
+            Vec3::X
+        } else if self.y.abs() <= self.z.abs() {
+            Vec3::Y
+        } else {
+            Vec3::Z
+        };
+        self.cross(axis).normalized()
+    }
+
+    /// Projects `self` onto the (not necessarily unit) direction `dir`.
+    #[inline]
+    pub fn project_onto(self, dir: Vec3) -> Vec3 {
+        dir * (self.dot(dir) / dir.norm_squared())
+    }
+
+    /// The component of `self` orthogonal to `dir`.
+    #[inline]
+    pub fn reject_from(self, dir: Vec3) -> Vec3 {
+        self - self.project_onto(dir)
+    }
+
+    /// Returns the components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    #[inline]
+    fn from(t: (f64, f64, f64)) -> Self {
+        Vec3::new(t.0, t.1, t.2)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+
+    /// Indexes the components 0 → x, 1 → y, 2 → z.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    #[inline]
+    fn index(&self, index: usize) -> &f64 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |acc, v| acc + v)
+    }
+}
+
+/// Returns the centroid (arithmetic mean) of a non-empty set of points.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn centroid(points: &[Vec3]) -> Vec3 {
+    assert!(!points.is_empty(), "centroid of an empty point set");
+    points.iter().copied().sum::<Vec3>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, -3.0, 9.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 7.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::X;
+        v -= Vec3::Y;
+        v *= 3.0;
+        v /= 2.0;
+        assert_eq!(v, Vec3::new(3.0, 0.0, 1.5));
+    }
+
+    #[test]
+    fn cross_is_orthogonal_and_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        let a = Vec3::new(1.3, -0.2, 2.0);
+        let b = Vec3::new(0.4, 0.9, -1.1);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_squared(), 25.0);
+        assert_eq!(v.distance(Vec3::ZERO), 5.0);
+        assert_eq!(v.distance_squared(Vec3::ZERO), 25.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn try_normalized_zero_is_none() {
+        assert!(Vec3::ZERO.try_normalized(1e-12).is_none());
+        assert!(Vec3::X.try_normalized(1e-12).is_some());
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Vec3::new(1.0, -2.0, 3.0);
+        let b = Vec3::new(0.0, 5.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(0.0, -2.0, -1.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 5.0, 3.0));
+        assert_eq!(a.abs(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(a.max_component(), 3.0);
+        assert_eq!(a.min_component(), -2.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn any_orthonormal_is_orthogonal_unit() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.3, -2.0, 0.7)] {
+            let o = v.any_orthonormal();
+            assert!(o.dot(v).abs() < 1e-12);
+            assert!((o.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_and_rejection_decompose() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let d = Vec3::new(0.0, 1.0, 1.0);
+        let p = v.project_onto(d);
+        let r = v.reject_from(d);
+        assert!((p + r - v).norm() < 1e-12);
+        assert!(r.dot(d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_and_indexing() {
+        let v = Vec3::from([1.0, 2.0, 3.0]);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+        assert_eq!(Vec3::from((4.0, 5.0, 6.0)), Vec3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn sum_and_centroid() {
+        let pts = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 2.0, 2.0), Vec3::new(4.0, -2.0, 1.0)];
+        let s: Vec3 = pts.iter().copied().sum();
+        assert_eq!(s, Vec3::new(6.0, 0.0, 3.0));
+        assert_eq!(centroid(&pts), Vec3::new(2.0, 0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn centroid_empty_panics() {
+        centroid(&[]);
+    }
+
+    #[test]
+    fn display_and_finite() {
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).to_string(), "(1, 2, 3)");
+        assert!(Vec3::X.is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the geometry substrate.
+
+use ballfit_geom::mesh::TriMesh;
+use ballfit_geom::sdf::{BoxSdf, Difference, Sdf, SphereSdf, Union};
+use ballfit_geom::sphere::balls_through_three_points;
+use ballfit_geom::{grid::SpatialGrid, Aabb, Tetrahedron, Triangle, Vec3};
+use proptest::prelude::*;
+
+fn vec3_in(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    /// Balls through three points touch all three points at exactly radius r,
+    /// and two-solution cases are mirror images across the triangle plane.
+    #[test]
+    fn balls_touch_their_defining_points(
+        a in vec3_in(0.8),
+        b in vec3_in(0.8),
+        c in vec3_in(0.8),
+    ) {
+        let r = 1.0;
+        let balls = balls_through_three_points(a, b, c, r);
+        prop_assert!(balls.len() <= 2);
+        for ball in &balls {
+            for p in [a, b, c] {
+                prop_assert!(
+                    (ball.center.distance(p) - r).abs() < 1e-7,
+                    "center {} point {} dist {}", ball.center, p, ball.center.distance(p)
+                );
+            }
+        }
+        if balls.len() == 2 {
+            // Midpoint of the two centers is the triangle circumcenter,
+            // which lies in the triangle plane.
+            let tri = Triangle::new(a, b, c);
+            if let (Some(o), Some(n)) = (tri.circumcenter(), tri.normal()) {
+                let mid = (balls[0].center + balls[1].center) * 0.5;
+                prop_assert!(mid.distance(o) < 1e-6);
+                let sep = (balls[0].center - balls[1].center).normalized();
+                prop_assert!(sep.cross(n).norm() < 1e-6, "centers separate along the normal");
+            }
+        }
+    }
+
+    /// The existence condition is exactly circumradius <= r.
+    #[test]
+    fn ball_existence_matches_circumradius(
+        a in vec3_in(1.5),
+        b in vec3_in(1.5),
+        c in vec3_in(1.5),
+    ) {
+        let r = 1.0;
+        let tri = Triangle::new(a, b, c);
+        let balls = balls_through_three_points(a, b, c, r);
+        match tri.circumradius() {
+            None => prop_assert!(balls.is_empty()),
+            Some(cr) => {
+                if cr < r - 1e-6 {
+                    prop_assert_eq!(balls.len(), 2);
+                } else if cr > r + 1e-6 {
+                    prop_assert!(balls.is_empty());
+                }
+                // near-tangent cases may legitimately give 0, 1 or 2
+            }
+        }
+    }
+
+    /// Triangle circumcenter is equidistant from the three vertices.
+    #[test]
+    fn circumcenter_equidistance(
+        a in vec3_in(5.0),
+        b in vec3_in(5.0),
+        c in vec3_in(5.0),
+    ) {
+        if let Some(o) = Triangle::new(a, b, c).circumcenter() {
+            let ra = o.distance(a);
+            prop_assert!((o.distance(b) - ra).abs() < 1e-5 * (1.0 + ra));
+            prop_assert!((o.distance(c) - ra).abs() < 1e-5 * (1.0 + ra));
+        }
+    }
+
+    /// Tetrahedron circumsphere touches all four vertices.
+    #[test]
+    fn tetra_circumsphere(
+        a in vec3_in(2.0),
+        b in vec3_in(2.0),
+        c in vec3_in(2.0),
+        d in vec3_in(2.0),
+    ) {
+        let t = Tetrahedron::new(a, b, c, d);
+        if t.volume() > 1e-3 {
+            let s = t.circumsphere().expect("non-degenerate tetra has circumsphere");
+            for p in [a, b, c, d] {
+                prop_assert!(s.touches(p, 1e-5 * (1.0 + s.radius)));
+            }
+        }
+    }
+
+    /// Grid adjacency equals brute-force adjacency.
+    #[test]
+    fn grid_matches_bruteforce(
+        pts in proptest::collection::vec(vec3_in(2.5), 1..120),
+        radius in 0.2f64..1.5,
+    ) {
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let fast = grid.adjacency(&pts, radius);
+        let r2 = radius * radius;
+        for i in 0..pts.len() {
+            let mut brute: Vec<usize> = (0..pts.len())
+                .filter(|&j| j != i && pts[i].distance_squared(pts[j]) <= r2)
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(&fast[i], &brute);
+        }
+    }
+
+    /// CSG identities: union contains parts' interiors; difference never
+    /// contains the cut's interior.
+    #[test]
+    fn csg_membership_laws(p in vec3_in(3.0)) {
+        let s1 = SphereSdf::new(Vec3::ZERO, 1.0);
+        let s2 = SphereSdf::new(Vec3::new(1.5, 0.0, 0.0), 1.0);
+        let union = Union::new(vec![Box::new(s1), Box::new(s2)]);
+        prop_assert_eq!(union.contains(p), s1.contains(p) || s2.contains(p));
+
+        let b = BoxSdf::new(Aabb::cube(Vec3::ZERO, 2.0));
+        let diff = Difference::new(Box::new(b), Box::new(s1));
+        if diff.contains(p) {
+            prop_assert!(b.contains(p));
+            prop_assert!(s1.distance(p) >= 0.0);
+        }
+    }
+
+    /// SDF bounds are conservative: inside ⇒ in bounding box.
+    #[test]
+    fn bounds_are_conservative(p in vec3_in(4.0)) {
+        let shapes: Vec<Box<dyn Sdf>> = vec![
+            Box::new(SphereSdf::new(Vec3::new(0.5, -0.5, 0.0), 1.2)),
+            Box::new(BoxSdf::new(Aabb::cube(Vec3::new(-1.0, 0.0, 1.0), 0.8))),
+        ];
+        for s in &shapes {
+            if s.contains(p) {
+                prop_assert!(s.bounds().contains(p));
+            }
+        }
+    }
+
+    /// Sphere projection lands on the surface from any start point.
+    #[test]
+    fn projection_converges_for_sphere(p in vec3_in(5.0)) {
+        let s = SphereSdf::new(Vec3::new(0.3, 0.3, -0.2), 1.5);
+        if p.distance(s.center) > 1e-3 {
+            let q = s.project_to_surface(p, 30);
+            prop_assert!(s.distance(q).abs() < 1e-6);
+        }
+    }
+
+    /// Euler characteristic of a fan triangulation around a vertex is 1
+    /// (topological disk).
+    #[test]
+    fn fan_euler_characteristic(n in 3usize..20) {
+        let mut verts = vec![Vec3::ZERO];
+        for i in 0..n {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            verts.push(Vec3::new(t.cos(), t.sin(), 0.0));
+        }
+        let faces: Vec<[usize; 3]> =
+            (0..n - 1).map(|i| [0, i + 1, i + 2]).collect();
+        let mesh = TriMesh::new(verts, faces).unwrap();
+        prop_assert_eq!(mesh.euler_characteristic(), 1);
+        let audit = mesh.audit();
+        prop_assert_eq!(audit.non_manifold_edges, 0);
+        prop_assert!(audit.border_edges > 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Classical (Torgerson) multidimensional scaling into 3D.
+
+use ballfit_geom::Vec3;
+
+use crate::eigen::jacobi_eigen;
+use crate::matrix::SquareMatrix;
+use crate::MdsError;
+
+/// Recovers 3D coordinates from a complete pairwise distance matrix via
+/// classical MDS: double-center the squared distances and expand the top
+/// three eigenpairs.
+///
+/// The returned embedding is centered at the origin and determined up to a
+/// rigid motion plus reflection — exactly the ambiguity the paper's local
+/// frames tolerate.
+///
+/// # Errors
+///
+/// * [`MdsError::TooFewPoints`] for fewer than 2 points;
+/// * [`MdsError::InvalidDistance`] for negative/non-finite entries.
+///
+/// # Panics
+///
+/// Panics if `distances` is not symmetric within `1e-8`.
+pub fn classical_mds(distances: &SquareMatrix) -> Result<Vec<Vec3>, MdsError> {
+    let n = distances.n();
+    if n < 2 {
+        return Err(MdsError::TooFewPoints { points: n });
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let d = distances[(i, j)];
+            if !d.is_finite() || d < 0.0 {
+                return Err(MdsError::InvalidDistance { row: i, col: j });
+            }
+        }
+    }
+    assert!(distances.is_symmetric(1e-8), "distance matrix must be symmetric");
+
+    let squared = SquareMatrix::from_fn(n, |i, j| distances[(i, j)].powi(2));
+    let b = squared.double_centered();
+    let eig = jacobi_eigen(&b);
+
+    // Top three non-negative eigenpairs give the 3D embedding. Noisy or
+    // non-Euclidean inputs can push trailing eigenvalues negative; those
+    // axes are dropped (coordinate 0), the standard classical-MDS practice.
+    let mut coords = vec![Vec3::ZERO; n];
+    for axis in 0..3.min(n) {
+        let lambda = eig.values[axis];
+        if lambda <= 0.0 {
+            break;
+        }
+        let scale = lambda.sqrt();
+        for (i, c) in coords.iter_mut().enumerate() {
+            let value = scale * eig.vectors[(i, axis)];
+            match axis {
+                0 => c.x = value,
+                1 => c.y = value,
+                _ => c.z = value,
+            }
+        }
+    }
+    Ok(coords)
+}
+
+/// Root-mean-square discrepancy between a coordinate embedding and a target
+/// distance matrix (diagnostic used in tests and experiments).
+///
+/// # Panics
+///
+/// Panics if `coords.len() != distances.n()`.
+pub fn embedding_rmse(coords: &[Vec3], distances: &SquareMatrix) -> f64 {
+    let n = coords.len();
+    assert_eq!(n, distances.n(), "dimension mismatch");
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let err = coords[i].distance(coords[j]) - distances[(i, j)];
+            sum += err * err;
+            count += 1;
+        }
+    }
+    (sum / count as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distance_matrix(points: &[Vec3]) -> SquareMatrix {
+        SquareMatrix::from_fn(points.len(), |i, j| points[i].distance(points[j]))
+    }
+
+    #[test]
+    fn recovers_a_tetrahedron_up_to_isometry() {
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.3, 0.9, 0.0),
+            Vec3::new(0.2, 0.3, 0.8),
+        ];
+        let d = distance_matrix(&pts);
+        let rec = classical_mds(&d).unwrap();
+        assert!(embedding_rmse(&rec, &d) < 1e-9);
+    }
+
+    #[test]
+    fn planar_input_stays_planar() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ];
+        let d = distance_matrix(&pts);
+        let rec = classical_mds(&d).unwrap();
+        assert!(embedding_rmse(&rec, &d) < 1e-9);
+        // The recovered third axis must be ~0 (rank-2 Gram matrix).
+        for c in &rec {
+            assert!(c.z.abs() < 1e-6, "expected planar embedding, got z={}", c.z);
+        }
+    }
+
+    #[test]
+    fn two_points() {
+        let mut d = SquareMatrix::zeros(2);
+        d[(0, 1)] = 5.0;
+        d[(1, 0)] = 5.0;
+        let rec = classical_mds(&d).unwrap();
+        assert!((rec[0].distance(rec[1]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            classical_mds(&SquareMatrix::zeros(1)),
+            Err(MdsError::TooFewPoints { points: 1 })
+        );
+        let mut d = SquareMatrix::zeros(2);
+        d[(0, 1)] = -1.0;
+        d[(1, 0)] = -1.0;
+        assert_eq!(
+            classical_mds(&d),
+            Err(MdsError::InvalidDistance { row: 0, col: 1 })
+        );
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let pts = vec![
+            Vec3::new(3.0, 1.0, 2.0),
+            Vec3::new(4.0, 1.5, 2.2),
+            Vec3::new(3.5, 0.5, 1.8),
+            Vec3::new(3.2, 1.2, 2.9),
+        ];
+        let rec = classical_mds(&distance_matrix(&pts)).unwrap();
+        let c: Vec3 = rec.iter().copied().sum::<Vec3>() / rec.len() as f64;
+        assert!(c.norm() < 1e-9, "embedding not centered: {c}");
+    }
+
+    #[test]
+    fn noisy_distances_still_embed_reasonably() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Vec3> = (0..12)
+            .map(|_| {
+                Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            })
+            .collect();
+        let noisy = SquareMatrix::from_fn(pts.len(), |i, j| {
+            if i == j {
+                0.0
+            } else {
+                let ij = if i < j { (i, j) } else { (j, i) };
+                // Deterministic symmetric perturbation.
+                let bump = (((ij.0 * 31 + ij.1 * 17) % 7) as f64 - 3.0) * 0.01;
+                (pts[i].distance(pts[j]) + bump).max(0.01)
+            }
+        });
+        let rec = classical_mds(&noisy).unwrap();
+        assert!(embedding_rmse(&rec, &noisy) < 0.1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-node local coordinate frames from noisy 1-hop distance measurements.
+//!
+//! This realizes step (I) of the paper's UBF algorithm: node `i` collects
+//! the measured distances between all pairs of nodes within its one-hop
+//! neighborhood `N(i)` and embeds them in a *local* 3D frame (no global
+//! alignment). Pairs that are mutual radio neighbors have measurements;
+//! pairs that are not (two neighbors of `i` more than one radio range
+//! apart) are completed by shortest paths *within the neighborhood graph*,
+//! the MDS-MAP approach of Shang & Ruml.
+
+use ballfit_geom::Vec3;
+
+use crate::cmds::classical_mds;
+use crate::matrix::SquareMatrix;
+use crate::smacof::{self, SmacofConfig};
+use crate::MdsError;
+
+/// Input to a local embedding: `n` neighborhood members and the measured
+/// distances for the pairs that have them.
+#[derive(Debug, Clone)]
+pub struct LocalDistances {
+    n: usize,
+    /// `measured[i][j] = Some(d)` for measured pairs; symmetric.
+    measured: Vec<Vec<Option<f64>>>,
+}
+
+impl LocalDistances {
+    /// Creates an empty measurement table over `n` members.
+    pub fn new(n: usize) -> Self {
+        LocalDistances { n, measured: vec![vec![None; n]; n] }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records a symmetric measurement between members `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range, equal, or `d` is negative or
+    /// non-finite.
+    pub fn set(&mut self, i: usize, j: usize, d: f64) {
+        assert!(i < self.n && j < self.n && i != j, "invalid pair ({i}, {j})");
+        assert!(d.is_finite() && d >= 0.0, "invalid distance {d}");
+        self.measured[i][j] = Some(d);
+        self.measured[j][i] = Some(d);
+    }
+
+    /// The recorded measurement, if any.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i == j {
+            Some(0.0)
+        } else {
+            self.measured[i][j]
+        }
+    }
+
+    /// Completes the table into a full matrix using all-pairs shortest
+    /// paths over the measured edges (Floyd–Warshall; neighborhoods are
+    /// small).
+    ///
+    /// # Errors
+    ///
+    /// [`MdsError::DisconnectedNeighborhood`] if some pair remains
+    /// unreachable.
+    pub fn complete(&self) -> Result<SquareMatrix, MdsError> {
+        let n = self.n;
+        let mut d = SquareMatrix::from_fn(n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                self.measured[i][j].unwrap_or(f64::INFINITY)
+            }
+        });
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d[(i, k)];
+                if !dik.is_finite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let via = dik + d[(k, j)];
+                    if via < d[(i, j)] {
+                        d[(i, j)] = via;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if !d[(i, j)].is_finite() {
+                    return Err(MdsError::DisconnectedNeighborhood);
+                }
+            }
+        }
+        Ok(d)
+    }
+}
+
+/// Configuration of the local embedding.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalFrameConfig {
+    /// Whether to run SMACOF refinement after classical MDS (the paper
+    /// adopts the *improved* MDS localization, which refines).
+    pub refine: bool,
+    /// SMACOF parameters when `refine` is set.
+    pub smacof: SmacofConfig,
+    /// Lower bound asserted for *unmeasured* pairs during refinement: in a
+    /// radio network an unmeasured pair is an out-of-range pair, so its
+    /// true distance exceeds the radio range. `None` leaves unmeasured
+    /// pairs unconstrained.
+    pub missing_floor: Option<f64>,
+    /// Hinge weight of the floor terms relative to measured pairs.
+    pub floor_weight: f64,
+}
+
+impl Default for LocalFrameConfig {
+    fn default() -> Self {
+        LocalFrameConfig {
+            refine: true,
+            smacof: SmacofConfig::default(),
+            missing_floor: None,
+            floor_weight: 0.1,
+        }
+    }
+}
+
+/// A computed local frame: coordinates per neighborhood member, in the
+/// member order of the input [`LocalDistances`].
+#[derive(Debug, Clone)]
+pub struct LocalFrame {
+    /// Embedded coordinates (centered, arbitrary orientation/handedness).
+    pub coords: Vec<Vec3>,
+    /// Final raw stress over the measured pairs (0 for exact inputs).
+    pub stress: f64,
+}
+
+/// Embeds a neighborhood into a local 3D frame.
+///
+/// # Errors
+///
+/// Propagates [`MdsError`] from completion and MDS (too few points,
+/// disconnected neighborhood, invalid distances).
+pub fn embed_local(
+    distances: &LocalDistances,
+    config: LocalFrameConfig,
+) -> Result<LocalFrame, MdsError> {
+    let full = distances.complete()?;
+    let mut coords = classical_mds(&full)?;
+    // Refinement is weighted to the *measured* pairs: the shortest-path
+    // completions seeded classical MDS but are systematically inflated, so
+    // they must not keep pulling on the refined frame.
+    let measured = |i: usize, j: usize| i != j && distances.get(i, j).is_some();
+    let stress = match (config.refine, config.missing_floor) {
+        (false, _) => smacof::stress(&coords, &full, measured),
+        (true, None) => smacof::refine_weighted(&mut coords, &full, measured, config.smacof),
+        (true, Some(floor)) => smacof::refine_with_floors(
+            &mut coords,
+            &full,
+            measured,
+            |i, j| (i != j && distances.get(i, j).is_none()).then_some(floor),
+            config.floor_weight,
+            config.smacof,
+        ),
+    };
+    Ok(LocalFrame { coords, stress })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build measurements from true points, marking only pairs within
+    /// `range` as measured.
+    fn from_points(points: &[Vec3], range: f64) -> LocalDistances {
+        let mut ld = LocalDistances::new(points.len());
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                let d = points[i].distance(points[j]);
+                if d <= range {
+                    ld.set(i, j, d);
+                }
+            }
+        }
+        ld
+    }
+
+    #[test]
+    fn complete_fills_via_shortest_paths() {
+        // Chain 0-1-2 with unit links; pair (0,2) unmeasured → completed to 2.
+        let pts = vec![Vec3::ZERO, Vec3::X, Vec3::new(2.0, 0.0, 0.0)];
+        let ld = from_points(&pts, 1.0);
+        assert_eq!(ld.get(0, 2), None);
+        assert_eq!(ld.get(0, 0), Some(0.0));
+        let full = ld.complete().unwrap();
+        assert_eq!(full[(0, 2)], 2.0);
+        assert_eq!(full[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn disconnected_neighborhood_errors() {
+        let pts = vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let ld = from_points(&pts, 1.0);
+        assert_eq!(ld.complete(), Err(MdsError::DisconnectedNeighborhood));
+    }
+
+    #[test]
+    fn exact_measurements_recover_geometry() {
+        let pts = vec![
+            Vec3::new(0.1, 0.0, 0.2),
+            Vec3::new(0.9, 0.1, 0.0),
+            Vec3::new(0.4, 0.8, 0.1),
+            Vec3::new(0.3, 0.3, 0.9),
+            Vec3::new(0.6, 0.5, 0.5),
+        ];
+        // All pairs measured (range large).
+        let ld = from_points(&pts, 10.0);
+        let frame = embed_local(&ld, LocalFrameConfig::default()).unwrap();
+        assert!(frame.stress < 1e-10, "stress {}", frame.stress);
+        // Pairwise distances preserved.
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let truth = pts[i].distance(pts[j]);
+                let got = frame.coords[i].distance(frame.coords[j]);
+                assert!((truth - got).abs() < 1e-6, "pair ({i},{j}): {truth} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.9, 0.0),
+            Vec3::new(0.4, 0.3, 0.8),
+            Vec3::new(1.2, 0.7, 0.3),
+            Vec3::new(0.1, 1.0, 0.6),
+        ];
+        // Restrict measurements so some pairs are path-completed (inflated),
+        // making the input slightly non-Euclidean.
+        let ld = from_points(&pts, 1.1);
+        let plain = embed_local(&ld, LocalFrameConfig { refine: false, ..Default::default() })
+            .unwrap();
+        let refined = embed_local(&ld, LocalFrameConfig::default()).unwrap();
+        assert!(refined.stress <= plain.stress + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pair")]
+    fn set_diagonal_panics() {
+        let mut ld = LocalDistances::new(3);
+        ld.set(1, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance")]
+    fn set_negative_panics() {
+        let mut ld = LocalDistances::new(3);
+        ld.set(0, 1, -0.5);
+    }
+}

@@ -1,0 +1,439 @@
+//! SMACOF stress-majorization refinement.
+//!
+//! Classical MDS minimizes *strain*; the "improved MDS-based localization"
+//! the paper adopts (`[31]` Shang & Ruml) follows the closed-form solution
+//! with an iterative least-squares refinement. SMACOF (Scaling by
+//! MAjorizing a COmplicated Function) is that refinement: it monotonically
+//! decreases the raw stress
+//! `σ(X) = Σ_{i<j} w_ij (‖x_i − x_j‖ − d_ij)²`
+//! via the Guttman transform.
+
+use ballfit_geom::Vec3;
+
+use crate::matrix::SquareMatrix;
+
+/// Raw stress of an embedding against target distances with binary weights:
+/// pairs with `weight(i, j) == false` are ignored (unmeasured pairs).
+///
+/// # Panics
+///
+/// Panics if `coords.len() != distances.n()`.
+pub fn stress<W: Fn(usize, usize) -> bool>(
+    coords: &[Vec3],
+    distances: &SquareMatrix,
+    weight: W,
+) -> f64 {
+    let n = coords.len();
+    assert_eq!(n, distances.n(), "dimension mismatch");
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if weight(i, j) {
+                let err = coords[i].distance(coords[j]) - distances[(i, j)];
+                s += err * err;
+            }
+        }
+    }
+    s
+}
+
+/// Configuration for [`refine`].
+#[derive(Debug, Clone, Copy)]
+pub struct SmacofConfig {
+    /// Maximum Guttman iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative stress improvement drops below this.
+    pub tolerance: f64,
+}
+
+impl Default for SmacofConfig {
+    fn default() -> Self {
+        SmacofConfig { max_iterations: 50, tolerance: 1e-6 }
+    }
+}
+
+/// Refines an embedding in place with uniform-weight SMACOF iterations,
+/// returning the final stress. The initial `coords` (typically the
+/// classical-MDS solution) determine the basin of attraction.
+///
+/// The uniform-weight Guttman transform is `X ← B(Z) Z / n` with
+/// `B(Z)_{ij} = −d_ij / ‖z_i − z_j‖` off the diagonal; coincident points
+/// contribute zero (standard SMACOF convention).
+///
+/// # Panics
+///
+/// Panics if `coords.len() != distances.n()`.
+pub fn refine(coords: &mut [Vec3], distances: &SquareMatrix, config: SmacofConfig) -> f64 {
+    let n = coords.len();
+    assert_eq!(n, distances.n(), "dimension mismatch");
+    if n < 2 {
+        return 0.0;
+    }
+    let all = |_: usize, _: usize| true;
+    let mut current = stress(coords, distances, all);
+    for _ in 0..config.max_iterations {
+        // Guttman transform: X_i ← (1/n) · (B_ii Z_i + Σ_{j≠i} B_ij Z_j)
+        // with B_ij = −d_ij / ‖z_i − z_j‖ and B_ii = −Σ_{j≠i} B_ij.
+        let z: Vec<Vec3> = coords.to_vec();
+        for (i, c) in coords.iter_mut().enumerate() {
+            let mut acc = Vec3::ZERO;
+            let mut diag = 0.0;
+            for (j, zj) in z.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dist = z[i].distance(*zj);
+                let b = if dist > 1e-12 { -distances[(i, j)] / dist } else { 0.0 };
+                acc += *zj * b;
+                diag -= b;
+            }
+            *c = (z[i] * diag + acc) / n as f64;
+        }
+        let next = stress(coords, distances, all);
+        if current - next <= config.tolerance * current.max(1e-30) {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+/// Refines an embedding against *selected* pairs only (binary weights):
+/// pairs with `weight(i, j) == false` are ignored entirely.
+///
+/// This is the right refinement for MDS-MAP-style local frames, where
+/// unmeasured pairs were filled by shortest-path estimates: those inflated
+/// values seed the classical-MDS start but must not keep pulling on the
+/// solution. The update is the per-point weighted Guttman step
+/// `x_i ← mean_{j ∈ meas(i)} ( z_j + d_ij · (z_i − z_j)/‖z_i − z_j‖ )`,
+/// guarded to return the lowest-stress iterate seen.
+///
+/// Returns the final (weighted) stress; `coords` holds the best iterate.
+///
+/// # Panics
+///
+/// Panics if `coords.len() != distances.n()`.
+pub fn refine_weighted<W: Fn(usize, usize) -> bool>(
+    coords: &mut [Vec3],
+    distances: &SquareMatrix,
+    weight: W,
+    config: SmacofConfig,
+) -> f64 {
+    let n = coords.len();
+    assert_eq!(n, distances.n(), "dimension mismatch");
+    if n < 2 {
+        return 0.0;
+    }
+    // Pre-collect each point's measured partners.
+    let partners: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| j != i && weight(i.min(j), i.max(j))).collect())
+        .collect();
+    let wfn = |i: usize, j: usize| weight(i.min(j), i.max(j));
+
+    let mut best = coords.to_vec();
+    let mut best_stress = stress(coords, distances, wfn);
+    let mut current = best_stress;
+    for _ in 0..config.max_iterations {
+        let z: Vec<Vec3> = coords.to_vec();
+        for (i, c) in coords.iter_mut().enumerate() {
+            if partners[i].is_empty() {
+                continue;
+            }
+            let mut acc = Vec3::ZERO;
+            for &j in &partners[i] {
+                let delta = z[i] - z[j];
+                let dist = delta.norm();
+                let target = if dist > 1e-12 {
+                    z[j] + delta * (distances[(i, j)] / dist)
+                } else {
+                    z[j] // coincident: leave at partner (degenerate)
+                };
+                acc += target;
+            }
+            *c = acc / partners[i].len() as f64;
+        }
+        let next = stress(coords, distances, wfn);
+        if next < best_stress {
+            best_stress = next;
+            best.copy_from_slice(coords);
+        }
+        if (current - next).abs() <= config.tolerance * current.max(1e-30) {
+            break;
+        }
+        current = next;
+    }
+    coords.copy_from_slice(&best);
+    best_stress
+}
+
+/// Like [`refine_weighted`], with an additional *floor* on selected pairs:
+/// for pairs where `floor(i, j)` is `Some(f)`, the embedding is penalized
+/// (with weight `floor_weight`) whenever it places them closer than `f` —
+/// a one-sided hinge.
+///
+/// This encodes radio semantics: a pair with *no* distance measurement is
+/// a pair out of radio range, i.e. truly farther than the range. Without
+/// the floor, unmeasured pairs are unconstrained and noisy frames can
+/// collapse them inward, blocking the empty-ball regions Unit Ball
+/// Fitting looks for.
+///
+/// Returns the hinge-augmented stress of the best iterate (kept in
+/// `coords`).
+///
+/// # Panics
+///
+/// Panics if `coords.len() != distances.n()` or `floor_weight < 0`.
+pub fn refine_with_floors<W, Fl>(
+    coords: &mut [Vec3],
+    distances: &SquareMatrix,
+    weight: W,
+    floor: Fl,
+    floor_weight: f64,
+    config: SmacofConfig,
+) -> f64
+where
+    W: Fn(usize, usize) -> bool,
+    Fl: Fn(usize, usize) -> Option<f64>,
+{
+    let n = coords.len();
+    assert_eq!(n, distances.n(), "dimension mismatch");
+    assert!(floor_weight >= 0.0, "floor weight must be non-negative");
+    if n < 2 {
+        return 0.0;
+    }
+    let wfn = |i: usize, j: usize| weight(i.min(j), i.max(j));
+    let floor_fn = |i: usize, j: usize| floor(i.min(j), i.max(j));
+
+    let total_stress = |x: &[Vec3]| -> f64 {
+        let mut s = stress(x, distances, wfn);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if let Some(f) = floor_fn(i, j) {
+                    let d = x[i].distance(x[j]);
+                    if d < f {
+                        let err = f - d;
+                        s += floor_weight * err * err;
+                    }
+                }
+            }
+        }
+        s
+    };
+
+    let mut best = coords.to_vec();
+    let mut best_stress = total_stress(coords);
+    let mut current = best_stress;
+    for _ in 0..config.max_iterations {
+        let z: Vec<Vec3> = coords.to_vec();
+        for (i, c) in coords.iter_mut().enumerate() {
+            let mut acc = Vec3::ZERO;
+            let mut total_weight = 0.0;
+            for (j, zj) in z.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let delta = z[i] - z[j];
+                let dist = delta.norm();
+                if wfn(i, j) {
+                    let target = if dist > 1e-12 {
+                        *zj + delta * (distances[(i, j)] / dist)
+                    } else {
+                        *zj
+                    };
+                    acc += target;
+                    total_weight += 1.0;
+                } else if let Some(f) = floor_fn(i, j) {
+                    if dist < f && dist > 1e-12 {
+                        // Push out to the floor with the hinge weight.
+                        let target = *zj + delta * (f / dist);
+                        acc += target * floor_weight;
+                        total_weight += floor_weight;
+                    }
+                }
+            }
+            if total_weight > 0.0 {
+                *c = acc / total_weight;
+            }
+        }
+        let next = total_stress(coords);
+        if next < best_stress {
+            best_stress = next;
+            best.copy_from_slice(coords);
+        }
+        if (current - next).abs() <= config.tolerance * current.max(1e-30) {
+            break;
+        }
+        current = next;
+    }
+    coords.copy_from_slice(&best);
+    best_stress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmds::{classical_mds, embedding_rmse};
+
+    fn distance_matrix(points: &[Vec3]) -> SquareMatrix {
+        SquareMatrix::from_fn(points.len(), |i, j| points[i].distance(points[j]))
+    }
+
+    #[test]
+    fn stress_of_exact_embedding_is_zero() {
+        let pts = vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z];
+        let d = distance_matrix(&pts);
+        assert!(stress(&pts, &d, |_, _| true) < 1e-15);
+    }
+
+    #[test]
+    fn stress_weights_exclude_pairs() {
+        let pts = vec![Vec3::ZERO, Vec3::X];
+        let mut d = SquareMatrix::zeros(2);
+        d[(0, 1)] = 5.0;
+        d[(1, 0)] = 5.0;
+        assert!(stress(&pts, &d, |_, _| true) > 0.0);
+        assert_eq!(stress(&pts, &d, |_, _| false), 0.0);
+    }
+
+    #[test]
+    fn refine_decreases_stress_from_perturbed_start() {
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.4, 1.1, 0.0),
+            Vec3::new(0.3, 0.4, 0.9),
+            Vec3::new(0.8, 0.7, 0.4),
+        ];
+        let d = distance_matrix(&pts);
+        // Perturb the truth and let SMACOF pull it back.
+        let mut coords: Vec<Vec3> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p + Vec3::new(0.05, -0.04, 0.03) * ((i % 3) as f64))
+            .collect();
+        let before = stress(&coords, &d, |_, _| true);
+        let after = refine(&mut coords, &d, SmacofConfig::default());
+        assert!(after < before, "stress must not increase: {before} -> {after}");
+        assert!(after < 1e-6, "should converge to near-exact: {after}");
+    }
+
+    #[test]
+    fn refine_improves_classical_mds_under_noise() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<Vec3> = (0..10)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let noisy = SquareMatrix::from_fn(pts.len(), |i, j| {
+            if i == j {
+                0.0
+            } else {
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                let bump = (((a * 13 + b * 7) % 5) as f64 - 2.0) * 0.02;
+                (pts[i].distance(pts[j]) + bump).max(0.01)
+            }
+        });
+        let mut coords = classical_mds(&noisy).unwrap();
+        let rmse_before = embedding_rmse(&coords, &noisy);
+        refine(&mut coords, &noisy, SmacofConfig::default());
+        let rmse_after = embedding_rmse(&coords, &noisy);
+        assert!(
+            rmse_after <= rmse_before + 1e-12,
+            "SMACOF worsened the fit: {rmse_before} -> {rmse_after}"
+        );
+    }
+
+    #[test]
+    fn weighted_refine_fixes_measured_pairs_despite_bad_fill() {
+        // Square with unit sides measured; diagonals "completed" to inflated
+        // 2-hop values (2.0 instead of √2). Weighted refinement must restore
+        // the measured sides while uniform refinement compromises them.
+        let side = 1.0;
+        let mut d = SquareMatrix::zeros(4);
+        let pairs = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        for &(a, b) in &pairs {
+            d[(a, b)] = side;
+            d[(b, a)] = side;
+        }
+        d[(0, 2)] = 2.0;
+        d[(2, 0)] = 2.0;
+        d[(1, 3)] = 2.0;
+        d[(3, 1)] = 2.0;
+        let measured = |i: usize, j: usize| pairs.contains(&(i, j)) || pairs.contains(&(j, i));
+
+        let mut coords = classical_mds(&d).unwrap();
+        let s = refine_weighted(&mut coords, &d, measured, SmacofConfig::default());
+        for &(a, b) in &pairs {
+            let got = coords[a].distance(coords[b]);
+            assert!((got - side).abs() < 0.02, "side ({a},{b}) = {got}");
+        }
+        assert!(s < 1e-3, "weighted stress {s}");
+    }
+
+    #[test]
+    fn floors_push_unmeasured_pairs_apart() {
+        // Two measured unit edges 0-1 and 1-2; pair (0,2) unmeasured with
+        // floor 1.5, but seeded collapsed (distance 0.4). The floor must
+        // push 0 and 2 apart past ~1.5 while keeping the measured edges.
+        let mut d = SquareMatrix::zeros(3);
+        d[(0, 1)] = 1.0;
+        d[(1, 0)] = 1.0;
+        d[(1, 2)] = 1.0;
+        d[(2, 1)] = 1.0;
+        let measured = |i: usize, j: usize| (i, j) == (0, 1) || (i, j) == (1, 2);
+        let floor = |i: usize, j: usize| ((i, j) == (0, 2)).then_some(1.5);
+        let mut coords = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.9, 0.3, 0.0),
+            Vec3::new(0.4, 0.0, 0.0), // collapsed toward node 0
+        ];
+        refine_with_floors(&mut coords, &d, measured, floor, 0.5, SmacofConfig {
+            max_iterations: 200,
+            tolerance: 1e-12,
+        });
+        assert!((coords[0].distance(coords[1]) - 1.0).abs() < 0.05);
+        assert!((coords[1].distance(coords[2]) - 1.0).abs() < 0.05);
+        assert!(coords[0].distance(coords[2]) > 1.3, "floor not enforced: {}", coords[0].distance(coords[2]));
+    }
+
+    #[test]
+    fn floors_inactive_when_already_far() {
+        let mut d = SquareMatrix::zeros(2);
+        d[(0, 1)] = 1.0;
+        d[(1, 0)] = 1.0;
+        let mut coords = vec![Vec3::ZERO, Vec3::X];
+        let s = refine_with_floors(
+            &mut coords,
+            &d,
+            |_, _| true,
+            |_, _| Some(0.5), // already satisfied
+            1.0,
+            SmacofConfig::default(),
+        );
+        assert!(s < 1e-12);
+        assert!((coords[0].distance(coords[1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_refine_with_no_pairs_is_a_noop() {
+        let d = SquareMatrix::zeros(3);
+        let mut coords = vec![Vec3::ZERO, Vec3::X, Vec3::Y];
+        let orig = coords.clone();
+        let s = refine_weighted(&mut coords, &d, |_, _| false, SmacofConfig::default());
+        assert_eq!(s, 0.0);
+        assert_eq!(coords, orig);
+    }
+
+    #[test]
+    fn refine_trivial_sizes() {
+        let d = SquareMatrix::zeros(1);
+        let mut one = vec![Vec3::ZERO];
+        assert_eq!(refine(&mut one, &d, SmacofConfig::default()), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the localization substrate.
+
+use ballfit_geom::Vec3;
+use ballfit_mds::cmds::{classical_mds, embedding_rmse};
+use ballfit_mds::eigen::jacobi_eigen;
+use ballfit_mds::local::{embed_local, LocalDistances, LocalFrameConfig};
+use ballfit_mds::matrix::SquareMatrix;
+use proptest::prelude::*;
+
+fn vec3_in(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn distance_matrix(points: &[Vec3]) -> SquareMatrix {
+    SquareMatrix::from_fn(points.len(), |i, j| points[i].distance(points[j]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Jacobi reconstructs random symmetric matrices.
+    #[test]
+    fn jacobi_reconstruction(
+        entries in proptest::collection::vec(-2.0f64..2.0, 1..36),
+    ) {
+        // Use the largest n with n(n+1)/2 <= len.
+        let mut n = 1;
+        while (n + 1) * (n + 2) / 2 <= entries.len() {
+            n += 1;
+        }
+        let mut m = SquareMatrix::zeros(n);
+        let mut it = entries.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = it.next().unwrap_or(0.0);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        let e = jacobi_eigen(&m);
+        // Reconstruct A = V Λ Vᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                let r: f64 = (0..n)
+                    .map(|k| e.values[k] * e.vectors[(i, k)] * e.vectors[(j, k)])
+                    .sum();
+                prop_assert!((r - m[(i, j)]).abs() < 1e-7, "({},{}): {} vs {}", i, j, r, m[(i, j)]);
+            }
+        }
+    }
+
+    /// Classical MDS on exact Euclidean distances reproduces the geometry
+    /// (zero strain up to numerical noise).
+    #[test]
+    fn cmds_recovers_euclidean_configurations(
+        pts in proptest::collection::vec(vec3_in(2.0), 2..14),
+    ) {
+        let d = distance_matrix(&pts);
+        let rec = classical_mds(&d).expect("valid distances embed");
+        prop_assert!(embedding_rmse(&rec, &d) < 1e-6);
+    }
+
+    /// The recovered embedding is invariant (in pairwise distances) to
+    /// rigid motions of the input configuration.
+    #[test]
+    fn cmds_isometry_invariance(
+        pts in proptest::collection::vec(vec3_in(2.0), 3..10),
+        shift in vec3_in(30.0),
+    ) {
+        let moved: Vec<Vec3> = pts
+            .iter()
+            .map(|&p| Vec3::new(p.y, -p.x, p.z) + shift) // rotate 90° + translate
+            .collect();
+        let a = classical_mds(&distance_matrix(&pts)).unwrap();
+        let b = classical_mds(&distance_matrix(&moved)).unwrap();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let da = a[i].distance(a[j]);
+                let db = b[i].distance(b[j]);
+                prop_assert!((da - db).abs() < 1e-6, "pair ({},{})", i, j);
+            }
+        }
+    }
+
+    /// Local embedding with complete exact measurements has ~zero stress,
+    /// regardless of configuration.
+    #[test]
+    fn local_frames_embed_complete_measurements(
+        pts in proptest::collection::vec(vec3_in(1.0), 4..10),
+    ) {
+        let mut table = LocalDistances::new(pts.len());
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                table.set(i, j, pts[i].distance(pts[j]));
+            }
+        }
+        let frame = embed_local(&table, LocalFrameConfig::default()).unwrap();
+        prop_assert!(frame.stress < 1e-6, "stress {}", frame.stress);
+    }
+
+    /// Path completion never underestimates the direct measurement and is
+    /// symmetric with zero diagonal.
+    #[test]
+    fn completion_laws(
+        pts in proptest::collection::vec(vec3_in(1.0), 3..10),
+        range in 0.4f64..1.6,
+    ) {
+        let mut table = LocalDistances::new(pts.len());
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d = pts[i].distance(pts[j]);
+                if d <= range {
+                    table.set(i, j, d);
+                }
+            }
+        }
+        if let Ok(full) = table.complete() {
+            for i in 0..pts.len() {
+                prop_assert_eq!(full[(i, i)], 0.0);
+                for j in 0..pts.len() {
+                    prop_assert!((full[(i, j)] - full[(j, i)]).abs() < 1e-12);
+                    // Completed values are at least the true distance
+                    // (shortest measured path can't beat the metric).
+                    prop_assert!(full[(i, j)] >= pts[i].distance(pts[j]) - 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Distance-measurement error models and the per-pair measurement oracle.
+//!
+//! The paper's only noise source (Sec. IV-A): nodes estimate distances to
+//! neighbors by ranging (RSSI/TDOA), with "a wide range of random errors,
+//! from 0 to 100% of the radio transmission radius". The
+//! [`DistanceOracle`] realizes that: each unordered node pair gets one
+//! deterministic noisy measurement, the same no matter which endpoint (or
+//! which experiment pass) asks — exactly like a physical link.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A distance-measurement error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum ErrorModel {
+    /// Perfect ranging.
+    None,
+    /// The paper's model: additive error uniform in `±fraction · range`.
+    UniformRadius {
+        /// Error magnitude as a fraction of the radio range (0–1 in the
+        /// paper's sweeps).
+        fraction: f64,
+    },
+    /// Additive zero-mean Gaussian error with `σ = sigma_fraction · range`.
+    Gaussian {
+        /// Standard deviation as a fraction of the radio range.
+        sigma_fraction: f64,
+    },
+    /// Multiplicative error uniform in `±fraction · d_true` (RSSI-like:
+    /// error grows with distance).
+    Proportional {
+        /// Relative error magnitude.
+        fraction: f64,
+    },
+}
+
+impl ErrorModel {
+    /// The paper's sweep axis: uniform additive error of `percent`% of the
+    /// radio range.
+    pub fn paper_percent(percent: u32) -> ErrorModel {
+        if percent == 0 {
+            ErrorModel::None
+        } else {
+            ErrorModel::UniformRadius { fraction: percent as f64 / 100.0 }
+        }
+    }
+
+    /// Applies the model to a true distance, given the radio `range` and a
+    /// source of randomness. Results are clamped to be non-negative.
+    pub fn perturb<R: Rng>(&self, d_true: f64, range: f64, rng: &mut R) -> f64 {
+        let noisy = match *self {
+            ErrorModel::None => d_true,
+            ErrorModel::UniformRadius { fraction } => {
+                if fraction == 0.0 {
+                    d_true
+                } else {
+                    d_true + rng.gen_range(-1.0..1.0) * fraction * range
+                }
+            }
+            ErrorModel::Gaussian { sigma_fraction } => {
+                // Box–Muller transform; `rand` provides no normal sampler
+                // without `rand_distr`.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                d_true + z * sigma_fraction * range
+            }
+            ErrorModel::Proportional { fraction } => {
+                d_true * (1.0 + rng.gen_range(-1.0..1.0) * fraction)
+            }
+        };
+        noisy.max(0.0)
+    }
+}
+
+/// Deterministic per-pair distance measurements.
+///
+/// For an unordered pair `(i, j)` the oracle derives an RNG from
+/// `(seed, min(i,j), max(i,j))`, so repeated queries — from either endpoint
+/// and across pipeline phases — return the identical measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceOracle {
+    model: ErrorModel,
+    range: f64,
+    seed: u64,
+}
+
+impl DistanceOracle {
+    /// Creates an oracle for a network with the given radio `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive.
+    pub fn new(model: ErrorModel, range: f64, seed: u64) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        DistanceOracle { model, range, seed }
+    }
+
+    /// The error model in force.
+    pub fn model(&self) -> ErrorModel {
+        self.model
+    }
+
+    /// Measures the distance between nodes `i` and `j` whose true distance
+    /// is `d_true`. Symmetric and deterministic.
+    pub fn measure(&self, i: usize, j: usize, d_true: f64) -> f64 {
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        // SplitMix-style mixing of (seed, lo, hi) into an RNG seed.
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((lo as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((hi as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        h ^= h >> 31;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= h >> 29;
+        let mut rng = StdRng::seed_from_u64(h);
+        self.model.perturb(d_true, self.range, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ErrorModel::None.perturb(0.7, 1.0, &mut rng), 0.7);
+        assert_eq!(ErrorModel::paper_percent(0), ErrorModel::None);
+    }
+
+    #[test]
+    fn uniform_error_is_bounded() {
+        let m = ErrorModel::UniformRadius { fraction: 0.3 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = m.perturb(0.8, 1.0, &mut rng);
+            assert!((0.5 - 1e-12..=1.1 + 1e-12).contains(&d), "out of band: {d}");
+        }
+    }
+
+    #[test]
+    fn proportional_error_scales_with_distance() {
+        let m = ErrorModel::Proportional { fraction: 0.1 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let d = m.perturb(2.0, 1.0, &mut rng);
+            assert!((1.8..=2.2).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gaussian_error_has_roughly_right_spread() {
+        let m = ErrorModel::Gaussian { sigma_fraction: 0.1 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.perturb(1.0, 1.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn perturbation_never_negative() {
+        let m = ErrorModel::UniformRadius { fraction: 1.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(m.perturb(0.05, 1.0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn oracle_is_symmetric_and_deterministic() {
+        let o = DistanceOracle::new(ErrorModel::UniformRadius { fraction: 0.5 }, 1.0, 99);
+        let a = o.measure(3, 17, 0.6);
+        assert_eq!(a, o.measure(17, 3, 0.6));
+        assert_eq!(a, o.measure(3, 17, 0.6));
+        // Different pair → (almost surely) different noise.
+        assert_ne!(a, o.measure(3, 18, 0.6));
+        // Different oracle seed → different noise.
+        let o2 = DistanceOracle::new(ErrorModel::UniformRadius { fraction: 0.5 }, 1.0, 100);
+        assert_ne!(a, o2.measure(3, 17, 0.6));
+    }
+
+    #[test]
+    fn paper_percent_constructor() {
+        match ErrorModel::paper_percent(40) {
+            ErrorModel::UniformRadius { fraction } => assert!((fraction - 0.4).abs() < 1e-12),
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The generated network model: positions, ground truth, topology.
+
+use ballfit_geom::sdf::Sdf;
+use ballfit_geom::Vec3;
+use ballfit_wsn::Topology;
+
+use crate::measure::{DistanceOracle, ErrorModel};
+use crate::scenario::Scenario;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A simulated 3D wireless network: the input to the boundary-detection
+/// pipeline plus the ground truth to evaluate it against.
+///
+/// Constructed by [`crate::builder::NetworkBuilder`].
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct NetworkModel {
+    scenario: Scenario,
+    shape_seed: u64,
+    positions: Vec<Vec3>,
+    is_surface: Vec<bool>,
+    radio_range: f64,
+    topology: Topology,
+}
+
+impl NetworkModel {
+    /// Assembles a model from its parts (used by the builder; tests may
+    /// construct directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or the topology node count differs.
+    pub fn from_parts(
+        scenario: Scenario,
+        shape_seed: u64,
+        positions: Vec<Vec3>,
+        is_surface: Vec<bool>,
+        radio_range: f64,
+        topology: Topology,
+    ) -> Self {
+        assert_eq!(positions.len(), is_surface.len(), "ground-truth length mismatch");
+        assert_eq!(positions.len(), topology.len(), "topology node-count mismatch");
+        assert!(radio_range > 0.0, "radio range must be positive");
+        NetworkModel { scenario, shape_seed, positions, is_surface, radio_range, topology }
+    }
+
+    /// The scenario this network was generated from.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Rebuilds the scenario solid (for surface-deviation metrics).
+    pub fn shape(&self) -> Box<dyn Sdf> {
+        self.scenario.build(self.shape_seed)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Node positions (the *true* coordinates; the pipeline only sees them
+    /// through the distance oracle unless configured otherwise).
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Ground truth: `true` for nodes sampled on the model surface.
+    pub fn is_surface(&self) -> &[bool] {
+        &self.is_surface
+    }
+
+    /// Indices of ground-truth boundary nodes.
+    pub fn surface_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.is_surface[i]).collect()
+    }
+
+    /// Number of ground-truth boundary nodes.
+    pub fn surface_count(&self) -> usize {
+        self.is_surface.iter().filter(|&&b| b).count()
+    }
+
+    /// The radio transmission range.
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// The connectivity graph at the radio range.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// True Euclidean distance between two nodes.
+    pub fn true_distance(&self, i: usize, j: usize) -> f64 {
+        self.positions[i].distance(self.positions[j])
+    }
+
+    /// Creates a measurement oracle over this network for the given error
+    /// model, seeded independently of the generation seed by `noise_seed`.
+    pub fn oracle(&self, model: ErrorModel, noise_seed: u64) -> DistanceOracle {
+        DistanceOracle::new(model, self.radio_range, noise_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> NetworkModel {
+        let positions = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0)];
+        let topo = Topology::from_positions(&positions, 0.6);
+        NetworkModel::from_parts(
+            Scenario::SolidSphere,
+            0,
+            positions,
+            vec![true, false, true],
+            0.6,
+            topo,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let m = tiny_model();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.surface_count(), 2);
+        assert_eq!(m.surface_indices(), vec![0, 2]);
+        assert_eq!(m.radio_range(), 0.6);
+        assert_eq!(m.scenario(), Scenario::SolidSphere);
+        assert!((m.true_distance(0, 2) - 1.0).abs() < 1e-12);
+        assert_eq!(m.topology().neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn oracle_reflects_error_model() {
+        let m = tiny_model();
+        let perfect = m.oracle(ErrorModel::None, 1);
+        assert_eq!(perfect.measure(0, 1, 0.5), 0.5);
+        let noisy = m.oracle(ErrorModel::UniformRadius { fraction: 0.5 }, 1);
+        // Almost surely different from truth.
+        assert_ne!(noisy.measure(0, 1, 0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_ground_truth_panics() {
+        let positions = vec![Vec3::ZERO];
+        let topo = Topology::from_positions(&positions, 1.0);
+        let _ = NetworkModel::from_parts(Scenario::SolidBox, 0, positions, vec![], 1.0, topo);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn shape_is_reconstructible() {
+        let m = tiny_model();
+        let s = m.shape();
+        // Sphere scenario radius 4 centered at origin.
+        assert!(s.contains(Vec3::ZERO));
+        assert!(!s.contains(Vec3::new(5.0, 0.0, 0.0)));
+    }
+}

@@ -1,0 +1,332 @@
+//! Point sampling inside and on the surface of SDF solids.
+
+use ballfit_geom::sdf::Sdf;
+use ballfit_geom::Vec3;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::GenError;
+
+/// Samples a point uniformly in an axis-aligned box.
+fn sample_in_bounds(rng: &mut StdRng, bounds: &ballfit_geom::Aabb) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(bounds.min.x..=bounds.max.x),
+        rng.gen_range(bounds.min.y..=bounds.max.y),
+        rng.gen_range(bounds.min.z..=bounds.max.z),
+    )
+}
+
+/// Rejection-samples `count` points uniformly inside the solid.
+///
+/// `margin` keeps points at least that far inside the surface (`distance <
+/// -margin`); pass `0.0` for the full interior.
+///
+/// # Errors
+///
+/// [`GenError::SamplingBudgetExhausted`] if the acceptance rate is too low
+/// to place `count` points within `count * 10_000` attempts.
+pub fn sample_interior<S: Sdf + ?Sized>(
+    sdf: &S,
+    count: usize,
+    margin: f64,
+    rng: &mut StdRng,
+) -> Result<Vec<Vec3>, GenError> {
+    let bounds = sdf.bounds();
+    let mut out = Vec::with_capacity(count);
+    let budget = count.saturating_mul(10_000).max(10_000);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < budget {
+        attempts += 1;
+        let p = sample_in_bounds(rng, &bounds);
+        if sdf.distance(p) < -margin {
+            out.push(p);
+        }
+    }
+    if out.len() < count {
+        return Err(GenError::SamplingBudgetExhausted { placed: out.len(), requested: count });
+    }
+    Ok(out)
+}
+
+/// Samples `count` points (approximately uniformly) on the surface of the
+/// solid: candidates are drawn from a thin shell `|distance| < shell` and
+/// Newton-projected onto the zero level set.
+///
+/// `min_spacing`, when positive, thins the result so no two surface samples
+/// are closer than that distance (a Poisson-disk-like blue-noise surface
+/// distribution, which matches the paper's "randomly uniformly distributed
+/// on the surface").
+///
+/// # Errors
+///
+/// [`GenError::SamplingBudgetExhausted`] if not enough surface points can
+/// be placed.
+pub fn sample_surface<S: Sdf + ?Sized>(
+    sdf: &S,
+    count: usize,
+    shell: f64,
+    min_spacing: f64,
+    rng: &mut StdRng,
+) -> Result<Vec<Vec3>, GenError> {
+    assert!(shell > 0.0, "shell thickness must be positive");
+    let bounds = sdf.bounds().inflated(shell);
+    let mut out: Vec<Vec3> = Vec::with_capacity(count);
+    let budget = count.saturating_mul(20_000).max(20_000);
+    let mut attempts = 0usize;
+    let spacing2 = min_spacing * min_spacing;
+    while out.len() < count && attempts < budget {
+        attempts += 1;
+        let p = sample_in_bounds(rng, &bounds);
+        if sdf.distance(p).abs() > shell {
+            continue;
+        }
+        let q = sdf.project_to_surface(p, 15);
+        if sdf.distance(q).abs() > shell * 0.1 {
+            continue; // projection failed to converge (e.g. CSG crease)
+        }
+        if min_spacing > 0.0 && out.iter().any(|&e| e.distance_squared(q) < spacing2) {
+            continue;
+        }
+        out.push(q);
+    }
+    if out.len() < count {
+        return Err(GenError::SamplingBudgetExhausted { placed: out.len(), requested: count });
+    }
+    Ok(out)
+}
+
+/// Greedy minimum-spacing thinning: scans `pool` in order and keeps every
+/// point at least `spacing` away from all previously kept points.
+/// Because the pool is dense, the kept set is near-maximal: any location
+/// farther than `spacing` from all kept points would have had its pool
+/// candidate kept.
+pub fn greedy_thin(pool: &[Vec3], spacing: f64) -> Vec<usize> {
+    assert!(spacing >= 0.0, "spacing must be non-negative");
+    if spacing == 0.0 {
+        return (0..pool.len()).collect();
+    }
+    let cell = spacing;
+    let key = |p: Vec3| -> (i64, i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64, (p.z / cell).floor() as i64)
+    };
+    let mut grid: std::collections::HashMap<(i64, i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    let s2 = spacing * spacing;
+    let mut kept = Vec::new();
+    'pool: for (i, &p) in pool.iter().enumerate() {
+        let (cx, cy, cz) = key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(bucket) = grid.get(&(cx + dx, cy + dy, cz + dz)) {
+                        for &j in bucket {
+                            if pool[j].distance_squared(p) < s2 {
+                                continue 'pool;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grid.entry((cx, cy, cz)).or_default().push(i);
+        kept.push(i);
+    }
+    kept
+}
+
+/// Selects a near-maximal Poisson-disk subset of `pool` with approximately
+/// `target` points, by bisecting the spacing. Returns `(points, spacing)`.
+///
+/// This emulates the vertex distribution of a quality tetrahedral mesher
+/// (TetGen in the paper): minimum spacing between nodes *and* no large
+/// empty voids, the property that keeps Unit Ball Fitting free of interior
+/// false positives on the paper's workloads.
+///
+/// # Panics
+///
+/// Panics if `target == 0` or the pool is smaller than `target`.
+pub fn poisson_select(pool: &[Vec3], target: usize) -> (Vec<Vec3>, f64) {
+    assert!(target > 0, "target must be positive");
+    assert!(pool.len() >= target, "pool smaller than target");
+    let bounds = ballfit_geom::Aabb::from_points(pool).expect("non-empty pool");
+    let mut lo = 0.0f64;
+    let mut hi = bounds.extent().norm().max(1e-6);
+    // count(spacing) is monotone non-increasing; find the largest spacing
+    // keeping at least `target` points.
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let kept = greedy_thin(pool, mid);
+        if kept.len() >= target {
+            lo = mid;
+            best = Some((kept, mid));
+        } else {
+            hi = mid;
+        }
+    }
+    let (kept, spacing) = best.unwrap_or_else(|| ((0..pool.len()).collect(), 0.0));
+    let points: Vec<Vec3> = kept.into_iter().map(|i| pool[i]).collect();
+    if points.len() == target {
+        return (points, spacing);
+    }
+    // Trim to the exact target by dropping the most redundant points
+    // (smallest nearest-neighbor distance first), which perturbs the
+    // blue-noise coverage least. One grid-accelerated NN pass suffices —
+    // the excess is a small fraction of the selection.
+    let grid = ballfit_geom::grid::SpatialGrid::build(&points, spacing.max(1e-9));
+    let mut nn: Vec<(f64, usize)> = (0..points.len())
+        .map(|i| {
+            // Nearest neighbor is at distance in [spacing, 2·spacing) for a
+            // near-maximal set; widen the search radius until found.
+            let mut radius = spacing.max(1e-9) * 2.0;
+            loop {
+                let near = grid.neighbors_within(&points, i, radius);
+                if let Some(d) = near
+                    .iter()
+                    .map(|&j| points[i].distance_squared(points[j]))
+                    .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.min(d))))
+                {
+                    return (d, i);
+                }
+                radius *= 2.0;
+            }
+        })
+        .collect();
+    nn.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let drop: std::collections::BTreeSet<usize> =
+        nn.iter().take(points.len() - target).map(|&(_, i)| i).collect();
+    let trimmed: Vec<Vec3> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop.contains(i))
+        .map(|(_, &p)| p)
+        .collect();
+    (trimmed, spacing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballfit_geom::sdf::SphereSdf;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interior_points_are_inside() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = sample_interior(&s, 500, 0.0, &mut rng).unwrap();
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!(s.contains(*p));
+        }
+    }
+
+    #[test]
+    fn interior_margin_is_respected() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = sample_interior(&s, 200, 0.5, &mut rng).unwrap();
+        for p in &pts {
+            assert!(s.distance(*p) < -0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn interior_sampling_is_roughly_uniform() {
+        // Halves of the ball should get comparable counts.
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = sample_interior(&s, 2000, 0.0, &mut rng).unwrap();
+        let upper = pts.iter().filter(|p| p.z > 0.0).count();
+        assert!((800..=1200).contains(&upper), "upper half has {upper} of 2000");
+    }
+
+    #[test]
+    fn surface_points_lie_on_surface() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = sample_surface(&s, 300, 0.2, 0.0, &mut rng).unwrap();
+        assert_eq!(pts.len(), 300);
+        for p in &pts {
+            assert!(s.distance(*p).abs() < 0.02, "off-surface point {p}");
+        }
+    }
+
+    #[test]
+    fn surface_spacing_is_enforced() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let spacing = 0.5;
+        let pts = sample_surface(&s, 60, 0.2, spacing, &mut rng).unwrap();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(
+                    pts[i].distance(pts[j]) >= spacing - 1e-9,
+                    "pair ({i},{j}) too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_spacing_exhausts_budget() {
+        let s = SphereSdf::new(Vec3::ZERO, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Sphere area ≈ 12.6; 10 000 points with spacing 1 cannot fit.
+        let err = sample_surface(&s, 10_000, 0.2, 1.0, &mut rng).unwrap_err();
+        assert!(matches!(err, GenError::SamplingBudgetExhausted { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("budget exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn greedy_thin_enforces_spacing_and_maximality() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = sample_interior(&s, 3000, 0.0, &mut rng).unwrap();
+        let spacing = 0.5;
+        let kept = greedy_thin(&pool, spacing);
+        // Pairwise spacing.
+        for (ai, &a) in kept.iter().enumerate() {
+            for &b in &kept[ai + 1..] {
+                assert!(pool[a].distance(pool[b]) >= spacing - 1e-12);
+            }
+        }
+        // Near-maximality: every pool point is within `spacing` of a kept one.
+        for &p in &pool {
+            let near = kept.iter().any(|&k| pool[k].distance(p) < spacing);
+            assert!(near, "pool point {p} uncovered");
+        }
+        // spacing == 0 keeps everything.
+        assert_eq!(greedy_thin(&pool[..50], 0.0).len(), 50);
+    }
+
+    #[test]
+    fn poisson_select_hits_target_approximately() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pool = sample_interior(&s, 4000, 0.0, &mut rng).unwrap();
+        let (pts, spacing) = poisson_select(&pool, 400);
+        assert_eq!(pts.len(), 400);
+        assert!(spacing > 0.0);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(pts[i].distance(pts[j]) >= spacing - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool smaller than target")]
+    fn poisson_select_pool_too_small_panics() {
+        let _ = poisson_select(&[Vec3::ZERO], 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = SphereSdf::new(Vec3::ZERO, 2.0);
+        let a = sample_interior(&s, 50, 0.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = sample_interior(&s, 50, 0.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

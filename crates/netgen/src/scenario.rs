@@ -1,0 +1,202 @@
+//! The evaluation scenarios of the paper as SDF solids.
+//!
+//! Figures 6–10 of the paper evaluate five network shapes; each variant
+//! here builds the corresponding solid. Dimensions are in radio-range
+//! units (the paper normalizes the transmission range to 1) and are sized
+//! so that a few-thousand-node network reaches the paper's density.
+
+use ballfit_geom::sdf::{BoxSdf, Difference, PolylineTube, Sdf, SphereSdf, TerrainColumn, TorusSdf};
+use ballfit_geom::{Aabb, Vec3};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A named network scenario from the paper's evaluation (plus extras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum Scenario {
+    /// Fig. 10: a solid sphere.
+    SolidSphere,
+    /// Fig. 9: a 3D network in a bended pipe.
+    BendedPipe,
+    /// Fig. 7: a space network with one interior hole.
+    SpaceOneHole,
+    /// Fig. 8: a space network with two interior holes.
+    SpaceTwoHoles,
+    /// Fig. 6: an underwater column with a flat surface and bumpy bottom.
+    Underwater,
+    /// Extra: a plain solid box (baseline sanity shape).
+    SolidBox,
+    /// Extra: a solid torus (genus-1 outer boundary).
+    Torus,
+}
+
+impl Scenario {
+    /// All scenarios evaluated in the paper's figure gallery, in figure
+    /// order (Figs. 6–10).
+    pub const PAPER_GALLERY: [Scenario; 5] = [
+        Scenario::Underwater,
+        Scenario::SpaceOneHole,
+        Scenario::SpaceTwoHoles,
+        Scenario::BendedPipe,
+        Scenario::SolidSphere,
+    ];
+
+    /// Short machine-friendly name (used in CSV output and file names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::SolidSphere => "sphere",
+            Scenario::BendedPipe => "bended_pipe",
+            Scenario::SpaceOneHole => "one_hole",
+            Scenario::SpaceTwoHoles => "two_holes",
+            Scenario::Underwater => "underwater",
+            Scenario::SolidBox => "box",
+            Scenario::Torus => "torus",
+        }
+    }
+
+    /// Number of distinct boundaries (outer + holes) the shape has; the
+    /// grouping step should discover exactly this many components.
+    pub fn expected_boundaries(&self) -> usize {
+        match self {
+            Scenario::SpaceOneHole => 2,
+            Scenario::SpaceTwoHoles => 3,
+            _ => 1,
+        }
+    }
+
+    /// Builds the solid, with terrain noise (underwater bottom) seeded by
+    /// `seed` so scenario geometry is reproducible per experiment.
+    pub fn build(&self, seed: u64) -> Box<dyn Sdf> {
+        match self {
+            Scenario::SolidSphere => Box::new(SphereSdf::new(Vec3::ZERO, 4.0)),
+            Scenario::SolidBox => {
+                Box::new(BoxSdf::new(Aabb::cube(Vec3::ZERO, 4.0)))
+            }
+            Scenario::Torus => Box::new(TorusSdf::new(Vec3::ZERO, Vec3::Z, 5.0, 2.0)),
+            Scenario::BendedPipe => {
+                // A 90° elbow: quarter-circle arc of radius 6 sampled as a
+                // polyline, tube radius 1.6.
+                let mut pts = Vec::new();
+                let r = 6.0;
+                let steps = 16;
+                for i in 0..=steps {
+                    let t = i as f64 / steps as f64 * std::f64::consts::FRAC_PI_2;
+                    pts.push(Vec3::new(r * t.cos(), r * t.sin(), 0.0));
+                }
+                Box::new(PolylineTube::new(pts, 1.6))
+            }
+            Scenario::SpaceOneHole => {
+                // 12×12×9 slab with a spherical void of radius 2 at center
+                // (≥ 2.5 radio ranges of wall between the hole boundary and
+                // the outer boundary, so the two boundary groups cannot be
+                // bridged by boundary-adjacent nodes).
+                let slab = BoxSdf::new(Aabb::new(
+                    Vec3::new(-6.0, -6.0, -4.5),
+                    Vec3::new(6.0, 6.0, 4.5),
+                ));
+                let hole = SphereSdf::new(Vec3::ZERO, 2.0);
+                Box::new(Difference::new(Box::new(slab), Box::new(hole)))
+            }
+            Scenario::SpaceTwoHoles => {
+                let slab = BoxSdf::new(Aabb::new(
+                    Vec3::new(-7.0, -6.0, -4.5),
+                    Vec3::new(7.0, 6.0, 4.5),
+                ));
+                let holes = ballfit_geom::sdf::Union::new(vec![
+                    Box::new(SphereSdf::new(Vec3::new(-3.4, 0.0, 0.0), 1.8)) as Box<dyn Sdf>,
+                    Box::new(SphereSdf::new(Vec3::new(3.4, 0.5, 0.3), 1.8)) as Box<dyn Sdf>,
+                ]);
+                Box::new(Difference::new(Box::new(slab), Box::new(holes)))
+            }
+            Scenario::Underwater => Box::new(TerrainColumn::new(
+                0.0, 14.0, // x extent
+                0.0, 10.0, // y extent
+                5.0, // water surface
+                0.0, // mean bottom
+                1.2, // bump amplitude
+                0.35, // bump frequency
+                seed,
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_have_nonempty_interiors() {
+        for s in [
+            Scenario::SolidSphere,
+            Scenario::BendedPipe,
+            Scenario::SpaceOneHole,
+            Scenario::SpaceTwoHoles,
+            Scenario::Underwater,
+            Scenario::SolidBox,
+            Scenario::Torus,
+        ] {
+            let sdf = s.build(1);
+            let b = sdf.bounds();
+            // Probe a coarse lattice for at least one interior point.
+            let mut found = false;
+            let steps = 20;
+            'outer: for i in 0..=steps {
+                for j in 0..=steps {
+                    for k in 0..=steps {
+                        let p = Vec3::new(
+                            b.min.x + b.extent().x * i as f64 / steps as f64,
+                            b.min.y + b.extent().y * j as f64 / steps as f64,
+                            b.min.z + b.extent().z * k as f64 / steps as f64,
+                        );
+                        if sdf.contains(p) {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            assert!(found, "scenario {s} has an empty interior");
+        }
+    }
+
+    #[test]
+    fn hole_scenarios_have_voids() {
+        let one = Scenario::SpaceOneHole.build(0);
+        assert!(!one.contains(Vec3::ZERO));
+        assert!(one.contains(Vec3::new(4.0, 4.0, 0.0)));
+
+        let two = Scenario::SpaceTwoHoles.build(0);
+        assert!(!two.contains(Vec3::new(-3.2, 0.0, 0.0)));
+        assert!(!two.contains(Vec3::new(3.2, 0.5, 0.3)));
+        assert!(two.contains(Vec3::new(0.0, -4.0, 0.0)));
+    }
+
+    #[test]
+    fn names_and_boundary_counts() {
+        assert_eq!(Scenario::SolidSphere.name(), "sphere");
+        assert_eq!(Scenario::SolidSphere.to_string(), "sphere");
+        assert_eq!(Scenario::SpaceOneHole.expected_boundaries(), 2);
+        assert_eq!(Scenario::SpaceTwoHoles.expected_boundaries(), 3);
+        assert_eq!(Scenario::Underwater.expected_boundaries(), 1);
+        assert_eq!(Scenario::PAPER_GALLERY.len(), 5);
+    }
+
+    #[test]
+    fn underwater_geometry_is_seed_dependent_but_reproducible() {
+        let a = Scenario::Underwater.build(1);
+        let b = Scenario::Underwater.build(1);
+        let c = Scenario::Underwater.build(2);
+        let p = Vec3::new(7.0, 5.0, 0.9);
+        assert_eq!(a.distance(p), b.distance(p));
+        // Different seeds displace the bottom differently (almost surely).
+        assert_ne!(a.distance(p), c.distance(p));
+    }
+}

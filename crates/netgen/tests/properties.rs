@@ -1,0 +1,67 @@
+//! Property-based tests for the scenario generator.
+
+use ballfit_geom::sdf::Sdf;
+use ballfit_netgen::measure::{DistanceOracle, ErrorModel};
+use ballfit_netgen::sampler::{sample_interior, sample_surface};
+use ballfit_netgen::scenario::Scenario;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interior samples are strictly inside; surface samples are within
+    /// the shell of the zero level set — for every scenario and seed.
+    #[test]
+    fn samples_respect_the_shape(scenario_idx in 0usize..5, seed in 0u64..50) {
+        let scenario = Scenario::PAPER_GALLERY[scenario_idx];
+        let sdf = scenario.build(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let interior = sample_interior(&*sdf, 40, 0.0, &mut rng).unwrap();
+        for p in &interior {
+            prop_assert!(sdf.distance(*p) < 0.0, "{}: interior point escaped", scenario);
+        }
+        let surface = sample_surface(&*sdf, 30, 0.25, 0.0, &mut rng).unwrap();
+        for p in &surface {
+            prop_assert!(
+                sdf.distance(*p).abs() < 0.05,
+                "{}: surface point off-surface by {}",
+                scenario,
+                sdf.distance(*p)
+            );
+        }
+    }
+
+    /// The uniform error model stays within its band and the oracle is
+    /// symmetric for arbitrary pairs.
+    #[test]
+    fn oracle_band_and_symmetry(
+        i in 0usize..5000,
+        j in 0usize..5000,
+        d in 0.0f64..2.0,
+        fraction in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let oracle = DistanceOracle::new(
+            ErrorModel::UniformRadius { fraction },
+            1.0,
+            seed,
+        );
+        let m1 = oracle.measure(i, j, d);
+        let m2 = oracle.measure(j, i, d);
+        prop_assert_eq!(m1, m2, "oracle asymmetric");
+        prop_assert!(m1 >= 0.0);
+        prop_assert!(m1 >= (d - fraction) - 1e-12, "below band: {} vs {}±{}", m1, d, fraction);
+        prop_assert!(m1 <= d + fraction + 1e-12, "above band: {} vs {}±{}", m1, d, fraction);
+    }
+
+    /// Proportional errors scale with the true distance.
+    #[test]
+    fn proportional_band(d in 0.01f64..5.0, fraction in 0.0f64..0.9, seed in 0u64..50) {
+        let oracle = DistanceOracle::new(ErrorModel::Proportional { fraction }, 1.0, seed);
+        let m = oracle.measure(1, 2, d);
+        prop_assert!(m >= d * (1.0 - fraction) - 1e-12);
+        prop_assert!(m <= d * (1.0 + fraction) + 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! Breadth-first search machinery: hop distances, subset-restricted
+//! deterministic shortest paths, depth-limited reachability.
+//!
+//! The surface-construction steps of the paper repeatedly route packets
+//! "through the shortest path based on the identified boundary nodes only";
+//! all such paths here are computed by BFS *restricted to a node predicate*
+//! with a deterministic minimum-ID parent rule so that distributed and
+//! centralized executions pick identical paths.
+
+use std::collections::VecDeque;
+
+use crate::topology::{NodeId, Topology};
+
+/// Hop distances from `source` to every node, visiting only nodes that
+/// satisfy `allowed` (the source is always visited). `None` marks nodes
+/// that are unreachable or excluded.
+pub fn hop_distances<F: Fn(NodeId) -> bool>(
+    topo: &Topology,
+    source: NodeId,
+    allowed: F,
+) -> Vec<Option<u32>> {
+    let mut dist = vec![None; topo.len()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in topo.neighbors(u) {
+            if dist[v].is_none() && allowed(v) {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source hop distances: for every node, the distance to the nearest
+/// source and the ID of that source, ties broken toward the smaller source
+/// ID (the paper's landmark-association tiebreak). Only nodes satisfying
+/// `allowed` are traversed; sources are always included.
+///
+/// Returns `(distance, owner)` per node, `None` if unreachable.
+pub fn multi_source_hops<F: Fn(NodeId) -> bool>(
+    topo: &Topology,
+    sources: &[NodeId],
+    allowed: F,
+) -> Vec<Option<(u32, NodeId)>> {
+    let mut best: Vec<Option<(u32, NodeId)>> = vec![None; topo.len()];
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut queue = VecDeque::new();
+    for &s in &sorted {
+        if best[s].is_none() {
+            best[s] = Some((0, s));
+            queue.push_back(s);
+        }
+    }
+    // BFS layer by layer; because sources are seeded in ascending ID order
+    // and neighbor lists are sorted, the first label a node receives is the
+    // (min distance, min owner-ID) pair.
+    while let Some(u) = queue.pop_front() {
+        let (du, owner) = best[u].expect("queued nodes are labeled");
+        for &v in topo.neighbors(u) {
+            if best[v].is_none() && allowed(v) {
+                best[v] = Some((du + 1, owner));
+                queue.push_back(v);
+            }
+        }
+    }
+    best
+}
+
+/// Deterministic shortest path from `from` to `to`, traversing only nodes
+/// that satisfy `allowed` (endpoints are always allowed). Among equal-length
+/// paths the minimum-ID parent is chosen at every step, making the result
+/// unique and identical across executions.
+///
+/// Returns the node sequence including both endpoints, or `None` if `to` is
+/// unreachable.
+pub fn shortest_path<F: Fn(NodeId) -> bool>(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    allowed: F,
+) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; topo.len()];
+    let mut dist: Vec<Option<u32>> = vec![None; topo.len()];
+    dist[from] = Some(0);
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            break;
+        }
+        let du = dist[u].expect("queued nodes have distances");
+        // Sorted neighbor order ⇒ the first parent that discovers a node is
+        // the min-ID parent among the previous BFS layer.
+        for &v in topo.neighbors(u) {
+            if dist[v].is_none() && (v == to || allowed(v)) {
+                dist[v] = Some(du + 1);
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist[to]?;
+    let mut path = vec![to];
+    let mut cur = to;
+    while let Some(p) = parent[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], from);
+    Some(path)
+}
+
+/// All nodes within `max_hops` of `source` (excluding `source` itself),
+/// traversing only nodes satisfying `allowed`. Result is sorted.
+pub fn nodes_within<F: Fn(NodeId) -> bool>(
+    topo: &Topology,
+    source: NodeId,
+    max_hops: u32,
+    allowed: F,
+) -> Vec<NodeId> {
+    let mut dist = vec![None; topo.len()];
+    dist[source] = Some(0u32);
+    let mut queue = VecDeque::from([source]);
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        if du == max_hops {
+            continue;
+        }
+        for &v in topo.neighbors(u) {
+            if dist[v].is_none() && allowed(v) {
+                dist[v] = Some(du + 1);
+                out.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3 path plus a 0-4-3 shortcut through higher-ID nodes.
+    fn diamond() -> Topology {
+        Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)])
+    }
+
+    #[test]
+    fn hop_distance_basics() {
+        let t = diamond();
+        let d = hop_distances(&t, 0, |_| true);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], Some(2)); // via 4
+        assert_eq!(d[2], Some(2));
+    }
+
+    #[test]
+    fn restriction_blocks_paths() {
+        let t = diamond();
+        // Disallow node 4: distance to 3 becomes 3 via the chain.
+        let d = hop_distances(&t, 0, |n| n != 4);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+        // Disallow 1 and 4: node 3 unreachable.
+        let d = hop_distances(&t, 0, |n| n != 1 && n != 4);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn shortest_path_deterministic_min_id() {
+        // Two equal-length paths 0-1-3 and 0-2-3: must take min-ID parent 1.
+        let t = Topology::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = shortest_path(&t, 0, 3, |_| true).unwrap();
+        assert_eq!(p, vec![0, 1, 3]);
+        // And symmetric query likewise prefers the smaller intermediate.
+        let q = shortest_path(&t, 3, 0, |_| true).unwrap();
+        assert_eq!(q, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn shortest_path_respects_restriction() {
+        let t = Topology::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = shortest_path(&t, 0, 3, |n| n != 1).unwrap();
+        assert_eq!(p, vec![0, 2, 3]);
+        assert!(shortest_path(&t, 0, 3, |n| n != 1 && n != 2).is_none());
+    }
+
+    #[test]
+    fn shortest_path_trivial_cases() {
+        let t = diamond();
+        assert_eq!(shortest_path(&t, 2, 2, |_| false).unwrap(), vec![2]);
+        let p = shortest_path(&t, 0, 1, |_| false).unwrap();
+        assert_eq!(p, vec![0, 1]); // endpoints always allowed
+    }
+
+    #[test]
+    fn multi_source_ownership_tiebreak() {
+        // Node 2 is equidistant from sources 0 and 4 → owner must be 0.
+        let t = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let owners = multi_source_hops(&t, &[4, 0], |_| true);
+        assert_eq!(owners[0], Some((0, 0)));
+        assert_eq!(owners[4], Some((0, 4)));
+        assert_eq!(owners[1], Some((1, 0)));
+        assert_eq!(owners[3], Some((1, 4)));
+        assert_eq!(owners[2], Some((2, 0)), "tie must go to the smaller source ID");
+    }
+
+    #[test]
+    fn multi_source_respects_allowed() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let owners = multi_source_hops(&t, &[0], |n| n != 2);
+        assert_eq!(owners[1], Some((1, 0)));
+        assert_eq!(owners[2], None);
+        assert_eq!(owners[3], None);
+    }
+
+    #[test]
+    fn nodes_within_depth() {
+        let t = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(nodes_within(&t, 0, 1, |_| true), vec![1]);
+        assert_eq!(nodes_within(&t, 0, 2, |_| true), vec![1, 2]);
+        assert_eq!(nodes_within(&t, 0, 10, |_| true), vec![1, 2, 3, 4]);
+        assert_eq!(nodes_within(&t, 0, 0, |_| true), Vec::<usize>::new());
+        // Restriction cuts the chain.
+        assert_eq!(nodes_within(&t, 0, 10, |n| n != 2), vec![1]);
+    }
+}

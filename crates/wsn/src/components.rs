@@ -1,0 +1,91 @@
+//! Connected components, optionally restricted to a node subset.
+//!
+//! The paper groups boundary nodes into per-boundary sets by observing that
+//! nodes on the same boundary are connected through boundary nodes only
+//! (Sec. II-B); that is exactly a connected-components computation on the
+//! boundary-induced subgraph.
+
+use std::collections::VecDeque;
+
+use crate::topology::{NodeId, Topology};
+
+/// Connected components of the subgraph induced by the nodes satisfying
+/// `member`. Each component is a sorted vector; components are ordered by
+/// their smallest node ID.
+pub fn components_of<F: Fn(NodeId) -> bool>(topo: &Topology, member: F) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; topo.len()];
+    let mut components = Vec::new();
+    for start in 0..topo.len() {
+        if seen[start] || !member(start) {
+            continue;
+        }
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        let mut comp = vec![];
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in topo.neighbors(u) {
+                if !seen[v] && member(v) {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Per-node component labels for the subgraph induced by `member`:
+/// `labels[i] = Some(c)` where `c` is the index of the component containing
+/// `i` in [`components_of`] order, `None` for non-members.
+pub fn component_labels<F: Fn(NodeId) -> bool>(topo: &Topology, member: F) -> Vec<Option<usize>> {
+    let comps = components_of(topo, member);
+    let mut labels = vec![None; topo.len()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &n in comp {
+            labels[n] = Some(ci);
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_graph_components() {
+        let t = Topology::from_edges(5, &[(0, 1), (2, 3)]);
+        let comps = components_of(&t, |_| true);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn restricted_components_split_through_excluded_nodes() {
+        // 0-1-2 chain; excluding 1 splits {0} and {2}.
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let comps = components_of(&t, |n| n != 1);
+        assert_eq!(comps, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn labels_match_components() {
+        let t = Topology::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let labels = component_labels(&t, |n| n != 2);
+        assert_eq!(labels[0], Some(0));
+        assert_eq!(labels[1], Some(0));
+        assert_eq!(labels[2], None);
+        assert_eq!(labels[3], Some(1));
+        assert_eq!(labels[4], Some(1));
+        assert_eq!(labels[5], Some(2));
+    }
+
+    #[test]
+    fn empty_membership() {
+        let t = Topology::from_edges(3, &[(0, 1)]);
+        assert!(components_of(&t, |_| false).is_empty());
+        assert_eq!(component_labels(&t, |_| false), vec![None, None, None]);
+    }
+}

@@ -1,0 +1,178 @@
+//! TTL-scoped flooding over a node subset.
+//!
+//! This is the communication primitive behind the paper's Isolated Fragment
+//! Filtering (Sec. II-B): every boundary candidate initiates a flood with
+//! TTL `T` that only other candidates forward; counting distinct received
+//! origins tells each candidate the size of its boundary fragment.
+//!
+//! Two executions are provided:
+//! * [`FragmentFlood`] — a genuine localized protocol for the round engine
+//!   of [`crate::sim`], with full message accounting;
+//! * [`fragment_sizes`] — the centralized equivalent (depth-limited BFS per
+//!   member), used by large experiment sweeps.
+//!
+//! Integration tests in the `ballfit` crate assert the two agree.
+
+use std::collections::BTreeSet;
+
+use crate::bfs;
+use crate::sim::{Ctx, Protocol};
+use crate::topology::{NodeId, Topology};
+
+/// Centralized-equivalent of the scoped flood: for every node `i` with
+/// `member(i)`, the number of *distinct members within `ttl` hops in the
+/// member-induced subgraph, counting `i` itself* — i.e. the fragment size
+/// as observable by `i`. Non-members get 0.
+pub fn fragment_sizes<F: Fn(NodeId) -> bool>(
+    topo: &Topology,
+    ttl: u32,
+    member: F,
+) -> Vec<usize> {
+    let mut sizes = vec![0usize; topo.len()];
+    for i in 0..topo.len() {
+        if !member(i) {
+            continue;
+        }
+        let reached = bfs::nodes_within(topo, i, ttl, &member);
+        // `nodes_within` already restricts traversal to members and
+        // excludes the source; add 1 for the node itself.
+        sizes[i] = reached.len() + 1;
+    }
+    sizes
+}
+
+/// Message of the fragment flood: `(origin, remaining_ttl)`.
+pub type FloodMsg = (NodeId, u32);
+
+/// Localized scoped-flooding protocol (one instance per node).
+///
+/// Members originate a token with the configured TTL; every member forwards
+/// each *new* origin it sees with a decremented TTL. After quiescence,
+/// [`FragmentFlood::fragment_size`] returns the number of distinct origins
+/// seen (including the node's own), matching [`fragment_sizes`].
+#[derive(Debug, Clone)]
+pub struct FragmentFlood {
+    member: bool,
+    ttl: u32,
+    seen: BTreeSet<NodeId>,
+}
+
+impl FragmentFlood {
+    /// Creates the per-node state. `member` marks boundary candidates;
+    /// `ttl` is the paper's `T`.
+    pub fn new(member: bool, ttl: u32) -> Self {
+        FragmentFlood { member, ttl, seen: BTreeSet::new() }
+    }
+
+    /// Distinct origins seen, counting the node itself; 0 for non-members.
+    pub fn fragment_size(&self) -> usize {
+        if self.member {
+            self.seen.len()
+        } else {
+            0
+        }
+    }
+}
+
+impl Protocol for FragmentFlood {
+    type Msg = FloodMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return;
+        }
+        let me = ctx.node();
+        self.seen.insert(me);
+        if self.ttl > 0 {
+            ctx.broadcast((me, self.ttl - 1));
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return; // non-boundary nodes do not forward (paper, Sec. II-B)
+        }
+        let (origin, ttl) = *msg;
+        if self.seen.insert(origin) && ttl > 0 {
+            ctx.broadcast((origin, ttl - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn run_flood(topo: &Topology, members: &[bool], ttl: u32) -> (Vec<usize>, u64) {
+        let mut sim = Simulator::new(topo, |id| FragmentFlood::new(members[id], ttl));
+        let stats = sim.run(ttl as usize + 2);
+        assert!(stats.quiescent, "flood must terminate within TTL rounds");
+        let sizes = (0..topo.len()).map(|i| sim.node(i).fragment_size()).collect();
+        (sizes, stats.messages)
+    }
+
+    #[test]
+    fn protocol_matches_centralized_on_chain() {
+        // members: 0,1,2,4 — node 3 breaks the chain.
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let members = [true, true, true, false, true];
+        for ttl in 0..4 {
+            let (proto, _) = run_flood(&topo, &members, ttl);
+            let central = fragment_sizes(&topo, ttl, |n| members[n]);
+            assert_eq!(proto, central, "ttl={ttl}");
+        }
+        // Sanity: with ttl≥2 the {0,1,2} fragment is fully visible.
+        let central = fragment_sizes(&topo, 2, |n| members[n]);
+        assert_eq!(central, vec![3, 3, 3, 0, 1]);
+    }
+
+    #[test]
+    fn ttl_zero_sees_only_self() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let (sizes, messages) = run_flood(&topo, &[true, true, true], 0);
+        assert_eq!(sizes, vec![1, 1, 1]);
+        assert_eq!(messages, 0);
+    }
+
+    #[test]
+    fn non_members_do_not_forward_or_count() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let (sizes, _) = run_flood(&topo, &[true, false, true], 5);
+        assert_eq!(sizes, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn message_count_is_bounded_by_fragment_and_degree() {
+        // Complete-ish member subgraph: each of m members forwards each of m
+        // origins at most once → messages ≤ m² · max_degree.
+        let topo = Topology::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let members = [true, true, true, true];
+        let (sizes, messages) = run_flood(&topo, &members, 3);
+        assert_eq!(sizes, vec![4, 4, 4, 4]);
+        assert!(messages <= 16 * 3, "messages = {messages}");
+    }
+
+    #[test]
+    fn centralized_matches_protocol_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = 30;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.12) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let topo = Topology::from_edges(n, &edges);
+            let members: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.6)).collect();
+            let ttl = rng.gen_range(0..4);
+            let (proto, _) = run_flood(&topo, &members, ttl);
+            let central = fragment_sizes(&topo, ttl, |i| members[i]);
+            assert_eq!(proto, central);
+        }
+    }
+}

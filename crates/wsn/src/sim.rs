@@ -1,0 +1,305 @@
+//! Synchronous round-based message-passing simulator.
+//!
+//! The paper's algorithms are stated as localized protocols: nodes exchange
+//! messages with radio neighbors and act on local state. This engine
+//! executes such protocols faithfully:
+//!
+//! * Every node runs an instance of a [`Protocol`] (its per-node state).
+//! * Time advances in synchronous rounds; a message sent in round `r` is
+//!   delivered at the start of round `r + 1`.
+//! * Only radio neighbors can exchange messages — sending to a non-neighbor
+//!   is rejected, which *enforces* the paper's locality claim in tests.
+//! * Every message is counted, so message-complexity claims (IFF's `O(1)`
+//!   scoped flooding, CDM's path probes) are measurable.
+//!
+//! Delivery order within a round is deterministic (sorted by destination,
+//! then source, then send order), so protocol runs are reproducible.
+
+use crate::topology::{NodeId, Topology};
+
+/// Per-node protocol behaviour. One instance exists per node; the engine
+/// invokes the callbacks with a [`Ctx`] through which messages are sent.
+pub trait Protocol {
+    /// Message type exchanged between neighbors.
+    type Msg: Clone;
+
+    /// Called once for every node before round 0.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called once per delivered message.
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called at the end of each round (after all deliveries), e.g. to
+    /// aggregate or to trigger the next phase. Default: no-op.
+    fn on_round_end(&mut self, _round: usize, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Whether this node still needs rounds to advance even with no
+    /// messages in flight (phase-synchronous protocols count rounds as a
+    /// clock). The engine only declares quiescence when no messages are
+    /// pending *and* no node wants a tick. Default: `false`.
+    fn wants_tick(&self) -> bool {
+        false
+    }
+}
+
+/// Send-side context handed to protocol callbacks.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    node: NodeId,
+    neighbors: &'a [NodeId],
+    outbox: &'a mut Vec<(NodeId, NodeId, M)>,
+    sent: &'a mut u64,
+}
+
+impl<M: Clone> Ctx<'_, M> {
+    /// The node this context belongs to.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's radio neighbors (sorted).
+    #[inline]
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Sends `msg` to neighbor `to` (delivered next round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a radio neighbor — localized protocols must
+    /// not talk past one hop.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "node {} attempted to send to non-neighbor {} — protocol is not localized",
+            self.node,
+            to
+        );
+        *self.sent += 1;
+        self.outbox.push((self.node, to, msg));
+    }
+
+    /// Broadcasts `msg` to every neighbor (counted as one message per
+    /// neighbor, the radio-agnostic upper bound).
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            *self.sent += 1;
+            self.outbox.push((self.node, to, msg.clone()));
+        }
+    }
+}
+
+/// Statistics from a protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of rounds executed (message-delivery rounds).
+    pub rounds: usize,
+    /// Total messages sent across all nodes and rounds.
+    pub messages: u64,
+    /// `true` if the run stopped because no messages were in flight.
+    pub quiescent: bool,
+}
+
+/// The simulation engine: a topology plus one protocol instance per node.
+#[derive(Debug)]
+pub struct Simulator<'t, P: Protocol> {
+    topo: &'t Topology,
+    nodes: Vec<P>,
+}
+
+impl<'t, P: Protocol> Simulator<'t, P> {
+    /// Creates a simulator, constructing per-node state with `init`.
+    pub fn new<F: FnMut(NodeId) -> P>(topo: &'t Topology, mut init: F) -> Self {
+        let nodes = (0..topo.len()).map(&mut init).collect();
+        Simulator { topo, nodes }
+    }
+
+    /// Runs the protocol until quiescence or `max_rounds`, whichever comes
+    /// first. Returns run statistics; inspect per-node outcomes via
+    /// [`Simulator::node`] / [`Simulator::into_nodes`].
+    pub fn run(&mut self, max_rounds: usize) -> RunStats {
+        let mut sent: u64 = 0;
+        let mut inflight: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+
+        // Start phase.
+        for id in 0..self.nodes.len() {
+            let mut ctx = Ctx {
+                node: id,
+                neighbors: self.topo.neighbors(id),
+                outbox: &mut inflight,
+                sent: &mut sent,
+            };
+            self.nodes[id].on_start(&mut ctx);
+        }
+
+        let mut rounds = 0;
+        while rounds < max_rounds {
+            if inflight.is_empty() && !self.nodes.iter().any(Protocol::wants_tick) {
+                return RunStats { rounds, messages: sent, quiescent: true };
+            }
+            rounds += 1;
+            // Deterministic delivery order.
+            let mut deliveries = std::mem::take(&mut inflight);
+            deliveries.sort_by_key(|&(from, to, _)| (to, from));
+            for (from, to, msg) in &deliveries {
+                let mut ctx = Ctx {
+                    node: *to,
+                    neighbors: self.topo.neighbors(*to),
+                    outbox: &mut inflight,
+                    sent: &mut sent,
+                };
+                self.nodes[*to].on_message(*from, msg, &mut ctx);
+            }
+            for id in 0..self.nodes.len() {
+                let mut ctx = Ctx {
+                    node: id,
+                    neighbors: self.topo.neighbors(id),
+                    outbox: &mut inflight,
+                    sent: &mut sent,
+                };
+                self.nodes[id].on_round_end(rounds - 1, &mut ctx);
+            }
+        }
+        let quiescent = inflight.is_empty() && !self.nodes.iter().any(Protocol::wants_tick);
+        RunStats { rounds, messages: sent, quiescent }
+    }
+
+    /// Read access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id]
+    }
+
+    /// Consumes the simulator, yielding all per-node states.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each node learns the set of its 2-hop neighbors by re-broadcasting
+    /// its own neighbor list once — a miniature localized protocol.
+    #[derive(Debug, Default)]
+    struct TwoHop {
+        known: Vec<NodeId>,
+    }
+
+    impl Protocol for TwoHop {
+        type Msg = Vec<NodeId>;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            ctx.broadcast(ctx.neighbors().to_vec());
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+            let me = ctx.node();
+            for &n in msg {
+                if n != me && !self.known.contains(&n) {
+                    self.known.push(n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_discovery_on_a_path() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut sim = Simulator::new(&topo, |_| TwoHop::default());
+        let stats = sim.run(10);
+        assert!(stats.quiescent);
+        assert_eq!(stats.rounds, 1);
+        // 2·|E| messages: each node broadcasts its neighbor list once.
+        assert_eq!(stats.messages, 6);
+        // Node 0 receives node 1's neighbor list {0, 2} and filters itself.
+        let mut known0 = sim.node(0).known.clone();
+        known0.sort_unstable();
+        assert_eq!(known0, vec![2]);
+        // Node 1 receives {1} from node 0 (filtered) and {1, 3} from node 2.
+        let mut known1 = sim.node(1).known.clone();
+        known1.sort_unstable();
+        assert_eq!(known1, vec![3]);
+    }
+
+    /// A protocol that relays a token down a chain, one hop per round.
+    #[derive(Debug)]
+    struct Relay {
+        seen: bool,
+    }
+
+    impl Protocol for Relay {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.node() == 0 {
+                self.seen = true;
+                ctx.broadcast(());
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: &(), ctx: &mut Ctx<'_, Self::Msg>) {
+            if !self.seen {
+                self.seen = true;
+                ctx.broadcast(());
+            }
+        }
+    }
+
+    #[test]
+    fn relay_takes_one_round_per_hop() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run(100);
+        assert!(stats.quiescent);
+        // 4 hops then one round where node 4's broadcast dies out: ≥ 5 rounds.
+        assert!(stats.rounds >= 4, "rounds = {}", stats.rounds);
+        for id in 0..5 {
+            assert!(sim.node(id).seen, "node {id} never saw the token");
+        }
+    }
+
+    #[test]
+    fn max_rounds_truncates() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run(2);
+        assert!(!stats.quiescent);
+        assert_eq!(stats.rounds, 2);
+        assert!(!sim.node(4).seen);
+    }
+
+    /// Sending to a non-neighbor must panic — locality enforcement.
+    #[derive(Debug)]
+    struct Cheater;
+
+    impl Protocol for Cheater {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.node() == 0 {
+                ctx.send(2, ()); // 2 is two hops away
+            }
+        }
+        fn on_message(&mut self, _: NodeId, _: &(), _: &mut Ctx<'_, Self::Msg>) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "not localized")]
+    fn non_neighbor_send_panics() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut sim = Simulator::new(&topo, |_| Cheater);
+        sim.run(1);
+    }
+
+    #[test]
+    fn empty_network_is_quiescent() {
+        let topo = Topology::from_edges(0, &[]);
+        let mut sim = Simulator::new(&topo, |_| Cheater);
+        let stats = sim.run(5);
+        assert!(stats.quiescent);
+        assert_eq!(stats.messages, 0);
+    }
+}

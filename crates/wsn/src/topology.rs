@@ -1,0 +1,266 @@
+//! Immutable network connectivity graphs.
+
+use ballfit_geom::grid::SpatialGrid;
+use ballfit_geom::Vec3;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Index type for network nodes.
+pub type NodeId = usize;
+
+/// An immutable undirected connectivity graph over `n` nodes.
+///
+/// Neighbor lists are sorted, deduplicated and symmetric by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Topology {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+/// Summary statistics over nodal degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+impl Topology {
+    /// Builds a topology from node positions and a radio transmission
+    /// `range` (unit-disk graph in 3D: nodes within `range` are neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive and finite.
+    pub fn from_positions(positions: &[Vec3], range: f64) -> Self {
+        assert!(range.is_finite() && range > 0.0, "radio range must be positive");
+        if positions.is_empty() {
+            return Topology { adjacency: Vec::new(), edge_count: 0 };
+        }
+        let grid = SpatialGrid::build(positions, range);
+        let adjacency = grid.adjacency(positions, range);
+        let edge_count = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
+        Topology { adjacency, edge_count }
+    }
+
+    /// Builds a topology from explicit undirected edges over `n` nodes.
+    /// Duplicate edges and both orientations are tolerated; self-loops are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n` or is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} nodes");
+            assert!(a != b, "self-loop at node {a}");
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let edge_count = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
+        Topology { adjacency, edge_count }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sorted neighbor list of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node]
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// Returns `true` if `a` and `b` are radio neighbors.
+    #[inline]
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// The closed neighborhood of `node`: itself plus its neighbors,
+    /// sorted. This is the paper's `N(i)`.
+    pub fn closed_neighborhood(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.degree(node) + 1);
+        let mut inserted_self = false;
+        for &nb in &self.adjacency[node] {
+            if !inserted_self && nb > node {
+                out.push(node);
+                inserted_self = true;
+            }
+            out.push(nb);
+        }
+        if !inserted_self {
+            out.push(node);
+        }
+        out
+    }
+
+    /// The closed `k`-hop neighborhood of `node`: all nodes within `k`
+    /// hops including `node` itself, sorted. `k = 1` equals
+    /// [`Topology::closed_neighborhood`].
+    pub fn closed_k_hop_neighborhood(&self, node: NodeId, k: u32) -> Vec<NodeId> {
+        let mut members = crate::bfs::nodes_within(self, node, k, |_| true);
+        let insert_at = members.binary_search(&node).err().expect("self not in result");
+        members.insert(insert_at, node);
+        members
+    }
+
+    /// Degree statistics over all nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty topology.
+    pub fn degree_stats(&self) -> DegreeStats {
+        assert!(!self.is_empty(), "degree stats of an empty topology");
+        let degrees = self.adjacency.iter().map(Vec::len);
+        let min = degrees.clone().min().unwrap();
+        let max = degrees.clone().max().unwrap();
+        let mean = degrees.sum::<usize>() as f64 / self.len() as f64;
+        DegreeStats { min, max, mean }
+    }
+
+    /// Hop distances from `source` via BFS; `None` for unreachable nodes.
+    pub fn hop_distances(&self, source: NodeId) -> Vec<Option<u32>> {
+        crate::bfs::hop_distances(self, source, |_| true)
+    }
+
+    /// `true` if every node is reachable from node 0 (or the graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.hop_distances(0).iter().all(Option::is_some)
+    }
+
+    /// Nodes with no neighbors.
+    pub fn isolated_nodes(&self) -> Vec<NodeId> {
+        (0..self.len()).filter(|&i| self.degree(i) == 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> Topology {
+        Topology::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn from_positions_unit_disk() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(0.9, 0.0, 0.0),
+            Vec3::new(1.8, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+        ];
+        let t = Topology::from_positions(&pts, 1.0);
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.neighbors(3), &[] as &[usize]);
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.isolated_nodes(), vec![3]);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn from_edges_dedup_and_symmetry() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.are_neighbors(0, 1));
+        assert!(t.are_neighbors(1, 0));
+        assert!(!t.are_neighbors(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Topology::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn closed_neighborhood_sorted_with_self() {
+        let t = Topology::from_edges(4, &[(2, 0), (2, 3), (2, 1)]);
+        assert_eq!(t.closed_neighborhood(2), vec![0, 1, 2, 3]);
+        assert_eq!(t.closed_neighborhood(0), vec![0, 2]);
+        let iso = Topology::from_edges(1, &[]);
+        assert_eq!(iso.closed_neighborhood(0), vec![0]);
+    }
+
+    #[test]
+    fn k_hop_neighborhoods() {
+        let t = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(t.closed_k_hop_neighborhood(0, 1), t.closed_neighborhood(0));
+        assert_eq!(t.closed_k_hop_neighborhood(0, 2), vec![0, 1, 2]);
+        assert_eq!(t.closed_k_hop_neighborhood(2, 2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.closed_k_hop_neighborhood(0, 0), vec![0]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let s = t.degree_stats();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_and_hops() {
+        let t = line3();
+        assert!(t.is_connected());
+        let d = t.hop_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::from_positions(&[], 1.0);
+        assert!(t.is_empty());
+        assert!(t.is_connected());
+        assert_eq!(t.len(), 0);
+    }
+}

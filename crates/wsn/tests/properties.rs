@@ -1,0 +1,148 @@
+//! Property-based tests for the network substrate.
+
+use ballfit_wsn::bfs::{hop_distances, multi_source_hops, nodes_within, shortest_path};
+use ballfit_wsn::components::components_of;
+use ballfit_wsn::flood::{fragment_sizes, FragmentFlood};
+use ballfit_wsn::sim::Simulator;
+use ballfit_wsn::Topology;
+use proptest::prelude::*;
+
+fn graph(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..(3 * n))
+        .prop_map(|pairs| pairs.into_iter().filter(|&(a, b)| a != b).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hop distances satisfy the BFS triangle property along edges.
+    #[test]
+    fn hop_distance_edge_consistency(edges in graph(25), src in 0usize..25) {
+        let topo = Topology::from_edges(25, &edges);
+        let d = hop_distances(&topo, src, |_| true);
+        prop_assert_eq!(d[src], Some(0));
+        for a in 0..25 {
+            if let Some(da) = d[a] {
+                for &b in topo.neighbors(a) {
+                    let db = d[b].expect("neighbor of reachable node is reachable");
+                    prop_assert!(db <= da + 1 && da <= db + 1);
+                }
+            }
+        }
+    }
+
+    /// Shortest paths are consistent with hop distances, and every path
+    /// node (except endpoints) satisfies the predicate.
+    #[test]
+    fn shortest_path_optimality(
+        edges in graph(20),
+        src in 0usize..20,
+        dst in 0usize..20,
+        banned in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let topo = Topology::from_edges(20, &edges);
+        let allowed = |n: usize| !banned[n];
+        let path = shortest_path(&topo, src, dst, allowed);
+        let dist = {
+            let mut d = hop_distances(&topo, src, |n| n == dst || allowed(n));
+            if src == dst { d[src] = Some(0); }
+            d[dst]
+        };
+        match (path, dist) {
+            (Some(p), Some(d)) => {
+                prop_assert_eq!(p.len() as u32, d + 1, "path length vs distance");
+                prop_assert_eq!(p[0], src);
+                prop_assert_eq!(*p.last().unwrap(), dst);
+                for w in p.windows(2) {
+                    prop_assert!(topo.are_neighbors(w[0], w[1]));
+                }
+                if p.len() >= 2 {
+                    for &n in &p[1..p.len() - 1] {
+                        prop_assert!(allowed(n), "path visits banned node {}", n);
+                    }
+                }
+            }
+            (None, None) => {}
+            (p, d) => prop_assert!(false, "path {:?} vs dist {:?} disagree", p, d),
+        }
+    }
+
+    /// Multi-source labels agree with per-source BFS minima.
+    #[test]
+    fn multi_source_is_min_of_singles(
+        edges in graph(18),
+        sources in proptest::collection::btree_set(0usize..18, 1..5),
+    ) {
+        let topo = Topology::from_edges(18, &edges);
+        let srcs: Vec<usize> = sources.into_iter().collect();
+        let combined = multi_source_hops(&topo, &srcs, |_| true);
+        let singles: Vec<Vec<Option<u32>>> =
+            srcs.iter().map(|&s| hop_distances(&topo, s, |_| true)).collect();
+        for n in 0..18 {
+            let best: Option<(u32, usize)> = srcs
+                .iter()
+                .enumerate()
+                .filter_map(|(si, &s)| singles[si][n].map(|d| (d, s)))
+                .min();
+            prop_assert_eq!(combined[n], best, "node {}", n);
+        }
+    }
+
+    /// `nodes_within` at max TTL equals the reachable set minus source.
+    #[test]
+    fn nodes_within_limits(edges in graph(20), src in 0usize..20, ttl in 0u32..5) {
+        let topo = Topology::from_edges(20, &edges);
+        let within = nodes_within(&topo, src, ttl, |_| true);
+        let d = hop_distances(&topo, src, |_| true);
+        for n in 0..20 {
+            let expected = n != src && matches!(d[n], Some(x) if x <= ttl);
+            prop_assert_eq!(within.binary_search(&n).is_ok(), expected, "node {}", n);
+        }
+    }
+
+    /// Components partition the member set and are pairwise non-adjacent.
+    #[test]
+    fn components_partition(
+        edges in graph(22),
+        members in proptest::collection::vec(any::<bool>(), 22),
+    ) {
+        let topo = Topology::from_edges(22, &edges);
+        let comps = components_of(&topo, |n| members[n]);
+        let mut label = vec![None; 22];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &m in comp {
+                prop_assert!(members[m]);
+                prop_assert!(label[m].is_none());
+                label[m] = Some(ci);
+            }
+        }
+        for (a, b) in topo
+            .neighbors(0)
+            .iter()
+            .map(|&b| (0, b))
+            .chain(edges.iter().copied())
+        {
+            if members[a] && members[b] {
+                prop_assert_eq!(label[a], label[b], "adjacent members split");
+            }
+        }
+    }
+
+    /// The flooding protocol equals centralized fragment sizes on random
+    /// graphs and memberships.
+    #[test]
+    fn flood_protocol_equivalence(
+        edges in graph(16),
+        members in proptest::collection::vec(any::<bool>(), 16),
+        ttl in 0u32..4,
+    ) {
+        let topo = Topology::from_edges(16, &edges);
+        let mut sim = Simulator::new(&topo, |id| FragmentFlood::new(members[id], ttl));
+        let stats = sim.run(ttl as usize + 2);
+        prop_assert!(stats.quiescent);
+        let central = fragment_sizes(&topo, ttl, |n| members[n]);
+        for i in 0..16 {
+            prop_assert_eq!(sim.node(i).fragment_size(), central[i], "node {}", i);
+        }
+    }
+}

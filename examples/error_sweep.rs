@@ -1,0 +1,53 @@
+//! A miniature version of the paper's Fig. 11 error sweep: detection
+//! quality from 0% to 100% distance-measurement error on a small sphere
+//! network, printed as a table.
+//!
+//! ```sh
+//! cargo run --release --example error_sweep
+//! ```
+
+use ballfit::Pipeline;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_repro::{format_table, pct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(300)
+        .interior_nodes(550)
+        .target_degree(16.0)
+        .seed(4)
+        .build()?;
+    println!(
+        "sphere network: {} nodes, {} ground-truth boundary nodes\n",
+        model.len(),
+        model.surface_count()
+    );
+
+    let mut rows = vec![vec![
+        "error".to_string(),
+        "found".to_string(),
+        "correct".to_string(),
+        "mistaken".to_string(),
+        "missing".to_string(),
+        "recall".to_string(),
+        "mistaken ≤2 hops".to_string(),
+    ]];
+    for error in [0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let result = Pipeline::paper(error, 1).run(&model);
+        let s = &result.stats;
+        let (m1, m2, _, _) = s.mistaken_hops.fractions();
+        rows.push(vec![
+            format!("{error}%"),
+            s.found.to_string(),
+            s.correct.to_string(),
+            s.mistaken.to_string(),
+            s.missing.to_string(),
+            pct(s.recall()),
+            if s.mistaken == 0 { "-".into() } else { pct(m1 + m2) },
+        ]);
+    }
+    println!("{}", format_table(&rows));
+    println!("(the paper reports near-perfect detection below ~30% error,\n with mistaken nodes concentrated within 1–2 hops of the true boundary)");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Interior-hole discovery (the paper's Figs. 7–8 motif): a space network
+//! whose sensors drifted away from two pockets. The pipeline must report
+//! three separate boundaries — the outer hull and one per hole — without
+//! any global information.
+//!
+//! ```sh
+//! cargo run --release --example hole_discovery
+//! ```
+
+use ballfit::Pipeline;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = NetworkBuilder::new(Scenario::SpaceTwoHoles)
+        .surface_nodes(800)
+        .interior_nodes(1500)
+        .target_degree(18.5)
+        .seed(8)
+        .build()?;
+    println!(
+        "space network: {} nodes, avg degree {:.1}, expecting {} boundaries",
+        model.len(),
+        model.topology().degree_stats().mean,
+        model.scenario().expected_boundaries()
+    );
+
+    let result = Pipeline::paper(10, 2).run(&model);
+    println!("detection: {}", result.stats);
+    println!("boundary groups found: {}", result.detection.groups.len());
+
+    for (i, group) in result.detection.groups.iter().enumerate() {
+        // Identify which boundary this is by its centroid.
+        let centroid = ballfit_geom::vec3::centroid(
+            &group.iter().map(|&n| model.positions()[n]).collect::<Vec<_>>(),
+        );
+        let kind = if i == 0 { "outer hull" } else { "interior hole" };
+        println!(
+            "  group {i}: {} nodes, centroid ({:.1}, {:.1}, {:.1}) — likely {kind}",
+            group.len(),
+            centroid.x,
+            centroid.y,
+            centroid.z
+        );
+    }
+
+    for (i, surface) in result.surfaces.iter().enumerate() {
+        println!(
+            "  mesh {i}: {} landmarks, {} faces, Euler {} (sphere-like boundaries give 2)",
+            surface.stats.landmarks, surface.stats.faces, surface.stats.euler
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Applications on the constructed boundary surface (the paper's
+//! motivation for building 2-manifold meshes): greedy geographic routing
+//! and balanced surface partition.
+//!
+//! ```sh
+//! cargo run --release --example surface_applications
+//! ```
+
+use ballfit::applications::partition::partition_surface;
+use ballfit::applications::routing::{evaluate_routing, GreedyRouter};
+use ballfit::Pipeline;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(500)
+        .interior_nodes(900)
+        .target_degree(18.5)
+        .seed(77)
+        .build()?;
+    let result = Pipeline::paper(10, 1).run(&model);
+    let surface = result.surfaces.first().expect("sphere boundary meshes");
+    println!(
+        "boundary mesh: {} landmarks, {} faces, Euler {}",
+        surface.stats.landmarks, surface.stats.faces, surface.stats.euler
+    );
+
+    // Greedy geographic routing over the landmark mesh.
+    let router = GreedyRouter::new(surface);
+    let stats = evaluate_routing(&router, 2000);
+    println!(
+        "greedy routing: {}/{} pairs delivered ({:.1}%), mean stretch {:.2}",
+        stats.delivered,
+        stats.pairs,
+        100.0 * stats.success_rate(),
+        stats.mean_stretch
+    );
+
+    // Partition the surface into 4 balanced regions.
+    let partition = partition_surface(surface, 4);
+    println!("partition into {} regions (imbalance {:.2}):", partition.regions(), partition.imbalance());
+    for r in 0..partition.regions() {
+        println!("  region {r}: {} landmarks (seed vertex {})", partition.members(r).len(), partition.seeds[r]);
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for the `ballfit` examples and integration tests.
+//!
+//! The real library lives in the workspace crates (`ballfit`,
+//! `ballfit-geom`, `ballfit-netgen`, `ballfit-wsn`, `ballfit-mds`); this
+//! root crate only hosts the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`, plus the small console
+//! formatting helpers they share.
+
+/// Renders rows as an aligned console table. The first row is treated as
+/// the header and separated by a rule.
+///
+/// # Example
+///
+/// ```
+/// let table = ballfit_repro::format_table(&[
+///     vec!["error".into(), "found".into()],
+///     vec!["0%".into(), "812".into()],
+/// ]);
+/// assert!(table.contains("error"));
+/// assert!(table.lines().count() >= 3);
+/// ```
+pub fn format_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let render = |row: &[String]| -> String {
+        row.iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&render(&rows[0]));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+    out.push('\n');
+    for row in &rows[1..] {
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["12345".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].ends_with("x"));
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(format_table(&[]), "");
+    }
+
+    #[test]
+    fn percentage() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

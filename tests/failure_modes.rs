@@ -1,0 +1,120 @@
+//! Integration: degraded and adversarial inputs are handled loudly and
+//! predictably (failure injection).
+
+use ballfit::config::{DetectorConfig, SurfaceConfig};
+use ballfit::detector::BoundaryDetector;
+use ballfit::surface::SurfaceBuilder;
+use ballfit::Pipeline;
+use ballfit_geom::Vec3;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_netgen::GenError;
+use ballfit_wsn::Topology;
+
+#[test]
+fn generator_rejects_disconnected_networks() {
+    let err = NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(30)
+        .interior_nodes(30)
+        .radio_range(0.05)
+        .seed(1)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, GenError::Disconnected { .. }));
+}
+
+#[test]
+fn pipeline_survives_a_disconnected_network_when_allowed() {
+    // Explicitly opting out of the connectivity check must not panic the
+    // pipeline; isolated nodes are degenerate and become boundary nodes.
+    let model = NetworkBuilder::new(Scenario::SolidBox)
+        .surface_nodes(60)
+        .interior_nodes(60)
+        .radio_range(0.8)
+        .require_connected(false)
+        .seed(2)
+        .build()
+        .unwrap();
+    let result = Pipeline::default().run(&model);
+    assert_eq!(result.detection.boundary.len(), model.len());
+}
+
+#[test]
+fn isolated_and_degenerate_nodes_are_boundary_by_default() {
+    // A 3-node path plus an isolated node, positions on a line: every
+    // neighborhood is degenerate (collinear or too small).
+    let positions = vec![
+        Vec3::ZERO,
+        Vec3::new(0.5, 0.0, 0.0),
+        Vec3::new(1.0, 0.0, 0.0),
+        Vec3::new(9.0, 9.0, 9.0),
+    ];
+    let topo = Topology::from_positions(&positions, 0.7);
+    let model = NetworkModel::from_parts(
+        Scenario::SolidBox,
+        0,
+        positions,
+        vec![true, true, true, true],
+        0.7,
+        topo,
+    );
+    let cfg = DetectorConfig {
+        iff: ballfit::config::IffConfig { theta: 1, ttl: 1 },
+        ..Default::default()
+    };
+    let detection = BoundaryDetector::new(cfg).detect(&model);
+    // Collinear neighborhoods yield no balls; default config flags them.
+    assert!(detection.boundary.iter().all(|&b| b), "{:?}", detection.boundary);
+}
+
+#[test]
+fn duplicate_positions_do_not_break_detection() {
+    let mut positions = vec![Vec3::ZERO; 5];
+    positions.extend((0..40).map(|i| {
+        let t = i as f64 / 40.0 * std::f64::consts::TAU;
+        Vec3::new(t.cos(), t.sin(), (i % 5) as f64 * 0.2)
+    }));
+    let topo = Topology::from_positions(&positions, 1.2);
+    let model = NetworkModel::from_parts(
+        Scenario::SolidBox,
+        0,
+        positions.clone(),
+        vec![false; positions.len()],
+        1.2,
+        topo,
+    );
+    let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+    assert_eq!(detection.boundary.len(), positions.len());
+}
+
+#[test]
+fn surface_builder_handles_too_small_groups() {
+    let positions = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.0, 0.5, 0.0)];
+    let topo = Topology::from_positions(&positions, 1.0);
+    let model = NetworkModel::from_parts(
+        Scenario::SolidBox,
+        0,
+        positions,
+        vec![true, true, true],
+        1.0,
+        topo,
+    );
+    let builder = SurfaceBuilder::new(SurfaceConfig::default());
+    assert!(builder.build_group(&model, &[0, 1, 2]).is_none());
+}
+
+#[test]
+fn hundred_percent_error_never_panics() {
+    let model = NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(150)
+        .interior_nodes(250)
+        .target_degree(14.0)
+        .seed(3)
+        .build()
+        .unwrap();
+    for seed in 0..3 {
+        let result = Pipeline::paper(100, seed).run(&model);
+        assert_eq!(result.detection.boundary.len(), model.len());
+    }
+}

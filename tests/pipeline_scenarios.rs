@@ -1,0 +1,116 @@
+//! Integration: the full pipeline on every paper scenario, with asserted
+//! quality floors at 0% and 30% distance error.
+
+use ballfit::Pipeline;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+
+fn build(scenario: Scenario, seed: u64) -> NetworkModel {
+    // Hole scenarios span large shapes: they need enough surface nodes
+    // that each hole boundary exceeds the IFF fragment threshold (θ=20).
+    let (surface, interior) = match scenario {
+        Scenario::BendedPipe => (350, 550),
+        Scenario::SpaceOneHole | Scenario::SpaceTwoHoles => (900, 1400),
+        _ => (450, 750),
+    };
+    NetworkBuilder::new(scenario)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(17.0)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("{scenario}: generation failed: {e}"))
+}
+
+#[test]
+fn sphere_perfect_coordinates() {
+    let model = build(Scenario::SolidSphere, 1);
+    let result = Pipeline::default().run(&model);
+    assert!(result.stats.recall() > 0.9, "{}", result.stats);
+    assert!(result.stats.precision() > 0.8, "{}", result.stats);
+    assert_eq!(result.detection.groups.len(), 1);
+    assert_eq!(result.surfaces.len(), 1);
+    assert!(result.surfaces[0].stats.faces > 20);
+    assert_eq!(result.surfaces[0].stats.audit.non_manifold_edges, 0);
+}
+
+#[test]
+fn one_hole_finds_two_boundaries() {
+    let model = build(Scenario::SpaceOneHole, 2);
+    let result = Pipeline::paper(0, 1).run(&model);
+    assert!(result.stats.recall() > 0.8, "{}", result.stats);
+    assert_eq!(
+        result.detection.groups.len(),
+        2,
+        "expected outer hull + one hole, got {} groups",
+        result.detection.groups.len()
+    );
+    // The hole boundary is the smaller group and should still be meshable.
+    assert!(result.detection.groups[1].len() > 20);
+}
+
+#[test]
+fn two_holes_find_three_boundaries() {
+    let model = build(Scenario::SpaceTwoHoles, 3);
+    let result = Pipeline::paper(0, 1).run(&model);
+    assert!(result.stats.recall() > 0.8, "{}", result.stats);
+    assert_eq!(result.detection.groups.len(), 3, "outer + two holes");
+}
+
+#[test]
+fn underwater_boundary_detected() {
+    let model = build(Scenario::Underwater, 4);
+    let result = Pipeline::paper(0, 1).run(&model);
+    assert!(result.stats.recall() > 0.8, "{}", result.stats);
+    assert!(!result.surfaces.is_empty());
+}
+
+#[test]
+fn bended_pipe_boundary_detected() {
+    let model = build(Scenario::BendedPipe, 5);
+    let result = Pipeline::paper(0, 1).run(&model);
+    assert!(result.stats.recall() > 0.8, "{}", result.stats);
+    assert!(!result.surfaces.is_empty());
+}
+
+#[test]
+fn sphere_at_30_percent_error_stays_accurate() {
+    // The paper: "our algorithm performs almost perfectly to identify
+    // boundary nodes when the distance measurement error is less than 30%".
+    let model = build(Scenario::SolidSphere, 6);
+    let result = Pipeline::paper(30, 2).run(&model);
+    // Paper: "almost perfectly ... below 30%"; our knee sits at ~30%
+    // (see EXPERIMENTS.md), so the floor here is the knee value.
+    assert!(result.stats.recall() > 0.7, "{}", result.stats);
+    // Mistaken nodes stay within 3 hops of correctly identified ones.
+    if result.stats.mistaken > 0 {
+        let (f1, f2, f3, _) = result.stats.mistaken_hops.fractions();
+        assert!(f1 + f2 + f3 > 0.85, "mistaken nodes too far: {:?}", result.stats.mistaken_hops);
+    }
+}
+
+#[test]
+fn heavy_error_degrades_gracefully() {
+    let model = build(Scenario::SolidSphere, 7);
+    let light = Pipeline::paper(0, 3).run(&model);
+    let heavy = Pipeline::paper(100, 3).run(&model);
+    // Detection still produces something, and quality orders correctly.
+    assert!(heavy.stats.found > 0);
+    assert!(heavy.stats.recall() <= light.stats.recall() + 0.05);
+}
+
+#[test]
+fn missing_nodes_hug_detected_boundary() {
+    // Fig. 11(c): ~100% of missing nodes within 1 hop of a correct node.
+    let model = build(Scenario::SolidSphere, 8);
+    let result = Pipeline::paper(20, 4).run(&model);
+    if result.stats.missing > 0 {
+        let (f1, f2, _, _) = result.stats.missing_hops.fractions();
+        assert!(
+            f1 + f2 > 0.9,
+            "missing nodes should sit next to detected boundary: {:?}",
+            result.stats.missing_hops
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration: the message-passing protocol executions agree with the
+//! centralized-equivalent executors across the whole pipeline.
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::grouping::group_boundaries;
+use ballfit::iff::apply_iff;
+use ballfit::landmarks::elect_landmarks;
+use ballfit::protocols::{run_grouping_protocol, run_landmark_protocol, run_ubf_protocol};
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_wsn::flood::{fragment_sizes, FragmentFlood};
+use ballfit_wsn::sim::Simulator;
+
+fn model(seed: u64) -> ballfit_netgen::model::NetworkModel {
+    NetworkBuilder::new(Scenario::SpaceOneHole)
+        .surface_nodes(300)
+        .interior_nodes(420)
+        .target_degree(14.0)
+        .seed(seed)
+        .build()
+        .expect("model generates")
+}
+
+#[test]
+fn full_pipeline_protocols_agree_with_centralized() {
+    let model = model(101);
+    let cfg = DetectorConfig::paper(20, 9);
+    let central = BoundaryDetector::new(cfg).detect(&model);
+
+    // Phase 1: UBF.
+    let (ubf_flags, ubf_msgs) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+    assert_eq!(ubf_flags, central.candidates);
+    assert_eq!(ubf_msgs, 2 * model.topology().edge_count() as u64);
+
+    // Phase 2: IFF.
+    let mut sim = Simulator::new(model.topology(), |id| {
+        FragmentFlood::new(central.candidates[id], cfg.iff.ttl)
+    });
+    assert!(sim.run(cfg.iff.ttl as usize + 2).quiescent);
+    let sizes = fragment_sizes(model.topology(), cfg.iff.ttl, |n| central.candidates[n]);
+    for i in 0..model.len() {
+        assert_eq!(sim.node(i).fragment_size(), sizes[i]);
+    }
+    let boundary: Vec<bool> = (0..model.len())
+        .map(|i| central.candidates[i] && sim.node(i).fragment_size() >= cfg.iff.theta)
+        .collect();
+    assert_eq!(boundary, apply_iff(model.topology(), &central.candidates, &cfg.iff));
+    assert_eq!(boundary, central.boundary);
+
+    // Grouping.
+    let (labels, _) = run_grouping_protocol(model.topology(), &boundary);
+    let groups = group_boundaries(model.topology(), &boundary);
+    for group in &groups {
+        for &member in group {
+            assert_eq!(labels[member], Some(group[0]));
+        }
+    }
+
+    // Landmarks on every group that can mesh.
+    for group in groups.iter().filter(|g| g.len() >= 4) {
+        for k in [3u32, 4] {
+            let central_lm = elect_landmarks(model.topology(), group, k);
+            let (protocol_lm, _) = run_landmark_protocol(model.topology(), group, k);
+            assert_eq!(protocol_lm, central_lm, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn protocol_equivalence_across_error_levels() {
+    let model = model(202);
+    for error in [0u32, 40, 80] {
+        let cfg = DetectorConfig::paper(error, 5);
+        let central = BoundaryDetector::new(cfg).detect(&model);
+        let (flags, _) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+        assert_eq!(flags, central.candidates, "error={error}%");
+    }
+}

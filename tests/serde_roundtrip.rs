@@ -1,0 +1,70 @@
+//! Integration: models, meshes and statistics survive serde round trips
+//! (experiment results are persisted as JSON/CSV).
+
+use ballfit::metrics::DetectionStats;
+use ballfit::Pipeline;
+use ballfit_geom::mesh::TriMesh;
+use ballfit_geom::Vec3;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+
+fn model() -> NetworkModel {
+    NetworkBuilder::new(Scenario::SolidBox)
+        .surface_nodes(150)
+        .interior_nodes(250)
+        .target_degree(13.0)
+        .require_connected(false)
+        .seed(33)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn network_model_roundtrip() {
+    let m = model();
+    let json = serde_json::to_string(&m).expect("serialize model");
+    let back: NetworkModel = serde_json::from_str(&json).expect("deserialize model");
+    assert_eq!(back.len(), m.len());
+    assert_eq!(back.positions(), m.positions());
+    assert_eq!(back.is_surface(), m.is_surface());
+    assert_eq!(back.radio_range(), m.radio_range());
+    assert_eq!(back.topology(), m.topology());
+    assert_eq!(back.scenario(), m.scenario());
+    // The reconstructed shape must behave identically.
+    let p = Vec3::new(0.3, -0.2, 0.1);
+    assert_eq!(back.shape().distance(p), m.shape().distance(p));
+}
+
+#[test]
+fn mesh_roundtrip() {
+    let mesh = TriMesh::new(
+        vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+        vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]],
+    )
+    .unwrap();
+    let json = serde_json::to_string(&mesh).unwrap();
+    let back: TriMesh = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, mesh);
+    assert_eq!(back.euler_characteristic(), 2);
+}
+
+#[test]
+fn detection_stats_roundtrip() {
+    let m = model();
+    let result = Pipeline::default().run(&m);
+    let json = serde_json::to_string(&result.stats).unwrap();
+    let back: DetectionStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, result.stats);
+}
+
+#[test]
+fn surface_stats_roundtrip() {
+    let m = model();
+    let result = Pipeline::default().run(&m);
+    if let Some(surface) = result.surfaces.first() {
+        let json = serde_json::to_string(&surface.stats).unwrap();
+        let back: ballfit::surface::SurfaceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, surface.stats);
+    }
+}

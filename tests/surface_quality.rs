@@ -1,0 +1,105 @@
+//! Integration: quality of the constructed boundary surfaces — the
+//! paper's 2-manifold claims, checked end to end.
+
+use ballfit::config::{DetectorConfig, SurfaceConfig};
+use ballfit::detector::BoundaryDetector;
+use ballfit::surface::SurfaceBuilder;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::scenario::Scenario;
+
+fn sphere_detection() -> (ballfit_netgen::model::NetworkModel, ballfit::BoundaryDetection) {
+    let model = NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(700)
+        .interior_nodes(1200)
+        .target_degree(18.5)
+        .seed(77)
+        .build()
+        .unwrap();
+    let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+    (model, detection)
+}
+
+#[test]
+fn sphere_mesh_at_coarse_k_is_a_closed_manifold() {
+    let (model, detection) = sphere_detection();
+    let surfaces = SurfaceBuilder::new(SurfaceConfig { k: 5, ..Default::default() })
+        .build(&model, &detection);
+    assert_eq!(surfaces.len(), 1);
+    let s = &surfaces[0];
+    // The paper's headline property: a locally planarized 2-manifold.
+    assert_eq!(s.stats.audit.non_manifold_edges, 0, "{:?}", s.stats.audit);
+    assert!(
+        s.stats.audit.manifold_fraction() > 0.9,
+        "too many border edges: {:?}",
+        s.stats.audit
+    );
+    // Sphere topology when fully closed: Euler characteristic 2.
+    if s.stats.audit.is_closed_manifold() {
+        assert_eq!(s.stats.euler, 2);
+        assert_eq!(s.mesh.genus(), Some(0));
+    }
+}
+
+#[test]
+fn finer_k_more_landmarks_lower_deviation() {
+    let (model, detection) = sphere_detection();
+    let shape = model.shape();
+    let mut landmark_counts = Vec::new();
+    for k in [3u32, 4, 5] {
+        let surfaces = SurfaceBuilder::new(SurfaceConfig { k, ..Default::default() })
+            .build(&model, &detection);
+        let s = &surfaces[0];
+        landmark_counts.push(s.stats.landmarks);
+        // Mesh tracks the true sphere surface regardless of k.
+        assert!(
+            s.mesh.mean_abs_distance_to(&*shape) < 0.5,
+            "k={k}: mesh deviates too far"
+        );
+        // Every mesh face is a genuine empty clique: no face's edge may
+        // border more than two faces.
+        assert_eq!(s.stats.audit.non_manifold_edges, 0, "k={k}");
+    }
+    assert!(
+        landmark_counts[0] > landmark_counts[1] && landmark_counts[1] > landmark_counts[2],
+        "landmark counts must decrease with k: {landmark_counts:?}"
+    );
+}
+
+#[test]
+fn mesh_vertices_are_exactly_the_landmarks() {
+    let (model, detection) = sphere_detection();
+    let surfaces = SurfaceBuilder::default().build(&model, &detection);
+    let s = &surfaces[0];
+    assert_eq!(s.mesh.vertex_count(), s.landmarks.len());
+    for (i, &lm) in s.landmarks.iter().enumerate() {
+        assert_eq!(s.mesh.vertices()[i], model.positions()[lm]);
+    }
+    // All landmark-graph edges connect elected landmarks.
+    for &(a, b) in &s.edges {
+        assert!(s.landmarks.binary_search(&a).is_ok());
+        assert!(s.landmarks.binary_search(&b).is_ok());
+    }
+}
+
+#[test]
+fn hole_boundary_also_meshes_when_large_enough() {
+    let model = NetworkBuilder::new(Scenario::SpaceOneHole)
+        .surface_nodes(1100)
+        .interior_nodes(1700)
+        .target_degree(18.5)
+        .seed(5)
+        .build()
+        .unwrap();
+    let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+    assert_eq!(detection.groups.len(), 2, "outer + hole");
+    let surfaces = SurfaceBuilder::default().build(&model, &detection);
+    assert_eq!(surfaces.len(), 2, "both boundaries must mesh");
+    // The hole mesh hugs the hole sphere (radius 2 at the origin).
+    let hole_mesh = &surfaces[1].mesh;
+    for v in hole_mesh.vertices() {
+        assert!(
+            (v.norm() - 2.0).abs() < 0.5,
+            "hole landmark at {v} is far from the hole wall"
+        );
+    }
+}
