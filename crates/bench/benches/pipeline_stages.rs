@@ -56,9 +56,7 @@ fn pipeline_benches(c: &mut Criterion) {
 
     c.bench_function("iff_700_nodes", |b| {
         let cfg = ballfit::config::IffConfig::default();
-        b.iter(|| {
-            apply_iff(model.topology(), std::hint::black_box(&detection.candidates), &cfg)
-        });
+        b.iter(|| apply_iff(model.topology(), std::hint::black_box(&detection.candidates), &cfg));
     });
 
     c.bench_function("surface_build_700_nodes", |b| {

@@ -19,11 +19,8 @@ fn interior_neighborhood(n: usize, seed: u64) -> Vec<Vec3> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut coords = vec![Vec3::ZERO];
     while coords.len() <= n {
-        let v = Vec3::new(
-            rng.gen_range(-0.9..0.9),
-            rng.gen_range(-0.9..0.9),
-            rng.gen_range(-0.9..0.9),
-        );
+        let v =
+            Vec3::new(rng.gen_range(-0.9..0.9), rng.gen_range(-0.9..0.9), rng.gen_range(-0.9..0.9));
         if v.norm() <= 0.9 && v.norm() > 0.05 {
             coords.push(v);
         }
@@ -33,11 +30,7 @@ fn interior_neighborhood(n: usize, seed: u64) -> Vec<Vec3> {
 
 /// A boundary node: neighbors fill only the lower half-space.
 fn boundary_neighborhood(n: usize, seed: u64) -> Vec<Vec3> {
-    interior_neighborhood(2 * n, seed)
-        .into_iter()
-        .filter(|v| v.z <= 0.0)
-        .take(n + 1)
-        .collect()
+    interior_neighborhood(2 * n, seed).into_iter().filter(|v| v.z <= 0.0).take(n + 1).collect()
 }
 
 fn ubf_benches(c: &mut Criterion) {
@@ -66,11 +59,7 @@ fn ubf_benches(c: &mut Criterion) {
     group.finish();
 
     c.bench_function("balls_through_three_points", |b| {
-        let p = [
-            Vec3::new(0.4, 0.1, -0.2),
-            Vec3::new(-0.3, 0.5, 0.1),
-            Vec3::new(0.2, -0.4, 0.3),
-        ];
+        let p = [Vec3::new(0.4, 0.1, -0.2), Vec3::new(-0.3, 0.5, 0.1), Vec3::new(0.2, -0.4, 0.3)];
         b.iter(|| {
             ballfit_geom::sphere::balls_through_three_points(
                 std::hint::black_box(p[0]),

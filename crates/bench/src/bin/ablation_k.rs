@@ -65,8 +65,12 @@ fn main() {
             }
             let node_mesh = if dist_count == 0 { f64::NAN } else { dist_sum / dist_count as f64 };
             // Paper-faithful completion (no detour) for comparison.
-            let strict = SurfaceBuilder::new(SurfaceConfig { k: *k, route_around: false, ..Default::default() })
-                .build(&model, &detection);
+            let strict = SurfaceBuilder::new(SurfaceConfig {
+                k: *k,
+                route_around: false,
+                ..Default::default()
+            })
+            .build(&model, &detection);
             let strict_manifold = if strict.is_empty() {
                 0.0
             } else {
@@ -99,7 +103,16 @@ fn main() {
     println!("{}", format_table(&table));
     let p = write_csv(
         "ablation_k.csv",
-        &["scenario", "k", "landmarks", "faces", "manifold_fraction", "mesh_deviation", "node_mesh_distance", "strict_manifold_fraction"],
+        &[
+            "scenario",
+            "k",
+            "landmarks",
+            "faces",
+            "manifold_fraction",
+            "mesh_deviation",
+            "node_mesh_distance",
+            "strict_manifold_fraction",
+        ],
         &rows,
     );
     println!("wrote {}", p.display());

@@ -33,7 +33,9 @@ fn main() {
         "balls tested".into(),
     ]];
     let mut rows = Vec::new();
-    for (placement, label) in [(Placement::BlueNoise, "blue-noise"), (Placement::Uniform, "uniform")] {
+    for (placement, label) in
+        [(Placement::BlueNoise, "blue-noise"), (Placement::Uniform, "uniform")]
+    {
         let model = NetworkBuilder::new(Scenario::SolidSphere)
             .surface_nodes(450)
             .interior_nodes(750)

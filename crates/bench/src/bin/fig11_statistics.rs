@@ -57,9 +57,8 @@ fn main() {
     );
 
     // Sweep: aggregate the detection stats across all networks per error.
-    let jobs: Vec<(usize, u32)> = (0..models.len())
-        .flat_map(|m| PAPER_ERROR_SWEEP.iter().map(move |&e| (m, e)))
-        .collect();
+    let jobs: Vec<(usize, u32)> =
+        (0..models.len()).flat_map(|m| PAPER_ERROR_SWEEP.iter().map(move |&e| (m, e))).collect();
     let per_run = parallel_map(jobs.clone(), |&(mi, e)| {
         let result = Pipeline::paper(e, 31 + mi as u64).run(&models[mi]);
         (e, result.stats)

@@ -10,8 +10,7 @@
 //! Figs. 1(h) and 1(i), which come from the same sweep.
 
 use ballfit_bench::{
-    error_sweep, fig1_network, fig1_network_small, format_table, pct, write_csv,
-    PAPER_ERROR_SWEEP,
+    error_sweep, fig1_network, fig1_network_small, format_table, pct, write_csv, PAPER_ERROR_SWEEP,
 };
 
 fn main() {
@@ -101,6 +100,10 @@ fn main() {
         );
     }
     if let Some((_, s30)) = sweep.iter().find(|(e, _)| *e == 30) {
-        println!("shape check @30%: recall {} precision {}", pct(s30.recall()), pct(s30.precision()));
+        println!(
+            "shape check @30%: recall {} precision {}",
+            pct(s30.recall()),
+            pct(s30.precision())
+        );
     }
 }

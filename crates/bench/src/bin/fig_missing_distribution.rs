@@ -15,11 +15,7 @@ use ballfit_bench::{error_sweep, fig1_network_small, format_table, pct, PAPER_ER
 
 fn main() {
     let model = fig1_network_small(2);
-    println!(
-        "network: {} nodes ({} boundary ground truth)",
-        model.len(),
-        model.surface_count()
-    );
+    println!("network: {} nodes ({} boundary ground truth)", model.len(), model.surface_count());
     let sweep = error_sweep(&model, &PAPER_ERROR_SWEEP, 23);
 
     let mut table = vec![vec![

@@ -15,8 +15,9 @@ fn main() {
     let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
     for route in [false, true] {
         for k in [3u32, 4, 5] {
-            let surfaces = SurfaceBuilder::new(SurfaceConfig { k, route_around: route, ..Default::default() })
-                .build(&model, &detection);
+            let surfaces =
+                SurfaceBuilder::new(SurfaceConfig { k, route_around: route, ..Default::default() })
+                    .build(&model, &detection);
             for s in &surfaces {
                 let st = &s.stats;
                 println!(

@@ -56,9 +56,8 @@ fn main() {
     let candidates = central.candidates.clone();
     let mut sim = Simulator::new(topo, |id| FragmentFlood::new(candidates[id], cfg.iff.ttl));
     let stats = sim.run(cfg.iff.ttl as usize + 2);
-    let via_protocol: Vec<bool> = (0..n)
-        .map(|i| candidates[i] && sim.node(i).fragment_size() >= cfg.iff.theta)
-        .collect();
+    let via_protocol: Vec<bool> =
+        (0..n).map(|i| candidates[i] && sim.node(i).fragment_size() >= cfg.iff.theta).collect();
     let central_iff = apply_iff(topo, &candidates, &cfg.iff);
     let sizes_match = {
         let sizes = fragment_sizes(topo, cfg.iff.ttl, |i| candidates[i]);

@@ -25,12 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|&i| !result.detection.boundary[i])
             .map(|i| model.positions()[i])
             .collect();
-        let boundary: Vec<Vec3> = result
-            .detection
-            .boundary_indices()
-            .iter()
-            .map(|&i| model.positions()[i])
-            .collect();
+        let boundary: Vec<Vec3> =
+            result.detection.boundary_indices().iter().map(|&i| model.positions()[i]).collect();
 
         // Panel (a): the raw network.
         let mut panel_a = SvgScene::new();

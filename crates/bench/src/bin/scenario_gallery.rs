@@ -38,11 +38,7 @@ fn main() {
         let deviation = if result.surfaces.is_empty() {
             f64::NAN
         } else {
-            result
-                .surfaces
-                .iter()
-                .map(|s| s.mesh.mean_abs_distance_to(&*shape))
-                .sum::<f64>()
+            result.surfaces.iter().map(|s| s.mesh.mean_abs_distance_to(&*shape)).sum::<f64>()
                 / result.surfaces.len() as f64
         };
         table.push(vec![

@@ -74,7 +74,11 @@ pub fn gallery_network(scenario: Scenario, seed: u64) -> NetworkModel {
 
 /// Runs the paper pipeline over an error sweep, in parallel, returning
 /// `(error_percent, stats)` pairs in sweep order.
-pub fn error_sweep(model: &NetworkModel, percents: &[u32], noise_seed: u64) -> Vec<(u32, DetectionStats)> {
+pub fn error_sweep(
+    model: &NetworkModel,
+    percents: &[u32],
+    noise_seed: u64,
+) -> Vec<(u32, DetectionStats)> {
     parallel_map(percents.to_vec(), |&pct| {
         let result = Pipeline::paper(pct, noise_seed.wrapping_add(pct as u64)).run(model);
         (pct, result.stats)
@@ -109,11 +113,7 @@ where
         }
     })
     .expect("worker panicked");
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("all slots filled"))
-        .collect()
+    slots.into_inner().into_iter().map(|o| o.expect("all slots filled")).collect()
 }
 
 /// Where experiment outputs land (`results/` at the workspace root, or
@@ -221,11 +221,7 @@ mod tests {
     #[test]
     fn csv_roundtrip() {
         std::env::set_var("BALLFIT_RESULTS", std::env::temp_dir().join("ballfit_test_results"));
-        let path = write_csv(
-            "unit_test.csv",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let path = write_csv("unit_test.csv", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let body = std::fs::read_to_string(path).unwrap();
         assert_eq!(body, "a,b\n1,2\n");
         std::env::remove_var("BALLFIT_RESULTS");

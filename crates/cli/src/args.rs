@@ -84,10 +84,10 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
         match self.get(name) {
             None => Ok(None),
-            Some(v) => v.parse().map(Some).map_err(|_| ArgError::Invalid {
-                option: name.to_string(),
-                value: v.to_string(),
-            }),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError::Invalid { option: name.to_string(), value: v.to_string() }),
         }
     }
 
@@ -125,10 +125,7 @@ mod tests {
     fn required_and_invalid() {
         let a = args("gen --nodes abc");
         assert!(matches!(a.require::<u32>("seed"), Err(ArgError::Required(_))));
-        assert!(matches!(
-            a.get_parsed::<u32>("nodes"),
-            Err(ArgError::Invalid { .. })
-        ));
+        assert!(matches!(a.get_parsed::<u32>("nodes"), Err(ArgError::Invalid { .. })));
         let e = ArgError::Required("seed".into());
         assert!(e.to_string().contains("--seed"));
     }

@@ -46,12 +46,8 @@ impl Partition {
 }
 
 fn mesh_adjacency(surface: &BoundarySurface) -> Vec<Vec<usize>> {
-    let index_of = |lm: usize| {
-        surface
-            .landmarks
-            .binary_search(&lm)
-            .expect("edge endpoints are landmarks")
-    };
+    let index_of =
+        |lm: usize| surface.landmarks.binary_search(&lm).expect("edge endpoints are landmarks");
     let mut adj = vec![Vec::new(); surface.landmarks.len()];
     for &(a, b) in &surface.edges {
         let (ia, ib) = (index_of(a), index_of(b));
@@ -100,11 +96,7 @@ pub fn partition_surface(surface: &BoundarySurface, k: usize) -> Partition {
         let far = (0..n)
             .filter(|v| !seeds.contains(v))
             .max_by_key(|&v| {
-                per_seed
-                    .iter()
-                    .map(|d| d[v].unwrap_or(usize::MAX / 2))
-                    .min()
-                    .unwrap_or(0)
+                per_seed.iter().map(|d| d[v].unwrap_or(usize::MAX / 2)).min().unwrap_or(0)
             })
             .expect("k <= n leaves a candidate");
         seeds.push(far);
@@ -182,11 +174,7 @@ mod tests {
     fn regions_are_reasonably_balanced_on_a_sphere() {
         let surface = sphere_surface();
         let p = partition_surface(&surface, 4);
-        assert!(
-            p.imbalance() < 2.0,
-            "imbalance {} too high for a symmetric sphere",
-            p.imbalance()
-        );
+        assert!(p.imbalance() < 2.0, "imbalance {} too high for a symmetric sphere", p.imbalance());
     }
 
     #[test]

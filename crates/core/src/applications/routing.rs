@@ -54,12 +54,8 @@ impl GreedyRouter {
     /// are positions in `surface.landmarks`).
     pub fn new(surface: &BoundarySurface) -> Self {
         let positions = surface.mesh.vertices().to_vec();
-        let index_of = |lm: usize| {
-            surface
-                .landmarks
-                .binary_search(&lm)
-                .expect("edge endpoints are landmarks")
-        };
+        let index_of =
+            |lm: usize| surface.landmarks.binary_search(&lm).expect("edge endpoints are landmarks");
         let mut adjacency = vec![Vec::new(); positions.len()];
         for &(a, b) in &surface.edges {
             let (ia, ib) = (index_of(a), index_of(b));
@@ -101,7 +97,7 @@ impl GreedyRouter {
                 .copied()
                 .map(|n| (self.positions[n].distance_squared(target), n))
                 .filter(|&(d, _)| d < here)
-                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
             match next {
                 Some((_, n)) => {
                     path.push(n);
@@ -274,7 +270,9 @@ mod tests {
         let router = GreedyRouter::new(&surface);
         assert_eq!(router.mesh_hops(0, 0), Some(0));
         // Neighbors are one hop.
-        if let Some(&n) = surface.edges.iter().find(|&&(a, _)| a == surface.landmarks[0]).map(|(_, b)| b) {
+        if let Some(&n) =
+            surface.edges.iter().find(|&&(a, _)| a == surface.landmarks[0]).map(|(_, b)| b)
+        {
             let bi = surface.landmarks.binary_search(&n).unwrap();
             assert_eq!(router.mesh_hops(0, bi), Some(1));
         }

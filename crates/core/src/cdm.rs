@@ -93,8 +93,8 @@ pub fn build_cdm(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cells::assign_cells;
     use crate::cdg::build_cdg;
+    use crate::cells::assign_cells;
 
     fn ring(n: usize) -> Topology {
         Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())

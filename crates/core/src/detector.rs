@@ -173,10 +173,8 @@ mod tests {
     #[test]
     fn huge_theta_wipes_all_boundaries() {
         let model = sphere_model(23);
-        let cfg = DetectorConfig {
-            iff: IffConfig { theta: usize::MAX, ttl: 3 },
-            ..Default::default()
-        };
+        let cfg =
+            DetectorConfig { iff: IffConfig { theta: usize::MAX, ttl: 3 }, ..Default::default() };
         let detection = BoundaryDetector::new(cfg).detect(&model);
         assert_eq!(detection.boundary_count(), 0);
         assert!(detection.groups.is_empty());
@@ -193,9 +191,8 @@ mod tests {
         .detect(&model);
         // Noise-free MDS frames are near-isometric to the truth, so the two
         // runs must agree on the vast majority of nodes.
-        let agree = (0..model.len())
-            .filter(|&i| truth_run.boundary[i] == mds_run.boundary[i])
-            .count();
+        let agree =
+            (0..model.len()).filter(|&i| truth_run.boundary[i] == mds_run.boundary[i]).count();
         assert!(
             agree as f64 >= 0.9 * model.len() as f64,
             "only {agree}/{} nodes agree between truth and 0%-error MDS",

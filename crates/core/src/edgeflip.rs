@@ -49,11 +49,7 @@ fn normalize(a: NodeId, b: NodeId) -> LandmarkEdge {
 }
 
 /// Common neighbors of `a` and `b` in the adjacency map.
-fn apexes_of(
-    adj: &BTreeMap<NodeId, BTreeSet<NodeId>>,
-    a: NodeId,
-    b: NodeId,
-) -> Vec<NodeId> {
+fn apexes_of(adj: &BTreeMap<NodeId, BTreeSet<NodeId>>, a: NodeId, b: NodeId) -> Vec<NodeId> {
     match (adj.get(&a), adj.get(&b)) {
         (Some(na), Some(nb)) => na.intersection(nb).copied().collect(),
         _ => Vec::new(),
@@ -64,11 +60,7 @@ fn apexes_of(
 /// adjacent to all three corners. An empty triangle is a genuine surface
 /// face; a non-empty one spans a region subdivided by interior landmarks
 /// and must be neither flipped on nor emitted as a face.
-fn face_apexes_of(
-    adj: &BTreeMap<NodeId, BTreeSet<NodeId>>,
-    a: NodeId,
-    b: NodeId,
-) -> Vec<NodeId> {
+fn face_apexes_of(adj: &BTreeMap<NodeId, BTreeSet<NodeId>>, a: NodeId, b: NodeId) -> Vec<NodeId> {
     // A vertex adjacent to a, b and c is, in particular, another apex of
     // (a, b) adjacent to c.
     let apexes = apexes_of(adj, a, b);
@@ -76,9 +68,7 @@ fn face_apexes_of(
         .iter()
         .copied()
         .filter(|&c| {
-            !apexes
-                .iter()
-                .any(|&d| d != c && adj.get(&c).is_some_and(|nc| nc.contains(&d)))
+            !apexes.iter().any(|&d| d != c && adj.get(&c).is_some_and(|nc| nc.contains(&d)))
         })
         .collect()
 }
@@ -325,15 +315,7 @@ mod tests {
     fn paper_figure_five_case() {
         // Edge AB=(0,1) with three apexes C=2, D=3, E=4 (Fig. 5(a)).
         // Lengths: make CD (2,3) and DE (3,4) shorter than CE (2,4).
-        let edges = vec![
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (0, 3),
-            (1, 3),
-            (0, 4),
-            (1, 4),
-        ];
+        let edges = vec![(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4)];
         let out = flip_to_manifold(&edges, 8, id_len);
         assert!(out.converged);
         assert_eq!(out.flips.len(), 1);

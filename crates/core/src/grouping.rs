@@ -33,10 +33,8 @@ mod tests {
     fn two_boundaries_with_interior_bridge() {
         // Boundary ring 0-1-2 and boundary pair 5-6, joined only through
         // interior nodes 3,4.
-        let topo = Topology::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6)],
-        );
+        let topo =
+            Topology::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6)]);
         let boundary = [true, true, true, false, false, true, true];
         let groups = group_boundaries(&topo, &boundary);
         assert_eq!(groups, vec![vec![0, 1, 2], vec![5, 6]]);

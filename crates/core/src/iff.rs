@@ -28,9 +28,7 @@ use crate::config::IffConfig;
 pub fn apply_iff(topo: &Topology, candidates: &[bool], cfg: &IffConfig) -> Vec<bool> {
     assert_eq!(candidates.len(), topo.len(), "candidate flag length mismatch");
     let sizes = fragment_sizes(topo, cfg.ttl, |n| candidates[n]);
-    (0..topo.len())
-        .map(|n| candidates[n] && sizes[n] >= cfg.theta)
-        .collect()
+    (0..topo.len()).map(|n| candidates[n] && sizes[n] >= cfg.theta).collect()
 }
 
 #[cfg(test)]

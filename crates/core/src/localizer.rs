@@ -107,13 +107,14 @@ mod tests {
             .require_connected(false)
             .seed(42)
             .build()
-            .unwrap()
+            .expect("seeded SolidBox scenario always builds")
     }
 
     #[test]
     fn ground_truth_frame_uses_true_positions() {
         let model = small_model();
-        let f = neighborhood_frame(&model, 10, &CoordinateSource::GroundTruth).unwrap();
+        let f = neighborhood_frame(&model, 10, &CoordinateSource::GroundTruth)
+            .expect("ground-truth frames exist for every node");
         assert_eq!(f.members[f.self_index], 10);
         assert_eq!(f.stress, 0.0);
         for (idx, &m) in f.members.iter().enumerate() {
@@ -124,16 +125,13 @@ mod tests {
     #[test]
     fn noiseless_mds_frame_preserves_measured_distances() {
         let model = small_model();
-        let source = CoordinateSource::LocalMds {
-            error: ErrorModel::None,
-            noise_seed: 0,
-            refine: true,
-        };
+        let source =
+            CoordinateSource::LocalMds { error: ErrorModel::None, noise_seed: 0, refine: true };
         // Pick a node with a decent neighborhood.
         let node = (0..model.len())
             .max_by_key(|&i| model.topology().degree(i))
-            .unwrap();
-        let f = neighborhood_frame(&model, node, &source).unwrap();
+            .expect("model is non-empty");
+        let f = neighborhood_frame(&model, node, &source).expect("max-degree neighborhood embeds");
         let topo = model.topology();
         let mut checked = 0;
         for a in 0..f.members.len() {
@@ -158,13 +156,13 @@ mod tests {
         let model = small_model();
         let node = (0..model.len())
             .max_by_key(|&i| model.topology().degree(i))
-            .unwrap();
+            .expect("model is non-empty");
         let clean = neighborhood_frame(
             &model,
             node,
             &CoordinateSource::LocalMds { error: ErrorModel::None, noise_seed: 0, refine: true },
         )
-        .unwrap();
+        .expect("noiseless max-degree neighborhood embeds");
         let noisy = neighborhood_frame(
             &model,
             node,
@@ -174,7 +172,7 @@ mod tests {
                 refine: true,
             },
         )
-        .unwrap();
+        .expect("noisy max-degree neighborhood still embeds");
         assert!(noisy.stress > clean.stress);
     }
 }

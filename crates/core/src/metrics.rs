@@ -36,12 +36,7 @@ impl HopHistogram {
             return (0.0, 0.0, 0.0, 0.0);
         }
         let t = t as f64;
-        (
-            self.one as f64 / t,
-            self.two as f64 / t,
-            self.three as f64 / t,
-            self.beyond as f64 / t,
-        )
+        (self.one as f64 / t, self.two as f64 / t, self.three as f64 / t, self.beyond as f64 / t)
     }
 
     fn record(&mut self, hops: Option<u32>) {
@@ -169,10 +164,10 @@ mod tests {
     use super::*;
     use crate::config::DetectorConfig;
     use crate::detector::BoundaryDetector;
+    use ballfit_geom::Vec3;
     use ballfit_netgen::builder::NetworkBuilder;
     use ballfit_netgen::scenario::Scenario;
     use ballfit_wsn::Topology;
-    use ballfit_geom::Vec3;
 
     #[test]
     fn histogram_bookkeeping() {

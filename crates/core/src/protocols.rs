@@ -138,9 +138,8 @@ pub fn run_ubf_protocol(
     let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
     let stats = sim.run(4);
     debug_assert!(stats.quiescent);
-    let flags = (0..model.len())
-        .map(|i| sim.node(i).decide(model.radio_range(), cfg, source))
-        .collect();
+    let flags =
+        (0..model.len()).map(|i| sim.node(i).decide(model.radio_range(), cfg, source)).collect();
     (flags, stats.messages)
 }
 
@@ -178,8 +177,9 @@ impl Protocol for GroupingProtocol {
         if !self.member {
             return;
         }
-        let current = self.label.expect("members are labeled");
-        if *msg < current {
+        // Members are labeled in `new`; a (impossible) missing label just
+        // adopts the incoming one — round handlers must not panic.
+        if self.label.is_none_or(|current| *msg < current) {
             self.label = Some(*msg);
             ctx.broadcast(*msg);
         }
@@ -325,9 +325,7 @@ impl Protocol for LandmarkElection {
         let half = self.reach().max(1) as usize;
         if phase == half {
             // Probe phase complete: local minima become landmarks.
-            if self.decided.is_none()
-                && self.probes_seen.iter().all(|&origin| origin > me)
-            {
+            if self.decided.is_none() && self.probes_seen.iter().all(|&origin| origin > me) {
                 self.decided = Some(true);
                 ctx.broadcast(LandmarkMsg::Suppress { origin: me, ttl: self.reach() - 1 });
             }
@@ -365,9 +363,7 @@ pub fn run_landmark_protocol(topo: &Topology, group: &[NodeId], k: u32) -> (Vec<
     let max_rounds = 4 * (topo.len() + 1) * k as usize;
     let stats = sim.run(max_rounds);
     assert!(stats.quiescent, "landmark election failed to converge");
-    let landmarks = (0..topo.len())
-        .filter(|&i| sim.node(i).decision() == Some(true))
-        .collect();
+    let landmarks = (0..topo.len()).filter(|&i| sim.node(i).decision() == Some(true)).collect();
     (landmarks, stats.messages)
 }
 
@@ -399,8 +395,7 @@ mod tests {
         let cfg = DetectorConfig::paper(10, 3);
         let detector = BoundaryDetector::new(cfg);
         let central = detector.detect(&model);
-        let (distributed, messages) =
-            run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+        let (distributed, messages) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
         assert_eq!(distributed, central.candidates, "UBF protocol diverged");
         // One broadcast per node: 2·|E| point-to-point messages.
         assert_eq!(messages, 2 * model.topology().edge_count() as u64);
@@ -412,9 +407,8 @@ mod tests {
         let cfg = DetectorConfig::default();
         let central = BoundaryDetector::new(cfg).detect(&model);
         let candidates = central.candidates.clone();
-        let mut sim = Simulator::new(model.topology(), |id| {
-            FragmentFlood::new(candidates[id], cfg.iff.ttl)
-        });
+        let mut sim =
+            Simulator::new(model.topology(), |id| FragmentFlood::new(candidates[id], cfg.iff.ttl));
         let stats = sim.run(cfg.iff.ttl as usize + 2);
         assert!(stats.quiescent);
         let sizes = fragment_sizes(model.topology(), cfg.iff.ttl, |n| candidates[n]);
@@ -449,10 +443,8 @@ mod tests {
     #[test]
     fn landmark_protocol_matches_greedy_on_rings() {
         for n in [8usize, 12, 20, 31] {
-            let topo = Topology::from_edges(
-                n,
-                &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>(),
-            );
+            let topo =
+                Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
             let group: Vec<usize> = (0..n).collect();
             for k in [1u32, 2, 3, 4] {
                 let central = elect_landmarks(&topo, &group, k);

@@ -118,11 +118,7 @@ impl SurfaceBuilder {
         model: &NetworkModel,
         detection: &BoundaryDetection,
     ) -> Vec<BoundarySurface> {
-        detection
-            .groups
-            .iter()
-            .filter_map(|group| self.build_group(model, group))
-            .collect()
+        detection.groups.iter().filter_map(|group| self.build_group(model, group)).collect()
     }
 
     /// Runs steps I–V on a single boundary group. Returns `None` when the
@@ -152,9 +148,7 @@ impl SurfaceBuilder {
         // from each landmark are computed once and cached.
         let mut hop_cache: BTreeMap<NodeId, Vec<Option<u32>>> = BTreeMap::new();
         let mut length = |a: NodeId, b: NodeId| -> f64 {
-            let dists = hop_cache
-                .entry(a)
-                .or_insert_with(|| hop_distances(topo, a, member));
+            let dists = hop_cache.entry(a).or_insert_with(|| hop_distances(topo, a, member));
             match dists[b] {
                 Some(d) => d as f64,
                 None => f64::INFINITY,
@@ -177,10 +171,8 @@ impl SurfaceBuilder {
         if faces_ids.is_empty() {
             faces_ids = crate::edgeflip::triangles_of(&flipped.edges);
         }
-        let faces: Vec<[usize; 3]> = faces_ids
-            .iter()
-            .map(|t| [index_of[&t[0]], index_of[&t[1]], index_of[&t[2]]])
-            .collect();
+        let faces: Vec<[usize; 3]> =
+            faces_ids.iter().map(|t| [index_of[&t[0]], index_of[&t[1]], index_of[&t[2]]]).collect();
         let vertices = landmarks.iter().map(|&l| model.positions()[l]).collect();
         let mesh = TriMesh::new(vertices, faces).expect("landmark faces index landmarks");
         let audit = mesh.audit();

@@ -142,10 +142,7 @@ mod tests {
     fn crossing_attempt_is_dropped() {
         // Landmarks 0 and 5 connected through node 2 (marked); a later
         // pair (6,7) whose only path goes through node 2 must be dropped.
-        let topo = Topology::from_edges(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 5), (6, 2), (2, 7)],
-        );
+        let topo = Topology::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 5), (6, 2), (2, 7)]);
         let group: Vec<usize> = (0..8).collect();
         let mut paths = BTreeMap::new();
         paths.insert((0, 5), vec![0, 1, 2, 3, 5]);

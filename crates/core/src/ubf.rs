@@ -59,9 +59,7 @@ pub fn ubf_test(
             }
             for ball in balls_through_three_points(me, coords[j], coords[k], r) {
                 balls_tested += 1;
-                let empty = coords
-                    .iter()
-                    .all(|&p| !ball.strictly_contains(p, tol));
+                let empty = coords.iter().all(|&p| !ball.strictly_contains(p, tol));
                 if empty {
                     return UbfOutcome { is_boundary: true, balls_tested };
                 }
@@ -91,7 +89,7 @@ mod tests {
     #[test]
     fn interior_node_in_dense_cage_is_not_boundary() {
         let mut coords = vec![Vec3::ZERO]; // the node under test
-        // Shell of 26 nodes at radius 0.75 (grid directions).
+                                           // Shell of 26 nodes at radius 0.75 (grid directions).
         for x in -1..=1 {
             for y in -1..=1 {
                 for z in -1..=1 {
@@ -162,11 +160,7 @@ mod tests {
     #[test]
     fn defining_points_do_not_block_their_ball() {
         // Exactly three nodes: the ball through them is always "empty".
-        let coords = vec![
-            Vec3::ZERO,
-            Vec3::new(0.5, 0.0, 0.0),
-            Vec3::new(0.0, 0.5, 0.0),
-        ];
+        let coords = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.0, 0.5, 0.0)];
         let out = ubf_test(&coords, 0, 1.0, &cfg());
         assert!(out.is_boundary);
     }
@@ -212,10 +206,8 @@ mod tests {
         ];
         let out1 = ubf_test(&base, 0, 1.0, &cfg());
         // Rotate 90° about z and translate.
-        let moved: Vec<Vec3> = base
-            .iter()
-            .map(|p| Vec3::new(-p.y, p.x, p.z) + Vec3::new(5.0, -3.0, 2.0))
-            .collect();
+        let moved: Vec<Vec3> =
+            base.iter().map(|p| Vec3::new(-p.y, p.x, p.z) + Vec3::new(5.0, -3.0, 2.0)).collect();
         let out2 = ubf_test(&moved, 0, 1.0, &cfg());
         assert_eq!(out1.is_boundary, out2.is_boundary);
     }
@@ -224,11 +216,7 @@ mod tests {
     /// policy applies (Definition 3 violation).
     #[test]
     fn collinear_neighborhood_is_degenerate() {
-        let coords = vec![
-            Vec3::ZERO,
-            Vec3::new(0.5, 0.0, 0.0),
-            Vec3::new(-0.5, 0.0, 0.0),
-        ];
+        let coords = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(-0.5, 0.0, 0.0)];
         let out = ubf_test(&coords, 0, 1.0, &cfg());
         assert!(out.is_boundary);
         assert_eq!(out.balls_tested, 0);

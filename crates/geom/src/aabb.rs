@@ -44,9 +44,7 @@ impl Aabb {
     /// Returns `None` for an empty slice.
     pub fn from_points(points: &[Vec3]) -> Option<Self> {
         let first = *points.first()?;
-        let (min, max) = points
-            .iter()
-            .fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        let (min, max) = points.iter().fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)));
         Some(Aabb { min, max })
     }
 

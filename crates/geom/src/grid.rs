@@ -5,7 +5,7 @@
 //! experiment harness sweeps many of them, so the generator bins points into
 //! cells of side `cell_size` and only inspects the 27 neighboring cells.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::Vec3;
 
@@ -24,7 +24,9 @@ use crate::Vec3;
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell_size: f64,
-    cells: HashMap<(i64, i64, i64), Vec<usize>>,
+    // BTreeMap rather than HashMap: `adjacency` iterates the cells, and
+    // deterministic cell order keeps whole-pipeline runs bit-reproducible.
+    cells: BTreeMap<(i64, i64, i64), Vec<usize>>,
 }
 
 impl SpatialGrid {
@@ -41,7 +43,7 @@ impl SpatialGrid {
             cell_size.is_finite() && cell_size > 0.0,
             "cell size must be positive: {cell_size}"
         );
-        let mut cells: HashMap<(i64, i64, i64), Vec<usize>> = HashMap::new();
+        let mut cells: BTreeMap<(i64, i64, i64), Vec<usize>> = BTreeMap::new();
         for (i, &p) in points.iter().enumerate() {
             cells.entry(Self::key(p, cell_size)).or_default().push(i);
         }
@@ -50,11 +52,7 @@ impl SpatialGrid {
 
     #[inline]
     fn key(p: Vec3, cell: f64) -> (i64, i64, i64) {
-        (
-            (p.x / cell).floor() as i64,
-            (p.y / cell).floor() as i64,
-            (p.z / cell).floor() as i64,
-        )
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64, (p.z / cell).floor() as i64)
     }
 
     /// Cell side length this grid was built with.

@@ -28,7 +28,12 @@ use crate::Vec3;
 /// # }
 /// ```
 pub fn write_obj<W: Write>(mut w: W, mesh: &TriMesh) -> io::Result<()> {
-    writeln!(w, "# ballfit boundary mesh: {} vertices, {} faces", mesh.vertex_count(), mesh.face_count())?;
+    writeln!(
+        w,
+        "# ballfit boundary mesh: {} vertices, {} faces",
+        mesh.vertex_count(),
+        mesh.face_count()
+    )?;
     for v in mesh.vertices() {
         writeln!(w, "v {} {} {}", v.x, v.y, v.z)?;
     }

@@ -284,11 +284,7 @@ impl TriMesh {
         let remap: BTreeMap<usize, usize> =
             used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
         let vertices = used.iter().map(|&i| self.vertices[i]).collect();
-        let faces = self
-            .faces
-            .iter()
-            .map(|f| [remap[&f[0]], remap[&f[1]], remap[&f[2]]])
-            .collect();
+        let faces = self.faces.iter().map(|f| [remap[&f[0]], remap[&f[1]], remap[&f[2]]]).collect();
         TriMesh { vertices, faces }
     }
 
@@ -329,14 +325,7 @@ mod tests {
 
     /// Octahedron: 6 vertices, 8 faces, closed manifold, χ = 2.
     fn octa() -> TriMesh {
-        let v = vec![
-            Vec3::X,
-            -Vec3::X,
-            Vec3::Y,
-            -Vec3::Y,
-            Vec3::Z,
-            -Vec3::Z,
-        ];
+        let v = vec![Vec3::X, -Vec3::X, Vec3::Y, -Vec3::Y, Vec3::Z, -Vec3::Z];
         let f = vec![
             [0, 2, 4],
             [2, 1, 4],
@@ -415,11 +404,8 @@ mod tests {
 
     #[test]
     fn duplicate_faces_detected() {
-        let m = TriMesh::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2], [2, 0, 1]],
-        )
-        .unwrap();
+        let m =
+            TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2], [2, 0, 1]]).unwrap();
         assert_eq!(m.audit().duplicate_faces, 1);
     }
 
@@ -439,11 +425,8 @@ mod tests {
 
     #[test]
     fn compaction_drops_unused_vertices() {
-        let m = TriMesh::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::splat(9.0)],
-            vec![[0, 1, 2]],
-        )
-        .unwrap();
+        let m = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::splat(9.0)], vec![[0, 1, 2]])
+            .unwrap();
         let c = m.compacted();
         assert_eq!(c.vertex_count(), 3);
         assert_eq!(c.face_count(), 1);

@@ -224,9 +224,7 @@ impl Sdf for PolylineTube {
         best - self.radius
     }
     fn bounds(&self) -> Aabb {
-        Aabb::from_points(&self.points)
-            .expect("tube has points")
-            .inflated(self.radius)
+        Aabb::from_points(&self.points).expect("tube has points").inflated(self.radius)
     }
 }
 
@@ -250,10 +248,7 @@ impl Union {
 
 impl Sdf for Union {
     fn distance(&self, p: Vec3) -> f64 {
-        self.parts
-            .iter()
-            .map(|s| s.distance(p))
-            .fold(f64::INFINITY, f64::min)
+        self.parts.iter().map(|s| s.distance(p)).fold(f64::INFINITY, f64::min)
     }
     fn bounds(&self) -> Aabb {
         self.parts
@@ -284,10 +279,7 @@ impl Intersection {
 
 impl Sdf for Intersection {
     fn distance(&self, p: Vec3) -> f64 {
-        self.parts
-            .iter()
-            .map(|s| s.distance(p))
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.parts.iter().map(|s| s.distance(p)).fold(f64::NEG_INFINITY, f64::max)
     }
     fn bounds(&self) -> Aabb {
         // Conservative: bounds of the first part (a superset of the result).
@@ -359,10 +351,7 @@ impl TerrainColumn {
     ) -> Self {
         assert!(x0 < x1 && y0 < y1, "inverted footprint");
         assert!(amplitude >= 0.0 && frequency > 0.0, "invalid terrain parameters");
-        assert!(
-            z_bottom + amplitude < z_surface,
-            "terrain would breach the water surface"
-        );
+        assert!(z_bottom + amplitude < z_surface, "terrain would breach the water surface");
         TerrainColumn {
             footprint_min: Vec3::new(x0, y0, 0.0),
             footprint_max: Vec3::new(x1, y1, 0.0),
@@ -441,8 +430,7 @@ mod tests {
 
     #[test]
     fn tube_sdf() {
-        let tube =
-            PolylineTube::new(vec![Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0)], 1.0);
+        let tube = PolylineTube::new(vec![Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0)], 1.0);
         assert!((tube.distance(Vec3::new(2.0, 0.0, 0.0)) + 1.0).abs() < 1e-12);
         assert!((tube.distance(Vec3::new(2.0, 2.0, 0.0)) - 1.0).abs() < 1e-12);
         // Round cap.

@@ -95,10 +95,7 @@ pub fn balls_through_three_points(a: Vec3, b: Vec3, c: Vec3, r: f64) -> Vec<Sphe
         return vec![Sphere::new(center, r)];
     }
     let h = h2.sqrt();
-    vec![
-        Sphere::new(center + normal * h, r),
-        Sphere::new(center - normal * h, r),
-    ]
+    vec![Sphere::new(center + normal * h, r), Sphere::new(center - normal * h, r)]
 }
 
 #[cfg(test)]
@@ -171,11 +168,8 @@ mod tests {
     #[test]
     fn works_in_arbitrary_orientation() {
         // Rotate/translate a known configuration and verify touch invariants.
-        let base = [
-            Vec3::new(0.3, 0.1, 0.0),
-            Vec3::new(-0.2, 0.4, 0.1),
-            Vec3::new(0.0, -0.3, 0.35),
-        ];
+        let base =
+            [Vec3::new(0.3, 0.1, 0.0), Vec3::new(-0.2, 0.4, 0.1), Vec3::new(0.0, -0.3, 0.35)];
         let shift = Vec3::new(10.0, -5.0, 2.5);
         let pts: Vec<Vec3> = base.iter().map(|&p| p + shift).collect();
         let balls = balls_through_three_points(pts[0], pts[1], pts[2], 1.0);

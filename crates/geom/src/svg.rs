@@ -94,14 +94,8 @@ impl SvgScene {
                 segments.push((x1, y1, x2, y2, 0.5 * (z1 + z2), color));
             }
         }
-        let xs = projected_pts
-            .iter()
-            .map(|p| p.0)
-            .chain(segments.iter().flat_map(|s| [s.0, s.2]));
-        let ys = projected_pts
-            .iter()
-            .map(|p| p.1)
-            .chain(segments.iter().flat_map(|s| [s.1, s.3]));
+        let xs = projected_pts.iter().map(|p| p.0).chain(segments.iter().flat_map(|s| [s.0, s.2]));
+        let ys = projected_pts.iter().map(|p| p.1).chain(segments.iter().flat_map(|s| [s.1, s.3]));
         let (min_x, max_x) = bounds(xs);
         let (min_y, max_y) = bounds(ys);
         let span_x = (max_x - min_x).max(1e-9);
@@ -124,7 +118,7 @@ impl SvgScene {
         writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
 
         // Painter's order: far first.
-        segments.sort_by(|a, b| a.4.partial_cmp(&b.4).expect("finite depth"));
+        segments.sort_by(|a, b| a.4.total_cmp(&b.4));
         for &(x1, y1, x2, y2, _, color) in &segments {
             let (ax, ay) = map(x1, y1);
             let (bx, by) = map(x2, y2);
@@ -133,7 +127,7 @@ impl SvgScene {
                 r#"<line x1="{ax:.1}" y1="{ay:.1}" x2="{bx:.1}" y2="{by:.1}" stroke="{color}" stroke-width="0.8" stroke-opacity="0.6"/>"#
             )?;
         }
-        projected_pts.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite depth"));
+        projected_pts.sort_by(|a, b| a.2.total_cmp(&b.2));
         for &(x, y, _, color, r) in &projected_pts {
             let (cx, cy) = map(x, y);
             writeln!(

@@ -60,8 +60,8 @@ impl Tetrahedron {
         let sq_ba = ba.norm_squared();
         let sq_ca = ca.norm_squared();
         let sq_da = da.norm_squared();
-        let offset = (ca.cross(da) * sq_ba + da.cross(ba) * sq_ca + ba.cross(ca) * sq_da)
-            / (2.0 * det);
+        let offset =
+            (ca.cross(da) * sq_ba + da.cross(ba) * sq_ca + ba.cross(ca) * sq_da) / (2.0 * det);
         let center = self.a + offset;
         Some(Sphere::new(center, center.distance(self.a)))
     }

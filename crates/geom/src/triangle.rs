@@ -84,7 +84,8 @@ impl Triangle {
         if n2 <= EPS * EPS {
             return None;
         }
-        let offset = (n.cross(ab) * ac.norm_squared() + ac.cross(n) * ab.norm_squared()) / (2.0 * n2);
+        let offset =
+            (n.cross(ab) * ac.norm_squared() + ac.cross(n) * ab.norm_squared()) / (2.0 * n2);
         Some(self.a + offset)
     }
 
@@ -95,10 +96,7 @@ impl Triangle {
 
     /// Longest edge length.
     pub fn longest_edge(&self) -> f64 {
-        self.a
-            .distance(self.b)
-            .max(self.b.distance(self.c))
-            .max(self.c.distance(self.a))
+        self.a.distance(self.b).max(self.b.distance(self.c)).max(self.c.distance(self.a))
     }
 
     /// Closest point on the (solid) triangle to `p`.

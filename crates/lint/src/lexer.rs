@@ -1,0 +1,418 @@
+//! A minimal Rust lexer sufficient for token-level invariant analysis.
+//!
+//! The analyzer does not need a full AST: every pass in [`crate::passes`]
+//! matches short token sequences (`HashMap`, `. unwrap (`,
+//! `partial_cmp ( .. ) . expect`) inside scopes that are recognizable from
+//! brace structure (`mod tests {`, `impl Protocol for X {`). What *does*
+//! matter is never mistaking the inside of a string, char literal, or
+//! comment for code — so this lexer handles the full literal grammar
+//! (raw strings with arbitrary `#` counts, byte strings, escapes,
+//! lifetimes vs. char literals, nested block comments) and throws away
+//! everything else.
+//!
+//! Line comments are additionally scanned for suppression directives of
+//! the form `// ballfit-lint: allow(pass-a, pass-b)`; see
+//! [`Lexed::allows`].
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `impl`, `HashMap`, ...).
+    Ident,
+    /// Numeric literal (`0`, `1.5`, `0x1F`, `1e-3`, `2.0f64`).
+    Number,
+    /// String or byte-string literal (raw or cooked); text is dropped.
+    Str,
+    /// Char or byte-char literal; text is dropped.
+    Char,
+    /// Lifetime (`'a`, `'static`); text excludes the quote.
+    Lifetime,
+    /// Operator or delimiter. Common multi-character operators (`::`,
+    /// `==`, `!=`, `->`, `..=`, ...) are fused into one token.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (empty for string/char literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Convenience: is this an identifier with exactly `text`?
+    #[inline]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Convenience: is this punctuation with exactly `text`?
+    #[inline]
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// Lexer output: the token stream plus suppression directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `(line, pass-name)` pairs harvested from
+    /// `// ballfit-lint: allow(...)` comments. The pass name `all`
+    /// suppresses every pass.
+    pub allows: Vec<(u32, String)>,
+}
+
+/// Multi-character operators fused into single punct tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `src`. Unterminated literals or comments end the token
+/// stream early rather than erroring: for lint purposes a truncated tail
+/// is indistinguishable from end-of-file.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_directive(&src[start..i], line, &mut out.allows);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_cooked_string(b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && b.get(i + 2) != Some(&b'\'') {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                    out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let tok_line = line;
+                i = skip_prefixed_literal(b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text: src[start..i].to_string(), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        // Exponent sign: `1e-3`, `2E+5`.
+                        if (d == b'e' || d == b'E')
+                            && !src[start..].starts_with("0x")
+                            && !src[start..].starts_with("0b")
+                            && !src[start..].starts_with("0o")
+                            && matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+                            && b.get(i + 2).is_some_and(u8::is_ascii_digit)
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        // Decimal point only when followed by a digit, so
+                        // `0..n` and `1.max(x)` lex as separate tokens.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Number, text: src[start..i].to_string(), line });
+            }
+            _ => {
+                let rest = &src[i..];
+                let mut matched = 1;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op) {
+                        matched = op.len();
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + matched].to_string(),
+                    line,
+                });
+                i += matched;
+            }
+        }
+    }
+    out
+}
+
+/// Is a float literal for the purposes of the float-safety pass?
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.contains('e')
+        || text.contains('E')
+        || text.ends_with("f64")
+        || text.ends_with("f32")
+}
+
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  b"..."  br"..."  rb is not a thing; b'..' handled
+    // here too. Raw identifiers (`r#match`) are NOT literals.
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'\'') {
+            return true; // byte char b'x'
+        }
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        let mut k = j;
+        while b.get(k) == Some(&b'#') {
+            k += 1;
+        }
+        // `r#"..."` is a raw string, `r#ident` is a raw identifier.
+        return b.get(k) == Some(&b'"');
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Skips `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#`, `b'…'` starting at `i`
+/// (which points at the `b`/`r` prefix). Returns the index past the
+/// literal.
+fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+        if b.get(i) == Some(&b'\'') {
+            return skip_char_literal(b, i, line);
+        }
+    }
+    let mut hashes = 0usize;
+    if b.get(i) == Some(&b'r') {
+        i += 1;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        // Raw string: no escapes; terminated by `"` + `hashes` hashes.
+        debug_assert_eq!(b.get(i), Some(&b'"'));
+        i += 1;
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if b[i] == b'"'
+                && b[i + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
+            {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        return i;
+    }
+    skip_cooked_string(b, i, line)
+}
+
+/// Skips a cooked (escaped) string starting at the opening quote.
+fn skip_cooked_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a char/byte-char literal starting at the opening quote.
+fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(b[i], b'\'');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                // Malformed; treat the quote as punctuation-ish and move on.
+                *line += 1;
+                return i;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses `ballfit-lint: allow(a, b)` out of one line comment.
+fn scan_directive(comment: &str, line: u32, allows: &mut Vec<(u32, String)>) {
+    let Some(at) = comment.find("ballfit-lint:") else {
+        return;
+    };
+    let rest = comment[at + "ballfit-lint:".len()..].trim_start();
+    let Some(inner) = rest.strip_prefix("allow").map(str::trim_start) else {
+        return;
+    };
+    let Some(inner) = inner.strip_prefix('(') else {
+        return;
+    };
+    let Some(end) = inner.find(')') else {
+        return;
+    };
+    for pass in inner[..end].split(',') {
+        let pass = pass.trim();
+        if !pass.is_empty() {
+            allows.push((line, pass.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r###"
+            let a = "HashMap::new()"; // HashMap in comment
+            /* HashMap /* nested */ still comment */
+            let b = r#"thread_rng"#;
+            let c = 'H';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").toks;
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = lex("a.4.partial_cmp(&b.4); 0..24; 1.0f64.total_cmp(&x)").toks;
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"partial_cmp"));
+        assert!(texts.contains(&"total_cmp"));
+        assert!(texts.contains(&".."));
+        assert!(texts.contains(&"1.0f64"));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("1.5e3"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0x1F"));
+    }
+
+    #[test]
+    fn multi_char_operators_fuse() {
+        let toks = lex("a == b; c != 0.0; d ..= e; f :: g").toks;
+        let puncts: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Punct).map(|t| t.text.as_str()).collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&"::"));
+    }
+
+    #[test]
+    fn directives_are_harvested() {
+        let src = "let x = 1; // ballfit-lint: allow(float-safety, determinism)\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.allows,
+            vec![(1, "float-safety".to_string()), (1, "determinism".to_string())]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#type = 3; br#\"HashMap\"#;");
+        assert!(ids.contains(&"r".to_string()) || ids.contains(&"type".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"line\none\";\nlet b = 1;\n";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).expect("b lexed");
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! `ballfit-lint` — static invariant analyzer for the ballfit workspace.
+//!
+//! The paper's correctness contract is not just "the tests pass": the
+//! pipeline must be **deterministic** (same seed ⇒ same network ⇒ same
+//! boundary, bit for bit), **localized** (protocol handlers see one hop of
+//! state and nothing else), and **total** on well-formed inputs (no panics
+//! in round handlers, no NaN-order traps in float sorts). Those properties
+//! are easy to regress silently — a `HashMap` iteration here, a
+//! convenience `model.positions()` call there — so this crate enforces
+//! them mechanically over `crates/{core,wsn,geom,mds,netgen}`:
+//!
+//! * [`passes::Pass::Determinism`] — denies `HashMap`/`HashSet`,
+//!   `thread_rng`, `SystemTime::now`, `Instant::now`.
+//! * [`passes::Pass::Locality`] — inside `impl Protocol for ..` blocks,
+//!   denies global-state accessors (`positions`, `true_distance`,
+//!   whole-`Topology` queries beyond `neighbors`/`degree`/...).
+//! * [`passes::Pass::PanicSafety`] — inside protocol impls, denies
+//!   `unwrap`/`expect`/`panic!`-family macros and direct indexing.
+//! * [`passes::Pass::FloatSafety`] — denies `partial_cmp(..).unwrap()`
+//!   sorts (NaN-unsafe; use `f64::total_cmp`) and `==`/`!=` against float
+//!   literals outside `geom::predicates`.
+//!
+//! Findings can be locally waived with a justification comment on the
+//! same or preceding line: `// ballfit-lint: allow(float-safety)`.
+//!
+//! Run it with `cargo run -p ballfit-lint` from anywhere in the
+//! workspace; it exits nonzero when violations exist. The
+//! `tests/lint_clean.rs` integration test pins the workspace to zero
+//! findings, and `scripts/check.sh` runs it as part of the tier-1 gate.
+//!
+//! The crate is dependency-free by design (no `syn`): builds must work in
+//! offline/vendorless environments, and token-level matching plus brace
+//! scoping (see [`lexer`]) is sufficient for every pass above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+
+pub use passes::{analyze_source, Diagnostic, LintConfig, Pass};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // `target/` never nests under a crate's src/tests, but guard
+            // anyway so ad-hoc invocations on odd roots stay fast.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every `.rs` file of the configured crates under
+/// `workspace_root`. Returned diagnostics are ordered by file then line.
+/// File labels in diagnostics are workspace-relative.
+pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for krate in &cfg.crates {
+        let dir = workspace_root.join("crates").join(krate);
+        if dir.is_dir() {
+            rust_files(&dir, &mut files)?;
+        }
+    }
+    // A wrong --root would otherwise scan nothing and report "clean",
+    // silently passing the CI gate.
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .rs files under {} for crates {:?}", workspace_root.display(), cfg.crates),
+        ));
+    }
+    let mut diags = Vec::new();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let label =
+            path.strip_prefix(workspace_root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        diags.extend(analyze_source(&label, &src, cfg));
+    }
+    Ok(diags)
+}
+
+/// The workspace root baked in at compile time (`crates/lint/../..`),
+/// letting `cargo run -p ballfit-lint` work from any CWD.
+pub fn default_workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}

@@ -1,0 +1,82 @@
+//! CLI for the ballfit workspace invariant analyzer.
+//!
+//! ```text
+//! cargo run -p ballfit-lint            # analyze the workspace, exit 1 on findings
+//! cargo run -p ballfit-lint -- --root /path/to/workspace
+//! cargo run -p ballfit-lint -- crates/core/src/protocols.rs   # specific files
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ballfit_lint::{analyze_source, analyze_workspace, default_workspace_root, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root = default_workspace_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety\n\
+                     \n\
+                     USAGE: ballfit-lint [--root <workspace>] [FILE.rs ...]\n\
+                     \n\
+                     With no FILE arguments, analyzes every .rs file in the workspace's\n\
+                     crates/{{core,wsn,geom,mds,netgen}}. Suppress a finding with a\n\
+                     `// ballfit-lint: allow(<pass>)` comment on the same or previous line."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("error: unknown flag {arg} (see --help)");
+                return ExitCode::from(2);
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let cfg = LintConfig::default();
+    let diags = if files.is_empty() {
+        match analyze_workspace(&root, &cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut d = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => d.extend(analyze_source(&f.to_string_lossy(), &src, &cfg)),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        d
+    };
+
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ballfit-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,664 @@
+//! The four invariant passes and the scope tracker they share.
+//!
+//! Scope recognition is purely structural: when a `{` opens, the tokens
+//! between it and the previous `{` / `}` / `;` form its "header". A header
+//! containing `mod` under a `#[cfg(test)]` attribute (or named `tests`)
+//! opens a test scope; a header of the form `impl .. Protocol for .. `
+//! opens a protocol-impl scope. Everything else is a plain block. This is
+//! exactly the granularity the passes need:
+//!
+//! * **determinism** — everywhere in the algorithm crates.
+//! * **locality** — inside protocol-impl scopes only (the message
+//!   handlers that the paper's 1-hop claim is about).
+//! * **panic-safety** — inside protocol-impl scopes, test code exempt.
+//! * **float-safety** — everywhere outside test code, with the robust
+//!   predicates module exempt (its exact comparisons are the point).
+
+use crate::lexer::{is_float_literal, lex, Tok, TokKind};
+
+/// The four passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
+    /// `Instant::now` in algorithm crates.
+    Determinism,
+    /// No global-state accessors inside `Protocol` trait impls.
+    Locality,
+    /// No `unwrap`/`expect`/`panic!`/indexing in protocol round handlers.
+    PanicSafety,
+    /// No NaN-unsafe `partial_cmp().unwrap()` and no `==` on floats
+    /// outside `geom::predicates`.
+    FloatSafety,
+}
+
+impl Pass {
+    /// The name used in diagnostics and `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Determinism => "determinism",
+            Pass::Locality => "locality",
+            Pass::PanicSafety => "panic-safety",
+            Pass::FloatSafety => "float-safety",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which pass fired.
+    pub pass: Pass,
+    /// File the finding is in (as given to [`analyze_source`]).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description with a suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}\n  --> {}:{}",
+            self.pass.name(),
+            self.message,
+            self.file,
+            self.line
+        )
+    }
+}
+
+/// Analyzer configuration. [`LintConfig::default`] encodes the ballfit
+/// workspace policy; the deny lists are plain data so a future config file
+/// can extend them without touching pass logic.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crate directory names (under `crates/`) the analyzer scans.
+    pub crates: Vec<String>,
+    /// Trait names whose impls form protocol scopes.
+    pub protocol_traits: Vec<String>,
+    /// Method names that read global state and are therefore denied
+    /// inside protocol impls (anything beyond `neighbors(id)`-style
+    /// 1-hop queries).
+    pub locality_denied_methods: Vec<String>,
+    /// Type names that *are* global state; naming them inside a protocol
+    /// impl is a locality violation regardless of what is called on them.
+    pub locality_denied_types: Vec<String>,
+    /// Path suffixes exempt from the float-safety `==` check.
+    pub float_exempt_files: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        LintConfig {
+            crates: s(&["core", "wsn", "geom", "mds", "netgen"]),
+            protocol_traits: s(&["Protocol"]),
+            locality_denied_methods: s(&[
+                // NetworkModel: ground truth a real node cannot observe.
+                "positions",
+                "true_distance",
+                "oracle",
+                "measure",
+                "surface_indices",
+                "is_surface",
+                // Topology: whole-graph queries beyond the node's own
+                // 1-hop view (`neighbors`, `degree`, `are_neighbors`,
+                // `len` stay allowed).
+                "edge_count",
+                "closed_neighborhood",
+                "closed_k_hop_neighborhood",
+                "hop_distances",
+                "is_connected",
+                "isolated_nodes",
+                "degree_stats",
+            ]),
+            locality_denied_types: s(&[
+                "NetworkModel",
+                "Topology",
+                "Simulator",
+                "BoundaryDetector",
+            ]),
+            float_exempt_files: s(&["geom/src/predicates.rs"]),
+        }
+    }
+}
+
+/// Per-token scope flags computed by one forward walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScopeFlags {
+    in_test: bool,
+    in_protocol_impl: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScopeKind {
+    Block,
+    TestMod,
+    ProtocolImpl,
+}
+
+/// Computes, for every token index, whether it sits inside a test module
+/// and/or a `Protocol` trait impl.
+fn scope_flags(toks: &[Tok], cfg: &LintConfig) -> Vec<ScopeFlags> {
+    let mut flags = vec![ScopeFlags::default(); toks.len()];
+    let mut stack: Vec<ScopeKind> = Vec::new();
+    let mut current = ScopeFlags::default();
+    for (i, t) in toks.iter().enumerate() {
+        flags[i] = current;
+        if t.is_punct("{") {
+            let kind = classify_header(toks, i, cfg);
+            stack.push(kind);
+            match kind {
+                ScopeKind::TestMod => current.in_test = true,
+                ScopeKind::ProtocolImpl => current.in_protocol_impl = true,
+                ScopeKind::Block => {}
+            }
+            flags[i] = current;
+        } else if t.is_punct("}") {
+            stack.pop();
+            current = ScopeFlags {
+                in_test: stack.contains(&ScopeKind::TestMod),
+                in_protocol_impl: stack.contains(&ScopeKind::ProtocolImpl),
+            };
+            flags[i] = current;
+        }
+    }
+    flags
+}
+
+/// Classifies the scope opened by the `{` at index `open`, by inspecting
+/// the header tokens back to the previous `{`, `}`, or `;`.
+fn classify_header(toks: &[Tok], open: usize, cfg: &LintConfig) -> ScopeKind {
+    let mut start = open;
+    while start > 0 {
+        let p = &toks[start - 1];
+        if p.is_punct("{") || p.is_punct("}") || p.is_punct(";") {
+            break;
+        }
+        start -= 1;
+    }
+    let header = &toks[start..open];
+
+    // `mod <name>` headers: test if `#[cfg(test)]`-attributed or named
+    // `tests` (the workspace convention).
+    if let Some(m) = header.iter().position(|t| t.is_ident("mod")) {
+        let named_tests = header.get(m + 1).is_some_and(|t| t.is_ident("tests"));
+        let cfg_test = header.windows(4).any(|w| {
+            w[0].is_ident("cfg")
+                && w[1].is_punct("(")
+                && w[2].is_ident("test")
+                && w[3].is_punct(")")
+        });
+        if named_tests || cfg_test {
+            return ScopeKind::TestMod;
+        }
+    }
+
+    // `impl .. <ProtocolTrait> for <Type>` headers.
+    if header.first().is_some_and(|t| t.is_ident("impl")) {
+        if let Some(f) = header.iter().position(|t| t.is_ident("for")) {
+            if f > 0
+                && header[f - 1].kind == TokKind::Ident
+                && cfg.protocol_traits.contains(&header[f - 1].text)
+            {
+                return ScopeKind::ProtocolImpl;
+            }
+        }
+    }
+    ScopeKind::Block
+}
+
+/// Runs all four passes over one source file.
+///
+/// `file` is the label used in diagnostics *and* for path-based policy
+/// (test files under a `tests/` directory are treated as test code; the
+/// float-safety exemption list matches on path suffix).
+pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let flags = scope_flags(toks, cfg);
+    let file_is_test = file.contains("/tests/") || file.ends_with("/build.rs");
+    let float_exempt = cfg.float_exempt_files.iter().any(|s| file.ends_with(s.as_str()));
+
+    let mut out = Vec::new();
+    let mut push = |pass: Pass, line: u32, message: String| {
+        let suppressed = lexed
+            .allows
+            .iter()
+            .any(|(l, p)| (p == pass.name() || p == "all") && (*l == line || *l + 1 == line));
+        if !suppressed {
+            out.push(Diagnostic { pass, file: file.to_string(), line, message });
+        }
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let in_test = file_is_test || flags[i].in_test;
+        let in_proto = flags[i].in_protocol_impl;
+
+        // ---- determinism -------------------------------------------------
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "HashMap" | "HashSet" => push(
+                    Pass::Determinism,
+                    t.line,
+                    format!(
+                        "`{}` iteration order is nondeterministic; use `BTree{}` (or a sorted Vec) so runs are reproducible",
+                        t.text,
+                        &t.text[4..]
+                    ),
+                ),
+                "thread_rng" => push(
+                    Pass::Determinism,
+                    t.line,
+                    "`thread_rng` is unseeded; thread a seeded `StdRng` through instead".to_string(),
+                ),
+                "SystemTime" | "Instant"
+                    if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(i + 2).is_some_and(|n| n.is_ident("now")) =>
+                {
+                    push(
+                        Pass::Determinism,
+                        t.line,
+                        format!(
+                            "`{}::now()` makes algorithm output depend on wall-clock time; take time as an input",
+                            t.text
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // ---- locality ----------------------------------------------------
+        if in_proto && t.kind == TokKind::Ident {
+            let is_method_call = i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            if is_method_call && cfg.locality_denied_methods.contains(&t.text) {
+                push(
+                    Pass::Locality,
+                    t.line,
+                    format!(
+                        "`.{}()` reads global state inside a protocol impl; handlers may only use per-node state and `Ctx` (1-hop contract)",
+                        t.text
+                    ),
+                );
+            }
+            if cfg.locality_denied_types.contains(&t.text) {
+                push(
+                    Pass::Locality,
+                    t.line,
+                    format!(
+                        "`{}` names whole-network state inside a protocol impl; the paper's locality claim forbids handlers from seeing it",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // ---- panic-safety ------------------------------------------------
+        if in_proto && !in_test {
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                push(
+                    Pass::PanicSafety,
+                    t.line,
+                    format!(
+                        "`.{}()` in a protocol round handler can take the whole simulated network down; restructure to handle the `None`/`Err` arm",
+                        t.text
+                    ),
+                );
+            }
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                push(
+                    Pass::PanicSafety,
+                    t.line,
+                    format!(
+                        "`{}!` in a protocol round handler; return early or propagate instead",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_punct("[") && i > 0 {
+                let p = &toks[i - 1];
+                let indexes = p.kind == TokKind::Ident && !is_keyword(&p.text)
+                    || p.is_punct(")")
+                    || p.is_punct("]");
+                if indexes {
+                    push(
+                        Pass::PanicSafety,
+                        t.line,
+                        "direct indexing in a protocol round handler panics on out-of-range; use `.get()`".to_string(),
+                    );
+                }
+            }
+        }
+
+        // ---- float-safety ------------------------------------------------
+        if !in_test && !float_exempt {
+            if t.is_ident("partial_cmp") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+                if let Some(j) = skip_balanced_parens(toks, i + 1) {
+                    if toks.get(j).is_some_and(|n| n.is_punct("."))
+                        && toks
+                            .get(j + 1)
+                            .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                    {
+                        push(
+                            Pass::FloatSafety,
+                            t.line,
+                            "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp` for a total order".to_string(),
+                        );
+                    }
+                }
+            }
+            if t.is_punct("==") || t.is_punct("!=") {
+                let float_beside = float_operand(toks, i.wrapping_sub(1), false)
+                    || float_operand(toks, i + 1, true);
+                if float_beside {
+                    push(
+                        Pass::FloatSafety,
+                        t.line,
+                        format!(
+                            "`{}` against a float literal is exact-equality on f64; compare with a tolerance or justify with `// ballfit-lint: allow(float-safety)`",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Is the operand at `i` (looking `forward` or backward from a `==`) a
+/// float literal or a well-known non-finite f64 constant?
+fn float_operand(toks: &[Tok], i: usize, forward: bool) -> bool {
+    let Some(mut t) = toks.get(i) else { return false };
+    let mut i = i;
+    // Unary minus on the right-hand side: `x == -1.0`.
+    if forward && t.is_punct("-") {
+        match toks.get(i + 1) {
+            Some(next) => {
+                t = next;
+                i += 1;
+            }
+            None => return false,
+        }
+    }
+    // Qualified consts on the right-hand side: `x == f64::INFINITY`.
+    if forward
+        && (t.is_ident("f64") || t.is_ident("f32"))
+        && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+    {
+        match toks.get(i + 2) {
+            Some(next) => t = next,
+            None => return false,
+        }
+    }
+    if t.kind == TokKind::Number && is_float_literal(&t.text) {
+        return true;
+    }
+    t.kind == TokKind::Ident
+        && matches!(t.text.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON")
+}
+
+/// Given `open` pointing at `(`, returns the index just past its matching
+/// `)`, or `None` if unbalanced.
+fn skip_balanced_parens(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "as"
+            | "where"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(file: &str, src: &str) -> Vec<Diagnostic> {
+        analyze_source(file, src, &LintConfig::default())
+    }
+
+    fn passes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.pass.name()).collect()
+    }
+
+    // ---- determinism ----------------------------------------------------
+
+    #[test]
+    fn determinism_flags_hashmap_iteration() {
+        // The acceptance scenario: a HashMap sneaks into protocols.rs.
+        let src = r#"
+            use std::collections::HashMap;
+            pub struct S { received: HashMap<usize, Vec<f64>> }
+            impl S {
+                fn drain(&self) {
+                    for (k, v) in &self.received { let _ = (k, v); }
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert!(diags.iter().all(|d| d.pass == Pass::Determinism), "{diags:?}");
+        assert_eq!(diags.len(), 2, "use-decl and field type: {diags:?}");
+        assert!(diags[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn determinism_flags_clock_and_rng() {
+        let src = "fn f() { let t = Instant::now(); let r = rand::thread_rng(); }";
+        let diags = run("crates/core/src/x.rs", src);
+        assert_eq!(passes(&diags), vec!["determinism", "determinism"]);
+    }
+
+    #[test]
+    fn determinism_clean_on_btreemap_and_seeded_rng() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let r = StdRng::seed_from_u64(7); let i = Instant::elapsed; }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_ignores_strings_and_comments() {
+        let src = "// HashMap here\nfn f() { let s = \"HashMap\"; }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- locality -------------------------------------------------------
+
+    #[test]
+    fn locality_flags_global_accessors_in_protocol_impl() {
+        let src = r#"
+            impl Protocol for Probe {
+                type Msg = ();
+                fn on_message(&mut self, from: NodeId, _m: &(), ctx: &mut Ctx<'_, ()>) {
+                    let p = self.model.positions();
+                    let n = self.topo.closed_k_hop_neighborhood(from, 2);
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["locality", "locality"], "{diags:?}");
+    }
+
+    #[test]
+    fn locality_flags_global_types_in_protocol_impl() {
+        let src = r#"
+            impl Protocol for Probe {
+                type Msg = ();
+                fn on_start(&mut self, _ctx: &mut Ctx<'_, ()>) {
+                    let m: &NetworkModel = todo();
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["locality"]);
+    }
+
+    #[test]
+    fn locality_allows_one_hop_queries_and_setup_code() {
+        let src = r#"
+            impl UbfProtocol {
+                // Inherent impl: setup/harvest code may read the model.
+                pub fn for_model(model: &NetworkModel) { let _ = model.positions(); }
+            }
+            impl Protocol for UbfProtocol {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let n = ctx.neighbors();
+                    ctx.broadcast(());
+                }
+            }
+        "#;
+        assert!(run("crates/core/src/protocols.rs", src).is_empty());
+    }
+
+    // ---- panic-safety ---------------------------------------------------
+
+    #[test]
+    fn panic_safety_flags_unwrap_expect_panic_indexing() {
+        let src = r#"
+            impl Protocol for P {
+                type Msg = u32;
+                fn on_message(&mut self, f: NodeId, m: &u32, _c: &mut Ctx<'_, u32>) {
+                    let a = self.label.unwrap();
+                    let b = self.label.expect("labeled");
+                    if *m > 3 { panic!("bad message"); }
+                    let c = self.table[f];
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(
+            passes(&diags),
+            vec!["panic-safety", "panic-safety", "panic-safety", "panic-safety"],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn panic_safety_exempts_tests_and_non_protocol_code() {
+        let src = r#"
+            fn helper() { let x = maybe().unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                impl Protocol for P {
+                    type Msg = ();
+                    fn on_start(&mut self, _c: &mut Ctx<'_, ()>) { self.x.unwrap(); }
+                }
+            }
+        "#;
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_safety_does_not_flag_attributes_or_slice_types() {
+        let src = r#"
+            impl Protocol for P {
+                type Msg = ();
+                #[inline]
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let v: &[u32] = ctx.neighbors();
+                    let a = [0u8; 4];
+                    for x in v { let _ = x; }
+                }
+            }
+        "#;
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- float-safety ---------------------------------------------------
+
+    #[test]
+    fn float_safety_flags_nan_unsafe_sort_and_float_eq() {
+        let src = r#"
+            fn f(mut v: Vec<f64>, x: f64) -> bool {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                x == 0.0
+            }
+        "#;
+        let diags = run("crates/core/src/x.rs", src);
+        assert_eq!(passes(&diags), vec!["float-safety", "float-safety", "float-safety"]);
+        assert!(diags[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn float_safety_clean_on_total_cmp_and_int_eq() {
+        let src = r#"
+            fn f(mut v: Vec<f64>, n: usize) -> bool {
+                v.sort_by(f64::total_cmp);
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                n == 0
+            }
+        "#;
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_safety_exempts_predicates_and_tests() {
+        let eq = "fn f(x: f64) -> bool { x == 1.0 }";
+        assert!(run("crates/geom/src/predicates.rs", eq).is_empty());
+        assert!(run("crates/geom/tests/properties.rs", eq).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests { fn f(x: f64) -> bool { x == 1.0 } }";
+        assert!(run("crates/geom/src/x.rs", in_mod).is_empty());
+    }
+
+    // ---- escape hatch ---------------------------------------------------
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let same = "fn f(x: f64) -> bool { x == 0.0 } // ballfit-lint: allow(float-safety)";
+        assert!(run("crates/core/src/x.rs", same).is_empty());
+        let prev = "// ballfit-lint: allow(float-safety)\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert!(run("crates/core/src/x.rs", prev).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_is_pass_specific() {
+        // A float-safety allow does not silence determinism on that line.
+        let src = "use std::collections::HashMap; // ballfit-lint: allow(float-safety)";
+        let diags = run("crates/core/src/x.rs", src);
+        assert_eq!(passes(&diags), vec!["determinism"]);
+        // ...but allow(all) does.
+        let all = "use std::collections::HashMap; // ballfit-lint: allow(all)";
+        assert!(run("crates/core/src/x.rs", all).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! The workspace is lint-clean, and stays that way: this test runs the
+//! analyzer over the real algorithm crates and pins zero findings, then
+//! demonstrates on the *actual* `protocols.rs` source that the regressions
+//! the ISSUE cares about — a `HashMap` iteration or a global-state
+//! accessor call creeping into the protocol layer — would fail this test.
+
+use ballfit_lint::{analyze_source, analyze_workspace, default_workspace_root, LintConfig, Pass};
+
+#[test]
+fn workspace_is_invariant_clean() {
+    let root = default_workspace_root();
+    let diags =
+        analyze_workspace(&root, &LintConfig::default()).expect("workspace sources are readable");
+    assert!(
+        diags.is_empty(),
+        "invariant violations in the workspace:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// Reads the real protocol layer source so the regression fixtures below
+/// exercise the exact code the invariants protect.
+fn protocols_source() -> String {
+    let path = default_workspace_root().join("crates/core/src/protocols.rs");
+    std::fs::read_to_string(path).expect("protocols.rs exists")
+}
+
+#[test]
+fn hashmap_iteration_in_protocols_would_fail() {
+    let mut poisoned = protocols_source();
+    poisoned.push_str(
+        r#"
+pub fn regression_tally(received: &std::collections::HashMap<NodeId, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in received {
+        total += v;
+    }
+    total
+}
+"#,
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::Determinism),
+        "HashMap iteration in protocols.rs must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn global_state_accessor_in_handler_would_fail() {
+    // Splice a global-state read into an existing `Protocol` handler body:
+    // `on_message` of `GroupingProtocol` suddenly consults the whole model.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned =
+        src.replace(needle, &format!("{needle}\n        let _cheat = self.model.positions();"));
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::Locality),
+        "global accessor inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn unwrap_in_handler_would_fail() {
+    let needle =
+        "fn on_message(&mut self, from: NodeId, msg: &Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "UbfProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(
+        needle,
+        &format!("{needle}\n        let _first = self.received.iter().next().unwrap();"),
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::PanicSafety),
+        "unwrap inside a Protocol handler must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn nan_unsafe_sort_anywhere_would_fail() {
+    let src = r#"
+        pub fn order(mut xs: Vec<f64>) -> Vec<f64> {
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs
+        }
+    "#;
+    let diags = analyze_source("crates/geom/src/sort.rs", src, &LintConfig::default());
+    assert!(diags.iter().any(|d| d.pass == Pass::FloatSafety), "{diags:?}");
+}

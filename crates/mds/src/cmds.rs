@@ -143,10 +143,7 @@ mod tests {
         let mut d = SquareMatrix::zeros(2);
         d[(0, 1)] = -1.0;
         d[(1, 0)] = -1.0;
-        assert_eq!(
-            classical_mds(&d),
-            Err(MdsError::InvalidDistance { row: 0, col: 1 })
-        );
+        assert_eq!(classical_mds(&d), Err(MdsError::InvalidDistance { row: 0, col: 1 }));
     }
 
     #[test]
@@ -168,7 +165,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let pts: Vec<Vec3> = (0..12)
             .map(|_| {
-                Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+                Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
             })
             .collect();
         let noisy = SquareMatrix::from_fn(pts.len(), |i, j| {

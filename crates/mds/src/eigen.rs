@@ -86,7 +86,7 @@ pub fn jacobi_eigen(m: &SquareMatrix) -> EigenDecomposition {
 
     // Sort eigenpairs by descending eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| a[(j, j)].total_cmp(&a[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&k| a[(k, k)]).collect();
     let vectors = SquareMatrix::from_fn(n, |i, k| v[(i, order[k])]);
     EigenDecomposition { values, vectors }

@@ -247,8 +247,8 @@ mod tests {
         // Restrict measurements so some pairs are path-completed (inflated),
         // making the input slightly non-Euclidean.
         let ld = from_points(&pts, 1.1);
-        let plain = embed_local(&ld, LocalFrameConfig { refine: false, ..Default::default() })
-            .unwrap();
+        let plain =
+            embed_local(&ld, LocalFrameConfig { refine: false, ..Default::default() }).unwrap();
         let refined = embed_local(&ld, LocalFrameConfig::default()).unwrap();
         assert!(refined.stress <= plain.stress + 1e-12);
     }

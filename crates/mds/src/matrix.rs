@@ -63,9 +63,7 @@ impl SquareMatrix {
     /// Panics if `v.len() != n`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.n, "dimension mismatch");
-        (0..self.n)
-            .map(|i| (0..self.n).map(|j| self[(i, j)] * v[j]).sum())
-            .collect()
+        (0..self.n).map(|i| (0..self.n).map(|j| self[(i, j)] * v[j]).sum()).collect()
     }
 
     /// Matrix product `self * rhs`.
@@ -79,6 +77,9 @@ impl SquareMatrix {
         for i in 0..self.n {
             for k in 0..self.n {
                 let a = self[(i, k)];
+                // Exact zero skip: purely a sparsity fast path, any nonzero
+                // (however tiny) must still multiply through.
+                // ballfit-lint: allow(float-safety)
                 if a == 0.0 {
                     continue;
                 }
@@ -114,9 +115,7 @@ impl SquareMatrix {
         let col_means: Vec<f64> =
             (0..n).map(|j| (0..n).map(|i| self[(i, j)]).sum::<f64>() / nf).collect();
         let grand = row_means.iter().sum::<f64>() / nf;
-        SquareMatrix::from_fn(n, |i, j| {
-            -0.5 * (self[(i, j)] - row_means[i] - col_means[j] + grand)
-        })
+        SquareMatrix::from_fn(n, |i, j| -0.5 * (self[(i, j)] - row_means[i] - col_means[j] + grand))
     }
 }
 

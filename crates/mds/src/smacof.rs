@@ -235,11 +235,8 @@ where
                 let delta = z[i] - z[j];
                 let dist = delta.norm();
                 if wfn(i, j) {
-                    let target = if dist > 1e-12 {
-                        *zj + delta * (distances[(i, j)] / dist)
-                    } else {
-                        *zj
-                    };
+                    let target =
+                        if dist > 1e-12 { *zj + delta * (distances[(i, j)] / dist) } else { *zj };
                     acc += target;
                     total_weight += 1.0;
                 } else if let Some(f) = floor_fn(i, j) {
@@ -393,13 +390,21 @@ mod tests {
             Vec3::new(0.9, 0.3, 0.0),
             Vec3::new(0.4, 0.0, 0.0), // collapsed toward node 0
         ];
-        refine_with_floors(&mut coords, &d, measured, floor, 0.5, SmacofConfig {
-            max_iterations: 200,
-            tolerance: 1e-12,
-        });
+        refine_with_floors(
+            &mut coords,
+            &d,
+            measured,
+            floor,
+            0.5,
+            SmacofConfig { max_iterations: 200, tolerance: 1e-12 },
+        );
         assert!((coords[0].distance(coords[1]) - 1.0).abs() < 0.05);
         assert!((coords[1].distance(coords[2]) - 1.0).abs() < 0.05);
-        assert!(coords[0].distance(coords[2]) > 1.3, "floor not enforced: {}", coords[0].distance(coords[2]));
+        assert!(
+            coords[0].distance(coords[2]) > 1.3,
+            "floor not enforced: {}",
+            coords[0].distance(coords[2])
+        );
     }
 
     #[test]

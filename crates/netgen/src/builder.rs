@@ -223,8 +223,7 @@ impl NetworkBuilder {
 
         let topology = Topology::from_positions(&positions, range);
         if self.require_connected {
-            let components =
-                ballfit_wsn::components::components_of(&topology, |_| true).len();
+            let components = ballfit_wsn::components::components_of(&topology, |_| true).len();
             if components != 1 {
                 return Err(GenError::Disconnected { components });
             }

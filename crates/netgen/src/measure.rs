@@ -55,6 +55,9 @@ impl ErrorModel {
         let noisy = match *self {
             ErrorModel::None => d_true,
             ErrorModel::UniformRadius { fraction } => {
+                // Exact sentinel: fraction 0 means "no noise", and must not
+                // consume RNG draws (seed-stream compatibility).
+                // ballfit-lint: allow(float-safety)
                 if fraction == 0.0 {
                     d_true
                 } else {

@@ -102,6 +102,9 @@ pub fn sample_surface<S: Sdf + ?Sized>(
 /// candidate kept.
 pub fn greedy_thin(pool: &[Vec3], spacing: f64) -> Vec<usize> {
     assert!(spacing >= 0.0, "spacing must be non-negative");
+    // Exact sentinel: spacing is asserted >= 0, and exactly 0 means "keep
+    // everything" — not a numeric comparison.
+    // ballfit-lint: allow(float-safety)
     if spacing == 0.0 {
         return (0..pool.len()).collect();
     }
@@ -109,8 +112,8 @@ pub fn greedy_thin(pool: &[Vec3], spacing: f64) -> Vec<usize> {
     let key = |p: Vec3| -> (i64, i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64, (p.z / cell).floor() as i64)
     };
-    let mut grid: std::collections::HashMap<(i64, i64, i64), Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut grid: std::collections::BTreeMap<(i64, i64, i64), Vec<usize>> =
+        std::collections::BTreeMap::new();
     let s2 = spacing * spacing;
     let mut kept = Vec::new();
     'pool: for (i, &p) in pool.iter().enumerate() {
@@ -192,15 +195,11 @@ pub fn poisson_select(pool: &[Vec3], target: usize) -> (Vec<Vec3>, f64) {
             }
         })
         .collect();
-    nn.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    nn.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     let drop: std::collections::BTreeSet<usize> =
         nn.iter().take(points.len() - target).map(|&(_, i)| i).collect();
-    let trimmed: Vec<Vec3> = points
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !drop.contains(i))
-        .map(|(_, &p)| p)
-        .collect();
+    let trimmed: Vec<Vec3> =
+        points.iter().enumerate().filter(|(i, _)| !drop.contains(i)).map(|(_, &p)| p).collect();
     (trimmed, spacing)
 }
 
@@ -260,10 +259,7 @@ mod tests {
         let pts = sample_surface(&s, 60, 0.2, spacing, &mut rng).unwrap();
         for i in 0..pts.len() {
             for j in (i + 1)..pts.len() {
-                assert!(
-                    pts[i].distance(pts[j]) >= spacing - 1e-9,
-                    "pair ({i},{j}) too close"
-                );
+                assert!(pts[i].distance(pts[j]) >= spacing - 1e-9, "pair ({i},{j}) too close");
             }
         }
     }

@@ -5,7 +5,9 @@
 //! units (the paper normalizes the transmission range to 1) and are sized
 //! so that a few-thousand-node network reaches the paper's density.
 
-use ballfit_geom::sdf::{BoxSdf, Difference, PolylineTube, Sdf, SphereSdf, TerrainColumn, TorusSdf};
+use ballfit_geom::sdf::{
+    BoxSdf, Difference, PolylineTube, Sdf, SphereSdf, TerrainColumn, TorusSdf,
+};
 use ballfit_geom::{Aabb, Vec3};
 
 #[cfg(feature = "serde")]
@@ -70,9 +72,7 @@ impl Scenario {
     pub fn build(&self, seed: u64) -> Box<dyn Sdf> {
         match self {
             Scenario::SolidSphere => Box::new(SphereSdf::new(Vec3::ZERO, 4.0)),
-            Scenario::SolidBox => {
-                Box::new(BoxSdf::new(Aabb::cube(Vec3::ZERO, 4.0)))
-            }
+            Scenario::SolidBox => Box::new(BoxSdf::new(Aabb::cube(Vec3::ZERO, 4.0))),
             Scenario::Torus => Box::new(TorusSdf::new(Vec3::ZERO, Vec3::Z, 5.0, 2.0)),
             Scenario::BendedPipe => {
                 // A 90° elbow: quarter-circle arc of radius 6 sampled as a
@@ -91,18 +91,14 @@ impl Scenario {
                 // (≥ 2.5 radio ranges of wall between the hole boundary and
                 // the outer boundary, so the two boundary groups cannot be
                 // bridged by boundary-adjacent nodes).
-                let slab = BoxSdf::new(Aabb::new(
-                    Vec3::new(-6.0, -6.0, -4.5),
-                    Vec3::new(6.0, 6.0, 4.5),
-                ));
+                let slab =
+                    BoxSdf::new(Aabb::new(Vec3::new(-6.0, -6.0, -4.5), Vec3::new(6.0, 6.0, 4.5)));
                 let hole = SphereSdf::new(Vec3::ZERO, 2.0);
                 Box::new(Difference::new(Box::new(slab), Box::new(hole)))
             }
             Scenario::SpaceTwoHoles => {
-                let slab = BoxSdf::new(Aabb::new(
-                    Vec3::new(-7.0, -6.0, -4.5),
-                    Vec3::new(7.0, 6.0, 4.5),
-                ));
+                let slab =
+                    BoxSdf::new(Aabb::new(Vec3::new(-7.0, -6.0, -4.5), Vec3::new(7.0, 6.0, 4.5)));
                 let holes = ballfit_geom::sdf::Union::new(vec![
                     Box::new(SphereSdf::new(Vec3::new(-3.4, 0.0, 0.0), 1.8)) as Box<dyn Sdf>,
                     Box::new(SphereSdf::new(Vec3::new(3.4, 0.5, 0.3), 1.8)) as Box<dyn Sdf>,
@@ -112,9 +108,9 @@ impl Scenario {
             Scenario::Underwater => Box::new(TerrainColumn::new(
                 0.0, 14.0, // x extent
                 0.0, 10.0, // y extent
-                5.0, // water surface
-                0.0, // mean bottom
-                1.2, // bump amplitude
+                5.0,  // water surface
+                0.0,  // mean bottom
+                1.2,  // bump amplitude
                 0.35, // bump frequency
                 seed,
             )),

@@ -23,11 +23,7 @@ use crate::topology::{NodeId, Topology};
 /// `member(i)`, the number of *distinct members within `ttl` hops in the
 /// member-induced subgraph, counting `i` itself* — i.e. the fragment size
 /// as observable by `i`. Non-members get 0.
-pub fn fragment_sizes<F: Fn(NodeId) -> bool>(
-    topo: &Topology,
-    ttl: u32,
-    member: F,
-) -> Vec<usize> {
+pub fn fragment_sizes<F: Fn(NodeId) -> bool>(topo: &Topology, ttl: u32, member: F) -> Vec<usize> {
     let mut sizes = vec![0usize; topo.len()];
     for i in 0..topo.len() {
         if !member(i) {

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = Pipeline::paper(10, 1).run(&model);
 
     println!("detection: {}", result.stats);
-    println!(
-        "mistaken nodes within 1/2/3 hops of the boundary: {:?}",
-        result.stats.mistaken_hops
-    );
+    println!("mistaken nodes within 1/2/3 hops of the boundary: {:?}", result.stats.mistaken_hops);
 
     // 3. Inspect the constructed boundary surface.
     for (i, surface) in result.surfaces.iter().enumerate() {

@@ -39,9 +39,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Partition the surface into 4 balanced regions.
     let partition = partition_surface(surface, 4);
-    println!("partition into {} regions (imbalance {:.2}):", partition.regions(), partition.imbalance());
+    println!(
+        "partition into {} regions (imbalance {:.2}):",
+        partition.regions(),
+        partition.imbalance()
+    );
     for r in 0..partition.regions() {
-        println!("  region {r}: {} landmarks (seed vertex {})", partition.members(r).len(), partition.seeds[r]);
+        println!(
+            "  region {r}: {} landmarks (seed vertex {})",
+            partition.members(r).len(),
+            partition.seeds[r]
+        );
     }
     Ok(())
 }

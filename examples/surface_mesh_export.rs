@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .target_degree(17.0)
         .seed(19)
         .build()?;
-    println!("bended pipe: {} nodes, avg degree {:.1}", model.len(), model.topology().degree_stats().mean);
+    println!(
+        "bended pipe: {} nodes, avg degree {:.1}",
+        model.len(),
+        model.topology().degree_stats().mean
+    );
 
     let mut pipeline = Pipeline::paper(0, 0);
     pipeline.surface = SurfaceConfig { k: 3, ..Default::default() };

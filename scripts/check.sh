@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Single pre-PR gate for the ballfit workspace:
+#
+#   1. cargo fmt --check        formatting
+#   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
+#   3. ballfit-lint             determinism / locality / panic-safety /
+#                               float-safety invariants (crates/lint)
+#   4. cargo test               tier-1 test suite
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast skips clippy and runs tests in the default profile only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+    FAST=1
+fi
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+if [[ "$FAST" -eq 0 ]]; then
+    step "cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+step "ballfit-lint (invariant analyzer)"
+cargo run -q -p ballfit-lint
+
+step "cargo test"
+cargo test -q --workspace
+
+echo
+echo "check.sh: all gates green"

@@ -22,17 +22,13 @@ fn sphere_detection() -> (ballfit_netgen::model::NetworkModel, ballfit::Boundary
 #[test]
 fn sphere_mesh_at_coarse_k_is_a_closed_manifold() {
     let (model, detection) = sphere_detection();
-    let surfaces = SurfaceBuilder::new(SurfaceConfig { k: 5, ..Default::default() })
-        .build(&model, &detection);
+    let surfaces =
+        SurfaceBuilder::new(SurfaceConfig { k: 5, ..Default::default() }).build(&model, &detection);
     assert_eq!(surfaces.len(), 1);
     let s = &surfaces[0];
     // The paper's headline property: a locally planarized 2-manifold.
     assert_eq!(s.stats.audit.non_manifold_edges, 0, "{:?}", s.stats.audit);
-    assert!(
-        s.stats.audit.manifold_fraction() > 0.9,
-        "too many border edges: {:?}",
-        s.stats.audit
-    );
+    assert!(s.stats.audit.manifold_fraction() > 0.9, "too many border edges: {:?}", s.stats.audit);
     // Sphere topology when fully closed: Euler characteristic 2.
     if s.stats.audit.is_closed_manifold() {
         assert_eq!(s.stats.euler, 2);
@@ -51,10 +47,7 @@ fn finer_k_more_landmarks_lower_deviation() {
         let s = &surfaces[0];
         landmark_counts.push(s.stats.landmarks);
         // Mesh tracks the true sphere surface regardless of k.
-        assert!(
-            s.mesh.mean_abs_distance_to(&*shape) < 0.5,
-            "k={k}: mesh deviates too far"
-        );
+        assert!(s.mesh.mean_abs_distance_to(&*shape) < 0.5, "k={k}: mesh deviates too far");
         // Every mesh face is a genuine empty clique: no face's edge may
         // border more than two faces.
         assert_eq!(s.stats.audit.non_manifold_edges, 0, "k={k}");
@@ -97,9 +90,6 @@ fn hole_boundary_also_meshes_when_large_enough() {
     // The hole mesh hugs the hole sphere (radius 2 at the origin).
     let hole_mesh = &surfaces[1].mesh;
     for v in hole_mesh.vertices() {
-        assert!(
-            (v.norm() - 2.0).abs() < 0.5,
-            "hole landmark at {v} is far from the hole wall"
-        );
+        assert!((v.norm() - 2.0).abs() < 0.5, "hole landmark at {v} is far from the hole wall");
     }
 }
