@@ -44,7 +44,8 @@ fn main() {
     ]];
 
     // 1. UBF: one neighbor-table broadcast per node.
-    let (ubf_flags, ubf_msgs) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+    let (ubf_flags, ubf_msgs) =
+        run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
     table.push(vec![
         "UBF (table exchange)".into(),
         (ubf_flags == central.candidates).to_string(),
@@ -71,7 +72,8 @@ fn main() {
     ]);
 
     // 3. Grouping: min-ID label flooding.
-    let (labels, group_msgs) = run_grouping_protocol(topo, &central.boundary);
+    let (labels, group_msgs) =
+        run_grouping_protocol(topo, &central.boundary).expect("perfect radio quiesces");
     let groups = group_boundaries(topo, &central.boundary);
     let grouping_ok = groups.iter().all(|g| g.iter().all(|&m| labels[m] == Some(g[0])));
     table.push(vec![
@@ -85,7 +87,7 @@ fn main() {
     if let Some(group) = groups.first() {
         let k = 3;
         let central_lm = elect_landmarks(topo, group, k);
-        let (dist_lm, lm_msgs) = run_landmark_protocol(topo, group, k);
+        let (dist_lm, lm_msgs) = run_landmark_protocol(topo, group, k).expect("election converges");
         table.push(vec![
             "landmark election (k=3)".into(),
             (dist_lm == central_lm).to_string(),

@@ -1,0 +1,373 @@
+//! E15 — robustness sweep: degradation of the hardened protocol stack on
+//! an unreliable radio, as a function of link-loss rate and crashed-node
+//! fraction.
+//!
+//! For every `(loss, crash_fraction, seed)` cell the sweep runs hardened
+//! UBF, the hardened IFF flood, hardened grouping, and the landmark
+//! election against a deterministic [`FaultPlan`] (permanent fail-stop
+//! crashes at round 1), then scores the outputs of the *alive* nodes
+//! against the fault-free centralized detector: missing/mistaken boundary
+//! rates, grouping label agreement, landmark convergence and Jaccard
+//! similarity, and message overhead relative to the fault-free plain
+//! protocols. Results are emitted as JSON (hand-rolled — the sweep is
+//! dependency-free by design) into `$BALLFIT_RESULTS` or `results/`.
+//!
+//! ```sh
+//! cargo run --release -p ballfit-bench --bin robustness_sweep            # full grid
+//! cargo run --release -p ballfit-bench --bin robustness_sweep -- --smoke # CI smoke run
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::grouping::group_boundaries;
+use ballfit::landmarks::elect_landmarks;
+use ballfit::protocols::{
+    run_grouping_protocol, run_hardened_grouping, run_hardened_ubf,
+    run_landmark_protocol_with_faults, run_ubf_protocol, RetryConfig,
+};
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_wsn::faults::FaultPlan;
+use ballfit_wsn::flood::{fragment_sizes, FragmentFlood, HardenedFragmentFlood};
+use ballfit_wsn::sim::Simulator;
+use ballfit_wsn::NodeId;
+
+/// Number of times each hardened-flood forward is transmitted.
+const FLOOD_REPEATS: u32 = 8;
+
+struct Grid {
+    losses: Vec<f64>,
+    crash_fractions: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+fn reference_model(smoke: bool) -> NetworkModel {
+    let (surface, interior, degree, seed) =
+        if smoke { (80, 100, 12.0, 7) } else { (200, 300, 14.0, 77) };
+    NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(degree)
+        .seed(seed)
+        .build()
+        .expect("reference model generates")
+}
+
+fn grid(smoke: bool) -> Grid {
+    if smoke {
+        Grid { losses: vec![0.0, 0.1], crash_fractions: vec![0.0, 0.05], seeds: vec![1] }
+    } else {
+        Grid {
+            losses: vec![0.0, 0.05, 0.1, 0.2, 0.3],
+            crash_fractions: vec![0.0, 0.05, 0.1],
+            seeds: vec![1, 2, 3],
+        }
+    }
+}
+
+/// `(missing_rate, mistaken_rate)` of `got` vs `want`, restricted to
+/// nodes where `alive` holds. `None` when a denominator is empty.
+fn boundary_rates(want: &[bool], got: &[bool], alive: &[bool]) -> (Option<f64>, Option<f64>) {
+    let (mut pos, mut neg, mut missing, mut mistaken) = (0usize, 0usize, 0usize, 0usize);
+    for i in 0..want.len() {
+        if !alive[i] {
+            continue;
+        }
+        if want[i] {
+            pos += 1;
+            if !got[i] {
+                missing += 1;
+            }
+        } else {
+            neg += 1;
+            if got[i] {
+                mistaken += 1;
+            }
+        }
+    }
+    let rate = |num: usize, den: usize| (den > 0).then(|| num as f64 / den as f64);
+    (rate(missing, pos), rate(mistaken, neg))
+}
+
+fn json_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
+    }
+}
+
+struct CellResult {
+    loss: f64,
+    crash_fraction: f64,
+    seed: u64,
+    crashed: usize,
+    ubf_ok: bool,
+    ubf_missing: Option<f64>,
+    ubf_mistaken: Option<f64>,
+    ubf_overhead: Option<f64>,
+    iff_missing: Option<f64>,
+    iff_mistaken: Option<f64>,
+    iff_overhead: Option<f64>,
+    grouping_ok: bool,
+    grouping_agreement: Option<f64>,
+    grouping_overhead: Option<f64>,
+    landmark_converged: bool,
+    landmark_jaccard: Option<f64>,
+    dropped: u64,
+    crash_lost: u64,
+}
+
+fn run_cell(
+    model: &NetworkModel,
+    cfg: &DetectorConfig,
+    central: &ballfit::detector::BoundaryDetection,
+    baseline: &Baseline,
+    loss: f64,
+    crash_fraction: f64,
+    seed: u64,
+) -> CellResult {
+    let n = model.len();
+    let topo = model.topology();
+    let retry = RetryConfig::default();
+    // Duplication and delay ride along with loss (the "misbehaving
+    // radio" axis); the crash axis stays pure so the (0, 0) cell is a
+    // clean baseline.
+    let plan = FaultPlan::lossy(seed, loss)
+        .with_duplication(if loss > 0.0 { 0.05 } else { 0.0 })
+        .with_max_delay(u32::from(loss > 0.0))
+        .with_random_crashes(n, crash_fraction, 1, None);
+    let mut alive = vec![true; n];
+    for c in &plan.crashes {
+        if c.node < n {
+            alive[c.node] = false;
+        }
+    }
+    let crashed = alive.iter().filter(|a| !**a).count();
+
+    // Phase 1: hardened UBF.
+    let ubf = run_hardened_ubf(model, &cfg.ubf, &cfg.coordinates, retry, &plan);
+    let (ubf_ok, ubf_flags, ubf_msgs) = match ubf {
+        Ok((flags, msgs)) => (true, flags, Some(msgs)),
+        Err(_) => (false, vec![false; n], None),
+    };
+    let (ubf_missing, ubf_mistaken) =
+        if ubf_ok { boundary_rates(&central.candidates, &ubf_flags, &alive) } else { (None, None) };
+
+    // Phase 2: hardened IFF flood over the centralized candidate set (so
+    // the flood's own degradation is measured in isolation).
+    let ttl = cfg.iff.ttl;
+    let candidates = &central.candidates;
+    let mut sim =
+        Simulator::new(topo, |id| HardenedFragmentFlood::new(candidates[id], ttl, FLOOD_REPEATS));
+    let flood_budget = 2 * FLOOD_REPEATS as usize * (ttl as usize + 2) + plan.round_slack();
+    let stats = sim.run_with_faults(flood_budget, &plan);
+    let theta = cfg.iff.theta;
+    let via_flood: Vec<bool> =
+        (0..n).map(|i| candidates[i] && sim.node(i).fragment_size() >= theta).collect();
+    let (iff_missing, iff_mistaken) = boundary_rates(&central.boundary, &via_flood, &alive);
+    let (dropped, crash_lost) = (stats.faults.dropped, stats.faults.crash_lost);
+    let iff_msgs = stats.messages;
+
+    // Phase 3: hardened grouping over the centralized boundary.
+    let grouping = run_hardened_grouping(topo, &central.boundary, retry, &plan);
+    let (grouping_ok, grouping_agreement, grouping_msgs) = match grouping {
+        Ok((labels, msgs)) => {
+            let groups = group_boundaries(topo, &central.boundary);
+            let (mut members, mut agree) = (0usize, 0usize);
+            for group in &groups {
+                for &m in group {
+                    if alive[m] {
+                        members += 1;
+                        if labels[m] == Some(group[0]) {
+                            agree += 1;
+                        }
+                    }
+                }
+            }
+            let agreement = (members > 0).then(|| agree as f64 / members as f64);
+            (true, agreement, Some(msgs))
+        }
+        Err(_) => (false, None, None),
+    };
+
+    // Phase 4: landmark election on the largest boundary group.
+    let groups = group_boundaries(topo, &central.boundary);
+    let (landmark_converged, landmark_jaccard) = match groups.first() {
+        Some(group) if group.len() >= 4 => {
+            match run_landmark_protocol_with_faults(topo, group, 3, &plan) {
+                Ok((elected, _)) => {
+                    let reference = elect_landmarks(topo, group, 3);
+                    let e: std::collections::BTreeSet<NodeId> = elected.into_iter().collect();
+                    let r: std::collections::BTreeSet<NodeId> = reference.into_iter().collect();
+                    let inter = e.intersection(&r).count();
+                    let union = e.union(&r).count();
+                    let jaccard = (union > 0).then(|| inter as f64 / union as f64);
+                    (true, jaccard)
+                }
+                Err(_) => (false, None),
+            }
+        }
+        _ => (true, None),
+    };
+
+    let overhead =
+        |msgs: Option<u64>, base: u64| msgs.filter(|_| base > 0).map(|m| m as f64 / base as f64);
+    CellResult {
+        loss,
+        crash_fraction,
+        seed,
+        crashed,
+        ubf_ok,
+        ubf_missing,
+        ubf_mistaken,
+        ubf_overhead: overhead(ubf_msgs, baseline.ubf_msgs),
+        iff_missing,
+        iff_mistaken,
+        iff_overhead: overhead(Some(iff_msgs), baseline.iff_msgs),
+        grouping_ok,
+        grouping_agreement,
+        grouping_overhead: overhead(grouping_msgs, baseline.grouping_msgs),
+        landmark_converged,
+        landmark_jaccard,
+        dropped,
+        crash_lost,
+    }
+}
+
+struct Baseline {
+    ubf_msgs: u64,
+    iff_msgs: u64,
+    grouping_msgs: u64,
+}
+
+fn baseline(
+    model: &NetworkModel,
+    cfg: &DetectorConfig,
+    central: &ballfit::detector::BoundaryDetection,
+) -> Baseline {
+    let (_, ubf_msgs) =
+        run_ubf_protocol(model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
+    let candidates = central.candidates.clone();
+    let mut sim =
+        Simulator::new(model.topology(), |id| FragmentFlood::new(candidates[id], cfg.iff.ttl));
+    let stats = sim.run(cfg.iff.ttl as usize + 2);
+    assert!(stats.quiescent);
+    let sizes = fragment_sizes(model.topology(), cfg.iff.ttl, |i| candidates[i]);
+    for i in 0..model.len() {
+        assert_eq!(sim.node(i).fragment_size(), sizes[i], "flood baseline self-check");
+    }
+    let (_, grouping_msgs) =
+        run_grouping_protocol(model.topology(), &central.boundary).expect("perfect radio quiesces");
+    Baseline { ubf_msgs, iff_msgs: stats.messages, grouping_msgs }
+}
+
+fn results_path(out: Option<PathBuf>) -> PathBuf {
+    if let Some(p) = out {
+        return p;
+    }
+    let dir = std::env::var_os("BALLFIT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir.join("robustness_sweep.json")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            other => panic!("unknown argument {other} (expected --smoke / --out <path>)"),
+        }
+    }
+
+    let model = reference_model(smoke);
+    let cfg = DetectorConfig::paper(10, 3);
+    let central = BoundaryDetector::new(cfg).detect(&model);
+    let base = baseline(&model, &cfg, &central);
+    let grid = grid(smoke);
+    eprintln!(
+        "robustness sweep: {} nodes, {} cells{}",
+        model.len(),
+        grid.losses.len() * grid.crash_fractions.len() * grid.seeds.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut cells = Vec::new();
+    for &loss in &grid.losses {
+        for &crash_fraction in &grid.crash_fractions {
+            for &seed in &grid.seeds {
+                let cell = run_cell(&model, &cfg, &central, &base, loss, crash_fraction, seed);
+                eprintln!(
+                    "  loss={loss:>4} crash={crash_fraction:>4} seed={seed}: \
+                     ubf miss={} mist={}, iff miss={}, grouping agree={}, landmark J={}",
+                    json_opt(cell.ubf_missing),
+                    json_opt(cell.ubf_mistaken),
+                    json_opt(cell.iff_missing),
+                    json_opt(cell.grouping_agreement),
+                    json_opt(cell.landmark_jaccard),
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"experiment\": \"E15-robustness\", \"smoke\": {smoke}, \
+         \"nodes\": {}, \"edges\": {}, \"duplication\": 0.05, \"max_delay\": 1, \
+         \"flood_repeats\": {FLOOD_REPEATS}}},",
+        model.len(),
+        model.topology().edge_count()
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline_messages\": {{\"ubf\": {}, \"iff\": {}, \"grouping\": {}}},",
+        base.ubf_msgs, base.iff_msgs, base.grouping_msgs
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"loss\": {}, \"crash_fraction\": {}, \"seed\": {}, \"crashed\": {}, \
+             \"ubf\": {{\"ok\": {}, \"missing\": {}, \"mistaken\": {}, \"overhead\": {}}}, \
+             \"iff\": {{\"missing\": {}, \"mistaken\": {}, \"overhead\": {}}}, \
+             \"grouping\": {{\"ok\": {}, \"agreement\": {}, \"overhead\": {}}}, \
+             \"landmark\": {{\"converged\": {}, \"jaccard\": {}}}, \
+             \"faults\": {{\"dropped\": {}, \"crash_lost\": {}}}}}",
+            c.loss,
+            c.crash_fraction,
+            c.seed,
+            c.crashed,
+            c.ubf_ok,
+            json_opt(c.ubf_missing),
+            json_opt(c.ubf_mistaken),
+            json_opt(c.ubf_overhead),
+            json_opt(c.iff_missing),
+            json_opt(c.iff_mistaken),
+            json_opt(c.iff_overhead),
+            c.grouping_ok,
+            json_opt(c.grouping_agreement),
+            json_opt(c.grouping_overhead),
+            c.landmark_converged,
+            json_opt(c.landmark_jaccard),
+            c.dropped,
+            c.crash_lost,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = results_path(out);
+    std::fs::write(&path, &json).expect("sweep JSON is writable");
+    println!("wrote {}", path.display());
+}

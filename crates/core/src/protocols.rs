@@ -21,16 +21,82 @@
 //! * [`LandmarkElection`] — iterated local-minimum MIS election in the
 //!   (k−1)-power of the boundary subgraph, converging to the same
 //!   lexicographically-first landmark set as the greedy reference.
+//!
+//! For unreliable radios ([`ballfit_wsn::faults::FaultPlan`]) the module
+//! also provides hardened variants: [`HardenedUbf`] (ack/retransmit table
+//! exchange) and [`HardenedGrouping`] (periodic label re-broadcast over a
+//! bounded horizon), plus [`ballfit_wsn::flood::HardenedFragmentFlood`]
+//! in the substrate crate. On a perfect radio each hardened protocol
+//! produces exactly the same outputs as its plain counterpart; the
+//! runners return [`ConvergenceFailure`] instead of asserting, so
+//! truncated runs are loud in release builds too.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use ballfit_mds::local::{embed_local, LocalDistances};
 use ballfit_netgen::model::NetworkModel;
-use ballfit_wsn::sim::{Ctx, Protocol, Simulator};
+use ballfit_wsn::faults::FaultPlan;
+use ballfit_wsn::sim::{Ctx, Protocol, RunStats, Simulator};
 use ballfit_wsn::{NodeId, Topology};
 
 use crate::config::{CoordinateSource, UbfConfig};
 use crate::ubf::ubf_test;
+
+/// A protocol run stopped at its round budget without reaching quiescence:
+/// the reported outputs would be truncated, so runners return this error
+/// instead of wrong flags. (The seed repo `debug_assert!`ed quiescence,
+/// which vanishes in release builds — a silent-failure mode.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceFailure {
+    /// Which protocol failed (`"ubf"`, `"grouping"`, `"landmark"`).
+    pub protocol: &'static str,
+    /// Rounds executed before giving up.
+    pub rounds: usize,
+    /// Messages sent before giving up.
+    pub messages: u64,
+}
+
+impl fmt::Display for ConvergenceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} protocol failed to converge within {} rounds ({} messages sent)",
+            self.protocol, self.rounds, self.messages
+        )
+    }
+}
+
+impl std::error::Error for ConvergenceFailure {}
+
+fn require_quiescent(
+    stats: RunStats,
+    protocol: &'static str,
+) -> Result<RunStats, ConvergenceFailure> {
+    if stats.quiescent {
+        Ok(stats)
+    } else {
+        Err(ConvergenceFailure { protocol, rounds: stats.rounds, messages: stats.messages })
+    }
+}
+
+/// Retransmission policy of the hardened protocols: after an initial
+/// transmission, re-send every `period + 1` rounds, at most `attempts`
+/// times. The defaults survive ≥ 30% link loss with high probability
+/// (failure needs all `attempts + 1` copies dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Quiet rounds between retransmissions.
+    pub period: usize,
+    /// Maximum number of retransmissions (beyond the first send).
+    pub attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { period: 2, attempts: 8 }
+    }
+}
 
 /// Per-node state of the distributed UBF phase.
 ///
@@ -84,35 +150,48 @@ impl UbfProtocol {
     /// positions directly; the protocol only ever sees distances, so it
     /// embeds them — the frames are isometric and the outcome identical.
     pub fn decide(&self, radio_range: f64, cfg: &UbfConfig, source: &CoordinateSource) -> bool {
-        // Closed neighborhood in ascending ID order (self + neighbors).
-        let mut members: Vec<NodeId> = self.own_table.iter().map(|&(j, _)| j).collect();
-        members.push(self.id);
-        members.sort_unstable();
-        if members.len() < 2 {
-            return cfg.degenerate_is_boundary;
-        }
-        let index: BTreeMap<NodeId, usize> =
-            members.iter().enumerate().map(|(a, &m)| (m, a)).collect();
-        let mut table = LocalDistances::new(members.len());
-        let mut add = |a: NodeId, b: NodeId, d: f64| {
-            table.set(index[&a], index[&b], d);
-        };
-        for &(j, d) in &self.own_table {
-            add(self.id, j, d);
-        }
-        for (&j, jt) in &self.received {
-            for &(k, d) in jt {
-                if k != self.id && index.contains_key(&k) {
-                    add(j, k, d);
-                }
+        decide_from_tables(self.id, &self.own_table, &self.received, radio_range, cfg, source)
+    }
+}
+
+/// The UBF decision from collected neighbor tables: local embedding of the
+/// closed neighborhood, then the ball test — exactly as the centralized
+/// detector computes it. Shared by [`UbfProtocol`] and [`HardenedUbf`].
+fn decide_from_tables(
+    id: NodeId,
+    own_table: &[(NodeId, f64)],
+    received: &BTreeMap<NodeId, Vec<(NodeId, f64)>>,
+    radio_range: f64,
+    cfg: &UbfConfig,
+    source: &CoordinateSource,
+) -> bool {
+    // Closed neighborhood in ascending ID order (self + neighbors).
+    let mut members: Vec<NodeId> = own_table.iter().map(|&(j, _)| j).collect();
+    members.push(id);
+    members.sort_unstable();
+    if members.len() < 2 {
+        return cfg.degenerate_is_boundary;
+    }
+    let index: BTreeMap<NodeId, usize> = members.iter().enumerate().map(|(a, &m)| (m, a)).collect();
+    let mut table = LocalDistances::new(members.len());
+    let mut add = |a: NodeId, b: NodeId, d: f64| {
+        table.set(index[&a], index[&b], d);
+    };
+    for &(j, d) in own_table {
+        add(id, j, d);
+    }
+    for (&j, jt) in received {
+        for &(k, d) in jt {
+            if k != id && index.contains_key(&k) {
+                add(j, k, d);
             }
         }
-        let Ok(frame) = embed_local(&table, source.frame_config()) else {
-            return cfg.degenerate_is_boundary;
-        };
-        let self_index = index[&self.id];
-        ubf_test(&frame.coords, self_index, radio_range, cfg).is_boundary
     }
+    let Ok(frame) = embed_local(&table, source.frame_config()) else {
+        return cfg.degenerate_is_boundary;
+    };
+    let self_index = index[&id];
+    ubf_test(&frame.coords, self_index, radio_range, cfg).is_boundary
 }
 
 impl Protocol for UbfProtocol {
@@ -129,18 +208,154 @@ impl Protocol for UbfProtocol {
 
 /// Runs the distributed UBF phase end to end, returning the per-node
 /// boundary-candidate flags and the message count.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] if the exchange does not quiesce within the
+/// round budget (cannot happen on a perfect radio; returning the flags
+/// anyway would silently report truncated state).
 pub fn run_ubf_protocol(
     model: &NetworkModel,
     cfg: &UbfConfig,
     source: &CoordinateSource,
-) -> (Vec<bool>, u64) {
+) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
     let states = UbfProtocol::for_model(model, source);
     let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
-    let stats = sim.run(4);
-    debug_assert!(stats.quiescent);
+    let stats = require_quiescent(sim.run(4), "ubf")?;
     let flags =
         (0..model.len()).map(|i| sim.node(i).decide(model.radio_range(), cfg, source)).collect();
-    (flags, stats.messages)
+    Ok((flags, stats.messages))
+}
+
+/// Messages of the hardened UBF exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UbfMsg {
+    /// A node's measured-distance table (possibly a retransmission).
+    Table(Vec<(NodeId, f64)>),
+    /// Acknowledges receipt of the sender's table.
+    Ack,
+}
+
+/// Loss-tolerant UBF table exchange: tables are acknowledged, and a node
+/// retransmits (unicast) to every neighbor that has not acked, every
+/// [`RetryConfig::period`] + 1 rounds, up to [`RetryConfig::attempts`]
+/// times. Duplicate tables are idempotent (last write wins with identical
+/// content) and re-trigger the ack, so lost acks also heal. On a perfect
+/// radio the schedule is: tables round 0, acks round 1, done — no
+/// retransmission ever fires, and the decision matches [`UbfProtocol`]
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct HardenedUbf {
+    inner: UbfProtocol,
+    retry: RetryConfig,
+    acked: BTreeSet<NodeId>,
+    attempts_left: u32,
+    cooldown: usize,
+}
+
+impl HardenedUbf {
+    /// Wraps a [`UbfProtocol`] state with the retransmission policy.
+    pub fn new(inner: UbfProtocol, retry: RetryConfig) -> Self {
+        HardenedUbf {
+            inner,
+            retry,
+            acked: BTreeSet::new(),
+            attempts_left: retry.attempts,
+            cooldown: retry.period,
+        }
+    }
+
+    /// Constructs all per-node states (see [`UbfProtocol::for_model`]).
+    pub fn for_model(
+        model: &NetworkModel,
+        source: &CoordinateSource,
+        retry: RetryConfig,
+    ) -> Vec<HardenedUbf> {
+        UbfProtocol::for_model(model, source)
+            .into_iter()
+            .map(|inner| HardenedUbf::new(inner, retry))
+            .collect()
+    }
+
+    /// The boundary decision from whatever tables were collected (see
+    /// [`UbfProtocol::decide`]). A table lost to an exhausted retry budget
+    /// degrades the decision locally rather than failing the run.
+    pub fn decide(&self, radio_range: f64, cfg: &UbfConfig, source: &CoordinateSource) -> bool {
+        self.inner.decide(radio_range, cfg, source)
+    }
+
+    fn fully_acked(&self) -> bool {
+        self.acked.len() >= self.inner.own_table.len()
+    }
+}
+
+impl Protocol for HardenedUbf {
+    type Msg = UbfMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        ctx.broadcast(UbfMsg::Table(self.inner.own_table.clone()));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        match msg {
+            UbfMsg::Table(table) => {
+                self.inner.received.insert(from, table.clone());
+                // Ack every copy: if the previous ack was dropped, the
+                // sender retransmits and this one answers it.
+                ctx.send(from, UbfMsg::Ack);
+            }
+            UbfMsg::Ack => {
+                self.acked.insert(from);
+            }
+        }
+    }
+
+    fn on_round_end(&mut self, _round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
+        if self.fully_acked() || self.attempts_left == 0 {
+            return;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
+        }
+        self.cooldown = self.retry.period;
+        self.attempts_left -= 1;
+        for &(j, _) in &self.inner.own_table {
+            if !self.acked.contains(&j) {
+                ctx.send(j, UbfMsg::Table(self.inner.own_table.clone()));
+            }
+        }
+    }
+
+    fn wants_tick(&self) -> bool {
+        // Keep the clock running while retransmissions are still possible;
+        // once the budget is spent the node accepts whatever it has.
+        self.attempts_left > 0 && !self.fully_acked()
+    }
+}
+
+/// Runs the hardened UBF phase on an unreliable radio. Nodes that are
+/// down when the run ends (or whose neighbors exhausted their retry
+/// budget) decide from partial tables.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] if retransmissions still could not quiesce the
+/// exchange within the (generous) round budget.
+pub fn run_hardened_ubf(
+    model: &NetworkModel,
+    cfg: &UbfConfig,
+    source: &CoordinateSource,
+    retry: RetryConfig,
+    plan: &FaultPlan,
+) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
+    let states = HardenedUbf::for_model(model, source, retry);
+    let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
+    let budget = 4 + (retry.attempts as usize + 1) * (retry.period + 2) + plan.round_slack();
+    let stats = require_quiescent(sim.run_with_faults(budget, plan), "ubf")?;
+    let flags =
+        (0..model.len()).map(|i| sim.node(i).decide(model.radio_range(), cfg, source)).collect();
+    Ok((flags, stats.messages))
 }
 
 /// Min-ID label flooding over the boundary subgraph: after quiescence,
@@ -188,12 +403,116 @@ impl Protocol for GroupingProtocol {
 
 /// Runs boundary grouping distributively; returns per-node component
 /// labels (min member ID per component) and the message count.
-pub fn run_grouping_protocol(topo: &Topology, boundary: &[bool]) -> (Vec<Option<NodeId>>, u64) {
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] if label flooding does not quiesce within
+/// `n + 2` rounds (cannot happen on a perfect radio).
+pub fn run_grouping_protocol(
+    topo: &Topology,
+    boundary: &[bool],
+) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
     let mut sim = Simulator::new(topo, |id| GroupingProtocol::new(id, boundary[id]));
-    let stats = sim.run(topo.len() + 2);
-    debug_assert!(stats.quiescent);
+    let stats = require_quiescent(sim.run(topo.len() + 2), "grouping")?;
     let labels = (0..topo.len()).map(|i| sim.node(i).label()).collect();
-    (labels, stats.messages)
+    Ok((labels, stats.messages))
+}
+
+/// Loss-tolerant boundary grouping: identical min-ID label flooding, but
+/// every member re-broadcasts its current label every
+/// [`RetryConfig::period`] + 1 rounds for a fixed `horizon` of rounds.
+/// Min-label flooding is monotone and idempotent, so re-broadcasts and
+/// duplicate deliveries are harmless, and any label update lost to the
+/// radio is re-offered on the next beat. With a sufficient horizon
+/// (≥ boundary diameter × expected per-hop retries) the labels converge
+/// to the same fixed point as [`GroupingProtocol`].
+#[derive(Debug, Clone)]
+pub struct HardenedGrouping {
+    member: bool,
+    label: Option<NodeId>,
+    period: usize,
+    remaining: usize,
+    cooldown: usize,
+}
+
+impl HardenedGrouping {
+    /// Creates per-node state; the node re-broadcasts its label every
+    /// `period + 1` rounds until `horizon` rounds have elapsed.
+    pub fn new(id: NodeId, member: bool, period: usize, horizon: usize) -> Self {
+        HardenedGrouping {
+            member,
+            label: member.then_some(id),
+            period,
+            remaining: if member { horizon } else { 0 },
+            cooldown: period,
+        }
+    }
+
+    /// The component label after the run (`None` for non-members).
+    pub fn label(&self) -> Option<NodeId> {
+        self.label
+    }
+}
+
+impl Protocol for HardenedGrouping {
+    type Msg = NodeId;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if let Some(l) = self.label {
+            ctx.broadcast(l);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return;
+        }
+        if self.label.is_none_or(|current| *msg < current) {
+            self.label = Some(*msg);
+            ctx.broadcast(*msg);
+        }
+    }
+
+    fn on_round_end(&mut self, _round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
+        }
+        self.cooldown = self.period;
+        if let Some(l) = self.label {
+            ctx.broadcast(l);
+        }
+    }
+
+    fn wants_tick(&self) -> bool {
+        self.remaining > 0
+    }
+}
+
+/// Runs hardened boundary grouping on an unreliable radio. The
+/// re-broadcast horizon is sized from the topology and the plan
+/// (`n + round_slack + 2`), which is generous for any connected boundary.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] if the run does not quiesce within the budget.
+pub fn run_hardened_grouping(
+    topo: &Topology,
+    boundary: &[bool],
+    retry: RetryConfig,
+    plan: &FaultPlan,
+) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
+    let horizon = topo.len() + plan.round_slack() + 2;
+    let mut sim =
+        Simulator::new(topo, |id| HardenedGrouping::new(id, boundary[id], retry.period, horizon));
+    let stats =
+        require_quiescent(sim.run_with_faults(horizon + plan.round_slack() + 4, plan), "grouping")?;
+    let labels = (0..topo.len()).map(|i| sim.node(i).label()).collect();
+    Ok((labels, stats.messages))
 }
 
 /// Messages of the landmark election.
@@ -344,27 +663,57 @@ impl Protocol for LandmarkElection {
     }
 }
 
+fn member_mask(topo: &Topology, group: &[NodeId]) -> Vec<bool> {
+    let mut m = vec![false; topo.len()];
+    for &g in group {
+        m[g] = true;
+    }
+    m
+}
+
 /// Runs the distributed landmark election on one boundary group; returns
 /// the elected landmark IDs (ascending) and the message count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the election fails to converge within `4 · n · k` rounds
-/// (cannot happen on well-formed inputs; the bound is a safety net).
-pub fn run_landmark_protocol(topo: &Topology, group: &[NodeId], k: u32) -> (Vec<NodeId>, u64) {
-    let member: Vec<bool> = {
-        let mut m = vec![false; topo.len()];
-        for &g in group {
-            m[g] = true;
-        }
-        m
-    };
+/// [`ConvergenceFailure`] if the election does not converge within
+/// `4 · n · k` rounds — cannot happen on well-formed inputs, but pipeline
+/// callers degrade gracefully instead of panicking.
+pub fn run_landmark_protocol(
+    topo: &Topology,
+    group: &[NodeId],
+    k: u32,
+) -> Result<(Vec<NodeId>, u64), ConvergenceFailure> {
+    let member = member_mask(topo, group);
     let mut sim = Simulator::new(topo, |id| LandmarkElection::new(member[id], k));
     let max_rounds = 4 * (topo.len() + 1) * k as usize;
-    let stats = sim.run(max_rounds);
-    assert!(stats.quiescent, "landmark election failed to converge");
+    let stats = require_quiescent(sim.run(max_rounds), "landmark")?;
     let landmarks = (0..topo.len()).filter(|&i| sim.node(i).decision() == Some(true)).collect();
-    (landmarks, stats.messages)
+    Ok((landmarks, stats.messages))
+}
+
+/// Runs the landmark election on an unreliable radio. The election's
+/// probe dedup and `wants_tick` clock make it safe under duplication and
+/// delay; under loss it still terminates (the smallest undecided member
+/// always self-elects), but the elected set may drift from the greedy
+/// reference — the `robustness_sweep` binary measures that drift.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] if some member is still undecided at the round
+/// budget (e.g. it was crashed for the entire run).
+pub fn run_landmark_protocol_with_faults(
+    topo: &Topology,
+    group: &[NodeId],
+    k: u32,
+    plan: &FaultPlan,
+) -> Result<(Vec<NodeId>, u64), ConvergenceFailure> {
+    let member = member_mask(topo, group);
+    let mut sim = Simulator::new(topo, |id| LandmarkElection::new(member[id], k));
+    let max_rounds = 4 * (topo.len() + 1) * k as usize + plan.round_slack();
+    let stats = require_quiescent(sim.run_with_faults(max_rounds, plan), "landmark")?;
+    let landmarks = (0..topo.len()).filter(|&i| sim.node(i).decision() == Some(true)).collect();
+    Ok((landmarks, stats.messages))
 }
 
 #[cfg(test)]
@@ -395,7 +744,8 @@ mod tests {
         let cfg = DetectorConfig::paper(10, 3);
         let detector = BoundaryDetector::new(cfg);
         let central = detector.detect(&model);
-        let (distributed, messages) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+        let (distributed, messages) =
+            run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
         assert_eq!(distributed, central.candidates, "UBF protocol diverged");
         // One broadcast per node: 2·|E| point-to-point messages.
         assert_eq!(messages, 2 * model.topology().edge_count() as u64);
@@ -425,7 +775,8 @@ mod tests {
     fn grouping_protocol_matches_components() {
         let model = model();
         let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
-        let (labels, _messages) = run_grouping_protocol(model.topology(), &detection.boundary);
+        let (labels, _messages) = run_grouping_protocol(model.topology(), &detection.boundary)
+            .expect("perfect radio quiesces");
         let groups = group_boundaries(model.topology(), &detection.boundary);
         for group in &groups {
             let expected = group[0]; // min ID of the component
@@ -448,7 +799,8 @@ mod tests {
             let group: Vec<usize> = (0..n).collect();
             for k in [1u32, 2, 3, 4] {
                 let central = elect_landmarks(&topo, &group, k);
-                let (distributed, _) = run_landmark_protocol(&topo, &group, k);
+                let (distributed, _) =
+                    run_landmark_protocol(&topo, &group, k).expect("election converges");
                 assert_eq!(distributed, central, "ring n={n} k={k}");
             }
         }
@@ -475,7 +827,8 @@ mod tests {
             }
             for k in [2u32, 3] {
                 let central = elect_landmarks(&topo, &group, k);
-                let (distributed, _) = run_landmark_protocol(&topo, &group, k);
+                let (distributed, _) =
+                    run_landmark_protocol(&topo, &group, k).expect("election converges");
                 assert_eq!(distributed, central, "trial={trial} k={k}");
             }
         }
@@ -487,8 +840,66 @@ mod tests {
         let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
         let group = &detection.groups[0];
         let central = elect_landmarks(model.topology(), group, 3);
-        let (distributed, messages) = run_landmark_protocol(model.topology(), group, 3);
+        let (distributed, messages) =
+            run_landmark_protocol(model.topology(), group, 3).expect("election converges");
         assert_eq!(distributed, central);
         assert!(messages > 0);
+    }
+
+    #[test]
+    fn hardened_ubf_with_zero_faults_matches_plain_exactly() {
+        let model = model();
+        let cfg = DetectorConfig::paper(10, 3);
+        let (plain, plain_msgs) =
+            run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("plain quiesces");
+        let plan = FaultPlan::none();
+        let (hardened, hardened_msgs) =
+            run_hardened_ubf(&model, &cfg.ubf, &cfg.coordinates, RetryConfig::default(), &plan)
+                .expect("hardened quiesces");
+        assert_eq!(hardened, plain, "fault-free hardened UBF diverged from plain");
+        // Tables (2·|E|) + one ack per table (2·|E|), no retransmissions.
+        assert_eq!(hardened_msgs, 2 * plain_msgs);
+    }
+
+    #[test]
+    fn hardened_grouping_with_zero_faults_matches_plain() {
+        let model = model();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        let (plain, _) =
+            run_grouping_protocol(model.topology(), &detection.boundary).expect("plain quiesces");
+        let (hardened, _) = run_hardened_grouping(
+            model.topology(),
+            &detection.boundary,
+            RetryConfig::default(),
+            &FaultPlan::none(),
+        )
+        .expect("hardened quiesces");
+        assert_eq!(hardened, plain, "fault-free hardened grouping diverged from plain");
+    }
+
+    #[test]
+    fn hardened_grouping_survives_a_lossy_radio_on_a_ring() {
+        let n = 24;
+        let topo = Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
+        let boundary = vec![true; n];
+        let plan = FaultPlan::lossy(9, 0.3).with_duplication(0.1).with_max_delay(1);
+        let (labels, _) = run_hardened_grouping(&topo, &boundary, RetryConfig::default(), &plan)
+            .expect("hardened grouping quiesces");
+        assert_eq!(labels, vec![Some(0); n], "all ring members must learn label 0");
+    }
+
+    #[test]
+    fn landmark_protocol_tolerates_duplication_and_delay() {
+        // Duplication and delay never change the election's fixed point
+        // on a ring (probe dedup absorbs copies); loss can, which is what
+        // the robustness sweep quantifies.
+        let n = 16;
+        let topo = Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
+        let group: Vec<usize> = (0..n).collect();
+        let central = elect_landmarks(&topo, &group, 2);
+        let plan = FaultPlan::none().with_seed(3).with_duplication(0.5);
+        let (distributed, _) = run_landmark_protocol_with_faults(&topo, &group, 2, &plan)
+            .expect("election converges under duplication");
+        assert_eq!(distributed, central);
     }
 }

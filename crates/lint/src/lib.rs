@@ -19,6 +19,11 @@
 //! * [`passes::Pass::FloatSafety`] — denies `partial_cmp(..).unwrap()`
 //!   sorts (NaN-unsafe; use `f64::total_cmp`) and `==`/`!=` against float
 //!   literals outside `geom::predicates`.
+//! * [`passes::Pass::FaultScope`] — keeps the fault-injection layer
+//!   (`FaultPlan`, `run_with_faults`, the fault PRNGs) out of `Protocol`
+//!   impls entirely, and out of every non-test file except `crates/wsn`
+//!   and the runner module `crates/core/src/protocols.rs`: protocols stay
+//!   fault-oblivious, mirroring the paper's locality contract.
 //!
 //! Findings can be locally waived with a justification comment on the
 //! same or preceding line: `// ballfit-lint: allow(float-safety)`.

@@ -26,7 +26,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety\n\
+                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety / fault-scope\n\
                      \n\
                      USAGE: ballfit-lint [--root <workspace>] [FILE.rs ...]\n\
                      \n\
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         eprintln!(
-            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety)"
+            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety, fault-scope)"
         );
         ExitCode::SUCCESS
     } else {

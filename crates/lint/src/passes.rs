@@ -1,4 +1,4 @@
-//! The four invariant passes and the scope tracker they share.
+//! The five invariant passes and the scope tracker they share.
 //!
 //! Scope recognition is purely structural: when a `{` opens, the tokens
 //! between it and the previous `{` / `}` / `;` form its "header". A header
@@ -13,10 +13,13 @@
 //! * **panic-safety** — inside protocol-impl scopes, test code exempt.
 //! * **float-safety** — everywhere outside test code, with the robust
 //!   predicates module exempt (its exact comparisons are the point).
+//! * **fault-scope** — fault-injection machinery (`FaultPlan` and
+//!   friends) stays in the harness: never inside a protocol-impl scope,
+//!   and outside `crates/wsn/` only in the runner layer and test code.
 
 use crate::lexer::{is_float_literal, lex, Tok, TokKind};
 
-/// The four passes.
+/// The five passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -29,6 +32,10 @@ pub enum Pass {
     /// No NaN-unsafe `partial_cmp().unwrap()` and no `==` on floats
     /// outside `geom::predicates`.
     FloatSafety,
+    /// Fault-injection machinery (`FaultPlan`, `run_with_faults`, the
+    /// fault PRNGs) never inside `Protocol` impls, and outside the
+    /// simulator/runner layer only in test code.
+    FaultScope,
 }
 
 impl Pass {
@@ -39,6 +46,7 @@ impl Pass {
             Pass::Locality => "locality",
             Pass::PanicSafety => "panic-safety",
             Pass::FloatSafety => "float-safety",
+            Pass::FaultScope => "fault-scope",
         }
     }
 }
@@ -87,6 +95,15 @@ pub struct LintConfig {
     pub locality_denied_types: Vec<String>,
     /// Path suffixes exempt from the float-safety `==` check.
     pub float_exempt_files: Vec<String>,
+    /// Identifiers that belong to the fault-injection layer; naming one
+    /// inside a protocol impl (anywhere), or outside
+    /// [`LintConfig::fault_allowed_paths`] in non-test code, is a
+    /// fault-scope violation: faults are a property of the *radio*, so
+    /// only the simulator and the runner layer may know about them.
+    pub fault_idents: Vec<String>,
+    /// Path fragments where fault-injection identifiers are at home (the
+    /// simulator crate and the protocol-runner module).
+    pub fault_allowed_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -121,6 +138,15 @@ impl Default for LintConfig {
                 "BoundaryDetector",
             ]),
             float_exempt_files: s(&["geom/src/predicates.rs"]),
+            fault_idents: s(&[
+                "FaultPlan",
+                "FaultCounts",
+                "Crash",
+                "run_with_faults",
+                "SplitMix64",
+                "Xoshiro256PlusPlus",
+            ]),
+            fault_allowed_paths: s(&["crates/wsn/", "crates/core/src/protocols.rs"]),
         }
     }
 }
@@ -221,6 +247,7 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
     let flags = scope_flags(toks, cfg);
     let file_is_test = file.contains("/tests/") || file.ends_with("/build.rs");
     let float_exempt = cfg.float_exempt_files.iter().any(|s| file.ends_with(s.as_str()));
+    let fault_allowed = cfg.fault_allowed_paths.iter().any(|s| file.contains(s.as_str()));
 
     let mut out = Vec::new();
     let mut push = |pass: Pass, line: u32, message: String| {
@@ -341,6 +368,29 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
                         "direct indexing in a protocol round handler panics on out-of-range; use `.get()`".to_string(),
                     );
                 }
+            }
+        }
+
+        // ---- fault-scope -------------------------------------------------
+        if t.kind == TokKind::Ident && cfg.fault_idents.contains(&t.text) {
+            if in_proto {
+                push(
+                    Pass::FaultScope,
+                    t.line,
+                    format!(
+                        "`{}` inside a protocol impl; protocols must not observe the fault model — hardening may only use retransmission and acknowledgement over `Ctx`",
+                        t.text
+                    ),
+                );
+            } else if !fault_allowed && !in_test {
+                push(
+                    Pass::FaultScope,
+                    t.line,
+                    format!(
+                        "`{}` outside the simulator/runner layer; fault injection belongs to `crates/wsn` and the protocol runners (plus benches and tests)",
+                        t.text
+                    ),
+                );
             }
         }
 
@@ -639,6 +689,51 @@ mod tests {
         assert!(run("crates/geom/tests/properties.rs", eq).is_empty());
         let in_mod = "#[cfg(test)]\nmod tests { fn f(x: f64) -> bool { x == 1.0 } }";
         assert!(run("crates/geom/src/x.rs", in_mod).is_empty());
+    }
+
+    // ---- fault-scope ----------------------------------------------------
+
+    #[test]
+    fn fault_scope_flags_fault_plan_inside_protocol_impl() {
+        // Even in the runner module, a Protocol impl peeking at the fault
+        // model breaks the abstraction: protocols must be fault-oblivious.
+        let src = r#"
+            impl Protocol for Cheater {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    if self.plan.loss > 0.0 { let _p: &FaultPlan = &self.plan; }
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["fault-scope"], "{diags:?}");
+        assert!(diags[0].message.contains("protocol impl"));
+    }
+
+    #[test]
+    fn fault_scope_flags_fault_idents_outside_the_harness() {
+        let src = "pub fn detect(plan: &FaultPlan) { let _ = plan; }";
+        let diags = run("crates/core/src/detector.rs", src);
+        assert_eq!(passes(&diags), vec!["fault-scope"], "{diags:?}");
+        let src = "fn seed() -> SplitMix64 { SplitMix64::new(7) }";
+        let diags = run("crates/geom/src/noise.rs", src);
+        assert_eq!(passes(&diags), vec!["fault-scope", "fault-scope"]);
+    }
+
+    #[test]
+    fn fault_scope_allows_the_simulator_and_runner_layers() {
+        let wsn = "pub struct FaultPlan { pub loss: f64 }\nfn go(s: &mut Simulator) { s.run_with_faults(8, &FaultPlan::none()); }";
+        assert!(run("crates/wsn/src/faults.rs", wsn).is_empty());
+        let runner = "pub fn run_hardened(plan: &FaultPlan) { let _ = plan; }";
+        assert!(run("crates/core/src/protocols.rs", runner).is_empty());
+    }
+
+    #[test]
+    fn fault_scope_exempts_test_code_outside_the_harness() {
+        let in_mod = "#[cfg(test)]\nmod tests { fn f(p: &FaultPlan) { let _ = p; } }";
+        assert!(run("crates/core/src/detector.rs", in_mod).is_empty());
+        let in_tests_dir = "fn f(p: &FaultPlan) { let _ = p; }";
+        assert!(run("crates/core/tests/robust.rs", in_tests_dir).is_empty());
     }
 
     // ---- escape hatch ---------------------------------------------------

@@ -81,6 +81,36 @@ fn unwrap_in_handler_would_fail() {
 }
 
 #[test]
+fn fault_plan_inside_a_handler_would_fail() {
+    // A protocol that consults the fault model from inside its handler
+    // breaks the radio abstraction: hardening must work through `Ctx`
+    // (acks, retransmission), never by peeking at the injected faults.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(
+        needle,
+        &format!("{needle}\n        let _cheat = FaultPlan::none().link_loss(0, 1);"),
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::FaultScope),
+        "FaultPlan inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn fault_plan_outside_the_harness_would_fail() {
+    // The same construction is fine in the runner module but banned in,
+    // say, the detector: fault injection is harness-only API.
+    let src = "pub fn detect_with_faults(plan: &FaultPlan) { let _ = plan; }";
+    assert!(analyze_source("crates/core/src/protocols.rs", src, &LintConfig::default()).is_empty());
+    let diags = analyze_source("crates/core/src/detector.rs", src, &LintConfig::default());
+    assert!(diags.iter().any(|d| d.pass == Pass::FaultScope), "{diags:?}");
+}
+
+#[test]
 fn nan_unsafe_sort_anywhere_would_fail() {
     let src = r#"
         pub fn order(mut xs: Vec<f64>) -> Vec<f64> {

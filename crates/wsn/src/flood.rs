@@ -13,7 +13,7 @@
 //!
 //! Integration tests in the `ballfit` crate assert the two agree.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::bfs;
 use crate::sim::{Ctx, Protocol};
@@ -95,9 +95,113 @@ impl Protocol for FragmentFlood {
     }
 }
 
+/// Loss-tolerant variant of [`FragmentFlood`] for unreliable radios
+/// ([`crate::faults::FaultPlan`]), hardened two ways:
+///
+/// * **Re-broadcast** — every forward is repeated on the following
+///   `repeats − 1` rounds, so a token crosses a link unless all
+///   `repeats` copies are dropped.
+/// * **Max-TTL tracking** — the node remembers the *best* (largest)
+///   remaining TTL seen per origin and re-forwards when a better copy
+///   arrives. On a lossy radio the first arrival may come via a longer
+///   path with a smaller TTL; a plain `seen`-set would lock that in and
+///   silently shrink the origin's reach. Tracking the max makes the
+///   protocol monotone — it converges to exactly the shortest-path TTL
+///   semantics of [`fragment_sizes`], like min-label flooding does for
+///   grouping.
+///
+/// Duplicated deliveries are idempotent (max of a max). With
+/// `repeats = 1` on a perfect radio the message schedule is identical to
+/// [`FragmentFlood`]: synchronous flooding always delivers the best TTL
+/// first, so no re-forward ever triggers.
+#[derive(Debug, Clone)]
+pub struct HardenedFragmentFlood {
+    member: bool,
+    ttl: u32,
+    repeats: u32,
+    /// Best remaining TTL seen per origin (own origin: the full TTL).
+    best: BTreeMap<NodeId, u32>,
+    /// Forwards still owed re-broadcasts: `(origin, fwd_ttl, left)`.
+    pending: Vec<(NodeId, u32, u32)>,
+}
+
+impl HardenedFragmentFlood {
+    /// Creates the per-node state; `repeats ≥ 1` is the number of times
+    /// each forward is transmitted (1 = no hardening).
+    pub fn new(member: bool, ttl: u32, repeats: u32) -> Self {
+        HardenedFragmentFlood {
+            member,
+            ttl,
+            repeats: repeats.max(1),
+            best: BTreeMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Distinct origins seen, counting the node itself; 0 for non-members.
+    pub fn fragment_size(&self) -> usize {
+        if self.member {
+            self.best.len()
+        } else {
+            0
+        }
+    }
+
+    fn forward(&mut self, origin: NodeId, fwd_ttl: u32, ctx: &mut Ctx<'_, FloodMsg>) {
+        ctx.broadcast((origin, fwd_ttl));
+        if self.repeats > 1 {
+            self.pending.push((origin, fwd_ttl, self.repeats - 1));
+        }
+    }
+}
+
+impl Protocol for HardenedFragmentFlood {
+    type Msg = FloodMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return;
+        }
+        let me = ctx.node();
+        self.best.insert(me, self.ttl);
+        if self.ttl > 0 {
+            self.forward(me, self.ttl - 1, ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        if !self.member {
+            return;
+        }
+        let (origin, ttl) = *msg;
+        let improved = self.best.get(&origin).is_none_or(|&t| ttl > t);
+        if improved {
+            self.best.insert(origin, ttl);
+            if ttl > 0 {
+                self.forward(origin, ttl - 1, ctx);
+            }
+        }
+    }
+
+    fn on_round_end(&mut self, _round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
+        let due = std::mem::take(&mut self.pending);
+        for (origin, fwd_ttl, left) in due {
+            ctx.broadcast((origin, fwd_ttl));
+            if left > 1 {
+                self.pending.push((origin, fwd_ttl, left - 1));
+            }
+        }
+    }
+
+    fn wants_tick(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::sim::Simulator;
 
     fn run_flood(topo: &Topology, members: &[bool], ttl: u32) -> (Vec<usize>, u64) {
@@ -147,6 +251,46 @@ mod tests {
         let (sizes, messages) = run_flood(&topo, &members, 3);
         assert_eq!(sizes, vec![4, 4, 4, 4]);
         assert!(messages <= 16 * 3, "messages = {messages}");
+    }
+
+    #[test]
+    fn hardened_with_one_repeat_matches_plain_flood_exactly() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let members = [true, true, true, false, true];
+        for ttl in 0..4 {
+            let (plain, plain_msgs) = run_flood(&topo, &members, ttl);
+            let mut sim =
+                Simulator::new(&topo, |id| HardenedFragmentFlood::new(members[id], ttl, 1));
+            let stats = sim.run(ttl as usize + 2);
+            assert!(stats.quiescent);
+            let sizes: Vec<usize> = (0..topo.len()).map(|i| sim.node(i).fragment_size()).collect();
+            assert_eq!(sizes, plain, "ttl={ttl}");
+            assert_eq!(stats.messages, plain_msgs, "repeats=1 must not add messages");
+        }
+    }
+
+    #[test]
+    fn hardened_flood_survives_a_lossy_radio() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let members = [true, true, true, false, true];
+        let ttl = 3;
+        let central = fragment_sizes(&topo, ttl, |n| members[n]);
+        let plan = FaultPlan::lossy(42, 0.25).with_duplication(0.1).with_max_delay(1);
+
+        // The plain flood loses origins under this radio…
+        let mut plain = Simulator::new(&topo, |id| FragmentFlood::new(members[id], ttl));
+        plain.run_with_faults(60, &plan);
+        let plain_sizes: Vec<usize> =
+            (0..topo.len()).map(|i| plain.node(i).fragment_size()).collect();
+        assert_ne!(plain_sizes, central, "loss too mild to demonstrate hardening");
+
+        // …while the hardened flood still matches the centralized answer.
+        let mut sim = Simulator::new(&topo, |id| HardenedFragmentFlood::new(members[id], ttl, 5));
+        let stats = sim.run_with_faults(120, &plan);
+        assert!(stats.quiescent);
+        let sizes: Vec<usize> = (0..topo.len()).map(|i| sim.node(i).fragment_size()).collect();
+        assert_eq!(sizes, central);
+        assert!(stats.faults.dropped > 0, "the radio must actually have dropped something");
     }
 
     #[test]

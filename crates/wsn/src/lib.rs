@@ -19,6 +19,10 @@
 //!   message sent, which lets the test-suite verify both the *outputs* and
 //!   the *locality/message-complexity claims* of the paper (e.g. IFF's
 //!   `O(1)` scoped flooding).
+//! * [`faults`] — a deterministic unreliable-radio model
+//!   ([`faults::FaultPlan`]: per-link loss, duplication, bounded delay,
+//!   scheduled crashes) applied by [`sim::Simulator::run_with_faults`];
+//!   the perfect radio is the zero-fault special case.
 //!
 //! Fast centralized-equivalent executors for the protocols live next to the
 //! algorithms in the `ballfit` core crate; integration tests assert that the
@@ -47,6 +51,7 @@
 
 pub mod bfs;
 pub mod components;
+pub mod faults;
 pub mod flood;
 pub mod sim;
 pub mod topology;

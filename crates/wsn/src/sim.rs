@@ -15,6 +15,7 @@
 //! Delivery order within a round is deterministic (sorted by destination,
 //! then source, then send order), so protocol runs are reproducible.
 
+use crate::faults::{FaultCounts, FaultPlan, Xoshiro256PlusPlus};
 use crate::topology::{NodeId, Topology};
 
 /// Per-node protocol behaviour. One instance exists per node; the engine
@@ -82,13 +83,18 @@ impl<M: Clone> Ctx<'_, M> {
     }
 
     /// Broadcasts `msg` to every neighbor (counted as one message per
-    /// neighbor, the radio-agnostic upper bound).
+    /// neighbor, the radio-agnostic upper bound). The last neighbor takes
+    /// `msg` by move, so a degree-d broadcast clones d−1 times.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.neighbors.len() {
-            let to = self.neighbors[i];
+        let Some((&last, rest)) = self.neighbors.split_last() else {
+            return;
+        };
+        for &to in rest {
             *self.sent += 1;
             self.outbox.push((self.node, to, msg.clone()));
         }
+        *self.sent += 1;
+        self.outbox.push((self.node, last, msg));
     }
 }
 
@@ -101,6 +107,8 @@ pub struct RunStats {
     pub messages: u64,
     /// `true` if the run stopped because no messages were in flight.
     pub quiescent: bool,
+    /// Injected-fault counters; all zero on the perfect-delivery path.
+    pub faults: FaultCounts,
 }
 
 /// The simulation engine: a topology plus one protocol instance per node.
@@ -138,7 +146,12 @@ impl<'t, P: Protocol> Simulator<'t, P> {
         let mut rounds = 0;
         while rounds < max_rounds {
             if inflight.is_empty() && !self.nodes.iter().any(Protocol::wants_tick) {
-                return RunStats { rounds, messages: sent, quiescent: true };
+                return RunStats {
+                    rounds,
+                    messages: sent,
+                    quiescent: true,
+                    faults: FaultCounts::default(),
+                };
             }
             rounds += 1;
             // Deterministic delivery order.
@@ -164,7 +177,153 @@ impl<'t, P: Protocol> Simulator<'t, P> {
             }
         }
         let quiescent = inflight.is_empty() && !self.nodes.iter().any(Protocol::wants_tick);
-        RunStats { rounds, messages: sent, quiescent }
+        RunStats { rounds, messages: sent, quiescent, faults: FaultCounts::default() }
+    }
+
+    /// Runs the protocol on an unreliable radio described by `plan`: the
+    /// same synchronous rounds as [`Simulator::run`], but every
+    /// transmission passes through the fault layer (per-link loss,
+    /// duplication, bounded extra delay) and nodes crash and recover on
+    /// the plan's schedule. See [`crate::faults`] for the exact
+    /// semantics.
+    ///
+    /// With [`FaultPlan::none`] this is byte-identical to
+    /// [`Simulator::run`] (regression-tested), so the perfect radio is
+    /// just the zero-fault special case.
+    ///
+    /// Quiescence additionally requires that no crash event is still
+    /// scheduled in the future: a recovery at round `r` can revive work,
+    /// so the engine keeps ticking (up to `max_rounds`) until the
+    /// schedule is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` carries a NaN or out-of-range probability.
+    pub fn run_with_faults(&mut self, max_rounds: usize, plan: &FaultPlan) -> RunStats {
+        plan.validate();
+        let n = self.nodes.len();
+        let mut sent: u64 = 0;
+        let mut counts = FaultCounts::default();
+        let mut rng = plan.stream();
+        let events = plan.schedule();
+        let mut next_event = 0usize;
+        let mut alive = vec![true; n];
+        let mut started = vec![false; n];
+        // Pending deliveries: (due_round, sequence, from, to, msg). The
+        // sequence number preserves send order among equal (to, from)
+        // keys, matching the stable sort of the perfect-delivery engine.
+        let mut queue: Vec<(usize, u64, NodeId, NodeId, P::Msg)> = Vec::new();
+        let mut seq: u64 = 0;
+        let mut outbox: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+
+        // Crash events scheduled for round 0 precede `on_start`: a node
+        // down from round 0 never starts (until it recovers).
+        while next_event < events.len() && events[next_event].0 == 0 {
+            let (_, node, up) = events[next_event];
+            next_event += 1;
+            if node < n {
+                alive[node] = up;
+            }
+        }
+        for id in 0..n {
+            if !alive[id] {
+                continue;
+            }
+            started[id] = true;
+            let mut ctx = Ctx {
+                node: id,
+                neighbors: self.topo.neighbors(id),
+                outbox: &mut outbox,
+                sent: &mut sent,
+            };
+            self.nodes[id].on_start(&mut ctx);
+        }
+        flush_outbox(&mut outbox, 0, plan, &mut rng, &mut queue, &mut seq, &mut counts);
+
+        let mut rounds = 0;
+        let mut due: Vec<(usize, u64, NodeId, NodeId, P::Msg)> = Vec::new();
+        loop {
+            // Crash transitions at the start of the round about to run.
+            // A node revived before it ever ran starts now; its sends are
+            // delivered with this round's deliveries, mirroring how
+            // `on_start` sends are delivered in round 0.
+            while next_event < events.len() && events[next_event].0 == rounds {
+                let (_, node, up) = events[next_event];
+                next_event += 1;
+                if node >= n {
+                    continue;
+                }
+                alive[node] = up;
+                if up && !started[node] {
+                    started[node] = true;
+                    let mut ctx = Ctx {
+                        node,
+                        neighbors: self.topo.neighbors(node),
+                        outbox: &mut outbox,
+                        sent: &mut sent,
+                    };
+                    self.nodes[node].on_start(&mut ctx);
+                    flush_outbox(
+                        &mut outbox,
+                        rounds,
+                        plan,
+                        &mut rng,
+                        &mut queue,
+                        &mut seq,
+                        &mut counts,
+                    );
+                }
+            }
+            let wants_tick =
+                self.nodes.iter().enumerate().any(|(id, node)| alive[id] && node.wants_tick());
+            if queue.is_empty() && next_event >= events.len() && !wants_tick {
+                return RunStats { rounds, messages: sent, quiescent: true, faults: counts };
+            }
+            if rounds >= max_rounds {
+                return RunStats { rounds, messages: sent, quiescent: false, faults: counts };
+            }
+            rounds += 1;
+
+            // Deliveries due this round, in the engine's deterministic
+            // order (destination, source, send sequence).
+            due.clear();
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].0 < rounds {
+                    due.push(queue.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            due.sort_by_key(|&(_, s, from, to, _)| (to, from, s));
+            for (_, _, from, to, msg) in &due {
+                if !alive[*to] {
+                    counts.crash_lost += 1;
+                    continue;
+                }
+                let mut ctx = Ctx {
+                    node: *to,
+                    neighbors: self.topo.neighbors(*to),
+                    outbox: &mut outbox,
+                    sent: &mut sent,
+                };
+                self.nodes[*to].on_message(*from, msg, &mut ctx);
+            }
+            flush_outbox(&mut outbox, rounds, plan, &mut rng, &mut queue, &mut seq, &mut counts);
+            for id in 0..n {
+                if !alive[id] {
+                    continue;
+                }
+                let mut ctx = Ctx {
+                    node: id,
+                    neighbors: self.topo.neighbors(id),
+                    outbox: &mut outbox,
+                    sent: &mut sent,
+                };
+                self.nodes[id].on_round_end(rounds - 1, &mut ctx);
+            }
+            flush_outbox(&mut outbox, rounds, plan, &mut rng, &mut queue, &mut seq, &mut counts);
+        }
     }
 
     /// Read access to a node's protocol state.
@@ -175,6 +334,48 @@ impl<'t, P: Protocol> Simulator<'t, P> {
     /// Consumes the simulator, yielding all per-node states.
     pub fn into_nodes(self) -> Vec<P> {
         self.nodes
+    }
+}
+
+/// Moves this round's sends through the fault layer, in send order (the
+/// PRNG is consumed in a fixed order, so runs are reproducible): each
+/// transmission is dropped with its link's loss probability, otherwise
+/// scheduled at `due_base` plus a uniform `0..=max_delay` extra rounds,
+/// and duplicated (with an independently drawn delay) with the plan's
+/// duplication probability.
+fn flush_outbox<M: Clone>(
+    outbox: &mut Vec<(NodeId, NodeId, M)>,
+    due_base: usize,
+    plan: &FaultPlan,
+    rng: &mut Xoshiro256PlusPlus,
+    queue: &mut Vec<(usize, u64, NodeId, NodeId, M)>,
+    seq: &mut u64,
+    counts: &mut FaultCounts,
+) {
+    for (from, to, msg) in outbox.drain(..) {
+        let loss = plan.link_loss(from, to);
+        if loss > 0.0 && rng.gen_bool(loss) {
+            counts.dropped += 1;
+            continue;
+        }
+        let delay =
+            if plan.max_delay > 0 { rng.gen_inclusive(plan.max_delay as u64) as usize } else { 0 };
+        if delay > 0 {
+            counts.delayed += 1;
+        }
+        let duplicate = plan.duplication > 0.0 && rng.gen_bool(plan.duplication);
+        if duplicate {
+            counts.duplicated += 1;
+            let extra = if plan.max_delay > 0 {
+                rng.gen_inclusive(plan.max_delay as u64) as usize
+            } else {
+                0
+            };
+            queue.push((due_base + extra, *seq, from, to, msg.clone()));
+            *seq += 1;
+        }
+        queue.push((due_base + delay, *seq, from, to, msg));
+        *seq += 1;
     }
 }
 
@@ -302,4 +503,181 @@ mod tests {
         assert!(stats.quiescent);
         assert_eq!(stats.messages, 0);
     }
+
+    /// A silent protocol that drives the round clock for a fixed number
+    /// of rounds via `wants_tick` — the phase-synchronous pattern.
+    #[derive(Debug)]
+    struct Ticker {
+        remaining: usize,
+    }
+
+    impl Protocol for Ticker {
+        type Msg = ();
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_message(&mut self, _: NodeId, _: &(), _: &mut Ctx<'_, ()>) {}
+        fn on_round_end(&mut self, _round: usize, _ctx: &mut Ctx<'_, ()>) {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn wants_tick(&self) -> bool {
+            self.remaining > 0
+        }
+    }
+
+    #[test]
+    fn wants_tick_drives_rounds_until_satisfied() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut sim = Simulator::new(&topo, |id| Ticker { remaining: if id == 1 { 5 } else { 0 } });
+        let stats = sim.run(100);
+        // One node wants 5 silent rounds; the engine grants exactly 5.
+        assert!(stats.quiescent);
+        assert_eq!(stats.rounds, 5);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn wants_tick_truncated_by_max_rounds_is_not_quiescent() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let mut sim = Simulator::new(&topo, |_| Ticker { remaining: 10 });
+        let stats = sim.run(4);
+        assert!(!stats.quiescent, "truncation must not report quiescence");
+        assert_eq!(stats.rounds, 4);
+        // The faulty engine agrees on the truncation semantics.
+        let mut sim = Simulator::new(&topo, |_| Ticker { remaining: 10 });
+        let faulty = sim.run_with_faults(4, &FaultPlan::none());
+        assert!(!faulty.quiescent);
+        assert_eq!(faulty.rounds, 4);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_perfect_engine() {
+        let topo = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        // TwoHop exercises broadcasts + multi-round deliveries; Relay
+        // exercises cascading forwards.
+        let mut perfect = Simulator::new(&topo, |_| TwoHop::default());
+        let mut faulty = Simulator::new(&topo, |_| TwoHop::default());
+        let ps = perfect.run(10);
+        let fs = faulty.run_with_faults(10, &FaultPlan::none());
+        assert_eq!(ps, fs, "zero-fault RunStats must be byte-identical");
+        for id in 0..topo.len() {
+            assert_eq!(perfect.node(id).known, faulty.node(id).known, "node {id} state diverged");
+        }
+
+        let mut perfect = Simulator::new(&topo, |_| Relay { seen: false });
+        let mut faulty = Simulator::new(&topo, |_| Relay { seen: false });
+        let ps = perfect.run(100);
+        let fs = faulty.run_with_faults(100, &FaultPlan::none());
+        assert_eq!(ps, fs);
+        assert_eq!(fs.faults, crate::faults::FaultCounts::default());
+    }
+
+    #[test]
+    fn total_loss_stops_the_relay_at_the_source() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run_with_faults(50, &FaultPlan::lossy(3, 1.0));
+        assert!(stats.quiescent);
+        assert!(sim.node(0).seen);
+        for id in 1..4 {
+            assert!(!sim.node(id).seen, "node {id} saw the token through a fully lossy radio");
+        }
+        // Every transmission was counted as sent, then dropped.
+        assert_eq!(stats.faults.dropped, stats.messages);
+    }
+
+    #[test]
+    fn duplication_is_idempotent_for_the_relay() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let plan = FaultPlan::none().with_seed(7).with_duplication(1.0);
+        let stats = sim.run_with_faults(50, &plan);
+        assert!(stats.quiescent);
+        assert!(stats.faults.duplicated > 0);
+        for id in 0..5 {
+            assert!(sim.node(id).seen, "node {id} missed the token");
+        }
+    }
+
+    #[test]
+    fn bounded_delay_slows_but_does_not_lose_the_relay() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut reference = Simulator::new(&topo, |_| Relay { seen: false });
+        let base = reference.run(100).rounds;
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let plan = FaultPlan::none().with_seed(11).with_max_delay(3);
+        let stats = sim.run_with_faults(100, &plan);
+        assert!(stats.quiescent);
+        for id in 0..5 {
+            assert!(sim.node(id).seen, "node {id} missed the token");
+        }
+        // Per-hop extra delay is bounded by max_delay.
+        assert!(stats.rounds >= base);
+        assert!(stats.rounds <= base + 4 * (base + 1), "delay bound exceeded: {}", stats.rounds);
+    }
+
+    #[test]
+    fn crashed_node_blocks_the_chain_and_recovery_unblocks_it() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Node 1 down for the whole run: the token dies at it.
+        let dead = FaultPlan::none().with_crashes([Crash { node: 1, down_at: 0, up_at: None }]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run_with_faults(50, &dead);
+        assert!(stats.quiescent);
+        assert!(sim.node(0).seen);
+        assert!(!sim.node(1).seen && !sim.node(2).seen && !sim.node(3).seen);
+        assert!(stats.faults.crash_lost > 0, "the delivery to the dead node must be counted");
+
+        // Node 1 down only before round 2: it never saw round-0
+        // deliveries, but once it recovers it runs `on_start` (it never
+        // started) — as the relay source it has nothing to send, so the
+        // chain stays dark; a *re-transmitting* upstream would heal it.
+        // Use node 0 crashing instead: down at 0, up at 3, so it starts
+        // late and the token still floods the chain.
+        let late = FaultPlan::none().with_crashes([Crash { node: 0, down_at: 0, up_at: Some(3) }]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run_with_faults(50, &late);
+        assert!(stats.quiescent);
+        for id in 0..4 {
+            assert!(sim.node(id).seen, "node {id} missed the token after recovery");
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible_and_seed_sensitive() {
+        let n = 12;
+        let edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let topo = Topology::from_edges(n, &edges);
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(&topo, |_| TwoHop::default());
+            let plan = FaultPlan::lossy(seed, 0.4).with_duplication(0.2).with_max_delay(2);
+            let stats = sim.run_with_faults(60, &plan);
+            let known: Vec<Vec<NodeId>> = (0..n).map(|i| sim.node(i).known.clone()).collect();
+            (stats, known)
+        };
+        let (s1, k1) = run(5);
+        let (s2, k2) = run(5);
+        assert_eq!(s1, s2, "same plan must reproduce identical stats");
+        assert_eq!(k1, k2, "same plan must reproduce identical node states");
+        let (s3, k3) = run(6);
+        assert!(s3 != s1 || k3 != k1, "different fault seeds should differ somewhere");
+    }
+
+    #[test]
+    fn out_of_range_crash_node_is_ignored() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let plan = FaultPlan::none().with_crashes([Crash { node: 99, down_at: 1, up_at: None }]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run_with_faults(10, &plan);
+        assert!(stats.quiescent);
+        assert!(sim.node(1).seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1]")]
+    fn invalid_plan_is_rejected_at_engine_entry() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        sim.run_with_faults(10, &FaultPlan::lossy(0, -0.5));
+    }
+
+    use crate::faults::{Crash, FaultPlan};
 }

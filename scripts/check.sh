@@ -4,8 +4,10 @@
 #   1. cargo fmt --check        formatting
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
 #   3. ballfit-lint             determinism / locality / panic-safety /
-#                               float-safety invariants (crates/lint)
+#                               float-safety / fault-scope invariants
+#                               (crates/lint)
 #   4. cargo test               tier-1 test suite
+#   5. robustness_sweep --smoke fault-injection sweep emits valid JSON
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips clippy and runs tests in the default profile only.
@@ -35,6 +37,15 @@ cargo run -q -p ballfit-lint
 
 step "cargo test"
 cargo test -q --workspace
+
+step "robustness_sweep --smoke (fault-injection degradation sweep)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --smoke
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$SMOKE_DIR/robustness_sweep.json" >/dev/null
+    echo "robustness_sweep.json: valid JSON"
+fi
 
 echo
 echo "check.sh: all gates green"

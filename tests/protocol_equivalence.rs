@@ -29,7 +29,8 @@ fn full_pipeline_protocols_agree_with_centralized() {
     let central = BoundaryDetector::new(cfg).detect(&model);
 
     // Phase 1: UBF.
-    let (ubf_flags, ubf_msgs) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+    let (ubf_flags, ubf_msgs) =
+        run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
     assert_eq!(ubf_flags, central.candidates);
     assert_eq!(ubf_msgs, 2 * model.topology().edge_count() as u64);
 
@@ -49,7 +50,8 @@ fn full_pipeline_protocols_agree_with_centralized() {
     assert_eq!(boundary, central.boundary);
 
     // Grouping.
-    let (labels, _) = run_grouping_protocol(model.topology(), &boundary);
+    let (labels, _) =
+        run_grouping_protocol(model.topology(), &boundary).expect("perfect radio quiesces");
     let groups = group_boundaries(model.topology(), &boundary);
     for group in &groups {
         for &member in group {
@@ -61,7 +63,8 @@ fn full_pipeline_protocols_agree_with_centralized() {
     for group in groups.iter().filter(|g| g.len() >= 4) {
         for k in [3u32, 4] {
             let central_lm = elect_landmarks(model.topology(), group, k);
-            let (protocol_lm, _) = run_landmark_protocol(model.topology(), group, k);
+            let (protocol_lm, _) =
+                run_landmark_protocol(model.topology(), group, k).expect("election converges");
             assert_eq!(protocol_lm, central_lm, "k={k}");
         }
     }
@@ -73,7 +76,8 @@ fn protocol_equivalence_across_error_levels() {
     for error in [0u32, 40, 80] {
         let cfg = DetectorConfig::paper(error, 5);
         let central = BoundaryDetector::new(cfg).detect(&model);
-        let (flags, _) = run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates);
+        let (flags, _) =
+            run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
         assert_eq!(flags, central.candidates, "error={error}%");
     }
 }
