@@ -1,0 +1,389 @@
+//! E16 — churn sweep: incremental boundary maintenance vs from-scratch
+//! re-detection on dynamic networks.
+//!
+//! For every `(scenario, churn rate, seed)` cell the sweep drives a seeded
+//! `ChurnPlan` (equal per-epoch join/leave/drift rates) through a
+//! `ChurnDriver`, and after *every* event repairs an `IncrementalDetector`
+//! while also timing a full `detect_view` on the same topology. Exactness
+//! of the incremental state (boundary flags and grouping) is asserted on
+//! each event — the timing comparison is only meaningful because the two
+//! computations produce identical results. Reported per cell: the
+//! incremental-vs-full wall-clock ratio distribution (p10/median/p90),
+//! the dirty-halo size distribution (p50/p90/max), and mean per-event
+//! costs. A final hole-cycle phase heals the one-hole scenario's interior
+//! void with a lattice of filler joins (boundary groups 2 → 1) and carves
+//! it back open by removing them (→ 2), tracking boundary-accuracy
+//! stability. Results are emitted as JSON (hand-rolled —
+//! the sweep is dependency-free by design) into `$BALLFIT_RESULTS` or
+//! `results/`.
+//!
+//! ```sh
+//! cargo run --release -p ballfit-bench --bin churn_sweep            # full grid
+//! cargo run --release -p ballfit-bench --bin churn_sweep -- --smoke # CI smoke run
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::incremental::IncrementalDetector;
+use ballfit::view::NetView;
+use ballfit_geom::Vec3;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::churn::ChurnDriver;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_wsn::churn::{ChurnPlan, DynamicTopology, TopologyEvent};
+
+struct Grid {
+    scenarios: Vec<Scenario>,
+    rates: Vec<f64>,
+    seeds: Vec<u64>,
+    epochs: usize,
+}
+
+fn grid(smoke: bool) -> Grid {
+    if smoke {
+        Grid {
+            scenarios: vec![Scenario::SolidSphere],
+            rates: vec![0.02],
+            seeds: vec![1],
+            epochs: 3,
+        }
+    } else {
+        Grid {
+            scenarios: vec![Scenario::SolidSphere, Scenario::SpaceOneHole],
+            rates: vec![0.01, 0.02, 0.05, 0.10],
+            seeds: vec![1, 2, 3],
+            epochs: 12,
+        }
+    }
+}
+
+fn reference_model(scenario: Scenario, smoke: bool) -> NetworkModel {
+    // The full sphere is the acceptance configuration: 500 nodes.
+    let (surface, interior, degree, seed) =
+        if smoke { (80, 100, 12.0, 7) } else { (200, 300, 14.0, 77) };
+    NetworkBuilder::new(scenario)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(degree)
+        .require_connected(false)
+        .seed(seed)
+        .build()
+        .expect("reference model generates")
+}
+
+fn scenario_name(s: Scenario) -> &'static str {
+    match s {
+        Scenario::SolidSphere => "SolidSphere",
+        Scenario::SpaceOneHole => "SpaceOneHole",
+        other => unreachable!("scenario {other:?} not part of E16"),
+    }
+}
+
+/// p-th percentile (nearest-rank) of an unsorted sample.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+struct Cell {
+    scenario: &'static str,
+    rate: f64,
+    seed: u64,
+    events: usize,
+    live_final: usize,
+    speedup_p10: f64,
+    speedup_median: f64,
+    speedup_p90: f64,
+    halo_p50: f64,
+    halo_p90: f64,
+    halo_max: f64,
+    mean_inc_us: f64,
+    mean_full_us: f64,
+}
+
+/// Asserts the incremental state equals a from-scratch run; returns the
+/// full run's wall-clock seconds.
+fn check_against_full(
+    detector: &BoundaryDetector,
+    inc: &IncrementalDetector,
+    dynamic: &DynamicTopology,
+) -> f64 {
+    let view = NetView::new(dynamic.topology(), dynamic.positions(), dynamic.radio_range());
+    let t0 = Instant::now();
+    let full = detector.detect_view(&view);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(inc.boundary(), &full.boundary[..], "incremental boundary diverged from scratch");
+    assert_eq!(inc.groups(), &full.groups[..], "incremental grouping diverged from scratch");
+    dt
+}
+
+fn run_cell(
+    scenario: Scenario,
+    rate: f64,
+    seed: u64,
+    epochs: usize,
+    model: &NetworkModel,
+    config: DetectorConfig,
+) -> Cell {
+    let plan = ChurnPlan::none()
+        .with_seed(seed)
+        .with_epochs(epochs)
+        .with_join_rate(rate)
+        .with_leave_rate(rate)
+        .with_move_rate(rate)
+        .with_max_drift(0.5 * model.radio_range());
+    let schedule = plan.schedule(model.len());
+    let mut driver = ChurnDriver::new(model, seed ^ 0x9E37_79B9_7F4A_7C15);
+    let detector = BoundaryDetector::new(config);
+    let mut inc = IncrementalDetector::new(config, driver.dynamic());
+
+    let mut speedups = Vec::with_capacity(schedule.len());
+    let mut halos = Vec::with_capacity(schedule.len());
+    let mut inc_times = Vec::with_capacity(schedule.len());
+    let mut full_times = Vec::with_capacity(schedule.len());
+    for ev in &schedule {
+        let (_, delta) = driver.step(ev).expect("in-shape sampling never exhausts");
+        let t0 = Instant::now();
+        let diff = inc.apply(driver.dynamic(), &delta);
+        let inc_dt = t0.elapsed().as_secs_f64();
+        let full_dt = check_against_full(&detector, &inc, driver.dynamic());
+        speedups.push(full_dt / inc_dt);
+        halos.push(diff.halo.len() as f64);
+        inc_times.push(inc_dt);
+        full_times.push(full_dt);
+    }
+
+    Cell {
+        scenario: scenario_name(scenario),
+        rate,
+        seed,
+        events: schedule.len(),
+        live_final: driver.dynamic().live_count(),
+        speedup_p10: percentile(&speedups, 10.0),
+        speedup_median: percentile(&speedups, 50.0),
+        speedup_p90: percentile(&speedups, 90.0),
+        halo_p50: percentile(&halos, 50.0),
+        halo_p90: percentile(&halos, 90.0),
+        halo_max: percentile(&halos, 100.0),
+        mean_inc_us: mean(&inc_times) * 1e6,
+        mean_full_us: mean(&full_times) * 1e6,
+    }
+}
+
+struct HoleCycle {
+    filler_nodes: usize,
+    groups_initial: usize,
+    groups_healed: usize,
+    groups_reopened: usize,
+    boundary_initial: usize,
+    boundary_healed: usize,
+    boundary_reopened: usize,
+}
+
+/// A one-hole model dense enough for the interior void to be detectable:
+/// the 500-node sweep model's radio range (~2.5) exceeds the hole radius
+/// (2), so the hole is invisible there. At 1150 nodes / degree 16 the
+/// range drops to ~1.95 and detection reports two boundary groups.
+fn hole_model(smoke: bool) -> NetworkModel {
+    let (surface, interior, degree, seed) =
+        if smoke { (80, 100, 12.0, 7) } else { (500, 650, 16.0, 77) };
+    NetworkBuilder::new(Scenario::SpaceOneHole)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(degree)
+        .require_connected(false)
+        .seed(seed)
+        .build()
+        .expect("hole-cycle model generates")
+}
+
+/// The one-hole scenario's interior void is a radius-2 sphere at the
+/// origin. Starting with the hole open (two boundary groups at full
+/// size), *heal* it by joining a dense lattice of filler nodes inside the
+/// void (the hole-boundary group dissolves), then *carve* it back open by
+/// removing every filler — with exactness asserted after every event.
+fn hole_cycle(model: &NetworkModel, config: DetectorConfig) -> HoleCycle {
+    let mut dynamic = DynamicTopology::new(model.positions(), model.radio_range());
+    let detector = BoundaryDetector::new(config);
+    let mut inc = IncrementalDetector::new(config, &dynamic);
+    let groups_initial = inc.groups().len();
+    let boundary_initial = inc.detection().boundary_count();
+
+    // Lattice of filler positions inside the void, spaced well under the
+    // radio range so the filled region reads as solid interior.
+    let spacing = 0.55 * model.radio_range();
+    let hole_radius = 2.0;
+    let mut fillers = Vec::new();
+    let steps = (2.0 * hole_radius / spacing).ceil() as i64;
+    for ix in -steps..=steps {
+        for iy in -steps..=steps {
+            for iz in -steps..=steps {
+                let p = Vec3::new(ix as f64, iy as f64, iz as f64) * spacing;
+                if p.norm() < hole_radius - 0.05 {
+                    fillers.push(p);
+                }
+            }
+        }
+    }
+
+    let first_filler = dynamic.len();
+    for &p in &fillers {
+        let delta = dynamic.apply(&TopologyEvent::Join { position: p });
+        inc.apply(&dynamic, &delta);
+        check_against_full(&detector, &inc, &dynamic);
+    }
+    let groups_healed = inc.groups().len();
+    let boundary_healed = inc.detection().boundary_count();
+
+    for slot in first_filler..dynamic.len() {
+        let delta = dynamic.apply(&TopologyEvent::Leave { node: slot });
+        inc.apply(&dynamic, &delta);
+        check_against_full(&detector, &inc, &dynamic);
+    }
+    HoleCycle {
+        filler_nodes: fillers.len(),
+        groups_initial,
+        groups_healed,
+        groups_reopened: inc.groups().len(),
+        boundary_initial,
+        boundary_healed,
+        boundary_reopened: inc.detection().boundary_count(),
+    }
+}
+
+fn results_path(out: Option<PathBuf>) -> PathBuf {
+    if let Some(p) = out {
+        return p;
+    }
+    let dir = std::env::var_os("BALLFIT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir.join("churn_sweep.json")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            other => panic!("unknown argument {other} (expected --smoke / --out <path>)"),
+        }
+    }
+
+    let config = DetectorConfig::default();
+    let grid = grid(smoke);
+    eprintln!(
+        "churn sweep: {} cells{}",
+        grid.scenarios.len() * grid.rates.len() * grid.seeds.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut cells = Vec::new();
+    let mut nodes = 0;
+    for &scenario in &grid.scenarios {
+        let model = reference_model(scenario, smoke);
+        nodes = model.len();
+        for &rate in &grid.rates {
+            for &seed in &grid.seeds {
+                let cell = run_cell(scenario, rate, seed, grid.epochs, &model, config);
+                eprintln!(
+                    "  {} rate={:>4} seed={}: {} events exact, speedup median {:.1}x \
+                     (p10 {:.1}x), halo p50 {:.0} of {} nodes",
+                    cell.scenario,
+                    rate,
+                    seed,
+                    cell.events,
+                    cell.speedup_median,
+                    cell.speedup_p10,
+                    cell.halo_p50,
+                    model.len(),
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    eprintln!("  hole cycle (heal + re-carve the one-hole void)...");
+    let hole = hole_model(smoke);
+    let cycle = hole_cycle(&hole, config);
+    eprintln!(
+        "  hole cycle: {} fillers, groups {} -> {} -> {}, boundary {} -> {} -> {}",
+        cycle.filler_nodes,
+        cycle.groups_initial,
+        cycle.groups_healed,
+        cycle.groups_reopened,
+        cycle.boundary_initial,
+        cycle.boundary_healed,
+        cycle.boundary_reopened,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"experiment\": \"E16-churn\", \"smoke\": {smoke}, \
+         \"nodes\": {}, \"epochs\": {}, \"coordinates\": \"ground-truth\", \
+         \"exactness\": \"asserted on every event\"}},",
+        nodes, grid.epochs
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"rate\": {}, \"seed\": {}, \"events\": {}, \
+             \"live_final\": {}, \
+             \"speedup\": {{\"p10\": {:.3}, \"median\": {:.3}, \"p90\": {:.3}}}, \
+             \"halo\": {{\"p50\": {}, \"p90\": {}, \"max\": {}}}, \
+             \"mean_event_us\": {{\"incremental\": {:.1}, \"full\": {:.1}}}}}",
+            c.scenario,
+            c.rate,
+            c.seed,
+            c.events,
+            c.live_final,
+            c.speedup_p10,
+            c.speedup_median,
+            c.speedup_p90,
+            c.halo_p50,
+            c.halo_p90,
+            c.halo_max,
+            c.mean_inc_us,
+            c.mean_full_us,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"hole_cycle\": {{\"scenario\": \"SpaceOneHole\", \"filler_nodes\": {}, \
+         \"groups\": {{\"initial\": {}, \"healed\": {}, \"reopened\": {}}}, \
+         \"boundary_count\": {{\"initial\": {}, \"healed\": {}, \"reopened\": {}}}}}",
+        cycle.filler_nodes,
+        cycle.groups_initial,
+        cycle.groups_healed,
+        cycle.groups_reopened,
+        cycle.boundary_initial,
+        cycle.boundary_healed,
+        cycle.boundary_reopened,
+    );
+    json.push_str("}\n");
+
+    let path = results_path(out);
+    std::fs::write(&path, &json).expect("sweep JSON is writable");
+    println!("wrote {}", path.display());
+}

@@ -6,8 +6,9 @@ use ballfit_wsn::NodeId;
 use crate::config::DetectorConfig;
 use crate::grouping::{group_boundaries, BoundaryGroup};
 use crate::iff::apply_iff;
-use crate::localizer::neighborhood_frame_k;
+use crate::localizer::neighborhood_frame_view;
 use crate::ubf::ubf_test;
+use crate::view::NetView;
 
 /// Result of boundary-node detection on a network.
 #[derive(Debug, Clone)]
@@ -83,15 +84,23 @@ impl BoundaryDetector {
     /// Algorithm 1) but runs in a simple loop; see [`crate::protocols`]
     /// for the message-passing execution.
     pub fn detect(&self, model: &NetworkModel) -> BoundaryDetection {
-        let topo = model.topology();
-        let range = model.radio_range();
-        let mut candidates = vec![false; model.len()];
+        self.detect_view(&NetView::from_model(model))
+    }
+
+    /// [`BoundaryDetector::detect`] over a borrowed [`NetView`] — the
+    /// shared from-scratch implementation. The incremental detector
+    /// ([`crate::incremental::IncrementalDetector`]) is pinned exact
+    /// against this entry point after every churn event.
+    pub fn detect_view(&self, view: &NetView<'_>) -> BoundaryDetection {
+        let topo = view.topology();
+        let range = view.radio_range();
+        let mut candidates = vec![false; view.len()];
         let mut balls_tested = 0u64;
         let mut degenerate_nodes = Vec::new();
 
-        for node in 0..model.len() {
-            match neighborhood_frame_k(
-                model,
+        for node in 0..view.len() {
+            match neighborhood_frame_view(
+                view,
                 node,
                 &self.config.coordinates,
                 self.config.ubf.witness_hops,

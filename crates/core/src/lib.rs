@@ -26,6 +26,12 @@
 //! [`metrics::DetectionStats`] — the quantities of the paper's Figs. 1
 //! and 11.
 //!
+//! Dynamic networks are served by [`incremental`]: an
+//! [`incremental::IncrementalDetector`] follows a churning topology by
+//! recomputing only the dirty halo of each event, pinned exact against
+//! the from-scratch detector (both run over the shared [`view::NetView`]
+//! abstraction).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -62,6 +68,7 @@ pub mod detector;
 pub mod edgeflip;
 pub mod grouping;
 pub mod iff;
+pub mod incremental;
 pub mod landmarks;
 pub mod localizer;
 pub mod metrics;
@@ -69,6 +76,7 @@ pub mod protocols;
 pub mod surface;
 pub mod triangulate;
 pub mod ubf;
+pub mod view;
 
 pub use config::{CoordinateSource, DetectorConfig, IffConfig, SurfaceConfig, UbfConfig};
 pub use detector::{BoundaryDetection, BoundaryDetector};

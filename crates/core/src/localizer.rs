@@ -13,6 +13,7 @@ use ballfit_netgen::model::NetworkModel;
 use ballfit_wsn::NodeId;
 
 use crate::config::CoordinateSource;
+use crate::view::NetView;
 
 /// Coordinates for one node's closed neighborhood.
 #[derive(Debug, Clone)]
@@ -50,26 +51,39 @@ pub fn neighborhood_frame_k(
     source: &CoordinateSource,
     k: u32,
 ) -> Option<NeighborhoodFrame> {
-    let topo = model.topology();
+    neighborhood_frame_view(&NetView::from_model(model), node, source, k)
+}
+
+/// [`neighborhood_frame_k`] over a borrowed [`NetView`] — the shared
+/// implementation both the static detector and the incremental
+/// (churn-following) detector call, so their per-node results are
+/// byte-identical by construction.
+pub fn neighborhood_frame_view(
+    view: &NetView<'_>,
+    node: NodeId,
+    source: &CoordinateSource,
+    k: u32,
+) -> Option<NeighborhoodFrame> {
+    let topo = view.topology();
     let members = topo.closed_k_hop_neighborhood(node, k);
     let self_index = members.binary_search(&node).expect("node is in its own neighborhood");
     match source {
         CoordinateSource::GroundTruth => {
-            let coords = members.iter().map(|&m| model.positions()[m]).collect();
+            let coords = members.iter().map(|&m| view.positions()[m]).collect();
             Some(NeighborhoodFrame { members, self_index, coords, stress: 0.0 })
         }
         CoordinateSource::LocalMds { error, noise_seed, .. } => {
             if members.len() < 2 {
                 return None;
             }
-            let oracle = model.oracle(*error, *noise_seed);
+            let oracle = view.oracle(*error, *noise_seed);
             let mut table = LocalDistances::new(members.len());
             for a in 0..members.len() {
                 for b in (a + 1)..members.len() {
                     let (i, j) = (members[a], members[b]);
                     // Only mutually-adjacent pairs can range each other.
                     if topo.are_neighbors(i, j) {
-                        table.set(a, b, oracle.measure(i, j, model.true_distance(i, j)));
+                        table.set(a, b, oracle.measure(i, j, view.true_distance(i, j)));
                     }
                 }
             }

@@ -1,0 +1,135 @@
+//! A borrowed view of a network: the minimal surface the detection
+//! pipeline reads.
+//!
+//! [`crate::detector::BoundaryDetector::detect`] historically consumed a
+//! full [`NetworkModel`], but the pipeline only ever reads four things:
+//! the topology, the positions, the radio range, and a measurement oracle
+//! derived from them. [`NetView`] captures exactly that, so the same
+//! detection code runs both on a generated static model and on a
+//! dynamic topology evolving under churn (see [`crate::incremental`],
+//! which builds views over `ballfit_wsn::churn::DynamicTopology`) — and
+//! the incremental detector's exactness pin can compare against the
+//! identical code path.
+
+use ballfit_geom::Vec3;
+use ballfit_netgen::measure::{DistanceOracle, ErrorModel};
+use ballfit_netgen::model::NetworkModel;
+use ballfit_wsn::{NodeId, Topology};
+
+/// The read-only network surface the detector consumes: connectivity,
+/// positions, and the radio range they were built at.
+///
+/// Measurement noise stays reproducible under churn because
+/// [`DistanceOracle`] is stateless per pair — a node's measured distances
+/// depend only on `(noise_seed, node pair, true distance)`, never on which
+/// other nodes exist.
+#[derive(Debug, Clone, Copy)]
+pub struct NetView<'a> {
+    topology: &'a Topology,
+    positions: &'a [Vec3],
+    radio_range: f64,
+}
+
+impl<'a> NetView<'a> {
+    /// Builds a view from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` and `positions` disagree on the node count.
+    pub fn new(topology: &'a Topology, positions: &'a [Vec3], radio_range: f64) -> Self {
+        assert_eq!(
+            topology.len(),
+            positions.len(),
+            "topology and positions must cover the same nodes"
+        );
+        NetView { topology, positions, radio_range }
+    }
+
+    /// The view of a static generated network.
+    pub fn from_model(model: &'a NetworkModel) -> Self {
+        NetView::new(model.topology(), model.positions(), model.radio_range())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the view has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The connectivity graph.
+    pub fn topology(&self) -> &'a Topology {
+        self.topology
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &'a [Vec3] {
+        self.positions
+    }
+
+    /// The radio range.
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// True Euclidean distance between two nodes.
+    pub fn true_distance(&self, i: NodeId, j: NodeId) -> f64 {
+        self.positions[i].distance(self.positions[j])
+    }
+
+    /// A measurement oracle over this view — same construction as
+    /// [`NetworkModel::oracle`], so a model and its view measure
+    /// identically.
+    pub fn oracle(&self, model: ErrorModel, noise_seed: u64) -> DistanceOracle {
+        DistanceOracle::new(model, self.radio_range, noise_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballfit_netgen::builder::NetworkBuilder;
+    use ballfit_netgen::scenario::Scenario;
+
+    #[test]
+    fn model_view_mirrors_the_model() {
+        let model = NetworkBuilder::new(Scenario::SolidBox)
+            .surface_nodes(80)
+            .interior_nodes(120)
+            .target_degree(12.0)
+            .require_connected(false)
+            .seed(3)
+            .build()
+            .unwrap();
+        let view = NetView::from_model(&model);
+        assert_eq!(view.len(), model.len());
+        assert_eq!(view.radio_range(), model.radio_range());
+        assert_eq!(view.true_distance(0, 1), model.true_distance(0, 1));
+        let (a, b) = (
+            view.oracle(ErrorModel::UniformRadius { fraction: 0.3 }, 5),
+            model.oracle(ErrorModel::UniformRadius { fraction: 0.3 }, 5),
+        );
+        let d = model.true_distance(0, 1);
+        assert_eq!(a.measure(0, 1, d), b.measure(0, 1, d));
+    }
+
+    #[test]
+    fn view_from_parts_over_a_hand_built_graph() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(1.5, 0.0, 0.0)];
+        let topo = Topology::from_positions(&pts, 0.8);
+        let view = NetView::new(&topo, &pts, 0.8);
+        assert_eq!(view.len(), 3);
+        assert!(view.topology().are_neighbors(0, 1));
+        assert!(!view.topology().are_neighbors(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn mismatched_lengths_panic() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let _ = NetView::new(&topo, &[Vec3::ZERO], 1.0);
+    }
+}

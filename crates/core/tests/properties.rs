@@ -1,12 +1,16 @@
 //! Property-based tests for the boundary-detection pipeline invariants.
 
-use ballfit::config::{IffConfig, UbfConfig};
+use ballfit::config::{DetectorConfig, IffConfig, UbfConfig};
+use ballfit::detector::BoundaryDetector;
 use ballfit::edgeflip::{flip_to_manifold, triangles_of};
 use ballfit::grouping::group_boundaries;
 use ballfit::iff::apply_iff;
+use ballfit::incremental::IncrementalDetector;
 use ballfit::landmarks::{check_landmark_invariants, elect_landmarks};
 use ballfit::ubf::ubf_test;
+use ballfit::view::NetView;
 use ballfit_geom::Vec3;
+use ballfit_wsn::churn::{DynamicTopology, TopologyEvent};
 use ballfit_wsn::Topology;
 use proptest::prelude::*;
 
@@ -125,6 +129,39 @@ proptest! {
         prop_assert!(check_landmark_invariants(&topo, &group, &landmarks, k).is_ok());
         // Landmarks are sorted and within the group.
         prop_assert!(landmarks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The incremental detector equals the from-scratch detector after
+    /// every event of an arbitrary interleaved join/leave/move sequence on
+    /// a random geometric point cloud.
+    #[test]
+    fn incremental_detector_equals_scratch_under_churn(
+        init in proptest::collection::vec(vec3_in(2.5), 6..24),
+        ops in proptest::collection::vec(
+            (0u8..3, any::<proptest::sample::Index>(), vec3_in(2.5)),
+            1..12,
+        ),
+    ) {
+        let config = DetectorConfig::default();
+        let detector = BoundaryDetector::new(config);
+        let mut dt = DynamicTopology::new(&init, 1.6);
+        let mut inc = IncrementalDetector::new(config, &dt);
+        for (kind, pick, p) in ops {
+            let live = dt.live_nodes();
+            let ev = match kind {
+                0 => TopologyEvent::Join { position: p },
+                _ if live.is_empty() => continue,
+                1 => TopologyEvent::Leave { node: live[pick.index(live.len())] },
+                _ => TopologyEvent::Move { node: live[pick.index(live.len())], to: p },
+            };
+            let delta = dt.apply(&ev);
+            inc.apply(&dt, &delta);
+            let view = NetView::new(dt.topology(), dt.positions(), dt.radio_range());
+            let full = detector.detect_view(&view);
+            prop_assert_eq!(inc.candidates(), &full.candidates[..]);
+            prop_assert_eq!(inc.boundary(), &full.boundary[..]);
+            prop_assert_eq!(inc.groups(), &full.groups[..]);
+        }
     }
 
     /// Flip-pass invariants on arbitrary graphs: every initially over-full

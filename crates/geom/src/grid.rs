@@ -67,6 +67,35 @@ impl SpatialGrid {
         self.cells.len()
     }
 
+    /// Inserts point-index `i`, located at `p`, into the grid. The caller
+    /// is responsible for keeping the backing `points` slice consistent
+    /// (`points[i] == p` whenever a query runs) and for not inserting the
+    /// same index twice.
+    ///
+    /// Together with [`SpatialGrid::remove`] this supports dynamic point
+    /// sets (network churn): membership changes cost one bucket update
+    /// instead of an `O(n)` rebuild.
+    pub fn insert(&mut self, i: usize, p: Vec3) {
+        self.cells.entry(Self::key(p, self.cell_size)).or_default().push(i);
+    }
+
+    /// Removes point-index `i` from the grid, where `p` is the position it
+    /// was inserted under (the cell is derived from `p`, so it must be the
+    /// same value — not a later position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not present in the cell of `p`.
+    pub fn remove(&mut self, i: usize, p: Vec3) {
+        let key = Self::key(p, self.cell_size);
+        let bucket = self.cells.get_mut(&key).expect("SpatialGrid::remove: cell is empty");
+        let at = bucket.iter().position(|&x| x == i).expect("SpatialGrid::remove: index in cell");
+        bucket.remove(at);
+        if bucket.is_empty() {
+            self.cells.remove(&key);
+        }
+    }
+
     /// Indices of all points within distance `radius` of `points[query]`,
     /// excluding `query` itself. `points` must be the same slice the grid
     /// was built from.
@@ -238,6 +267,57 @@ mod tests {
     #[should_panic(expected = "cell size must be positive")]
     fn zero_cell_panics() {
         let _ = SpatialGrid::build(&[], 0.0);
+    }
+
+    #[test]
+    fn insert_and_remove_track_membership() {
+        let mut pts = random_points(120, 13, 2.0);
+        let mut grid = SpatialGrid::build(&pts, 1.0);
+        // Remove half the points, move a quarter, then re-add the removed
+        // half at new positions; queries must match a fresh grid over the
+        // same live set throughout.
+        for i in 0..60 {
+            grid.remove(i, pts[i]);
+        }
+        for i in 60..90 {
+            let to = pts[i] + Vec3::new(0.4, -0.3, 0.2);
+            grid.remove(i, pts[i]);
+            pts[i] = to;
+            grid.insert(i, to);
+        }
+        for i in 0..60 {
+            let to = pts[i] * 0.5 + Vec3::new(0.1, 0.1, -0.2);
+            pts[i] = to;
+            grid.insert(i, to);
+        }
+        let fresh = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.occupied_cells(), fresh.occupied_cells());
+        for q in 0..pts.len() {
+            let mut a = grid.neighbors_within(&pts, q, 1.0);
+            let mut b = fresh.neighbors_within(&pts, q, 1.0);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn removed_points_stop_matching_queries() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.2, 0.0, 0.0), Vec3::new(0.4, 0.0, 0.0)];
+        let mut grid = SpatialGrid::build(&pts, 1.0);
+        grid.remove(1, pts[1]);
+        assert_eq!(grid.points_within(&pts, Vec3::ZERO, 0.5), vec![0, 2]);
+        grid.insert(1, pts[1]);
+        assert_eq!(grid.points_within(&pts, Vec3::ZERO, 0.5), vec![0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index in cell")]
+    fn double_remove_panics() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.1, 0.0, 0.0)];
+        let mut grid = SpatialGrid::build(&pts, 1.0);
+        grid.remove(0, pts[0]);
+        grid.remove(0, pts[0]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety / fault-scope\n\
+                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety / fault-scope / churn-scope\n\
                      \n\
                      USAGE: ballfit-lint [--root <workspace>] [FILE.rs ...]\n\
                      \n\
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         eprintln!(
-            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety, fault-scope)"
+            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety, fault-scope, churn-scope)"
         );
         ExitCode::SUCCESS
     } else {

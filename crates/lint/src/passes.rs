@@ -1,4 +1,4 @@
-//! The five invariant passes and the scope tracker they share.
+//! The six invariant passes and the scope tracker they share.
 //!
 //! Scope recognition is purely structural: when a `{` opens, the tokens
 //! between it and the previous `{` / `}` / `;` form its "header". A header
@@ -16,10 +16,15 @@
 //! * **fault-scope** — fault-injection machinery (`FaultPlan` and
 //!   friends) stays in the harness: never inside a protocol-impl scope,
 //!   and outside `crates/wsn/` only in the runner layer and test code.
+//! * **churn-scope** — dynamic-network machinery (`ChurnPlan`,
+//!   `DynamicTopology`, `IncrementalDetector` and friends) stays in the
+//!   churn layer: never inside a protocol-impl scope (protocols see only
+//!   their current neighbors, not topology-change events), and elsewhere
+//!   only in `crates/wsn`, the incremental detector and the churn driver.
 
 use crate::lexer::{is_float_literal, lex, Tok, TokKind};
 
-/// The five passes.
+/// The six passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -36,6 +41,10 @@ pub enum Pass {
     /// fault PRNGs) never inside `Protocol` impls, and outside the
     /// simulator/runner layer only in test code.
     FaultScope,
+    /// Churn machinery (`ChurnPlan`, `DynamicTopology`,
+    /// `IncrementalDetector`, …) never inside `Protocol` impls, and
+    /// outside the churn layer only in test code.
+    ChurnScope,
 }
 
 impl Pass {
@@ -47,6 +56,7 @@ impl Pass {
             Pass::PanicSafety => "panic-safety",
             Pass::FloatSafety => "float-safety",
             Pass::FaultScope => "fault-scope",
+            Pass::ChurnScope => "churn-scope",
         }
     }
 }
@@ -104,6 +114,17 @@ pub struct LintConfig {
     /// Path fragments where fault-injection identifiers are at home (the
     /// simulator crate and the protocol-runner module).
     pub fault_allowed_paths: Vec<String>,
+    /// Identifiers that belong to the dynamic-network (churn) layer;
+    /// naming one inside a protocol impl (anywhere), or outside
+    /// [`LintConfig::churn_allowed_paths`] in non-test code, is a
+    /// churn-scope violation: a protocol only ever sees its current
+    /// neighbors, and detection code must not fork on "am I being run
+    /// incrementally?" — the incremental detector wraps the static
+    /// pipeline, never the other way around.
+    pub churn_idents: Vec<String>,
+    /// Path fragments where churn identifiers are at home (the simulator
+    /// crate, the incremental detector and the scenario churn driver).
+    pub churn_allowed_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -147,6 +168,22 @@ impl Default for LintConfig {
                 "Xoshiro256PlusPlus",
             ]),
             fault_allowed_paths: s(&["crates/wsn/", "crates/core/src/protocols.rs"]),
+            churn_idents: s(&[
+                "ChurnPlan",
+                "ChurnEvent",
+                "ChurnAction",
+                "TopologyEvent",
+                "TopologyDelta",
+                "DynamicTopology",
+                "IncrementalDetector",
+                "BoundaryDiff",
+                "ChurnDriver",
+            ]),
+            churn_allowed_paths: s(&[
+                "crates/wsn/",
+                "crates/core/src/incremental.rs",
+                "crates/netgen/src/churn.rs",
+            ]),
         }
     }
 }
@@ -236,7 +273,7 @@ fn classify_header(toks: &[Tok], open: usize, cfg: &LintConfig) -> ScopeKind {
     ScopeKind::Block
 }
 
-/// Runs all four passes over one source file.
+/// Runs all passes over one source file.
 ///
 /// `file` is the label used in diagnostics *and* for path-based policy
 /// (test files under a `tests/` directory are treated as test code; the
@@ -248,6 +285,7 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
     let file_is_test = file.contains("/tests/") || file.ends_with("/build.rs");
     let float_exempt = cfg.float_exempt_files.iter().any(|s| file.ends_with(s.as_str()));
     let fault_allowed = cfg.fault_allowed_paths.iter().any(|s| file.contains(s.as_str()));
+    let churn_allowed = cfg.churn_allowed_paths.iter().any(|s| file.contains(s.as_str()));
 
     let mut out = Vec::new();
     let mut push = |pass: Pass, line: u32, message: String| {
@@ -388,6 +426,29 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
                     t.line,
                     format!(
                         "`{}` outside the simulator/runner layer; fault injection belongs to `crates/wsn` and the protocol runners (plus benches and tests)",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // ---- churn-scope -------------------------------------------------
+        if t.kind == TokKind::Ident && cfg.churn_idents.contains(&t.text) {
+            if in_proto {
+                push(
+                    Pass::ChurnScope,
+                    t.line,
+                    format!(
+                        "`{}` inside a protocol impl; protocols must not observe topology-change events — a node only ever sees its current neighbors via `Ctx`",
+                        t.text
+                    ),
+                );
+            } else if !churn_allowed && !in_test {
+                push(
+                    Pass::ChurnScope,
+                    t.line,
+                    format!(
+                        "`{}` outside the churn layer; dynamic-network machinery belongs to `crates/wsn`, the incremental detector and the churn driver (plus benches and tests)",
                         t.text
                     ),
                 );
@@ -734,6 +795,53 @@ mod tests {
         assert!(run("crates/core/src/detector.rs", in_mod).is_empty());
         let in_tests_dir = "fn f(p: &FaultPlan) { let _ = p; }";
         assert!(run("crates/core/tests/robust.rs", in_tests_dir).is_empty());
+    }
+
+    // ---- churn-scope ----------------------------------------------------
+
+    #[test]
+    fn churn_scope_flags_churn_types_inside_protocol_impl() {
+        // A protocol peeking at topology events breaks the locality story:
+        // nodes observe neighbor changes only through their current view.
+        let src = r#"
+            impl Protocol for Cheater {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let _ev: &TopologyEvent = &self.pending;
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["churn-scope"], "{diags:?}");
+        assert!(diags[0].message.contains("protocol impl"));
+    }
+
+    #[test]
+    fn churn_scope_flags_churn_idents_outside_the_churn_layer() {
+        let src = "pub fn detect(dynamic: &DynamicTopology) { let _ = dynamic; }";
+        let diags = run("crates/core/src/detector.rs", src);
+        assert_eq!(passes(&diags), vec!["churn-scope"], "{diags:?}");
+        let src = "fn plan() -> ChurnPlan { ChurnPlan::none() }";
+        let diags = run("crates/netgen/src/builder.rs", src);
+        assert_eq!(passes(&diags), vec!["churn-scope", "churn-scope"]);
+    }
+
+    #[test]
+    fn churn_scope_allows_the_churn_layer() {
+        let wsn = "pub struct DynamicTopology { pub range: f64 }\nfn go(d: &mut DynamicTopology, ev: &TopologyEvent) { let _ = (d, ev); }";
+        assert!(run("crates/wsn/src/churn.rs", wsn).is_empty());
+        let inc = "pub fn apply(d: &DynamicTopology) -> BoundaryDiff { BoundaryDiff::default() }";
+        assert!(run("crates/core/src/incremental.rs", inc).is_empty());
+        let driver = "pub fn step(d: &mut ChurnDriver, ev: &ChurnEvent) { let _ = (d, ev); }";
+        assert!(run("crates/netgen/src/churn.rs", driver).is_empty());
+    }
+
+    #[test]
+    fn churn_scope_exempts_test_code_outside_the_churn_layer() {
+        let in_mod = "#[cfg(test)]\nmod tests { fn f(p: &ChurnPlan) { let _ = p; } }";
+        assert!(run("crates/core/src/detector.rs", in_mod).is_empty());
+        let in_tests_dir = "fn f(d: &DynamicTopology) { let _ = d; }";
+        assert!(run("crates/core/tests/churn.rs", in_tests_dir).is_empty());
     }
 
     // ---- escape hatch ---------------------------------------------------

@@ -111,6 +111,38 @@ fn fault_plan_outside_the_harness_would_fail() {
 }
 
 #[test]
+fn churn_event_inside_a_handler_would_fail() {
+    // A protocol that reacts to raw topology-change events breaks the
+    // locality story: a node only ever observes its *current* neighbor
+    // set through `Ctx`, never the event stream that produced it.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(
+        needle,
+        &format!("{needle}\n        let _cheat: Option<TopologyEvent> = self.pending_event;"),
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::ChurnScope),
+        "TopologyEvent inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn churn_machinery_outside_the_churn_layer_would_fail() {
+    // Fine in the incremental detector, banned in the static detector:
+    // the static pipeline must stay oblivious to dynamics.
+    let src = "pub fn track(dynamic: &DynamicTopology) { let _ = dynamic; }";
+    assert!(
+        analyze_source("crates/core/src/incremental.rs", src, &LintConfig::default()).is_empty()
+    );
+    let diags = analyze_source("crates/core/src/detector.rs", src, &LintConfig::default());
+    assert!(diags.iter().any(|d| d.pass == Pass::ChurnScope), "{diags:?}");
+}
+
+#[test]
 fn nan_unsafe_sort_anywhere_would_fail() {
     let src = r#"
         pub fn order(mut xs: Vec<f64>) -> Vec<f64> {

@@ -25,6 +25,8 @@
 //!   truth, radio range, topology.
 //! * [`measure`] — distance-measurement error models and the deterministic
 //!   per-pair [`measure::DistanceOracle`].
+//! * [`churn`] — the dynamic-network hook: [`churn::ChurnDriver`] resolves
+//!   abstract churn schedules into concrete in-shape topology events.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod churn;
 pub mod measure;
 pub mod model;
 pub mod sampler;

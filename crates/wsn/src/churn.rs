@@ -1,0 +1,696 @@
+//! Deterministic network churn: seeded event schedules and an
+//! incrementally-maintained topology.
+//!
+//! The paper detects boundaries of a *static* network, but its motivating
+//! deployments (underwater sensing, space networks) are churn-heavy: nodes
+//! die, are redeployed, and drift. This module supplies the substrate for
+//! following such a network without a full `O(n·ρ)` rebuild per change:
+//!
+//! * [`ChurnPlan`] — a seeded, deterministic description of *how much*
+//!   churn happens per epoch (join/leave/drift rates, drift bound). Its
+//!   [`ChurnPlan::schedule`] expands the plan into a concrete list of
+//!   [`ChurnEvent`]s under the same determinism discipline as
+//!   [`crate::faults::FaultPlan`]: every random decision comes from a
+//!   single [`crate::faults::Xoshiro256PlusPlus`] stream consumed in a
+//!   documented, fixed order — same plan + same node count ⇒ bit-identical
+//!   schedule.
+//! * [`TopologyEvent`] — a *resolved* event ready to apply: joins carry a
+//!   concrete position (sampled by the caller, which knows the deployment
+//!   shape; see the `ballfit-netgen` churn hooks), moves carry the target
+//!   position.
+//! * [`DynamicTopology`] — positions + liveness + a [`Topology`] kept
+//!   exactly in sync with the live node set via incremental adjacency
+//!   updates against the spatial hash grid
+//!   ([`ballfit_geom::grid::SpatialGrid`]). Applying an event costs
+//!   `O(ρ log n)` instead of rebuilding the whole graph, and the result is
+//!   pinned byte-identical to a from-scratch
+//!   [`Topology::from_positions`] build (see
+//!   [`DynamicTopology::rebuild_reference`] and the regression tests).
+//!
+//! Identity rules: node IDs are *slots* and are never reused. A permanent
+//! leave keeps its slot (with its last position) but clears its edges and
+//! liveness, so downstream per-node state (boundary flags, fragment
+//! counts) stays index-stable across arbitrary event sequences. Joins
+//! always take the next fresh slot.
+//!
+//! Draw-order rules for [`ChurnPlan::schedule`], per epoch:
+//!
+//! 1. **Leaves** — `round(leave_rate · live)` victims chosen by partial
+//!    Fisher–Yates over the ascending-sorted live list; events are emitted
+//!    in draw order.
+//! 2. **Joins** — `round(join_rate · live)` fresh slots (`live` counted at
+//!    epoch start); no random draws.
+//! 3. **Moves** — `round(move_rate · live)` victims (again `live` at epoch
+//!    start, capped by the post-leave/join population) by partial
+//!    Fisher–Yates over the updated live list; each victim then draws a
+//!    drift offset: a rejection-sampled unit direction scaled by a uniform
+//!    magnitude in `[0, max_drift)`.
+
+use ballfit_geom::grid::SpatialGrid;
+use ballfit_geom::Vec3;
+
+use crate::faults::Xoshiro256PlusPlus;
+use crate::topology::{NodeId, Topology};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A seeded, deterministic churn description: per-epoch join/leave/drift
+/// rates (fractions of the live population) and the drift bound.
+///
+/// Expand with [`ChurnPlan::schedule`]; the zero-rate plan
+/// ([`ChurnPlan::none`]) produces an empty schedule.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ChurnPlan {
+    /// Seed of the churn decision stream.
+    pub seed: u64,
+    /// Number of epochs the schedule spans.
+    pub epochs: usize,
+    /// Fraction of the live population that joins per epoch, in `[0, 1]`.
+    pub join_rate: f64,
+    /// Fraction of the live population that leaves per epoch, in `[0, 1]`.
+    pub leave_rate: f64,
+    /// Fraction of the live population that drifts per epoch, in `[0, 1]`.
+    pub move_rate: f64,
+    /// Upper bound on a single drift-move distance (absolute units).
+    pub max_drift: f64,
+}
+
+impl Default for ChurnPlan {
+    fn default() -> Self {
+        ChurnPlan::none()
+    }
+}
+
+impl ChurnPlan {
+    /// The static network: no epochs, no events.
+    pub fn none() -> Self {
+        ChurnPlan {
+            seed: 0,
+            epochs: 0,
+            join_rate: 0.0,
+            leave_rate: 0.0,
+            move_rate: 0.0,
+            max_drift: 0.0,
+        }
+    }
+
+    /// Builder: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder: sets the per-epoch join rate.
+    pub fn with_join_rate(mut self, rate: f64) -> Self {
+        self.join_rate = rate;
+        self
+    }
+
+    /// Builder: sets the per-epoch leave rate.
+    pub fn with_leave_rate(mut self, rate: f64) -> Self {
+        self.leave_rate = rate;
+        self
+    }
+
+    /// Builder: sets the per-epoch drift-move rate.
+    pub fn with_move_rate(mut self, rate: f64) -> Self {
+        self.move_rate = rate;
+        self
+    }
+
+    /// Builder: sets the drift-distance bound.
+    pub fn with_max_drift(mut self, max_drift: f64) -> Self {
+        self.max_drift = max_drift;
+        self
+    }
+
+    /// `true` when the plan can produce no events.
+    pub fn is_none(&self) -> bool {
+        self.epochs == 0
+            || (self.join_rate <= 0.0 && self.leave_rate <= 0.0 && self.move_rate <= 0.0)
+    }
+
+    /// Panics (at harness entry, never inside per-node code) if a rate is
+    /// NaN or outside `[0, 1]`, or the drift bound is negative or
+    /// non-finite.
+    pub fn validate(&self) {
+        for (name, rate) in [
+            ("join_rate", self.join_rate),
+            ("leave_rate", self.leave_rate),
+            ("move_rate", self.move_rate),
+        ] {
+            assert!(rate >= 0.0 && rate <= 1.0, "ChurnPlan::{name} must be in [0, 1], got {rate}");
+        }
+        assert!(
+            self.max_drift.is_finite() && self.max_drift >= 0.0,
+            "ChurnPlan::max_drift must be finite and non-negative, got {}",
+            self.max_drift
+        );
+    }
+
+    /// Expands the plan into a concrete event schedule for a network that
+    /// starts with nodes `0..initial_nodes` live. Deterministic in
+    /// `(plan, initial_nodes)`; see the module docs for the draw-order
+    /// rules.
+    pub fn schedule(&self, initial_nodes: usize) -> Vec<ChurnEvent> {
+        self.validate();
+        let mut live: Vec<NodeId> = (0..initial_nodes).collect();
+        let mut next_id = initial_nodes;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for epoch in 0..self.epochs {
+            let at_start = live.len();
+            let count = |rate: f64| ((rate * at_start as f64).round() as usize).min(at_start);
+
+            // 1. Leaves: partial Fisher–Yates over the sorted live list.
+            let leaves = count(self.leave_rate);
+            for k in 0..leaves {
+                let j = k + rng.gen_inclusive((live.len() - 1 - k) as u64) as usize;
+                live.swap(k, j);
+            }
+            for node in live.drain(..leaves).collect::<Vec<_>>() {
+                out.push(ChurnEvent { epoch, action: ChurnAction::Leave { node } });
+            }
+            live.sort_unstable();
+
+            // 2. Joins: fresh slots, no draws.
+            for _ in 0..count(self.join_rate) {
+                out.push(ChurnEvent { epoch, action: ChurnAction::Join { node: next_id } });
+                live.push(next_id); // fresh IDs are the largest: stays sorted
+                next_id += 1;
+            }
+
+            // 3. Drift moves over the post-leave/join population.
+            let moves = count(self.move_rate).min(live.len());
+            for k in 0..moves {
+                let j = k + rng.gen_inclusive((live.len() - 1 - k) as u64) as usize;
+                live.swap(k, j);
+                let offset = drift_offset(&mut rng, self.max_drift);
+                out.push(ChurnEvent { epoch, action: ChurnAction::Move { node: live[k], offset } });
+            }
+            live.sort_unstable();
+        }
+        out
+    }
+}
+
+/// A uniformly-random offset of magnitude `[0, max_drift)`: a unit
+/// direction rejection-sampled from the cube (the retry loop is part of
+/// the documented draw order) scaled by a uniform magnitude draw.
+fn drift_offset(rng: &mut Xoshiro256PlusPlus, max_drift: f64) -> Vec3 {
+    if max_drift <= 0.0 {
+        return Vec3::ZERO;
+    }
+    loop {
+        let v = Vec3::new(
+            2.0 * rng.next_f64() - 1.0,
+            2.0 * rng.next_f64() - 1.0,
+            2.0 * rng.next_f64() - 1.0,
+        );
+        let n2 = v.norm_squared();
+        if n2 > 1e-12 && n2 <= 1.0 {
+            return v * (rng.next_f64() * max_drift / n2.sqrt());
+        }
+    }
+}
+
+/// One scheduled churn event (abstract: join positions and move targets
+/// are resolved by the caller, which knows the deployment shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ChurnEvent {
+    /// Epoch (0-based) the event belongs to.
+    pub epoch: usize,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// The abstract action of a [`ChurnEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum ChurnAction {
+    /// A new node joins, taking slot `node` (always the next fresh slot).
+    /// The caller samples its position.
+    Join {
+        /// The slot the join will occupy.
+        node: NodeId,
+    },
+    /// `node` leaves permanently.
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// `node` drifts by `offset` (`|offset| < max_drift`); the caller may
+    /// clamp the target to stay inside the deployment volume.
+    Move {
+        /// The drifting node.
+        node: NodeId,
+        /// The drift vector.
+        offset: Vec3,
+    },
+}
+
+/// A concrete topology change, ready for [`DynamicTopology::apply`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum TopologyEvent {
+    /// A node joins at `position`, taking the next fresh slot.
+    Join {
+        /// Where the node appears.
+        position: Vec3,
+    },
+    /// `node` leaves permanently (slot retained, edges cleared).
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// `node` moves to `to`.
+    Move {
+        /// The moving node.
+        node: NodeId,
+        /// Its new position.
+        to: Vec3,
+    },
+}
+
+/// The adjacency delta one applied event produced. Every changed edge is
+/// incident to [`TopologyDelta::node`] (joins only add, leaves only
+/// remove, moves may do both) — the property incremental detection's
+/// dirty-halo argument rests on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyDelta {
+    /// The node the event acted on.
+    pub node: NodeId,
+    /// Neighbors gained (sorted).
+    pub added: Vec<NodeId>,
+    /// Neighbors lost (sorted).
+    pub removed: Vec<NodeId>,
+}
+
+impl TopologyDelta {
+    /// `true` if no edge changed (the node itself may still have moved or
+    /// changed liveness).
+    pub fn is_edgeless(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// All nodes incident to a change — the event node plus every gained
+    /// or lost neighbor — sorted and deduplicated. These are the seeds of
+    /// the incremental detector's dirty halo.
+    pub fn touched(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(1 + self.added.len() + self.removed.len());
+        out.push(self.node);
+        out.extend_from_slice(&self.added);
+        out.extend_from_slice(&self.removed);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A unit-disk topology maintained incrementally under churn.
+///
+/// Node IDs are stable slots; dead slots stay (isolated, position frozen)
+/// so per-node state elsewhere never re-indexes. The maintained
+/// [`Topology`] is kept byte-identical to a from-scratch build over the
+/// live nodes — the regression invariant checked by
+/// [`DynamicTopology::rebuild_reference`].
+///
+/// # Example
+///
+/// ```
+/// use ballfit_geom::Vec3;
+/// use ballfit_wsn::churn::{DynamicTopology, TopologyEvent};
+///
+/// let mut dt = DynamicTopology::new(
+///     &[Vec3::ZERO, Vec3::new(0.8, 0.0, 0.0)],
+///     1.0,
+/// );
+/// let delta = dt.apply(&TopologyEvent::Join { position: Vec3::new(1.6, 0.0, 0.0) });
+/// assert_eq!(delta.node, 2);
+/// assert_eq!(delta.added, vec![1]);
+/// assert_eq!(dt.topology(), &dt.rebuild_reference());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicTopology {
+    positions: Vec<Vec3>,
+    alive: Vec<bool>,
+    range: f64,
+    grid: SpatialGrid,
+    topo: Topology,
+}
+
+impl DynamicTopology {
+    /// Starts from a static network: all of `positions` live, unit-disk
+    /// edges at radio `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive and finite.
+    pub fn new(positions: &[Vec3], range: f64) -> Self {
+        assert!(range.is_finite() && range > 0.0, "radio range must be positive");
+        let topo = Topology::from_positions(positions, range);
+        let grid = SpatialGrid::build(positions, range);
+        DynamicTopology {
+            positions: positions.to_vec(),
+            alive: vec![true; positions.len()],
+            range,
+            grid,
+            topo,
+        }
+    }
+
+    /// Total slot count (live + dead).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if no slot exists.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// `true` if slot `node` is live.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.alive[node]
+    }
+
+    /// Sorted IDs of the live nodes.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        (0..self.len()).filter(|&i| self.alive[i]).collect()
+    }
+
+    /// All slot positions (dead slots keep their last position).
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// The radio range.
+    pub fn radio_range(&self) -> f64 {
+        self.range
+    }
+
+    /// The maintained connectivity graph over all slots (dead slots are
+    /// isolated).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Applies one event, updating adjacency incrementally: only the
+    /// grid cells around the affected node are consulted (`O(ρ log n)`),
+    /// never the whole point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a leave/move of a dead or out-of-range slot, or a join
+    /// at a non-finite position.
+    pub fn apply(&mut self, event: &TopologyEvent) -> TopologyDelta {
+        match *event {
+            TopologyEvent::Join { position } => {
+                assert!(position.is_finite(), "join at non-finite position {position}");
+                let node = self.positions.len();
+                self.positions.push(position);
+                self.alive.push(true);
+                let slot = self.topo.push_isolated();
+                debug_assert_eq!(slot, node);
+                // The grid holds live nodes only and not yet `node`, so
+                // the query yields exactly the new neighbor set.
+                let mut added = self.grid.points_within(&self.positions, position, self.range);
+                added.sort_unstable();
+                for &nb in &added {
+                    self.topo.insert_edge(node, nb);
+                }
+                self.grid.insert(node, position);
+                TopologyDelta { node, added, removed: Vec::new() }
+            }
+            TopologyEvent::Leave { node } => {
+                assert!(self.alive[node], "leave of dead node {node}");
+                self.alive[node] = false;
+                self.grid.remove(node, self.positions[node]);
+                let removed = self.topo.neighbors(node).to_vec();
+                for &nb in &removed {
+                    self.topo.remove_edge(node, nb);
+                }
+                TopologyDelta { node, added: Vec::new(), removed }
+            }
+            TopologyEvent::Move { node, to } => {
+                assert!(self.alive[node], "move of dead node {node}");
+                assert!(to.is_finite(), "move to non-finite position {to}");
+                let old: Vec<NodeId> = self.topo.neighbors(node).to_vec();
+                self.grid.remove(node, self.positions[node]);
+                self.positions[node] = to;
+                let mut new: Vec<NodeId> = self.grid.points_within(&self.positions, to, self.range);
+                new.sort_unstable();
+                self.grid.insert(node, to);
+                let added: Vec<NodeId> =
+                    new.iter().copied().filter(|n| old.binary_search(n).is_err()).collect();
+                let removed: Vec<NodeId> =
+                    old.iter().copied().filter(|n| new.binary_search(n).is_err()).collect();
+                for &nb in &removed {
+                    self.topo.remove_edge(node, nb);
+                }
+                for &nb in &added {
+                    self.topo.insert_edge(node, nb);
+                }
+                TopologyDelta { node, added, removed }
+            }
+        }
+    }
+
+    /// The from-scratch reference the incremental maintenance is pinned
+    /// against: [`Topology::from_positions`] over the live nodes, mapped
+    /// back onto the full slot space (dead slots isolated). `O(n·ρ)` —
+    /// exactly the cost [`DynamicTopology::apply`] avoids.
+    pub fn rebuild_reference(&self) -> Topology {
+        let live = self.live_nodes();
+        let live_pos: Vec<Vec3> = live.iter().map(|&i| self.positions[i]).collect();
+        let compact = Topology::from_positions(&live_pos, self.range);
+        let mut edges = Vec::with_capacity(compact.edge_count());
+        for (ci, &slot) in live.iter().enumerate() {
+            for &cj in compact.neighbors(ci) {
+                if cj > ci {
+                    edges.push((slot, live[cj]));
+                }
+            }
+        }
+        Topology::from_edges(self.positions.len(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ChurnPlan {
+        ChurnPlan::none()
+            .with_seed(7)
+            .with_epochs(5)
+            .with_join_rate(0.1)
+            .with_leave_rate(0.1)
+            .with_move_rate(0.2)
+            .with_max_drift(0.5)
+    }
+
+    /// Deterministic point cloud without external RNG deps.
+    fn cloud(n: usize, seed: u64, span: f64) -> Vec<Vec3> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    (2.0 * rng.next_f64() - 1.0) * span,
+                    (2.0 * rng.next_f64() - 1.0) * span,
+                    (2.0 * rng.next_f64() - 1.0) * span,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn none_plan_is_empty() {
+        assert!(ChurnPlan::none().is_none());
+        assert!(ChurnPlan::none().schedule(50).is_empty());
+        assert!(plan().with_epochs(0).is_none());
+        assert!(!plan().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_rate_is_rejected() {
+        plan().with_leave_rate(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_drift")]
+    fn nan_drift_is_rejected() {
+        plan().with_max_drift(f64::NAN).validate();
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = plan().schedule(100);
+        let b = plan().schedule(100);
+        let c = plan().with_seed(8).schedule(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn schedule_respects_rates_and_id_rules() {
+        let events = plan().schedule(100);
+        let mut live: Vec<NodeId> = (0..100).collect();
+        let mut next_id = 100;
+        let mut epoch = 0;
+        let mut moved_this_epoch: Vec<NodeId> = Vec::new();
+        for ev in &events {
+            assert!(ev.epoch >= epoch, "epochs must be non-decreasing");
+            if ev.epoch > epoch {
+                epoch = ev.epoch;
+                moved_this_epoch.clear();
+            }
+            match ev.action {
+                ChurnAction::Join { node } => {
+                    assert_eq!(node, next_id, "joins take fresh slots in order");
+                    next_id += 1;
+                    live.push(node);
+                }
+                ChurnAction::Leave { node } => {
+                    let at = live.iter().position(|&n| n == node).expect("leave of a live node");
+                    live.remove(at);
+                }
+                ChurnAction::Move { node, offset } => {
+                    assert!(live.contains(&node), "move of a live node");
+                    assert!(!moved_this_epoch.contains(&node), "one move per node per epoch");
+                    moved_this_epoch.push(node);
+                    assert!(offset.norm() < 0.5 + 1e-12, "drift exceeds bound: {}", offset.norm());
+                }
+            }
+        }
+        assert!(epoch < 5);
+        // 10% leave + 10% join per epoch keeps the population near 100.
+        assert!((90..=110).contains(&live.len()), "population drifted to {}", live.len());
+    }
+
+    #[test]
+    fn drift_offsets_cover_directions() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut neg = [0usize; 3];
+        for _ in 0..200 {
+            let v = drift_offset(&mut rng, 1.0);
+            assert!(v.norm() < 1.0);
+            for (k, c) in [v.x, v.y, v.z].into_iter().enumerate() {
+                if c < 0.0 {
+                    neg[k] += 1;
+                }
+            }
+        }
+        for (k, &n) in neg.iter().enumerate() {
+            assert!((40..=160).contains(&n), "axis {k} biased: {n}/200 negative");
+        }
+        assert_eq!(drift_offset(&mut rng, 0.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn join_only_sequences_match_from_positions_directly() {
+        let pts = cloud(60, 1, 2.0);
+        let mut dt = DynamicTopology::new(&pts[..40], 1.0);
+        for &p in &pts[40..] {
+            dt.apply(&TopologyEvent::Join { position: p });
+        }
+        assert_eq!(dt.topology(), &Topology::from_positions(&pts, 1.0));
+        assert_eq!(dt.live_count(), 60);
+    }
+
+    #[test]
+    fn interleaved_events_stay_byte_identical_to_scratch() {
+        let pts = cloud(80, 2, 2.5);
+        let mut dt = DynamicTopology::new(&pts, 1.0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
+        for step in 0..120 {
+            let live = dt.live_nodes();
+            let event = match rng.gen_inclusive(2) {
+                0 => TopologyEvent::Join {
+                    position: Vec3::new(
+                        (2.0 * rng.next_f64() - 1.0) * 2.5,
+                        (2.0 * rng.next_f64() - 1.0) * 2.5,
+                        (2.0 * rng.next_f64() - 1.0) * 2.5,
+                    ),
+                },
+                1 => TopologyEvent::Leave {
+                    node: live[rng.gen_inclusive((live.len() - 1) as u64) as usize],
+                },
+                _ => TopologyEvent::Move {
+                    node: live[rng.gen_inclusive((live.len() - 1) as u64) as usize],
+                    to: Vec3::new(
+                        (2.0 * rng.next_f64() - 1.0) * 2.5,
+                        (2.0 * rng.next_f64() - 1.0) * 2.5,
+                        (2.0 * rng.next_f64() - 1.0) * 2.5,
+                    ),
+                },
+            };
+            let delta = dt.apply(&event);
+            assert_eq!(dt.topology(), &dt.rebuild_reference(), "diverged at step {step}");
+            // Delta sanity: every changed edge is incident to the node.
+            for &nb in &delta.added {
+                assert!(dt.topology().are_neighbors(delta.node, nb));
+            }
+            for &nb in &delta.removed {
+                assert!(!dt.topology().are_neighbors(delta.node, nb));
+            }
+        }
+        assert!(dt.live_count() < dt.len());
+    }
+
+    #[test]
+    fn leave_isolates_and_slot_is_not_reused() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0)];
+        let mut dt = DynamicTopology::new(&pts, 0.6);
+        let delta = dt.apply(&TopologyEvent::Leave { node: 1 });
+        assert_eq!(delta.removed, vec![0, 2]);
+        assert_eq!(delta.touched(), vec![0, 1, 2]);
+        assert!(delta.added.is_empty());
+        assert!(!dt.is_live(1));
+        assert_eq!(dt.topology().degree(1), 0);
+        assert_eq!(dt.live_nodes(), vec![0, 2]);
+        // A later join lands next to the dead slot but never re-links it.
+        let delta = dt.apply(&TopologyEvent::Join { position: Vec3::new(0.5, 0.1, 0.0) });
+        assert_eq!(delta.node, 3);
+        assert_eq!(delta.added, vec![0, 2]);
+        assert_eq!(dt.topology(), &dt.rebuild_reference());
+    }
+
+    #[test]
+    fn move_updates_both_sides_of_the_delta() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0)];
+        let mut dt = DynamicTopology::new(&pts, 0.6);
+        let delta = dt.apply(&TopologyEvent::Move { node: 1, to: Vec3::new(1.8, 0.0, 0.0) });
+        assert_eq!(delta.added, vec![2]);
+        assert_eq!(delta.removed, vec![0]);
+        assert!(!delta.is_edgeless());
+        assert_eq!(dt.topology(), &dt.rebuild_reference());
+        // A no-op move produces an empty delta.
+        let delta = dt.apply(&TopologyEvent::Move { node: 1, to: Vec3::new(1.8, 0.0, 0.0) });
+        assert!(delta.is_edgeless());
+    }
+
+    #[test]
+    #[should_panic(expected = "leave of dead node")]
+    fn double_leave_panics() {
+        let mut dt = DynamicTopology::new(&[Vec3::ZERO, Vec3::X], 2.0);
+        dt.apply(&TopologyEvent::Leave { node: 0 });
+        dt.apply(&TopologyEvent::Leave { node: 0 });
+    }
+}

@@ -38,6 +38,9 @@
 
 use crate::topology::NodeId;
 
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
 /// Sebastiano Vigna's SplitMix64: a tiny, full-period 64-bit generator.
 /// Used directly for stateless per-link hashing and to seed
 /// [`Xoshiro256PlusPlus`] (its intended role).
@@ -117,6 +120,7 @@ impl Xoshiro256PlusPlus {
 /// is set — comes back at the start of round `up_at` with its state
 /// intact. `up_at: None` is a permanent crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Crash {
     /// The failing node.
     pub node: NodeId,
@@ -130,6 +134,7 @@ pub struct Crash {
 /// [`crate::sim::RunStats::faults`]. All zero on the perfect-delivery
 /// path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct FaultCounts {
     /// Transmissions dropped by link loss.
     pub dropped: u64,
@@ -145,6 +150,7 @@ pub struct FaultCounts {
 /// duplication, bounded delivery delay, and scheduled node crashes, all
 /// driven by `seed`. See the module docs for exact semantics.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct FaultPlan {
     /// Seed of the fault decision stream (and of per-link loss factors).
     pub seed: u64,

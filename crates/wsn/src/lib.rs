@@ -23,6 +23,12 @@
 //!   ([`faults::FaultPlan`]: per-link loss, duplication, bounded delay,
 //!   scheduled crashes) applied by [`sim::Simulator::run_with_faults`];
 //!   the perfect radio is the zero-fault special case.
+//! * [`churn`] — a deterministic dynamic-network model
+//!   ([`churn::ChurnPlan`]: seeded per-epoch join/leave/drift schedules)
+//!   plus [`churn::DynamicTopology`], which maintains connectivity under
+//!   events via incremental adjacency updates pinned byte-identical to a
+//!   from-scratch rebuild; the static network is the zero-churn special
+//!   case.
 //!
 //! Fast centralized-equivalent executors for the protocols live next to the
 //! algorithms in the `ballfit` core crate; integration tests assert that the
@@ -50,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod churn;
 pub mod components;
 pub mod faults;
 pub mod flood;

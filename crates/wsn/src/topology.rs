@@ -171,6 +171,41 @@ impl Topology {
     pub fn isolated_nodes(&self) -> Vec<NodeId> {
         (0..self.len()).filter(|&i| self.degree(i) == 0).collect()
     }
+
+    // ---- incremental mutation (crate-private: only `churn` uses these) ----
+    //
+    // `Topology` stays immutable to the outside world; the churn layer
+    // maintains one incrementally while preserving the construction
+    // invariants (sorted, deduplicated, symmetric neighbor lists and an
+    // exact edge count), so `PartialEq` against a from-scratch build stays
+    // meaningful.
+
+    /// Appends a node with no edges, returning its ID.
+    pub(crate) fn push_isolated(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Inserts the undirected edge `(a, b)`, keeping both neighbor lists
+    /// sorted. Panics on self-loops, out-of-range nodes, or an edge that
+    /// is already present.
+    pub(crate) fn insert_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(a != b, "self-loop at node {a}");
+        let ia = self.adjacency[a].binary_search(&b).err().expect("edge already present");
+        self.adjacency[a].insert(ia, b);
+        let ib = self.adjacency[b].binary_search(&a).err().expect("reverse edge already present");
+        self.adjacency[b].insert(ib, a);
+        self.edge_count += 1;
+    }
+
+    /// Removes the undirected edge `(a, b)`. Panics if absent.
+    pub(crate) fn remove_edge(&mut self, a: NodeId, b: NodeId) {
+        let ia = self.adjacency[a].binary_search(&b).expect("edge present");
+        self.adjacency[a].remove(ia);
+        let ib = self.adjacency[b].binary_search(&a).expect("reverse edge present");
+        self.adjacency[b].remove(ib);
+        self.edge_count -= 1;
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +297,31 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.is_connected());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn incremental_mutators_preserve_invariants() {
+        let mut t = line3();
+        let n = t.push_isolated();
+        assert_eq!(n, 3);
+        t.insert_edge(3, 0);
+        t.insert_edge(3, 2);
+        t.remove_edge(0, 1);
+        assert_eq!(t, Topology::from_edges(4, &[(1, 2), (0, 3), (2, 3)]));
+        assert_eq!(t.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge already present")]
+    fn duplicate_insert_edge_panics() {
+        let mut t = line3();
+        t.insert_edge(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge present")]
+    fn missing_remove_edge_panics() {
+        let mut t = line3();
+        t.remove_edge(0, 2);
     }
 }

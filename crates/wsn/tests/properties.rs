@@ -1,6 +1,8 @@
 //! Property-based tests for the network substrate.
 
+use ballfit_geom::Vec3;
 use ballfit_wsn::bfs::{hop_distances, multi_source_hops, nodes_within, shortest_path};
+use ballfit_wsn::churn::{DynamicTopology, TopologyEvent};
 use ballfit_wsn::components::components_of;
 use ballfit_wsn::flood::{fragment_sizes, FragmentFlood};
 use ballfit_wsn::sim::Simulator;
@@ -10,6 +12,10 @@ use proptest::prelude::*;
 fn graph(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
     proptest::collection::vec((0..n, 0..n), 0..(3 * n))
         .prop_map(|pairs| pairs.into_iter().filter(|&(a, b)| a != b).collect())
+}
+
+fn vec3_in(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 proptest! {
@@ -125,6 +131,32 @@ proptest! {
             if members[a] && members[b] {
                 prop_assert_eq!(label[a], label[b], "adjacent members split");
             }
+        }
+    }
+
+    /// Incremental adjacency maintenance is byte-identical to a
+    /// from-scratch rebuild after arbitrary interleaved join/leave/move
+    /// sequences (the churn subsystem's core invariant).
+    #[test]
+    fn dynamic_topology_matches_scratch_rebuild(
+        init in proptest::collection::vec(vec3_in(3.0), 2..10),
+        ops in proptest::collection::vec(
+            (0u8..3, any::<proptest::sample::Index>(), vec3_in(3.0)),
+            0..30,
+        ),
+        range in 1.0f64..3.0,
+    ) {
+        let mut dt = DynamicTopology::new(&init, range);
+        for (kind, pick, p) in ops {
+            let live = dt.live_nodes();
+            let ev = match kind {
+                0 => TopologyEvent::Join { position: p },
+                _ if live.is_empty() => continue,
+                1 => TopologyEvent::Leave { node: live[pick.index(live.len())] },
+                _ => TopologyEvent::Move { node: live[pick.index(live.len())], to: p },
+            };
+            dt.apply(&ev);
+            prop_assert_eq!(dt.topology(), &dt.rebuild_reference());
         }
     }
 

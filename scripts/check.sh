@@ -4,10 +4,12 @@
 #   1. cargo fmt --check        formatting
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
 #   3. ballfit-lint             determinism / locality / panic-safety /
-#                               float-safety / fault-scope invariants
-#                               (crates/lint)
+#                               float-safety / fault-scope / churn-scope
+#                               invariants (crates/lint)
 #   4. cargo test               tier-1 test suite
 #   5. robustness_sweep --smoke fault-injection sweep emits valid JSON
+#   6. churn_sweep --smoke      incremental-vs-full churn sweep emits
+#                               valid JSON (exactness asserted per event)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips clippy and runs tests in the default profile only.
@@ -45,6 +47,13 @@ BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin robus
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$SMOKE_DIR/robustness_sweep.json" >/dev/null
     echo "robustness_sweep.json: valid JSON"
+fi
+
+step "churn_sweep --smoke (incremental boundary maintenance sweep)"
+BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin churn_sweep -- --smoke
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$SMOKE_DIR/churn_sweep.json" >/dev/null
+    echo "churn_sweep.json: valid JSON"
 fi
 
 echo

@@ -1,0 +1,116 @@
+//! Integration: incremental boundary maintenance under churn is *exact* —
+//! after every single topology event, the `IncrementalDetector`'s boundary
+//! set, candidate set, fragment survivals and grouping labels are
+//! identical to a from-scratch `detect_view` on the same topology, and the
+//! incrementally maintained adjacency is byte-identical to a rebuild.
+//!
+//! This is the ISSUE's acceptance pin: a 200-event seeded churn run on the
+//! one-hole scenario with per-event equality, plus a sphere variant.
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::incremental::IncrementalDetector;
+use ballfit::view::NetView;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::churn::ChurnDriver;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_wsn::churn::ChurnPlan;
+use ballfit_wsn::flood::fragment_sizes;
+
+fn model(scenario: Scenario, seed: u64) -> NetworkModel {
+    NetworkBuilder::new(scenario)
+        .surface_nodes(140)
+        .interior_nodes(210)
+        .target_degree(13.0)
+        .require_connected(false)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Drives `events` churn events through an `IncrementalDetector`, checking
+/// full equality against the from-scratch detector after every event.
+fn run_exactness_pin(scenario: Scenario, model_seed: u64, plan_seed: u64, events: usize) {
+    let model = model(scenario, model_seed);
+    let plan = ChurnPlan::none()
+        .with_seed(plan_seed)
+        .with_epochs(32)
+        .with_join_rate(0.03)
+        .with_leave_rate(0.03)
+        .with_move_rate(0.03)
+        .with_max_drift(0.5 * model.radio_range());
+    let schedule = plan.schedule(model.len());
+    assert!(
+        schedule.len() >= events,
+        "schedule too short for the pin: {} < {events}",
+        schedule.len()
+    );
+
+    let config = DetectorConfig::default();
+    let detector = BoundaryDetector::new(config);
+    let mut driver = ChurnDriver::new(&model, plan_seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut inc = IncrementalDetector::new(config, driver.dynamic());
+
+    for (i, ev) in schedule.iter().take(events).enumerate() {
+        let (_, delta) = driver.step(ev).expect("in-shape sampling never exhausts");
+        inc.apply(driver.dynamic(), &delta);
+        let dynamic = driver.dynamic();
+
+        // The maintained adjacency is byte-identical to a rebuild.
+        assert_eq!(
+            dynamic.topology(),
+            &dynamic.rebuild_reference(),
+            "event {i}: incremental adjacency diverged from a from-scratch rebuild"
+        );
+
+        // The maintained detection equals a from-scratch run.
+        let view = NetView::new(dynamic.topology(), dynamic.positions(), dynamic.radio_range());
+        let full = detector.detect_view(&view);
+        assert_eq!(inc.candidates(), &full.candidates[..], "event {i}: candidate set diverged");
+        assert_eq!(inc.boundary(), &full.boundary[..], "event {i}: boundary set diverged");
+        assert_eq!(inc.groups(), &full.groups[..], "event {i}: grouping labels diverged");
+        let frags = fragment_sizes(dynamic.topology(), config.iff.ttl, |n| full.candidates[n]);
+        assert_eq!(inc.fragments(), &frags[..], "event {i}: fragment survivals diverged");
+    }
+}
+
+#[test]
+fn two_hundred_event_pin_on_the_one_hole_scenario() {
+    run_exactness_pin(Scenario::SpaceOneHole, 21, 4, 200);
+}
+
+#[test]
+fn churn_pin_on_the_sphere() {
+    run_exactness_pin(Scenario::SolidSphere, 9, 11, 120);
+}
+
+#[test]
+fn replaying_the_same_plan_is_bit_identical() {
+    let model = model(Scenario::SpaceOneHole, 21);
+    let plan = ChurnPlan::none()
+        .with_seed(7)
+        .with_epochs(6)
+        .with_join_rate(0.05)
+        .with_leave_rate(0.05)
+        .with_move_rate(0.05)
+        .with_max_drift(0.4 * model.radio_range());
+    let schedule = plan.schedule(model.len());
+    let config = DetectorConfig::default();
+
+    let run = || {
+        let mut driver = ChurnDriver::new(&model, 99);
+        let mut inc = IncrementalDetector::new(config, driver.dynamic());
+        for ev in &schedule {
+            let (_, delta) = driver.step(ev).expect("in-shape sampling never exhausts");
+            inc.apply(driver.dynamic(), &delta);
+        }
+        (driver.dynamic().topology().clone(), inc.detection())
+    };
+    let (topo_a, det_a) = run();
+    let (topo_b, det_b) = run();
+    assert_eq!(topo_a, topo_b);
+    assert_eq!(det_a.boundary, det_b.boundary);
+    assert_eq!(det_a.groups, det_b.groups);
+    assert_eq!(det_a.balls_tested, det_b.balls_tested);
+}

@@ -50,6 +50,41 @@ fn mesh_roundtrip() {
 }
 
 #[test]
+fn fault_plan_roundtrip() {
+    let plan = ballfit_wsn::faults::FaultPlan::none()
+        .with_seed(42)
+        .with_loss(0.15)
+        .with_duplication(0.05)
+        .with_max_delay(2)
+        .with_crashes([
+            ballfit_wsn::faults::Crash { node: 3, down_at: 2, up_at: Some(5) },
+            ballfit_wsn::faults::Crash { node: 7, down_at: 1, up_at: None },
+        ]);
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: ballfit_wsn::faults::FaultPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+    // A deserialized plan drives the identical fault stream.
+    assert_eq!(back.stream().next_u64(), plan.stream().next_u64());
+    assert_eq!(back.schedule(), plan.schedule());
+}
+
+#[test]
+fn churn_plan_roundtrip() {
+    let plan = ballfit_wsn::churn::ChurnPlan::none()
+        .with_seed(9)
+        .with_epochs(6)
+        .with_join_rate(0.02)
+        .with_leave_rate(0.03)
+        .with_move_rate(0.05)
+        .with_max_drift(0.75);
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: ballfit_wsn::churn::ChurnPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+    // A deserialized plan replays the identical event schedule.
+    assert_eq!(back.schedule(200), plan.schedule(200));
+}
+
+#[test]
 fn detection_stats_roundtrip() {
     let m = model();
     let result = Pipeline::default().run(&m);
