@@ -20,11 +20,22 @@
 //! ```sh
 //! cargo run --release -p ballfit-bench --bin churn_sweep            # full grid
 //! cargo run --release -p ballfit-bench --bin churn_sweep -- --smoke # CI smoke run
+//! cargo run --release -p ballfit-bench --bin churn_sweep -- --validate out.json
 //! ```
+//!
+//! Grid cells run in parallel (`--threads N` / `BALLFIT_THREADS`, default
+//! all cores) and are collected in grid order. Inside a cell both sides
+//! of the timing comparison run single-threaded, so the incremental-vs-
+//! full ratios stay comparable across thread counts (and with earlier
+//! single-threaded runs); only wall-clock fields vary between runs.
+//! `--validate <path>` checks an emitted file for JSON well-formedness
+//! in-process and exits.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+use ballfit_bench::{json, Parallelism};
 
 use ballfit::config::DetectorConfig;
 use ballfit::detector::BoundaryDetector;
@@ -146,8 +157,15 @@ fn run_cell(
         .with_max_drift(0.5 * model.radio_range());
     let schedule = plan.schedule(model.len());
     let mut driver = ChurnDriver::new(model, seed ^ 0x9E37_79B9_7F4A_7C15);
-    let detector = BoundaryDetector::new(config);
-    let mut inc = IncrementalDetector::new(config, driver.dynamic());
+    // Cells already run in parallel; keep both timed computations
+    // single-threaded so the speedup ratios measure the algorithms, not
+    // worker contention.
+    let detector = BoundaryDetector::new(config).with_parallelism(Parallelism::sequential());
+    let mut inc = IncrementalDetector::new_with_parallelism(
+        config,
+        driver.dynamic(),
+        Parallelism::sequential(),
+    );
 
     let mut speedups = Vec::with_capacity(schedule.len());
     let mut halos = Vec::with_capacity(schedule.len());
@@ -277,46 +295,77 @@ fn results_path(out: Option<PathBuf>) -> PathBuf {
 fn main() {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
-            other => panic!("unknown argument {other} (expected --smoke / --out <path>)"),
+            "--threads" => {
+                let n = args.next().expect("--threads requires a count");
+                threads = Some(n.parse().expect("--threads requires a positive integer"));
+            }
+            "--validate" => {
+                let path = PathBuf::from(args.next().expect("--validate requires a path"));
+                match json::validate_file(&path) {
+                    Ok(()) => {
+                        println!("{}: valid JSON", path.display());
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => panic!(
+                "unknown argument {other} \
+                 (expected --smoke / --out <path> / --threads <n> / --validate <path>)"
+            ),
         }
     }
+    let parallelism = threads.map(Parallelism::threads).unwrap_or_default();
 
     let config = DetectorConfig::default();
     let grid = grid(smoke);
     eprintln!(
-        "churn sweep: {} cells{}",
+        "churn sweep: {} cells, {} thread(s){}",
         grid.scenarios.len() * grid.rates.len() * grid.seeds.len(),
+        parallelism.get(),
         if smoke { " (smoke)" } else { "" }
     );
 
-    let mut cells = Vec::new();
-    let mut nodes = 0;
-    for &scenario in &grid.scenarios {
-        let model = reference_model(scenario, smoke);
-        nodes = model.len();
+    let models: Vec<(Scenario, NetworkModel)> =
+        grid.scenarios.iter().map(|&s| (s, reference_model(s, smoke))).collect();
+    let nodes = models.last().map_or(0, |(_, m)| m.len());
+    let mut params = Vec::new();
+    for (mi, _) in models.iter().enumerate() {
         for &rate in &grid.rates {
             for &seed in &grid.seeds {
-                let cell = run_cell(scenario, rate, seed, grid.epochs, &model, config);
-                eprintln!(
-                    "  {} rate={:>4} seed={}: {} events exact, speedup median {:.1}x \
-                     (p10 {:.1}x), halo p50 {:.0} of {} nodes",
-                    cell.scenario,
-                    rate,
-                    seed,
-                    cell.events,
-                    cell.speedup_median,
-                    cell.speedup_p10,
-                    cell.halo_p50,
-                    model.len(),
-                );
-                cells.push(cell);
+                params.push((mi, rate, seed));
             }
         }
+    }
+
+    // Every cell drives its own seeded plan on its own dynamic topology,
+    // so cells shard over workers; the collected order is the grid order.
+    let cells = ballfit_par::par_map(parallelism, &params, |&(mi, rate, seed)| {
+        let (scenario, model) = &models[mi];
+        run_cell(*scenario, rate, seed, grid.epochs, model, config)
+    });
+    for ((mi, rate, seed), cell) in params.iter().zip(&cells) {
+        eprintln!(
+            "  {} rate={:>4} seed={}: {} events exact, speedup median {:.1}x \
+             (p10 {:.1}x), halo p50 {:.0} of {} nodes",
+            cell.scenario,
+            rate,
+            seed,
+            cell.events,
+            cell.speedup_median,
+            cell.speedup_p10,
+            cell.halo_p50,
+            models[*mi].1.len(),
+        );
     }
 
     eprintln!("  hole cycle (heal + re-carve the one-hole void)...");

@@ -15,10 +15,18 @@
 //! ```sh
 //! cargo run --release -p ballfit-bench --bin robustness_sweep            # full grid
 //! cargo run --release -p ballfit-bench --bin robustness_sweep -- --smoke # CI smoke run
+//! cargo run --release -p ballfit-bench --bin robustness_sweep -- --validate out.json
 //! ```
+//!
+//! Grid cells run in parallel (`--threads N` / `BALLFIT_THREADS`, default
+//! all cores); results are collected in grid order, so the JSON is
+//! byte-identical at every thread count. `--validate <path>` checks an
+//! emitted file for JSON well-formedness in-process and exits.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+use ballfit_bench::{json, Parallelism};
 
 use ballfit::config::DetectorConfig;
 use ballfit::detector::BoundaryDetector;
@@ -279,44 +287,77 @@ fn results_path(out: Option<PathBuf>) -> PathBuf {
 fn main() {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
-            other => panic!("unknown argument {other} (expected --smoke / --out <path>)"),
+            "--threads" => {
+                let n = args.next().expect("--threads requires a count");
+                threads = Some(n.parse().expect("--threads requires a positive integer"));
+            }
+            "--validate" => {
+                let path = PathBuf::from(args.next().expect("--validate requires a path"));
+                match json::validate_file(&path) {
+                    Ok(()) => {
+                        println!("{}: valid JSON", path.display());
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => panic!(
+                "unknown argument {other} \
+                 (expected --smoke / --out <path> / --threads <n> / --validate <path>)"
+            ),
         }
     }
+    let parallelism = threads.map(Parallelism::threads).unwrap_or_default();
 
     let model = reference_model(smoke);
     let cfg = DetectorConfig::paper(10, 3);
-    let central = BoundaryDetector::new(cfg).detect(&model);
+    let central = BoundaryDetector::new(cfg).with_parallelism(parallelism).detect(&model);
     let base = baseline(&model, &cfg, &central);
     let grid = grid(smoke);
-    eprintln!(
-        "robustness sweep: {} nodes, {} cells{}",
-        model.len(),
-        grid.losses.len() * grid.crash_fractions.len() * grid.seeds.len(),
-        if smoke { " (smoke)" } else { "" }
-    );
-
-    let mut cells = Vec::new();
+    let mut params = Vec::new();
     for &loss in &grid.losses {
         for &crash_fraction in &grid.crash_fractions {
             for &seed in &grid.seeds {
-                let cell = run_cell(&model, &cfg, &central, &base, loss, crash_fraction, seed);
-                eprintln!(
-                    "  loss={loss:>4} crash={crash_fraction:>4} seed={seed}: \
-                     ubf miss={} mist={}, iff miss={}, grouping agree={}, landmark J={}",
-                    json_opt(cell.ubf_missing),
-                    json_opt(cell.ubf_mistaken),
-                    json_opt(cell.iff_missing),
-                    json_opt(cell.grouping_agreement),
-                    json_opt(cell.landmark_jaccard),
-                );
-                cells.push(cell);
+                params.push((loss, crash_fraction, seed));
             }
         }
+    }
+    eprintln!(
+        "robustness sweep: {} nodes, {} cells, {} thread(s){}",
+        model.len(),
+        params.len(),
+        parallelism.get(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Each cell is self-contained (per-cell fault PRNGs), so the grid
+    // shards over workers; the collected order is the grid order, keeping
+    // the emitted JSON byte-identical at every thread count.
+    let cells = ballfit_par::par_map(parallelism, &params, |&(loss, crash_fraction, seed)| {
+        run_cell(&model, &cfg, &central, &base, loss, crash_fraction, seed)
+    });
+    for cell in &cells {
+        eprintln!(
+            "  loss={:>4} crash={:>4} seed={}: \
+             ubf miss={} mist={}, iff miss={}, grouping agree={}, landmark J={}",
+            cell.loss,
+            cell.crash_fraction,
+            cell.seed,
+            json_opt(cell.ubf_missing),
+            json_opt(cell.ubf_mistaken),
+            json_opt(cell.iff_missing),
+            json_opt(cell.grouping_agreement),
+            json_opt(cell.landmark_jaccard),
+        );
     }
 
     let mut json = String::new();

@@ -1,0 +1,275 @@
+//! Minimal in-process JSON validator for the sweep outputs.
+//!
+//! `scripts/check.sh` used to pipe the smoke JSON through
+//! `python3 -m json.tool` — and silently skipped the check when `python3`
+//! was absent, so the gate could green-light malformed output. The bench
+//! bins now validate their own files via `--validate <path>` using this
+//! dependency-free recursive-descent checker (RFC 8259 syntax; no value
+//! tree is built, only well-formedness is checked).
+
+/// Validates that `src` is exactly one well-formed JSON value (plus
+/// whitespace). Returns a byte offset + description on the first error.
+pub fn validate(src: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: src.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after the top-level value"));
+    }
+    Ok(())
+}
+
+/// Reads `path` and validates it with [`validate`].
+pub fn validate_file(path: &std::path::Path) -> Result<(), String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    validate(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Nesting guard: the sweep outputs are ~4 levels deep; anything past
+/// this is malformed input, not data, and must not overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("invalid JSON at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.keyword("true"),
+            Some(b'f') => self.keyword("false"),
+            Some(b'n') => self.keyword("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        self.pos += 1; // consume '{'
+        self.skip_ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after key"));
+            }
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                self.depth -= 1;
+                return Ok(());
+            }
+            return Err(self.err("expected ',' or '}' in object"));
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        self.pos += 1; // consume '['
+        self.skip_ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                self.depth -= 1;
+                return Ok(());
+            }
+            return Err(self.err("expected ',' or ']' in array"));
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.pos += 1; // consume '"'
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                                    return Err(self.err("expected 4 hex digits after \\u"));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("unescaped control character")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let _ = self.eat(b'-');
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.eat(b'.') {
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("expected a digit in exponent"));
+            }
+            self.digits();
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e3",
+            "1e+9",
+            r#""a \"quoted\" é string""#,
+            "[]",
+            "{}",
+            "[1, 2, [3, {\"k\": null}]]",
+            r#"{"meta": {"smoke": true, "nodes": 180}, "cells": [{"loss": 0.1}]}"#,
+        ] {
+            assert!(validate(ok).is_ok(), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "[1] trailing",
+            "NaN",
+        ] {
+            assert!(validate(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_runaway_nesting() {
+        let deep = "[".repeat(4096);
+        assert!(validate(&deep).is_err());
+    }
+
+    #[test]
+    fn validates_files() {
+        let dir = std::env::temp_dir().join("ballfit_json_validate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, "{\"ok\": true}\n").unwrap();
+        assert!(validate_file(&good).is_ok());
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"ok\": }\n").unwrap();
+        assert!(validate_file(&bad).is_err());
+        assert!(validate_file(&dir.join("missing.json")).is_err());
+    }
+}

@@ -8,23 +8,25 @@
 //! evaluation (see `DESIGN.md`'s experiment index, E1–E12) plus ablations;
 //! the Criterion benches under `benches/` measure the complexity claims.
 //! This library hosts what they share: standard network configurations,
-//! the error-sweep driver, a tiny parallel map, CSV emission and console
-//! tables.
+//! the error-sweep driver, a deterministic parallel map (re-exported from
+//! `ballfit-par`), an in-process JSON validator for the sweep outputs,
+//! CSV emission and console tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ballfit::metrics::DetectionStats;
 use ballfit::Pipeline;
 use ballfit_netgen::builder::NetworkBuilder;
 use ballfit_netgen::model::NetworkModel;
 use ballfit_netgen::scenario::Scenario;
-use parking_lot::Mutex;
+pub use ballfit_par::Parallelism;
 
 /// Error percentages swept in the paper's Figs. 1(g–i) and 11: 0–100% in
 /// steps of 10.
@@ -85,35 +87,17 @@ pub fn error_sweep(
     })
 }
 
-/// Index-preserving parallel map over `inputs` using scoped threads (one
-/// per available core, capped at the input length).
+/// Index-preserving parallel map over `inputs` on
+/// [`Parallelism::default`] workers (so `BALLFIT_THREADS` pins the
+/// count). Delegates to [`ballfit_par::par_map`]: output is byte-identical
+/// to `inputs.iter().map(f).collect()` at every thread count.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(n);
-    let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                slots.lock()[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker panicked");
-    slots.into_inner().into_iter().map(|o| o.expect("all slots filled")).collect()
+    ballfit_par::par_map(Parallelism::default(), &inputs, f)
 }
 
 /// Where experiment outputs land (`results/` at the workspace root, or

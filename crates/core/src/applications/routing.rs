@@ -11,7 +11,7 @@ use ballfit_geom::Vec3;
 use crate::surface::BoundarySurface;
 
 /// Outcome of one greedy route.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RouteOutcome {
     /// Destination reached; the vertex path is recorded (mesh-vertex
     /// indices, endpoints included).

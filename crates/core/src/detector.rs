@@ -1,6 +1,7 @@
 //! The end-to-end boundary-node detector (Sec. II of the paper).
 
 use ballfit_netgen::model::NetworkModel;
+use ballfit_par::{par_map, Parallelism};
 use ballfit_wsn::NodeId;
 
 use crate::config::DetectorConfig;
@@ -63,17 +64,31 @@ impl BoundaryDetection {
 #[derive(Debug, Clone, Default)]
 pub struct BoundaryDetector {
     config: DetectorConfig,
+    parallelism: Parallelism,
 }
 
 impl BoundaryDetector {
-    /// Creates a detector with the given configuration.
+    /// Creates a detector with the given configuration. The UBF sweep is
+    /// sharded over [`Parallelism::default`] worker threads; the output
+    /// is byte-identical at every thread count.
     pub fn new(config: DetectorConfig) -> Self {
-        BoundaryDetector { config }
+        BoundaryDetector { config, parallelism: Parallelism::default() }
+    }
+
+    /// Overrides the worker-thread count for the per-node UBF sweep.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
+    }
+
+    /// The worker-thread configuration in force.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Runs phases 1 (UBF) and 2 (IFF) plus grouping on a network.
@@ -98,15 +113,25 @@ impl BoundaryDetector {
         let mut balls_tested = 0u64;
         let mut degenerate_nodes = Vec::new();
 
-        for node in 0..view.len() {
-            match neighborhood_frame_view(
+        // The UBF sweep is the pipeline's dominant cost and each node's
+        // test reads only its own `witness_hops`-hop frame, so the sweep
+        // shards over worker threads. Per-node outcomes come back in node
+        // order (`par_map` is index-ordered) and the fold below is
+        // sequential, so the result is byte-identical to the plain loop
+        // at every thread count. `None` marks a degenerate neighborhood.
+        let nodes: Vec<NodeId> = (0..view.len()).collect();
+        let outcomes = par_map(self.parallelism, &nodes, |&node| {
+            neighborhood_frame_view(
                 view,
                 node,
                 &self.config.coordinates,
                 self.config.ubf.witness_hops,
-            ) {
-                Some(frame) => {
-                    let out = ubf_test(&frame.coords, frame.self_index, range, &self.config.ubf);
+            )
+            .map(|frame| ubf_test(&frame.coords, frame.self_index, range, &self.config.ubf))
+        });
+        for (node, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some(out) => {
                     candidates[node] = out.is_boundary;
                     balls_tested += out.balls_tested as u64;
                 }

@@ -53,6 +53,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
+use ballfit_par::{par_map, Parallelism};
 use ballfit_wsn::churn::{DynamicTopology, TopologyDelta};
 use ballfit_wsn::{NodeId, Topology};
 
@@ -98,6 +99,7 @@ impl BoundaryDiff {
 #[derive(Debug, Clone)]
 pub struct IncrementalDetector {
     config: DetectorConfig,
+    parallelism: Parallelism,
     candidates: Vec<bool>,
     degenerate: Vec<bool>,
     balls: Vec<u64>,
@@ -144,10 +146,24 @@ fn closed_ball(topo: &Topology, seeds: &[NodeId], radius: u32) -> Vec<NodeId> {
 
 impl IncrementalDetector {
     /// Bootstraps the state with one full detection pass over the dynamic
-    /// topology's current state.
+    /// topology's current state. The bootstrap's UBF sweep (and any other
+    /// whole-network recompute) shards over [`Parallelism::default`]
+    /// workers; per-event halo repairs stay sequential — they are small.
     pub fn new(config: DetectorConfig, dynamic: &DynamicTopology) -> Self {
+        Self::new_with_parallelism(config, dynamic, Parallelism::default())
+    }
+
+    /// [`IncrementalDetector::new`] with an explicit worker-thread count
+    /// for whole-network UBF sweeps. State is byte-identical at every
+    /// thread count.
+    pub fn new_with_parallelism(
+        config: DetectorConfig,
+        dynamic: &DynamicTopology,
+        parallelism: Parallelism,
+    ) -> Self {
         let mut det = IncrementalDetector {
             config,
+            parallelism,
             candidates: Vec::new(),
             degenerate: Vec::new(),
             balls: Vec::new(),
@@ -266,22 +282,30 @@ impl IncrementalDetector {
     /// code path as the from-scratch detector. Returns the nodes whose
     /// candidate flag actually flipped (ascending, since `nodes` is).
     fn recompute_ubf(&mut self, view: &NetView<'_>, nodes: &[NodeId]) -> Vec<NodeId> {
+        // Per-node UBF tests are independent, so big batches — the
+        // bootstrap and the from-scratch exactness baselines — shard over
+        // workers; per-event halos stay on the caller (they are a handful
+        // of nodes, not worth a thread spawn). Both paths produce the
+        // same outcomes, and the fold below applies them in node order,
+        // so the resulting state is byte-identical either way.
+        const PAR_FLOOR: usize = 64;
+        let config = &self.config;
+        let probe = |&node: &NodeId| {
+            neighborhood_frame_view(view, node, &config.coordinates, config.ubf.witness_hops).map(
+                |frame| ubf_test(&frame.coords, frame.self_index, view.radio_range(), &config.ubf),
+            )
+        };
+        let outcomes = if nodes.len() >= PAR_FLOOR && self.parallelism.get() > 1 {
+            par_map(self.parallelism, nodes, probe)
+        } else {
+            nodes.iter().map(probe).collect()
+        };
+
         let mut flips = Vec::new();
-        for &node in nodes {
+        for (&node, outcome) in nodes.iter().zip(outcomes) {
             let was = self.candidates[node];
-            match neighborhood_frame_view(
-                view,
-                node,
-                &self.config.coordinates,
-                self.config.ubf.witness_hops,
-            ) {
-                Some(frame) => {
-                    let out = ubf_test(
-                        &frame.coords,
-                        frame.self_index,
-                        view.radio_range(),
-                        &self.config.ubf,
-                    );
+            match outcome {
+                Some(out) => {
                     self.candidates[node] = out.is_boundary;
                     self.degenerate[node] = false;
                     self.balls[node] = out.balls_tested as u64;

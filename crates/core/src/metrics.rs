@@ -2,6 +2,7 @@
 //! 11(a–c) of the paper).
 
 use ballfit_netgen::model::NetworkModel;
+use ballfit_par::{par_map, Parallelism};
 use ballfit_wsn::bfs::multi_source_hops;
 
 use crate::detector::BoundaryDetection;
@@ -10,7 +11,7 @@ use crate::detector::BoundaryDetection;
 use serde::{Deserialize, Serialize};
 
 /// Histogram over hop distances 1, 2, 3 and >3 (the paper buckets 1–3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct HopHistogram {
     /// Nodes at exactly 1 hop.
@@ -41,10 +42,13 @@ impl HopHistogram {
 
     fn record(&mut self, hops: Option<u32>) {
         match hops {
+            // 0 hops from the nearest correctly-identified boundary node
+            // means the node *is* one — not an error at all, so it belongs
+            // in neither locality distribution.
+            Some(0) => {}
             Some(1) => self.one += 1,
             Some(2) => self.two += 1,
             Some(3) => self.three += 1,
-            Some(0) => self.one += 1, // co-located (shouldn't occur; fold into 1)
             _ => self.beyond += 1,
         }
     }
@@ -52,7 +56,7 @@ impl HopHistogram {
 
 /// Detection statistics against ground truth — the series of Fig. 11(a)
 /// plus the error-locality distributions of Figs. 11(b,c).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct DetectionStats {
     /// Ground-truth boundary nodes in the network.
@@ -80,15 +84,34 @@ impl DetectionStats {
     ///
     /// Panics if the detection was produced for a different-sized network.
     pub fn evaluate(model: &NetworkModel, detection: &BoundaryDetection) -> Self {
+        Self::evaluate_with(model, detection, Parallelism::default())
+    }
+
+    /// [`DetectionStats::evaluate`] with an explicit worker-thread count
+    /// for the per-node ground-truth classification. Output is
+    /// byte-identical at every thread count: the classification is
+    /// sharded in node order and folded sequentially, and the hop BFS
+    /// stays sequential (its frontier order is determinism-critical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detection was produced for a different-sized network.
+    pub fn evaluate_with(
+        model: &NetworkModel,
+        detection: &BoundaryDetection,
+        parallelism: Parallelism,
+    ) -> Self {
         assert_eq!(detection.boundary.len(), model.len(), "detection/model size mismatch");
         let truth_flags = model.is_surface();
         let found_flags = &detection.boundary;
 
+        let nodes: Vec<usize> = (0..model.len()).collect();
+        let classes = par_map(parallelism, &nodes, |&i| (found_flags[i], truth_flags[i]));
         let mut correct_nodes = Vec::new();
         let mut mistaken_nodes = Vec::new();
         let mut missing_nodes = Vec::new();
-        for i in 0..model.len() {
-            match (found_flags[i], truth_flags[i]) {
+        for (i, class) in classes.into_iter().enumerate() {
+            match class {
                 (true, true) => correct_nodes.push(i),
                 (true, false) => mistaken_nodes.push(i),
                 (false, true) => missing_nodes.push(i),
@@ -191,6 +214,21 @@ mod tests {
         assert_eq!(HopHistogram::default().fractions(), (0.0, 0.0, 0.0, 0.0));
     }
 
+    /// Regression: a correctly-detected node (0 hops from the nearest
+    /// correct node — it *is* one) must never pollute the locality
+    /// histograms. The old code folded `Some(0)` into the 1-hop bucket.
+    #[test]
+    fn zero_hops_is_excluded_from_locality_histograms() {
+        let mut h = HopHistogram::default();
+        h.record(Some(0));
+        assert_eq!(h, HopHistogram::default(), "Some(0) must be a no-op");
+        assert_eq!(h.total(), 0);
+        h.record(Some(1));
+        h.record(Some(0));
+        assert_eq!(h.one, 1, "Some(0) must not land in the 1-hop bucket");
+        assert_eq!(h.total(), 1);
+    }
+
     /// Hand-built 5-node line: truth = {0, 4}; detected = {0, 2}.
     #[test]
     fn stats_on_a_crafted_case() {
@@ -228,6 +266,24 @@ mod tests {
         assert!((stats.recall() - 0.5).abs() < 1e-12);
         assert!((stats.precision() - 0.5).abs() < 1e-12);
         assert!(stats.to_string().contains("recall 50.0%"));
+    }
+
+    #[test]
+    fn evaluate_is_thread_count_invariant() {
+        let model = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(250)
+            .interior_nodes(400)
+            .target_degree(15.0)
+            .seed(33)
+            .build()
+            .unwrap();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        let base = DetectionStats::evaluate_with(&model, &detection, Parallelism::sequential());
+        for threads in [2, 4, 8] {
+            let stats =
+                DetectionStats::evaluate_with(&model, &detection, Parallelism::threads(threads));
+            assert_eq!(stats, base, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 /// Per-stage counters for one boundary group — the numbers behind the
 /// pipeline panels of Fig. 1(c–f).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SurfaceStats {
     /// Boundary nodes in the group.

@@ -15,7 +15,7 @@ use ballfit_geom::Vec3;
 use crate::config::UbfConfig;
 
 /// Outcome of a UBF test on one node.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UbfOutcome {
     /// `true` if an empty unit ball touching the node exists.
     pub is_boundary: bool,
@@ -228,5 +228,18 @@ mod tests {
     #[should_panic(expected = "self index out of range")]
     fn bad_self_index_panics() {
         let _ = ubf_test(&[Vec3::ZERO], 5, 1.0, &cfg());
+    }
+
+    #[test]
+    fn outcomes_key_deterministic_tallies() {
+        use std::collections::BTreeMap;
+        let a = UbfOutcome { is_boundary: true, balls_tested: 3 };
+        let b = UbfOutcome { is_boundary: false, balls_tested: 3 };
+        let mut tally: BTreeMap<UbfOutcome, usize> = BTreeMap::new();
+        for out in [a, b, a] {
+            *tally.entry(out).or_default() += 1;
+        }
+        assert_eq!(tally[&a], 2);
+        assert_eq!(tally.len(), 2);
     }
 }

@@ -49,7 +49,7 @@ pub struct TriMesh {
 }
 
 /// Result of a manifoldness audit of a [`TriMesh`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct MeshAudit {
     /// Total number of distinct undirected edges.

@@ -7,7 +7,7 @@
 //! in round handlers, no NaN-order traps in float sorts). Those properties
 //! are easy to regress silently — a `HashMap` iteration here, a
 //! convenience `model.positions()` call there — so this crate enforces
-//! them mechanically over `crates/{core,wsn,geom,mds,netgen}`:
+//! them mechanically over `crates/{core,wsn,geom,mds,netgen,par}`:
 //!
 //! * [`passes::Pass::Determinism`] — denies `HashMap`/`HashSet`,
 //!   `thread_rng`, `SystemTime::now`, `Instant::now`.
@@ -24,6 +24,15 @@
 //!   impls entirely, and out of every non-test file except `crates/wsn`
 //!   and the runner module `crates/core/src/protocols.rs`: protocols stay
 //!   fault-oblivious, mirroring the paper's locality contract.
+//! * [`passes::Pass::ChurnScope`] — keeps topology-change machinery
+//!   (`DynamicTopology`, `ChurnPlan`, `TopologyEvent`, ...) out of
+//!   `Protocol` impls and confined to the simulator, the incremental
+//!   detector and the churn driver.
+//! * [`passes::Pass::ParScope`] — keeps raw threading machinery
+//!   (`std::thread`, atomics, locks, channels) inside `crates/par`;
+//!   algorithm crates reach parallelism only through the deterministic
+//!   `ballfit-par` API, and protocol impls not even that — a simulated
+//!   node is a single-threaded message handler.
 //!
 //! Findings can be locally waived with a justification comment on the
 //! same or preceding line: `// ballfit-lint: allow(float-safety)`.

@@ -1,4 +1,4 @@
-//! The six invariant passes and the scope tracker they share.
+//! The seven invariant passes and the scope tracker they share.
 //!
 //! Scope recognition is purely structural: when a `{` opens, the tokens
 //! between it and the previous `{` / `}` / `;` form its "header". A header
@@ -21,10 +21,16 @@
 //!   churn layer: never inside a protocol-impl scope (protocols see only
 //!   their current neighbors, not topology-change events), and elsewhere
 //!   only in `crates/wsn`, the incremental detector and the churn driver.
+//! * **par-scope** — raw threading machinery (`std::thread`, atomics,
+//!   locks, channels) lives only in `crates/par`; algorithm crates reach
+//!   it through the deterministic `ballfit-par` API. Inside a
+//!   protocol-impl scope even that API is banned: a simulated node is a
+//!   single-threaded message handler, and the paper's locality argument
+//!   says nothing about intra-node concurrency.
 
 use crate::lexer::{is_float_literal, lex, Tok, TokKind};
 
-/// The six passes.
+/// The seven passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -45,6 +51,11 @@ pub enum Pass {
     /// `IncrementalDetector`, …) never inside `Protocol` impls, and
     /// outside the churn layer only in test code.
     ChurnScope,
+    /// Raw threading machinery (`std::thread`, atomics, locks, channels)
+    /// only in `crates/par` (plus test code); the deterministic
+    /// `ballfit-par` API everywhere else, and neither inside `Protocol`
+    /// impls.
+    ParScope,
 }
 
 impl Pass {
@@ -57,6 +68,7 @@ impl Pass {
             Pass::FloatSafety => "float-safety",
             Pass::FaultScope => "fault-scope",
             Pass::ChurnScope => "churn-scope",
+            Pass::ParScope => "par-scope",
         }
     }
 }
@@ -125,13 +137,29 @@ pub struct LintConfig {
     /// Path fragments where churn identifiers are at home (the simulator
     /// crate, the incremental detector and the scenario churn driver).
     pub churn_allowed_paths: Vec<String>,
+    /// Identifiers that belong to raw threading machinery (spawning,
+    /// atomics, locks, channels); naming one inside a protocol impl
+    /// (anywhere), or outside [`LintConfig::par_allowed_paths`] in
+    /// non-test code, is a par-scope violation: algorithm crates must go
+    /// through the deterministic `ballfit-par` API, whose index-ordered
+    /// reassembly is what keeps parallel output byte-identical. (`thread`
+    /// followed by `::` is checked structurally in addition to this
+    /// list.)
+    pub par_thread_idents: Vec<String>,
+    /// The `ballfit-par` API surface; allowed in algorithm code but
+    /// banned inside protocol impls — a simulated node is a
+    /// single-threaded message handler.
+    pub par_api_idents: Vec<String>,
+    /// Path fragments where raw threading machinery is at home (the
+    /// deterministic thread-pool crate itself).
+    pub par_allowed_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
         let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         LintConfig {
-            crates: s(&["core", "wsn", "geom", "mds", "netgen"]),
+            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par"]),
             protocol_traits: s(&["Protocol"]),
             locality_denied_methods: s(&[
                 // NetworkModel: ground truth a real node cannot observe.
@@ -184,6 +212,24 @@ impl Default for LintConfig {
                 "crates/core/src/incremental.rs",
                 "crates/netgen/src/churn.rs",
             ]),
+            par_thread_idents: s(&[
+                "JoinHandle",
+                "Mutex",
+                "RwLock",
+                "Condvar",
+                "Barrier",
+                "mpsc",
+                "available_parallelism",
+                "AtomicUsize",
+                "AtomicIsize",
+                "AtomicBool",
+                "AtomicU32",
+                "AtomicU64",
+                "AtomicI32",
+                "AtomicI64",
+            ]),
+            par_api_idents: s(&["Parallelism", "par_map", "par_map_init", "par_for_each_init"]),
+            par_allowed_paths: s(&["crates/par/"]),
         }
     }
 }
@@ -195,7 +241,7 @@ struct ScopeFlags {
     in_protocol_impl: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ScopeKind {
     Block,
     TestMod,
@@ -286,6 +332,7 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
     let float_exempt = cfg.float_exempt_files.iter().any(|s| file.ends_with(s.as_str()));
     let fault_allowed = cfg.fault_allowed_paths.iter().any(|s| file.contains(s.as_str()));
     let churn_allowed = cfg.churn_allowed_paths.iter().any(|s| file.contains(s.as_str()));
+    let par_allowed = cfg.par_allowed_paths.iter().any(|s| file.contains(s.as_str()));
 
     let mut out = Vec::new();
     let mut push = |pass: Pass, line: u32, message: String| {
@@ -449,6 +496,42 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
                     t.line,
                     format!(
                         "`{}` outside the churn layer; dynamic-network machinery belongs to `crates/wsn`, the incremental detector and the churn driver (plus benches and tests)",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // ---- par-scope ---------------------------------------------------
+        if t.kind == TokKind::Ident {
+            let raw_thread = cfg.par_thread_idents.contains(&t.text)
+                || (t.text == "thread" && toks.get(i + 1).is_some_and(|n| n.is_punct("::")));
+            if raw_thread {
+                if in_proto {
+                    push(
+                        Pass::ParScope,
+                        t.line,
+                        format!(
+                            "`{}` inside a protocol impl; a simulated node is a single-threaded message handler and must not spawn, lock or share state",
+                            t.text
+                        ),
+                    );
+                } else if !par_allowed && !in_test {
+                    push(
+                        Pass::ParScope,
+                        t.line,
+                        format!(
+                            "`{}` outside `crates/par`; raw threading machinery lives in the deterministic pool — call `ballfit_par::par_map` (or siblings) instead",
+                            t.text
+                        ),
+                    );
+                }
+            } else if in_proto && cfg.par_api_idents.contains(&t.text) {
+                push(
+                    Pass::ParScope,
+                    t.line,
+                    format!(
+                        "`{}` inside a protocol impl; even the deterministic pool is off-limits to handlers — parallelism is an orchestration concern, not a node behaviour",
                         t.text
                     ),
                 );
@@ -842,6 +925,71 @@ mod tests {
         assert!(run("crates/core/src/detector.rs", in_mod).is_empty());
         let in_tests_dir = "fn f(d: &DynamicTopology) { let _ = d; }";
         assert!(run("crates/core/tests/churn.rs", in_tests_dir).is_empty());
+    }
+
+    // ---- par-scope ------------------------------------------------------
+
+    #[test]
+    fn par_scope_flags_raw_threading_inside_protocol_impl() {
+        // A simulated node spawning real threads (or sharing state through
+        // a lock) breaks the single-threaded-handler model outright.
+        let src = r#"
+            impl Protocol for Cheater {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let _h = std::thread::spawn(|| ());
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["par-scope"], "{diags:?}");
+        assert!(diags[0].message.contains("single-threaded"));
+    }
+
+    #[test]
+    fn par_scope_flags_pool_api_inside_protocol_impl() {
+        // Even the deterministic pool is an orchestration tool; handlers
+        // must not fan work out.
+        let src = r#"
+            impl Protocol for Cheater {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let _o = par_map(self.par, &self.items, |x| *x);
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["par-scope"], "{diags:?}");
+        assert!(diags[0].message.contains("orchestration"));
+    }
+
+    #[test]
+    fn par_scope_flags_raw_threading_outside_the_pool_crate() {
+        let src = "pub fn detect(m: &Mutex<u32>) { let _ = m; }";
+        let diags = run("crates/core/src/detector.rs", src);
+        assert_eq!(passes(&diags), vec!["par-scope"], "{diags:?}");
+        let src = "use std::sync::atomic::AtomicUsize;\nfn go() { let _ = std::thread::available_parallelism(); }";
+        let diags = run("crates/core/src/metrics.rs", src);
+        assert_eq!(passes(&diags), vec!["par-scope", "par-scope", "par-scope"], "{diags:?}");
+    }
+
+    #[test]
+    fn par_scope_allows_the_pool_crate_and_the_pool_api_elsewhere() {
+        let pool = "fn go() { std::thread::scope(|s| { let _ = s; }); let c = AtomicUsize::new(0); let _ = c; }";
+        assert!(run("crates/par/src/lib.rs", pool).is_empty());
+        // Algorithm code reaching parallelism through the API is the point.
+        let api =
+            "pub fn sweep(par: Parallelism, xs: &[u32]) -> Vec<u32> { par_map(par, xs, |x| *x) }";
+        assert!(run("crates/core/src/detector.rs", api).is_empty());
+    }
+
+    #[test]
+    fn par_scope_exempts_test_code_outside_the_pool_crate() {
+        let in_mod =
+            "#[cfg(test)]\nmod tests { fn f() { let _ = std::thread::available_parallelism(); } }";
+        assert!(run("crates/core/src/detector.rs", in_mod).is_empty());
+        let in_tests_dir = "fn f(m: &Mutex<u32>) { let _ = m; }";
+        assert!(run("crates/core/tests/parallel.rs", in_tests_dir).is_empty());
     }
 
     // ---- escape hatch ---------------------------------------------------

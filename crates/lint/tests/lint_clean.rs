@@ -143,6 +143,50 @@ fn churn_machinery_outside_the_churn_layer_would_fail() {
 }
 
 #[test]
+fn thread_spawn_inside_a_handler_would_fail() {
+    // A handler spawning a real thread breaks the single-threaded-node
+    // model outright; parallelism is an orchestration concern that lives
+    // above the simulator, never inside it.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned =
+        src.replace(needle, &format!("{needle}\n        let _h = std::thread::spawn(move || ());"));
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::ParScope),
+        "thread::spawn inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn pool_api_inside_a_handler_would_fail() {
+    // Even the deterministic pool is off-limits to handlers.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned =
+        src.replace(needle, &format!("{needle}\n        let _par = Parallelism::sequential();"));
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::ParScope),
+        "Parallelism inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn raw_threading_outside_the_pool_crate_would_fail() {
+    // Fine in the pool crate, banned in the detector: algorithm code
+    // reaches parallelism only through the `ballfit-par` API.
+    let src = "pub fn detect_locked(m: &std::sync::Mutex<u64>) { let _ = m.lock(); }";
+    assert!(analyze_source("crates/par/src/lib.rs", src, &LintConfig::default()).is_empty());
+    let diags = analyze_source("crates/core/src/detector.rs", src, &LintConfig::default());
+    assert!(diags.iter().any(|d| d.pass == Pass::ParScope), "{diags:?}");
+}
+
+#[test]
 fn nan_unsafe_sort_anywhere_would_fail() {
     let src = r#"
         pub fn order(mut xs: Vec<f64>) -> Vec<f64> {

@@ -4,10 +4,13 @@
 #   1. cargo fmt --check        formatting
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
 #   3. ballfit-lint             determinism / locality / panic-safety /
-#                               float-safety / fault-scope / churn-scope
-#                               invariants (crates/lint)
-#   4. cargo test               tier-1 test suite
+#                               float-safety / fault-scope / churn-scope /
+#                               par-scope invariants (crates/lint)
+#   4. cargo test               tier-1 test suite, run with
+#                               BALLFIT_THREADS=2 so the deterministic
+#                               pool's parallel path is exercised
 #   5. robustness_sweep --smoke fault-injection sweep emits valid JSON
+#                               (validated in-process via --validate)
 #   6. churn_sweep --smoke      incremental-vs-full churn sweep emits
 #                               valid JSON (exactness asserted per event)
 #
@@ -37,24 +40,18 @@ fi
 step "ballfit-lint (invariant analyzer)"
 cargo run -q -p ballfit-lint
 
-step "cargo test"
-cargo test -q --workspace
+step "cargo test (BALLFIT_THREADS=2)"
+BALLFIT_THREADS=2 cargo test -q --workspace
 
 step "robustness_sweep --smoke (fault-injection degradation sweep)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --smoke
-if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool "$SMOKE_DIR/robustness_sweep.json" >/dev/null
-    echo "robustness_sweep.json: valid JSON"
-fi
+cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --validate "$SMOKE_DIR/robustness_sweep.json"
 
 step "churn_sweep --smoke (incremental boundary maintenance sweep)"
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin churn_sweep -- --smoke
-if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool "$SMOKE_DIR/churn_sweep.json" >/dev/null
-    echo "churn_sweep.json: valid JSON"
-fi
+cargo run -q --release -p ballfit-bench --bin churn_sweep -- --validate "$SMOKE_DIR/churn_sweep.json"
 
 echo
 echo "check.sh: all gates green"

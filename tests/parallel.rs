@@ -1,0 +1,122 @@
+//! Integration: the parallel detection pipeline is *deterministic* — at
+//! every worker-thread count the detector produces output byte-identical
+//! to the sequential run. This is the `ballfit-par` contract (chunked,
+//! index-ordered reassembly; no reduction-order dependence) pinned at the
+//! pipeline level, on the thread ladder of the E17 acceptance criterion.
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::{BoundaryDetection, BoundaryDetector};
+use ballfit::incremental::IncrementalDetector;
+use ballfit::metrics::DetectionStats;
+use ballfit::view::NetView;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::churn::ChurnDriver;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_par::Parallelism;
+use ballfit_wsn::churn::ChurnPlan;
+
+/// The E17 thread ladder.
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+fn model(scenario: Scenario, seed: u64) -> NetworkModel {
+    NetworkBuilder::new(scenario)
+        .surface_nodes(160)
+        .interior_nodes(240)
+        .target_degree(13.5)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn assert_identical(a: &BoundaryDetection, b: &BoundaryDetection, what: &str) {
+    assert_eq!(a.candidates, b.candidates, "{what}: candidate flags diverged");
+    assert_eq!(a.boundary, b.boundary, "{what}: boundary set diverged");
+    assert_eq!(a.groups, b.groups, "{what}: grouping labels diverged");
+    assert_eq!(a.balls_tested, b.balls_tested, "{what}: ball-test tally diverged");
+    assert_eq!(a.degenerate_nodes, b.degenerate_nodes, "{what}: degenerate set diverged");
+}
+
+#[test]
+fn detect_view_is_byte_identical_at_every_thread_count() {
+    for (scenario, seed) in [(Scenario::SpaceOneHole, 5), (Scenario::SolidSphere, 17)] {
+        let model = model(scenario, seed);
+        let view = NetView::from_model(&model);
+        let cfg = DetectorConfig::default();
+        let reference = BoundaryDetector::new(cfg)
+            .with_parallelism(Parallelism::sequential())
+            .detect_view(&view);
+        for threads in THREAD_LADDER {
+            let detection = BoundaryDetector::new(cfg)
+                .with_parallelism(Parallelism::threads(threads))
+                .detect_view(&view);
+            assert_identical(&detection, &reference, &format!("{scenario:?} at {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn ground_truth_metrics_are_thread_count_invariant() {
+    let model = model(Scenario::SpaceOneHole, 5);
+    let detection =
+        BoundaryDetector::new(DetectorConfig::default()).detect_view(&NetView::from_model(&model));
+    let reference = DetectionStats::evaluate_with(&model, &detection, Parallelism::sequential());
+    for threads in THREAD_LADDER {
+        let stats =
+            DetectionStats::evaluate_with(&model, &detection, Parallelism::threads(threads));
+        assert_eq!(stats, reference, "evaluate_with diverged at {threads} threads");
+    }
+}
+
+/// E16 under parallelism: after every churn event, an incremental detector
+/// running at each ladder count agrees byte-for-byte with the sequential
+/// incremental detector *and* with a from-scratch parallel detect.
+#[test]
+fn incremental_maintenance_is_byte_identical_at_every_thread_count() {
+    let model = model(Scenario::SpaceOneHole, 21);
+    let plan = ChurnPlan::none()
+        .with_seed(4)
+        .with_epochs(8)
+        .with_join_rate(0.04)
+        .with_leave_rate(0.04)
+        .with_move_rate(0.04)
+        .with_max_drift(0.4 * model.radio_range());
+    let schedule = plan.schedule(model.len());
+    let events = schedule.len().min(60);
+    let config = DetectorConfig::default();
+
+    let run = |par: Parallelism| {
+        let mut driver = ChurnDriver::new(&model, 7);
+        let mut inc = IncrementalDetector::new_with_parallelism(config, driver.dynamic(), par);
+        let mut per_event = Vec::with_capacity(events);
+        for ev in schedule.iter().take(events) {
+            let (_, delta) = driver.step(ev).expect("in-shape sampling never exhausts");
+            inc.apply(driver.dynamic(), &delta);
+            per_event.push(inc.detection());
+        }
+        per_event
+    };
+
+    let reference = run(Parallelism::sequential());
+    for threads in THREAD_LADDER {
+        let detections = run(Parallelism::threads(threads));
+        for (i, (d, r)) in detections.iter().zip(&reference).enumerate() {
+            assert_identical(d, r, &format!("event {i} at {threads} threads"));
+        }
+        // And the final state matches a from-scratch parallel detect.
+        let mut driver = ChurnDriver::new(&model, 7);
+        for ev in schedule.iter().take(events) {
+            driver.step(ev).expect("in-shape sampling never exhausts");
+        }
+        let dynamic = driver.dynamic();
+        let view = NetView::new(dynamic.topology(), dynamic.positions(), dynamic.radio_range());
+        let full = BoundaryDetector::new(config)
+            .with_parallelism(Parallelism::threads(threads))
+            .detect_view(&view);
+        assert_identical(
+            detections.last().expect("at least one event"),
+            &full,
+            &format!("incremental-vs-full at {threads} threads"),
+        );
+    }
+}
