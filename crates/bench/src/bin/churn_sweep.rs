@@ -232,7 +232,13 @@ fn hole_model(smoke: bool) -> NetworkModel {
 /// size), *heal* it by joining a dense lattice of filler nodes inside the
 /// void (the hole-boundary group dissolves), then *carve* it back open by
 /// removing every filler — with exactness asserted after every event.
-fn hole_cycle(model: &NetworkModel, config: DetectorConfig) -> HoleCycle {
+/// With an enabled `trace` every repair emits a `"churn-event"` span
+/// with its dirty-halo size and boundary diff (the `--trace` export).
+fn hole_cycle(
+    model: &NetworkModel,
+    config: DetectorConfig,
+    trace: &mut ballfit_obs::Trace,
+) -> HoleCycle {
     let mut dynamic = DynamicTopology::new(model.positions(), model.radio_range());
     let detector = BoundaryDetector::new(config);
     let mut inc = IncrementalDetector::new(config, &dynamic);
@@ -259,7 +265,7 @@ fn hole_cycle(model: &NetworkModel, config: DetectorConfig) -> HoleCycle {
     let first_filler = dynamic.len();
     for &p in &fillers {
         let delta = dynamic.apply(&TopologyEvent::Join { position: p });
-        inc.apply(&dynamic, &delta);
+        inc.apply_traced(&dynamic, &delta, trace);
         check_against_full(&detector, &inc, &dynamic);
     }
     let groups_healed = inc.groups().len();
@@ -267,7 +273,7 @@ fn hole_cycle(model: &NetworkModel, config: DetectorConfig) -> HoleCycle {
 
     for slot in first_filler..dynamic.len() {
         let delta = dynamic.apply(&TopologyEvent::Leave { node: slot });
-        inc.apply(&dynamic, &delta);
+        inc.apply_traced(&dynamic, &delta, trace);
         check_against_full(&detector, &inc, &dynamic);
     }
     HoleCycle {
@@ -295,12 +301,16 @@ fn results_path(out: Option<PathBuf>) -> PathBuf {
 fn main() {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            "--trace" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace requires a path")));
+            }
             "--threads" => {
                 let n = args.next().expect("--threads requires a count");
                 threads = Some(n.parse().expect("--threads requires a positive integer"));
@@ -319,8 +329,8 @@ fn main() {
                 }
             }
             other => panic!(
-                "unknown argument {other} \
-                 (expected --smoke / --out <path> / --threads <n> / --validate <path>)"
+                "unknown argument {other} (expected --smoke / --out <path> / --trace <path> / \
+                 --threads <n> / --validate <path>)"
             ),
         }
     }
@@ -370,7 +380,16 @@ fn main() {
 
     eprintln!("  hole cycle (heal + re-carve the one-hole void)...");
     let hole = hole_model(smoke);
-    let cycle = hole_cycle(&hole, config);
+    let mut trace = if trace_out.is_some() {
+        ballfit_obs::Trace::enabled()
+    } else {
+        ballfit_obs::Trace::disabled()
+    };
+    let cycle = hole_cycle(&hole, config, &mut trace);
+    if let Some(tp) = &trace_out {
+        trace.write_jsonl(tp).expect("trace JSONL is writable");
+        println!("wrote trace {}", tp.display());
+    }
     eprintln!(
         "  hole cycle: {} fillers, groups {} -> {} -> {}, boundary {} -> {} -> {}",
         cycle.filler_nodes,

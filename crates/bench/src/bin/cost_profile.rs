@@ -1,0 +1,277 @@
+//! E18 — measured per-node cost profile vs density ρ.
+//!
+//! The paper's efficiency statements are asymptotic: Lemma 1 bounds the
+//! candidate balls a node may test by the cube of its neighborhood size,
+//! Theorem 1 tightens the *expected* work to Θ(ρ²) for constant-density
+//! deployments, and the protocol analysis claims per-node message
+//! overhead linear in ρ (one table broadcast per node for UBF, scoped
+//! flooding for IFF, monotone label flooding for grouping). This
+//! experiment measures all of those counts with the `ballfit-obs`
+//! tracing subsystem instead of trusting hand-derived numbers:
+//!
+//! * Fixed-shape networks (SolidSphere, constant node count) are built
+//!   at a ladder of target densities ρ.
+//! * Each rung runs the traced detector plus the traced UBF / IFF /
+//!   grouping protocol executions into one trace; `obs::summary` rolls
+//!   the trace into per-protocol msgs/node, bytes/node and
+//!   ball-tests/node.
+//! * Log-log least-squares fits of those per-node counts against the
+//!   *measured* mean degree estimate the growth exponents, which the
+//!   JSON reports next to the claimed Θ(ρ²) (expected) and O(ρ³)
+//!   (worst-case) targets.
+//!
+//! ```sh
+//! cargo run --release -p ballfit-bench --bin cost_profile             # full ladder
+//! cargo run --release -p ballfit-bench --bin cost_profile -- --smoke  # 2 rungs, small net
+//! cargo run --release -p ballfit-bench --bin cost_profile -- --trace t.jsonl --smoke
+//! cargo run --release -p ballfit-bench --bin cost_profile -- --validate out.json
+//! cargo run --release -p ballfit-bench --bin cost_profile -- --validate-trace t.jsonl
+//! ```
+//!
+//! Results land in `$BALLFIT_RESULTS/cost_profile.json` (or `results/`);
+//! `--trace` additionally writes the concatenated per-rung JSONL traces
+//! (deterministic byte-for-byte, which `scripts/check.sh` pins with a
+//! `trace_diff` self-compare).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::protocols::{run_grouping_protocol_traced, run_ubf_protocol_traced};
+use ballfit::view::NetView;
+use ballfit_bench::json;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_obs::summary::summarize;
+use ballfit_obs::Trace;
+use ballfit_wsn::flood::FragmentFlood;
+use ballfit_wsn::sim::Simulator;
+
+/// Target-degree ladder of the full run (fixed shape, varying density).
+const DEGREE_LADDER: [f64; 6] = [8.0, 10.0, 12.0, 14.0, 16.0, 18.0];
+
+/// Reduced ladder for the smoke gate.
+const SMOKE_LADDER: [f64; 2] = [10.0, 14.0];
+
+/// Network seed (matches the E15 reference model family).
+const SEED: u64 = 77;
+
+struct Row {
+    target_degree: f64,
+    mean_degree: f64,
+    nodes: usize,
+    edges: usize,
+    ball_tests_per_node: f64,
+    ubf_msgs_per_node: f64,
+    ubf_bytes_per_node: f64,
+    iff_msgs_per_node: f64,
+    grouping_msgs_per_node: f64,
+}
+
+fn build(density: f64, smoke: bool) -> NetworkModel {
+    let (surface, interior) = if smoke { (70, 110) } else { (200, 300) };
+    NetworkBuilder::new(Scenario::SolidSphere)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(density)
+        .seed(SEED)
+        .build()
+        .unwrap_or_else(|e| panic!("cost-profile network at degree {density} failed: {e}"))
+}
+
+/// Runs the traced pipeline + protocols on one rung and rolls the trace
+/// up. Returns the row plus the rung's JSONL trace.
+fn profile(density: f64, smoke: bool) -> (Row, String) {
+    let model = build(density, smoke);
+    let n = model.len();
+    let edges = model.topology().edge_count();
+    let cfg = DetectorConfig::default();
+    let mut trace = Trace::enabled();
+
+    // Centralized-equivalent detection: ball-test counts per node.
+    let detection =
+        BoundaryDetector::new(cfg).detect_view_traced(&NetView::from_model(&model), &mut trace);
+
+    // Message-passing executions: UBF table exchange, IFF scoped
+    // flooding over the candidates, min-label grouping over the final
+    // boundary. The runner spans reuse the detector's phase names, so
+    // each summary row carries both the computation and the traffic.
+    run_ubf_protocol_traced(&model, &cfg.ubf, &cfg.coordinates, &mut trace)
+        .expect("perfect radio quiesces");
+    let candidates = detection.candidates.clone();
+    let mut sim =
+        Simulator::new(model.topology(), |id| FragmentFlood::new(candidates[id], cfg.iff.ttl));
+    trace.open("iff");
+    let stats = sim.run_traced(cfg.iff.ttl as usize + 2, &mut trace);
+    trace.close();
+    assert!(stats.quiescent, "IFF flood quiesces on a perfect radio");
+    run_grouping_protocol_traced(model.topology(), &detection.boundary, &mut trace)
+        .expect("perfect radio quiesces");
+
+    let summary = summarize(trace.records());
+    let per_node = |name: &str, field: fn(&ballfit_obs::summary::ProtocolSummary) -> u64| {
+        summary.get(name).map_or(0.0, |row| field(row) as f64 / n as f64)
+    };
+    let row = Row {
+        target_degree: density,
+        mean_degree: 2.0 * edges as f64 / n as f64,
+        nodes: n,
+        edges,
+        ball_tests_per_node: per_node("ubf", |r| r.ball_tests),
+        ubf_msgs_per_node: per_node("ubf", |r| r.messages),
+        ubf_bytes_per_node: per_node("ubf", |r| r.bytes),
+        iff_msgs_per_node: per_node("iff", |r| r.messages),
+        grouping_msgs_per_node: per_node("grouping", |r| r.messages),
+    };
+    (row, trace.to_jsonl())
+}
+
+/// Least-squares slope of `ln y` against `ln x`: the measured growth
+/// exponent of `y ~ x^slope`.
+fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut mx, mut my) = (0.0, 0.0);
+    for &(x, y) in points {
+        mx += x.ln();
+        my += y.ln();
+    }
+    mx /= n;
+    my /= n;
+    let (mut cov, mut var) = (0.0, 0.0);
+    for &(x, y) in points {
+        cov += (x.ln() - mx) * (y.ln() - my);
+        var += (x.ln() - mx) * (x.ln() - mx);
+    }
+    cov / var
+}
+
+fn results_path(out: Option<PathBuf>) -> PathBuf {
+    if let Some(p) = out {
+        return p;
+    }
+    let dir = std::env::var_os("BALLFIT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir.join("cost_profile.json")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            "--trace" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace requires a path")));
+            }
+            "--validate" => {
+                let path = PathBuf::from(args.next().expect("--validate requires a path"));
+                match json::validate_file(&path) {
+                    Ok(()) => {
+                        println!("{}: valid JSON", path.display());
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--validate-trace" => {
+                let path = PathBuf::from(args.next().expect("--validate-trace requires a path"));
+                match json::validate_jsonl_file(&path) {
+                    Ok(()) => {
+                        println!("{}: valid JSONL", path.display());
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => panic!(
+                "unknown argument {other} (expected --smoke / --out <path> / --trace <path> / \
+                 --validate <path> / --validate-trace <path>)"
+            ),
+        }
+    }
+
+    let ladder: &[f64] = if smoke { &SMOKE_LADDER } else { &DEGREE_LADDER };
+    eprintln!("cost profile: degree ladder {ladder:?}{}", if smoke { " (smoke)" } else { "" });
+    let mut rows = Vec::new();
+    let mut traces = String::new();
+    for &density in ladder {
+        let (row, jsonl) = profile(density, smoke);
+        eprintln!(
+            "  rho={:>4.1}: measured degree {:.2}, {:.1} ball tests/node, {:.1} UBF msgs/node",
+            row.target_degree, row.mean_degree, row.ball_tests_per_node, row.ubf_msgs_per_node
+        );
+        traces.push_str(&jsonl);
+        rows.push(row);
+    }
+
+    let pick = |f: fn(&Row) -> f64| -> Vec<(f64, f64)> {
+        rows.iter().map(|r| (r.mean_degree, f(r))).collect()
+    };
+    let ball_slope = loglog_slope(&pick(|r| r.ball_tests_per_node));
+    let ubf_msg_slope = loglog_slope(&pick(|r| r.ubf_msgs_per_node));
+    let ubf_byte_slope = loglog_slope(&pick(|r| r.ubf_bytes_per_node));
+
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(
+        doc,
+        "  \"meta\": {{\"experiment\": \"E18-cost-profile\", \"smoke\": {smoke}, \
+         \"scenario\": \"SolidSphere\", \"seed\": {SEED}, \
+         \"claims\": {{\"ball_tests_expected\": \"Theta(rho^2)\", \
+         \"ball_tests_worst_case\": \"O(rho^3)\", \
+         \"ubf_msgs\": \"Theta(rho)\"}}}},"
+    );
+    doc.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            doc,
+            "    {{\"target_degree\": {:.1}, \"mean_degree\": {:.4}, \"nodes\": {}, \
+             \"edges\": {}, \"ball_tests_per_node\": {:.4}, \"ubf_msgs_per_node\": {:.4}, \
+             \"ubf_bytes_per_node\": {:.4}, \"iff_msgs_per_node\": {:.4}, \
+             \"grouping_msgs_per_node\": {:.4}}}",
+            r.target_degree,
+            r.mean_degree,
+            r.nodes,
+            r.edges,
+            r.ball_tests_per_node,
+            r.ubf_msgs_per_node,
+            r.ubf_bytes_per_node,
+            r.iff_msgs_per_node,
+            r.grouping_msgs_per_node
+        );
+        doc.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("  ],\n");
+    let _ = writeln!(
+        doc,
+        "  \"fits\": {{\"ball_tests_loglog_slope\": {ball_slope:.4}, \
+         \"ubf_msgs_loglog_slope\": {ubf_msg_slope:.4}, \
+         \"ubf_bytes_loglog_slope\": {ubf_byte_slope:.4}}}"
+    );
+    doc.push_str("}\n");
+
+    let path = results_path(out);
+    std::fs::write(&path, &doc).expect("cost-profile JSON is writable");
+    println!("wrote {}", path.display());
+    println!(
+        "measured exponents: ball tests/node ~ rho^{ball_slope:.2}, \
+         UBF msgs/node ~ rho^{ubf_msg_slope:.2}, UBF bytes/node ~ rho^{ubf_byte_slope:.2}"
+    );
+    if let Some(tp) = trace_out {
+        std::fs::write(&tp, &traces).expect("trace JSONL is writable");
+        println!("wrote trace {}", tp.display());
+    }
+}

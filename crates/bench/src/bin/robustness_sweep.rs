@@ -33,8 +33,8 @@ use ballfit::detector::BoundaryDetector;
 use ballfit::grouping::group_boundaries;
 use ballfit::landmarks::elect_landmarks;
 use ballfit::protocols::{
-    run_grouping_protocol, run_hardened_grouping, run_hardened_ubf,
-    run_landmark_protocol_with_faults, run_ubf_protocol, RetryConfig,
+    run_grouping_protocol_traced, run_hardened_grouping, run_hardened_ubf,
+    run_landmark_protocol_with_faults, run_ubf_protocol_traced, RetryConfig,
 };
 use ballfit_netgen::builder::NetworkBuilder;
 use ballfit_netgen::model::NetworkModel;
@@ -252,24 +252,31 @@ struct Baseline {
     grouping_msgs: u64,
 }
 
+/// Fault-free plain-protocol baseline. With an enabled `trace` the
+/// three runs land in `"ubf"` / `"iff"` / `"grouping"` spans — the
+/// `--trace` export that `obs::summary` rolls into per-protocol tables.
 fn baseline(
     model: &NetworkModel,
     cfg: &DetectorConfig,
     central: &ballfit::detector::BoundaryDetection,
+    trace: &mut ballfit_obs::Trace,
 ) -> Baseline {
-    let (_, ubf_msgs) =
-        run_ubf_protocol(model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
+    let (_, ubf_msgs) = run_ubf_protocol_traced(model, &cfg.ubf, &cfg.coordinates, trace)
+        .expect("perfect radio quiesces");
     let candidates = central.candidates.clone();
     let mut sim =
         Simulator::new(model.topology(), |id| FragmentFlood::new(candidates[id], cfg.iff.ttl));
-    let stats = sim.run(cfg.iff.ttl as usize + 2);
+    trace.open("iff");
+    let stats = sim.run_traced(cfg.iff.ttl as usize + 2, trace);
+    trace.close();
     assert!(stats.quiescent);
     let sizes = fragment_sizes(model.topology(), cfg.iff.ttl, |i| candidates[i]);
     for i in 0..model.len() {
         assert_eq!(sim.node(i).fragment_size(), sizes[i], "flood baseline self-check");
     }
     let (_, grouping_msgs) =
-        run_grouping_protocol(model.topology(), &central.boundary).expect("perfect radio quiesces");
+        run_grouping_protocol_traced(model.topology(), &central.boundary, trace)
+            .expect("perfect radio quiesces");
     Baseline { ubf_msgs, iff_msgs: stats.messages, grouping_msgs }
 }
 
@@ -287,12 +294,16 @@ fn results_path(out: Option<PathBuf>) -> PathBuf {
 fn main() {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            "--trace" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace requires a path")));
+            }
             "--threads" => {
                 let n = args.next().expect("--threads requires a count");
                 threads = Some(n.parse().expect("--threads requires a positive integer"));
@@ -311,8 +322,8 @@ fn main() {
                 }
             }
             other => panic!(
-                "unknown argument {other} \
-                 (expected --smoke / --out <path> / --threads <n> / --validate <path>)"
+                "unknown argument {other} (expected --smoke / --out <path> / --trace <path> / \
+                 --threads <n> / --validate <path>)"
             ),
         }
     }
@@ -321,7 +332,16 @@ fn main() {
     let model = reference_model(smoke);
     let cfg = DetectorConfig::paper(10, 3);
     let central = BoundaryDetector::new(cfg).with_parallelism(parallelism).detect(&model);
-    let base = baseline(&model, &cfg, &central);
+    let mut trace = if trace_out.is_some() {
+        ballfit_obs::Trace::enabled()
+    } else {
+        ballfit_obs::Trace::disabled()
+    };
+    let base = baseline(&model, &cfg, &central, &mut trace);
+    if let Some(tp) = &trace_out {
+        trace.write_jsonl(tp).expect("trace JSONL is writable");
+        println!("wrote trace {}", tp.display());
+    }
     let grid = grid(smoke);
     let mut params = Vec::new();
     for &loss in &grid.losses {

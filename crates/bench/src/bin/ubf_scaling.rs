@@ -88,11 +88,15 @@ fn results_path(out: Option<PathBuf>) -> PathBuf {
 fn main() {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a path"))),
+            "--trace" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace requires a path")));
+            }
             "--validate" => {
                 let path = PathBuf::from(args.next().expect("--validate requires a path"));
                 match json::validate_file(&path) {
@@ -107,7 +111,10 @@ fn main() {
                 }
             }
             other => {
-                panic!("unknown argument {other} (expected --smoke / --out <path> / --validate <path>)")
+                panic!(
+                    "unknown argument {other} (expected --smoke / --out <path> / \
+                     --trace <path> / --validate <path>)"
+                )
             }
         }
     }
@@ -149,4 +156,15 @@ fn main() {
     let path = results_path(out);
     std::fs::write(&path, &doc).expect("scaling JSON is writable");
     println!("wrote {}", path.display());
+
+    if let Some(tp) = trace_out {
+        // One traced sequential detection: the trace is byte-identical
+        // at every thread count, so one representative run suffices.
+        let mut trace = ballfit_obs::Trace::enabled();
+        BoundaryDetector::new(DetectorConfig::default())
+            .with_parallelism(Parallelism::sequential())
+            .detect_view_traced(&NetView::from_model(&model), &mut trace);
+        trace.write_jsonl(&tp).expect("trace JSONL is writable");
+        println!("wrote trace {}", tp.display());
+    }
 }

@@ -27,6 +27,26 @@ pub fn validate_file(path: &std::path::Path) -> Result<(), String> {
     validate(&src).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Validates JSONL (one well-formed JSON value per non-empty line) —
+/// the `ballfit-obs` trace export format. Errors carry 1-based line
+/// numbers.
+pub fn validate_jsonl(src: &str) -> Result<(), String> {
+    for (i, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(())
+}
+
+/// Reads `path` and validates it with [`validate_jsonl`].
+pub fn validate_jsonl_file(path: &std::path::Path) -> Result<(), String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    validate_jsonl(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 /// Nesting guard: the sweep outputs are ~4 levels deep; anything past
 /// this is malformed input, not data, and must not overflow the stack.
 const MAX_DEPTH: usize = 128;
@@ -258,6 +278,15 @@ mod tests {
     fn rejects_runaway_nesting() {
         let deep = "[".repeat(4096);
         assert!(validate(&deep).is_err());
+    }
+
+    #[test]
+    fn validates_jsonl_line_by_line() {
+        assert!(validate_jsonl("").is_ok());
+        assert!(validate_jsonl("{\"seq\":0}\n{\"seq\":1}\n").is_ok());
+        assert!(validate_jsonl("{\"seq\":0}\n\n{\"seq\":1}").is_ok(), "blank lines are skipped");
+        let err = validate_jsonl("{\"seq\":0}\n{broken\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "error must carry the line number: {err}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ COMMANDS:
   generate   --scenario S --out FILE       Generate a network (JSON)
              [--surface N] [--interior N] [--degree D] [--seed X]
   detect     --net FILE [--error P]        Detect boundary nodes
-             [--seed X] [--json]
+             [--seed X] [--json] [--trace FILE]
   mesh       --net FILE --out-prefix P     Detect + build surface meshes (OBJ)
              [--error P] [--k K] [--seed X]
   sweep      --scenario S                  Error sweep 0..100% on a fresh network
@@ -131,7 +131,17 @@ fn detect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let model = load_network(args)?;
     let error: u32 = args.get_or("error", 0)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let result = Pipeline::paper(error, seed).run(&model);
+    let trace_path = args.get("trace").map(String::from);
+    let mut trace = if trace_path.is_some() {
+        ballfit_obs::Trace::enabled()
+    } else {
+        ballfit_obs::Trace::disabled()
+    };
+    let result = Pipeline::paper(error, seed).run_traced(&model, &mut trace);
+    if let Some(path) = &trace_path {
+        trace.write_jsonl(std::path::Path::new(path))?;
+        eprintln!("wrote trace {path}");
+    }
     if args.flag("json") {
         println!("{}", serde_json::to_string_pretty(&result.stats)?);
     } else {

@@ -1,6 +1,7 @@
 //! The end-to-end boundary-node detector (Sec. II of the paper).
 
 use ballfit_netgen::model::NetworkModel;
+use ballfit_obs::{Trace, TraceEvent};
 use ballfit_par::{par_map, Parallelism};
 use ballfit_wsn::NodeId;
 
@@ -107,11 +108,25 @@ impl BoundaryDetector {
     /// ([`crate::incremental::IncrementalDetector`]) is pinned exact
     /// against this entry point after every churn event.
     pub fn detect_view(&self, view: &NetView<'_>) -> BoundaryDetection {
+        self.detect_view_traced(view, &mut Trace::disabled())
+    }
+
+    /// [`BoundaryDetector::detect_view`] with structured tracing: a
+    /// `"detect"` span wrapping per-phase `"ubf"` / `"iff"` /
+    /// `"grouping"` spans, per-node [`TraceEvent::BallTests`] records
+    /// (Theorem-1 candidate-ball accounting) and per-phase result
+    /// counters. Events are emitted from the sequential fold over the
+    /// (index-ordered) parallel sweep, so the trace is byte-identical
+    /// at every thread count; with [`Trace::disabled`] this *is*
+    /// `detect_view`.
+    pub fn detect_view_traced(&self, view: &NetView<'_>, trace: &mut Trace) -> BoundaryDetection {
         let topo = view.topology();
         let range = view.radio_range();
         let mut candidates = vec![false; view.len()];
         let mut balls_tested = 0u64;
         let mut degenerate_nodes = Vec::new();
+        trace.open("detect");
+        trace.event(TraceEvent::NetSize { nodes: view.len(), edges: topo.edge_count() });
 
         // The UBF sweep is the pipeline's dominant cost and each node's
         // test reads only its own `witness_hops`-hop frame, so the sweep
@@ -119,6 +134,8 @@ impl BoundaryDetector {
         // order (`par_map` is index-ordered) and the fold below is
         // sequential, so the result is byte-identical to the plain loop
         // at every thread count. `None` marks a degenerate neighborhood.
+        trace.open("ubf");
+        trace.event(TraceEvent::NetSize { nodes: view.len(), edges: topo.edge_count() });
         let nodes: Vec<NodeId> = (0..view.len()).collect();
         let outcomes = par_map(self.parallelism, &nodes, |&node| {
             neighborhood_frame_view(
@@ -134,16 +151,35 @@ impl BoundaryDetector {
                 Some(out) => {
                     candidates[node] = out.is_boundary;
                     balls_tested += out.balls_tested as u64;
+                    trace.event(TraceEvent::BallTests {
+                        node,
+                        tests: out.balls_tested as u64,
+                        boundary: out.is_boundary,
+                    });
                 }
                 None => {
                     degenerate_nodes.push(node);
                     candidates[node] = self.config.ubf.degenerate_is_boundary;
+                    trace.event(TraceEvent::Degenerate { node });
                 }
             }
         }
+        let candidate_count = candidates.iter().filter(|&&c| c).count() as u64;
+        trace.event(TraceEvent::Counter { name: "candidates", value: candidate_count });
+        trace.close();
 
+        trace.open("iff");
         let boundary = apply_iff(topo, &candidates, &self.config.iff);
+        let boundary_count = boundary.iter().filter(|&&b| b).count() as u64;
+        trace.event(TraceEvent::Counter { name: "boundary", value: boundary_count });
+        trace.close();
+
+        trace.open("grouping");
         let groups = group_boundaries(topo, &boundary);
+        trace.event(TraceEvent::Counter { name: "groups", value: groups.len() as u64 });
+        trace.close();
+
+        trace.close();
         BoundaryDetection { candidates, boundary, groups, balls_tested, degenerate_nodes }
     }
 }

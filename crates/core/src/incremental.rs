@@ -53,6 +53,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
+use ballfit_obs::{Trace, TraceEvent};
 use ballfit_par::{par_map, Parallelism};
 use ballfit_wsn::churn::{DynamicTopology, TopologyDelta};
 use ballfit_wsn::{NodeId, Topology};
@@ -227,6 +228,32 @@ impl IncrementalDetector {
     /// Call with the delta of *every* event, in order; skipping one leaves
     /// the state stale (the exactness invariant is per-event).
     pub fn apply(&mut self, dynamic: &DynamicTopology, delta: &TopologyDelta) -> BoundaryDiff {
+        self.apply_traced(dynamic, delta, &mut Trace::disabled())
+    }
+
+    /// [`IncrementalDetector::apply`] with structured tracing: wraps the
+    /// repair in a `"churn-event"` span carrying one
+    /// [`TraceEvent::Halo`] record (dirty-halo size and the boundary
+    /// diff). With [`Trace::disabled`] this *is* `apply`.
+    pub fn apply_traced(
+        &mut self,
+        dynamic: &DynamicTopology,
+        delta: &TopologyDelta,
+        trace: &mut Trace,
+    ) -> BoundaryDiff {
+        trace.open("churn-event");
+        let diff = self.apply_inner(dynamic, delta);
+        trace.event(TraceEvent::Halo {
+            size: diff.halo.len(),
+            promoted: diff.promoted.len(),
+            demoted: diff.demoted.len(),
+            regrouped: diff.regrouped.len(),
+        });
+        trace.close();
+        diff
+    }
+
+    fn apply_inner(&mut self, dynamic: &DynamicTopology, delta: &TopologyDelta) -> BoundaryDiff {
         let view = view_of(dynamic);
         self.grow_to(view.len());
         let seeds = delta.touched();

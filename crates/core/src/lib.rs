@@ -121,7 +121,20 @@ impl Pipeline {
 
     /// Runs detection, evaluation and surface construction on a network.
     pub fn run(&self, model: &ballfit_netgen::model::NetworkModel) -> PipelineResult {
-        let detection = BoundaryDetector::new(self.detector).detect(model);
+        self.run_traced(model, &mut ballfit_obs::Trace::disabled())
+    }
+
+    /// [`Pipeline::run`] with structured tracing: the detection phases
+    /// record their spans and per-node ball-test events into `trace`
+    /// (see [`BoundaryDetector::detect_view_traced`]). With
+    /// [`ballfit_obs::Trace::disabled`] this *is* `run`.
+    pub fn run_traced(
+        &self,
+        model: &ballfit_netgen::model::NetworkModel,
+        trace: &mut ballfit_obs::Trace,
+    ) -> PipelineResult {
+        let view = view::NetView::from_model(model);
+        let detection = BoundaryDetector::new(self.detector).detect_view_traced(&view, trace);
         let stats = DetectionStats::evaluate(model, &detection);
         let surfaces = SurfaceBuilder::new(self.surface).build(model, &detection);
         PipelineResult { detection, surfaces, stats }

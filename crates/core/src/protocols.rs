@@ -36,6 +36,7 @@ use std::fmt;
 
 use ballfit_mds::local::{embed_local, LocalDistances};
 use ballfit_netgen::model::NetworkModel;
+use ballfit_obs::{MsgBytes, Trace, TraceEvent};
 use ballfit_wsn::faults::FaultPlan;
 use ballfit_wsn::sim::{Ctx, Protocol, RunStats, Simulator};
 use ballfit_wsn::{NodeId, Topology};
@@ -219,9 +220,30 @@ pub fn run_ubf_protocol(
     cfg: &UbfConfig,
     source: &CoordinateSource,
 ) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
+    run_ubf_protocol_traced(model, cfg, source, &mut Trace::disabled())
+}
+
+/// [`run_ubf_protocol`] with structured tracing: the whole exchange runs
+/// inside a `"ubf"` span, so [`ballfit_obs::summary::summarize`] lands
+/// its message/byte accounting in the same row as the detector's
+/// ball-test counts. With [`Trace::disabled`] this *is*
+/// `run_ubf_protocol`.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] as for [`run_ubf_protocol`].
+pub fn run_ubf_protocol_traced(
+    model: &NetworkModel,
+    cfg: &UbfConfig,
+    source: &CoordinateSource,
+    trace: &mut Trace,
+) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
     let states = UbfProtocol::for_model(model, source);
     let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
-    let stats = require_quiescent(sim.run(4), "ubf")?;
+    trace.open("ubf");
+    let stats = sim.run_traced(4, trace);
+    trace.close();
+    let stats = require_quiescent(stats, "ubf")?;
     let flags =
         (0..model.len()).map(|i| sim.node(i).decide(model.radio_range(), cfg, source)).collect();
     Ok((flags, stats.messages))
@@ -234,6 +256,16 @@ pub enum UbfMsg {
     Table(Vec<(NodeId, f64)>),
     /// Acknowledges receipt of the sender's table.
     Ack,
+}
+
+impl MsgBytes for UbfMsg {
+    /// One tag byte, plus the table payload for [`UbfMsg::Table`].
+    fn msg_bytes(&self) -> u64 {
+        match self {
+            UbfMsg::Table(table) => 1 + table.msg_bytes(),
+            UbfMsg::Ack => 1,
+        }
+    }
 }
 
 /// Loss-tolerant UBF table exchange: tables are acknowledged, and a node
@@ -282,6 +314,11 @@ impl HardenedUbf {
     /// degrades the decision locally rather than failing the run.
     pub fn decide(&self, radio_range: f64, cfg: &UbfConfig, source: &CoordinateSource) -> bool {
         self.inner.decide(radio_range, cfg, source)
+    }
+
+    /// Retransmissions this node actually performed (spent retry budget).
+    pub fn retransmissions(&self) -> u64 {
+        u64::from(self.retry.attempts - self.attempts_left)
     }
 
     fn fully_acked(&self) -> bool {
@@ -349,10 +386,38 @@ pub fn run_hardened_ubf(
     retry: RetryConfig,
     plan: &FaultPlan,
 ) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
+    run_hardened_ubf_traced(model, cfg, source, retry, plan, &mut Trace::disabled())
+}
+
+/// [`run_hardened_ubf`] with structured tracing: a `"hardened-ubf"`
+/// span around the faulty run, plus one [`TraceEvent::Retransmits`]
+/// record per node that spent retry budget (silent nodes are omitted to
+/// keep traces proportional to actual repair work).
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] as for [`run_hardened_ubf`].
+pub fn run_hardened_ubf_traced(
+    model: &NetworkModel,
+    cfg: &UbfConfig,
+    source: &CoordinateSource,
+    retry: RetryConfig,
+    plan: &FaultPlan,
+    trace: &mut Trace,
+) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
     let states = HardenedUbf::for_model(model, source, retry);
     let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
     let budget = 4 + (retry.attempts as usize + 1) * (retry.period + 2) + plan.round_slack();
-    let stats = require_quiescent(sim.run_with_faults(budget, plan), "ubf")?;
+    trace.open("hardened-ubf");
+    let stats = sim.run_with_faults_traced(budget, plan, trace);
+    for node in 0..model.len() {
+        let resends = sim.node(node).retransmissions();
+        if resends > 0 {
+            trace.event(TraceEvent::Retransmits { node, resends });
+        }
+    }
+    trace.close();
+    let stats = require_quiescent(stats, "ubf")?;
     let flags =
         (0..model.len()).map(|i| sim.node(i).decide(model.radio_range(), cfg, source)).collect();
     Ok((flags, stats.messages))
@@ -412,8 +477,26 @@ pub fn run_grouping_protocol(
     topo: &Topology,
     boundary: &[bool],
 ) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
+    run_grouping_protocol_traced(topo, boundary, &mut Trace::disabled())
+}
+
+/// [`run_grouping_protocol`] with structured tracing: the label flood
+/// runs inside a `"grouping"` span. With [`Trace::disabled`] this *is*
+/// `run_grouping_protocol`.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] as for [`run_grouping_protocol`].
+pub fn run_grouping_protocol_traced(
+    topo: &Topology,
+    boundary: &[bool],
+    trace: &mut Trace,
+) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
     let mut sim = Simulator::new(topo, |id| GroupingProtocol::new(id, boundary[id]));
-    let stats = require_quiescent(sim.run(topo.len() + 2), "grouping")?;
+    trace.open("grouping");
+    let stats = sim.run_traced(topo.len() + 2, trace);
+    trace.close();
+    let stats = require_quiescent(stats, "grouping")?;
     let labels = (0..topo.len()).map(|i| sim.node(i).label()).collect();
     Ok((labels, stats.messages))
 }
@@ -433,6 +516,7 @@ pub struct HardenedGrouping {
     period: usize,
     remaining: usize,
     cooldown: usize,
+    rebroadcasts: u64,
 }
 
 impl HardenedGrouping {
@@ -445,12 +529,19 @@ impl HardenedGrouping {
             period,
             remaining: if member { horizon } else { 0 },
             cooldown: period,
+            rebroadcasts: 0,
         }
     }
 
     /// The component label after the run (`None` for non-members).
     pub fn label(&self) -> Option<NodeId> {
         self.label
+    }
+
+    /// Periodic label re-broadcasts this node performed (the hardening
+    /// overhead beyond plain min-label flooding).
+    pub fn rebroadcasts(&self) -> u64 {
+        self.rebroadcasts
     }
 }
 
@@ -484,6 +575,7 @@ impl Protocol for HardenedGrouping {
         }
         self.cooldown = self.period;
         if let Some(l) = self.label {
+            self.rebroadcasts += 1;
             ctx.broadcast(l);
         }
     }
@@ -506,11 +598,37 @@ pub fn run_hardened_grouping(
     retry: RetryConfig,
     plan: &FaultPlan,
 ) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
+    run_hardened_grouping_traced(topo, boundary, retry, plan, &mut Trace::disabled())
+}
+
+/// [`run_hardened_grouping`] with structured tracing: a
+/// `"hardened-grouping"` span around the faulty run, plus one
+/// [`TraceEvent::Retransmits`] record per node that performed periodic
+/// label re-broadcasts (the hardening overhead).
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] as for [`run_hardened_grouping`].
+pub fn run_hardened_grouping_traced(
+    topo: &Topology,
+    boundary: &[bool],
+    retry: RetryConfig,
+    plan: &FaultPlan,
+    trace: &mut Trace,
+) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
     let horizon = topo.len() + plan.round_slack() + 2;
     let mut sim =
         Simulator::new(topo, |id| HardenedGrouping::new(id, boundary[id], retry.period, horizon));
-    let stats =
-        require_quiescent(sim.run_with_faults(horizon + plan.round_slack() + 4, plan), "grouping")?;
+    trace.open("hardened-grouping");
+    let stats = sim.run_with_faults_traced(horizon + plan.round_slack() + 4, plan, trace);
+    for node in 0..topo.len() {
+        let resends = sim.node(node).rebroadcasts();
+        if resends > 0 {
+            trace.event(TraceEvent::Retransmits { node, resends });
+        }
+    }
+    trace.close();
+    let stats = require_quiescent(stats, "grouping")?;
     let labels = (0..topo.len()).map(|i| sim.node(i).label()).collect();
     Ok((labels, stats.messages))
 }
@@ -532,6 +650,17 @@ pub enum LandmarkMsg {
         /// Remaining forwarding budget.
         ttl: u32,
     },
+}
+
+impl MsgBytes for LandmarkMsg {
+    /// One tag byte plus the origin id and TTL, for either variant.
+    fn msg_bytes(&self) -> u64 {
+        match self {
+            LandmarkMsg::Probe { origin, ttl } | LandmarkMsg::Suppress { origin, ttl } => {
+                1 + origin.msg_bytes() + ttl.msg_bytes()
+            }
+        }
+    }
 }
 
 /// Iterated local-minimum landmark election (distributed form of
@@ -684,10 +813,29 @@ pub fn run_landmark_protocol(
     group: &[NodeId],
     k: u32,
 ) -> Result<(Vec<NodeId>, u64), ConvergenceFailure> {
+    run_landmark_protocol_traced(topo, group, k, &mut Trace::disabled())
+}
+
+/// [`run_landmark_protocol`] with structured tracing: the election runs
+/// inside a `"landmark"` span. With [`Trace::disabled`] this *is*
+/// `run_landmark_protocol`.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] as for [`run_landmark_protocol`].
+pub fn run_landmark_protocol_traced(
+    topo: &Topology,
+    group: &[NodeId],
+    k: u32,
+    trace: &mut Trace,
+) -> Result<(Vec<NodeId>, u64), ConvergenceFailure> {
     let member = member_mask(topo, group);
     let mut sim = Simulator::new(topo, |id| LandmarkElection::new(member[id], k));
     let max_rounds = 4 * (topo.len() + 1) * k as usize;
-    let stats = require_quiescent(sim.run(max_rounds), "landmark")?;
+    trace.open("landmark");
+    let stats = sim.run_traced(max_rounds, trace);
+    trace.close();
+    let stats = require_quiescent(stats, "landmark")?;
     let landmarks = (0..topo.len()).filter(|&i| sim.node(i).decision() == Some(true)).collect();
     Ok((landmarks, stats.messages))
 }
@@ -886,6 +1034,77 @@ mod tests {
         let (labels, _) = run_hardened_grouping(&topo, &boundary, RetryConfig::default(), &plan)
             .expect("hardened grouping quiesces");
         assert_eq!(labels, vec![Some(0); n], "all ring members must learn label 0");
+    }
+
+    #[test]
+    fn traced_ubf_runner_is_inert_and_summarizes_to_run_totals() {
+        let model = model();
+        let cfg = DetectorConfig::paper(10, 3);
+        let (plain_flags, plain_messages) =
+            run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("perfect radio quiesces");
+        let mut trace = Trace::enabled();
+        let (flags, messages) =
+            run_ubf_protocol_traced(&model, &cfg.ubf, &cfg.coordinates, &mut trace)
+                .expect("perfect radio quiesces");
+        assert_eq!(flags, plain_flags, "tracing must not change the decision");
+        assert_eq!(messages, plain_messages);
+        let summary = ballfit_obs::summary::summarize(trace.records());
+        let row = summary.get("ubf").expect("one ubf row");
+        assert_eq!(row.messages, messages, "summary must roll rounds up to the run total");
+        assert_eq!(row.nodes, model.len() as u64);
+        assert!(row.bytes > row.messages, "tables are multi-byte payloads");
+    }
+
+    #[test]
+    fn hardened_ubf_on_perfect_radio_reports_no_retransmissions() {
+        let model = model();
+        let cfg = DetectorConfig::paper(10, 3);
+        let mut trace = Trace::enabled();
+        let (_, _) = run_hardened_ubf_traced(
+            &model,
+            &cfg.ubf,
+            &cfg.coordinates,
+            RetryConfig::default(),
+            &FaultPlan::none(),
+            &mut trace,
+        )
+        .expect("hardened quiesces");
+        assert!(
+            !trace.records().iter().any(|r| matches!(r.event, TraceEvent::Retransmits { .. })),
+            "a perfect radio must never spend retry budget"
+        );
+    }
+
+    #[test]
+    fn hardened_grouping_trace_attributes_rebroadcasts_to_members() {
+        let n = 24;
+        let topo = Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
+        let boundary = vec![true; n];
+        let plan = FaultPlan::lossy(9, 0.3);
+        let mut trace = Trace::enabled();
+        let (labels, _) = run_hardened_grouping_traced(
+            &topo,
+            &boundary,
+            RetryConfig::default(),
+            &plan,
+            &mut trace,
+        )
+        .expect("hardened grouping quiesces");
+        assert_eq!(labels, vec![Some(0); n]);
+        // Every member runs the periodic re-broadcast beat, so every node
+        // must appear exactly once with a positive count.
+        let mut seen = BTreeSet::new();
+        for rec in trace.records() {
+            if let TraceEvent::Retransmits { node, resends } = rec.event {
+                assert!(resends > 0, "zero-count nodes must be omitted");
+                assert!(seen.insert(node), "node {node} reported twice");
+            }
+        }
+        assert_eq!(seen.len(), n, "all ring members re-broadcast");
+        let summary = ballfit_obs::summary::summarize(trace.records());
+        let row = summary.get("hardened-grouping").expect("row present");
+        assert!(row.retransmits > 0);
+        assert!(row.dropped > 0, "the lossy plan must have dropped messages");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! in round handlers, no NaN-order traps in float sorts). Those properties
 //! are easy to regress silently — a `HashMap` iteration here, a
 //! convenience `model.positions()` call there — so this crate enforces
-//! them mechanically over `crates/{core,wsn,geom,mds,netgen,par}`:
+//! them mechanically over `crates/{core,wsn,geom,mds,netgen,par,obs}`:
 //!
 //! * [`passes::Pass::Determinism`] — denies `HashMap`/`HashSet`,
 //!   `thread_rng`, `SystemTime::now`, `Instant::now`.
@@ -33,6 +33,10 @@
 //!   algorithm crates reach parallelism only through the deterministic
 //!   `ballfit-par` API, and protocol impls not even that — a simulated
 //!   node is a single-threaded message handler.
+//! * [`passes::Pass::ObsScope`] — keeps the trace-emission API (`Trace`,
+//!   `TraceEvent`, ...) out of `Protocol` impls: only the simulator, the
+//!   detectors and the runner layer emit observations, so per-protocol
+//!   cost accounting cannot be skewed from inside a message handler.
 //!
 //! Findings can be locally waived with a justification comment on the
 //! same or preceding line: `// ballfit-lint: allow(float-safety)`.

@@ -26,12 +26,12 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety / fault-scope / churn-scope / par-scope\n\
+                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety / fault-scope / churn-scope / par-scope / obs-scope\n\
                      \n\
                      USAGE: ballfit-lint [--root <workspace>] [FILE.rs ...]\n\
                      \n\
                      With no FILE arguments, analyzes every .rs file in the workspace's\n\
-                     crates/{{core,wsn,geom,mds,netgen,par}}. Suppress a finding with a\n\
+                     crates/{{core,wsn,geom,mds,netgen,par,obs}}. Suppress a finding with a\n\
                      `// ballfit-lint: allow(<pass>)` comment on the same or previous line."
                 );
                 return ExitCode::SUCCESS;
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         eprintln!(
-            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety, fault-scope, churn-scope, par-scope)"
+            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety, fault-scope, churn-scope, par-scope, obs-scope)"
         );
         ExitCode::SUCCESS
     } else {

@@ -1,4 +1,4 @@
-//! The seven invariant passes and the scope tracker they share.
+//! The eight invariant passes and the scope tracker they share.
 //!
 //! Scope recognition is purely structural: when a `{` opens, the tokens
 //! between it and the previous `{` / `}` / `;` form its "header". A header
@@ -27,10 +27,16 @@
 //!   protocol-impl scope even that API is banned: a simulated node is a
 //!   single-threaded message handler, and the paper's locality argument
 //!   says nothing about intra-node concurrency.
+//! * **obs-scope** — the trace-emission API (`Trace`, `TraceEvent`, …)
+//!   never inside a protocol-impl scope: only the simulator, the
+//!   detectors and the runner layer emit observations. A protocol that
+//!   writes its own trace records could skew the very accounting the
+//!   observability layer exists to certify (and would run per-node,
+//!   breaking the single-sink determinism argument).
 
 use crate::lexer::{is_float_literal, lex, Tok, TokKind};
 
-/// The seven passes.
+/// The eight passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -56,6 +62,10 @@ pub enum Pass {
     /// `ballfit-par` API everywhere else, and neither inside `Protocol`
     /// impls.
     ParScope,
+    /// Trace-emission machinery (`Trace`, `TraceEvent`, …) never inside
+    /// `Protocol` impls: only the simulator, the detectors and the
+    /// runner layer emit observations.
+    ObsScope,
 }
 
 impl Pass {
@@ -69,6 +79,7 @@ impl Pass {
             Pass::FaultScope => "fault-scope",
             Pass::ChurnScope => "churn-scope",
             Pass::ParScope => "par-scope",
+            Pass::ObsScope => "obs-scope",
         }
     }
 }
@@ -153,13 +164,18 @@ pub struct LintConfig {
     /// Path fragments where raw threading machinery is at home (the
     /// deterministic thread-pool crate itself).
     pub par_allowed_paths: Vec<String>,
+    /// The trace-emission API surface; allowed in the simulator, the
+    /// detectors and the runner layer, but banned inside protocol impls —
+    /// a protocol must not write its own observation records. (`MsgBytes`
+    /// is deliberately absent: the `Protocol::Msg` bound requires it.)
+    pub obs_idents: Vec<String>,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
         let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         LintConfig {
-            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par"]),
+            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par", "obs"]),
             protocol_traits: s(&["Protocol"]),
             locality_denied_methods: s(&[
                 // NetworkModel: ground truth a real node cannot observe.
@@ -230,6 +246,16 @@ impl Default for LintConfig {
             ]),
             par_api_idents: s(&["Parallelism", "par_map", "par_map_init", "par_for_each_init"]),
             par_allowed_paths: s(&["crates/par/"]),
+            obs_idents: s(&[
+                "Trace",
+                "TraceEvent",
+                "TraceRecord",
+                "TraceSummary",
+                "summarize",
+                "to_jsonl",
+                "write_jsonl",
+                "SpanId",
+            ]),
         }
     }
 }
@@ -536,6 +562,18 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
                     ),
                 );
             }
+        }
+
+        // ---- obs-scope ---------------------------------------------------
+        if in_proto && !in_test && t.kind == TokKind::Ident && cfg.obs_idents.contains(&t.text) {
+            push(
+                Pass::ObsScope,
+                t.line,
+                format!(
+                    "`{}` inside a protocol impl; only the simulator and the detectors emit traces — message handlers must stay observation-free",
+                    t.text
+                ),
+            );
         }
 
         // ---- float-safety ------------------------------------------------
@@ -990,6 +1028,53 @@ mod tests {
         assert!(run("crates/core/src/detector.rs", in_mod).is_empty());
         let in_tests_dir = "fn f(m: &Mutex<u32>) { let _ = m; }";
         assert!(run("crates/core/tests/parallel.rs", in_tests_dir).is_empty());
+    }
+
+    // ---- obs-scope ------------------------------------------------------
+
+    #[test]
+    fn obs_scope_flags_trace_api_inside_protocol_impl() {
+        // A protocol writing its own trace records could skew the very
+        // accounting the observability layer exists to certify.
+        let src = r#"
+            impl Protocol for Cheater {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let mut t = Trace::enabled();
+                    t.event(TraceEvent::Counter { name: "cheat", value: 1 });
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["obs-scope", "obs-scope"], "{diags:?}");
+        assert!(diags[0].message.contains("observation-free"));
+    }
+
+    #[test]
+    fn obs_scope_allows_runners_detectors_and_msg_bytes() {
+        // The runner layer owns the trace; inherent impls and free fns are
+        // fine everywhere.
+        let runner = "pub fn run_traced(trace: &mut Trace) { let _ = trace; }";
+        assert!(run("crates/core/src/protocols.rs", runner).is_empty());
+        let detector = "pub fn detect_view_traced(t: &mut Trace) { t.event(TraceEvent::NetSize { nodes: 1, edges: 0 }); }";
+        assert!(run("crates/core/src/detector.rs", detector).is_empty());
+        // MsgBytes is required by the Protocol::Msg bound and stays legal
+        // inside protocol impls.
+        let msg = r#"
+            impl Protocol for P {
+                type Msg = u32;
+                fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                    let _n = MsgBytes::msg_bytes(&0u32);
+                }
+            }
+        "#;
+        assert!(run("crates/core/src/protocols.rs", msg).is_empty());
+    }
+
+    #[test]
+    fn obs_scope_exempts_test_code() {
+        let in_mod = "#[cfg(test)]\nmod tests { impl Protocol for P { type Msg = (); fn on_start(&mut self, _c: &mut Ctx<'_, ()>) { let _t = Trace::disabled(); } } }";
+        assert!(run("crates/core/src/protocols.rs", in_mod).is_empty());
     }
 
     // ---- escape hatch ---------------------------------------------------

@@ -187,6 +187,24 @@ fn raw_threading_outside_the_pool_crate_would_fail() {
 }
 
 #[test]
+fn trace_emission_inside_a_handler_would_fail() {
+    // A protocol writing its own trace records could skew the very
+    // accounting the observability layer certifies; the trace sink
+    // belongs to the simulator, the detectors and the runners.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned =
+        src.replace(needle, &format!("{needle}\n        let mut _t = Trace::enabled();"));
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::ObsScope),
+        "Trace inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
 fn nan_unsafe_sort_anywhere_would_fail() {
     let src = r#"
         pub fn order(mut xs: Vec<f64>) -> Vec<f64> {

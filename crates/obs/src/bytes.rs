@@ -1,0 +1,95 @@
+//! Wire-size accounting for protocol messages.
+//!
+//! The simulator charges every transmission `msg.msg_bytes()` payload
+//! bytes, so byte-overhead claims are measurable alongside message
+//! counts. Sizes model a fixed little-endian wire format — **not**
+//! `size_of`, which varies by platform and would break the
+//! byte-identical-trace contract:
+//!
+//! * integers at their wire width (`usize` travels as a `u64`),
+//! * `f64` as 8 bytes, `bool` as 1, `()` as 0,
+//! * tuples as the sum of their fields,
+//! * `Option` as a 1-byte tag plus the payload when present,
+//! * `Vec` as an 8-byte length prefix plus the elements.
+
+/// Deterministic serialized size of a protocol message, in bytes.
+pub trait MsgBytes {
+    /// The message's wire size in bytes.
+    fn msg_bytes(&self) -> u64;
+}
+
+macro_rules! fixed_width {
+    ($($ty:ty => $bytes:expr),* $(,)?) => {
+        $(impl MsgBytes for $ty {
+            #[inline]
+            fn msg_bytes(&self) -> u64 {
+                $bytes
+            }
+        })*
+    };
+}
+
+fixed_width! {
+    () => 0,
+    bool => 1,
+    u8 => 1,
+    u16 => 2,
+    u32 => 4,
+    u64 => 8,
+    usize => 8,
+    i32 => 4,
+    i64 => 8,
+    f32 => 4,
+    f64 => 8,
+}
+
+impl<A: MsgBytes, B: MsgBytes> MsgBytes for (A, B) {
+    #[inline]
+    fn msg_bytes(&self) -> u64 {
+        self.0.msg_bytes() + self.1.msg_bytes()
+    }
+}
+
+impl<A: MsgBytes, B: MsgBytes, C: MsgBytes> MsgBytes for (A, B, C) {
+    #[inline]
+    fn msg_bytes(&self) -> u64 {
+        self.0.msg_bytes() + self.1.msg_bytes() + self.2.msg_bytes()
+    }
+}
+
+impl<T: MsgBytes> MsgBytes for Option<T> {
+    #[inline]
+    fn msg_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, MsgBytes::msg_bytes)
+    }
+}
+
+impl<T: MsgBytes> MsgBytes for Vec<T> {
+    #[inline]
+    fn msg_bytes(&self) -> u64 {
+        8 + self.iter().map(MsgBytes::msg_bytes).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_composite_sizes_are_wire_widths() {
+        assert_eq!(().msg_bytes(), 0);
+        assert_eq!(true.msg_bytes(), 1);
+        assert_eq!(7u32.msg_bytes(), 4);
+        assert_eq!(7usize.msg_bytes(), 8);
+        assert_eq!(1.5f64.msg_bytes(), 8);
+        assert_eq!((3usize, 2u32).msg_bytes(), 12);
+        assert_eq!((1usize, 2usize, 0.5f64).msg_bytes(), 24);
+        assert_eq!(Some(4u32).msg_bytes(), 5);
+        assert_eq!(None::<u32>.msg_bytes(), 1);
+        // Length prefix plus elements: a UBF table row is (usize, f64).
+        let table: Vec<(usize, f64)> = vec![(0, 1.0), (1, 2.0), (2, 3.0)];
+        assert_eq!(table.msg_bytes(), 8 + 3 * 16);
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(empty.msg_bytes(), 8);
+    }
+}

@@ -1,0 +1,238 @@
+//! JSONL serialization of traces, and the minimal flat-object parser
+//! used by `trace_diff`.
+//!
+//! Every record serializes as one flat RFC 8259 object per line with a
+//! fixed key order, so equal traces produce equal bytes and the bench
+//! JSON validator accepts every line. Values are only ever strings,
+//! integers and booleans — the parser here handles exactly that shape
+//! and rejects anything else, keeping the diff tool dependency-free.
+
+use std::fmt::Write as _;
+
+use crate::{TraceEvent, TraceRecord};
+
+/// Appends `rec` as one flat JSON object (no trailing newline).
+pub fn write_record(out: &mut String, rec: &TraceRecord) {
+    let _ = write!(out, "{{\"seq\":{},\"span\":{}", rec.seq, rec.span);
+    match &rec.event {
+        TraceEvent::SpanOpen { name, parent } => {
+            let _ = write!(out, ",\"ev\":\"span_open\",\"name\":\"{name}\",\"parent\":{parent}");
+        }
+        TraceEvent::SpanClose { name } => {
+            let _ = write!(out, ",\"ev\":\"span_close\",\"name\":\"{name}\"");
+        }
+        TraceEvent::NetSize { nodes, edges } => {
+            let _ = write!(out, ",\"ev\":\"net_size\",\"nodes\":{nodes},\"edges\":{edges}");
+        }
+        TraceEvent::Round {
+            round,
+            sent,
+            bytes,
+            delivered,
+            dropped,
+            duplicated,
+            delayed,
+            crash_lost,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"round\",\"round\":{round},\"sent\":{sent},\"bytes\":{bytes},\
+                 \"delivered\":{delivered},\"dropped\":{dropped},\"duplicated\":{duplicated},\
+                 \"delayed\":{delayed},\"crash_lost\":{crash_lost}"
+            );
+        }
+        TraceEvent::BallTests { node, tests, boundary } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"ball_tests\",\"node\":{node},\"tests\":{tests},\"boundary\":{boundary}"
+            );
+        }
+        TraceEvent::Degenerate { node } => {
+            let _ = write!(out, ",\"ev\":\"degenerate\",\"node\":{node}");
+        }
+        TraceEvent::Retransmits { node, resends } => {
+            let _ = write!(out, ",\"ev\":\"retransmits\",\"node\":{node},\"resends\":{resends}");
+        }
+        TraceEvent::Reforwards { node, count } => {
+            let _ = write!(out, ",\"ev\":\"reforwards\",\"node\":{node},\"count\":{count}");
+        }
+        TraceEvent::Convergence { rounds, messages, bytes, quiescent } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"convergence\",\"rounds\":{rounds},\"messages\":{messages},\
+                 \"bytes\":{bytes},\"quiescent\":{quiescent}"
+            );
+        }
+        TraceEvent::Halo { size, promoted, demoted, regrouped } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"halo\",\"size\":{size},\"promoted\":{promoted},\
+                 \"demoted\":{demoted},\"regrouped\":{regrouped}"
+            );
+        }
+        TraceEvent::Counter { name, value } => {
+            let _ = write!(out, ",\"ev\":\"counter\",\"name\":\"{name}\",\"value\":{value}");
+        }
+    }
+    out.push('}');
+}
+
+/// Parses one flat JSON object into its `(key, raw value)` pairs in
+/// source order. Values are returned as their raw token text (quotes
+/// stripped from strings); nested objects/arrays are rejected — trace
+/// lines are flat by construction.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let eat_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let string_at = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}", i = *i));
+        }
+        *i += 1;
+        let mut s = String::new();
+        while let Some(&b) = bytes.get(*i) {
+            match b {
+                b'"' => {
+                    *i += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match bytes.get(*i) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    s.push(b as char);
+                    *i += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    };
+
+    eat_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return Err("expected '{'".to_string());
+    }
+    i += 1;
+    eat_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        return Ok(pairs);
+    }
+    loop {
+        eat_ws(&mut i);
+        let key = string_at(&mut i)?;
+        eat_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        eat_ws(&mut i);
+        let value = match bytes.get(i) {
+            Some(b'"') => string_at(&mut i)?,
+            Some(b'{') | Some(b'[') => {
+                return Err(format!("nested value for key {key:?} — trace lines are flat"));
+            }
+            Some(_) => {
+                let start = i;
+                while i < bytes.len() && !matches!(bytes[i], b',' | b'}') {
+                    i += 1;
+                }
+                line[start..i].trim().to_string()
+            }
+            None => return Err(format!("missing value for key {key:?}")),
+        };
+        pairs.push((key, value));
+        eat_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    eat_ws(&mut i);
+    if i != bytes.len() {
+        return Err("trailing garbage after object".to_string());
+    }
+    Ok(pairs)
+}
+
+/// Parses a whole JSONL document (empty lines ignored) into per-line
+/// key/value pairs, with 1-based line numbers in error messages.
+pub fn parse_jsonl(src: &str) -> Result<Vec<Vec<(String, String)>>, String> {
+    let mut lines = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        lines.push(pairs);
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    #[test]
+    fn every_event_kind_round_trips_through_the_flat_parser() {
+        let mut t = Trace::enabled();
+        t.event(TraceEvent::NetSize { nodes: 3, edges: 2 });
+        t.open("ubf");
+        t.open("round");
+        t.event(TraceEvent::Round {
+            round: 1,
+            sent: 4,
+            bytes: 32,
+            delivered: 4,
+            dropped: 1,
+            duplicated: 0,
+            delayed: 2,
+            crash_lost: 0,
+        });
+        t.close();
+        t.event(TraceEvent::BallTests { node: 0, tests: 17, boundary: true });
+        t.event(TraceEvent::Degenerate { node: 1 });
+        t.event(TraceEvent::Retransmits { node: 2, resends: 3 });
+        t.event(TraceEvent::Reforwards { node: 2, count: 1 });
+        t.event(TraceEvent::Convergence { rounds: 1, messages: 4, bytes: 32, quiescent: true });
+        t.event(TraceEvent::Halo { size: 5, promoted: 1, demoted: 0, regrouped: 2 });
+        t.event(TraceEvent::Counter { name: "boundary", value: 9 });
+        t.close();
+        let doc = t.to_jsonl();
+        let parsed = parse_jsonl(&doc).expect("trace JSONL parses");
+        assert_eq!(parsed.len(), t.records().len());
+        // Spot-check a line: key order and values survive.
+        let round = parsed.iter().find(|p| p.iter().any(|(k, v)| k == "ev" && v == "round"));
+        let round = round.expect("round line present");
+        assert!(round.contains(&("sent".to_string(), "4".to_string())));
+        assert!(round.contains(&("dropped".to_string(), "1".to_string())));
+    }
+
+    #[test]
+    fn parser_rejects_nested_and_malformed_lines() {
+        assert!(parse_flat_object("{\"a\":{\"b\":1}}").is_err());
+        assert!(parse_flat_object("{\"a\":1").is_err());
+        assert!(parse_flat_object("{\"a\":1} x").is_err());
+        assert!(parse_flat_object("[1,2]").is_err());
+        assert_eq!(parse_flat_object("{}").expect("empty object parses"), Vec::new());
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace aggregation: roll a record stream up into per-protocol
+//! communication- and computation-cost tables.
+//!
+//! Events attribute to the nearest enclosing span that is not a
+//! structural `"round"` span, and same-named spans aggregate into one
+//! row (a protocol run repeated per grid cell sums up). The resulting
+//! [`ProtocolSummary`] rows carry the counts the paper's complexity
+//! claims are stated in: messages/node, bytes/node, ball-tests/node.
+
+use crate::{TraceEvent, TraceRecord};
+
+/// Aggregated costs of one named span family (usually one protocol).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProtocolSummary {
+    /// Span name (`"ubf"`, `"iff"`, `"grouping"`, …).
+    pub name: String,
+    /// Network size from the span's `NetSize` event (0 if none).
+    pub nodes: u64,
+    /// Executed rounds (count of `Round` events).
+    pub rounds: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Messages delivered to live nodes.
+    pub delivered: u64,
+    /// Fault-layer drops.
+    pub dropped: u64,
+    /// Fault-layer duplications.
+    pub duplicated: u64,
+    /// Fault-layer delays.
+    pub delayed: u64,
+    /// Deliveries lost to crashed receivers.
+    pub crash_lost: u64,
+    /// Candidate balls tested (UBF Theorem-1 accounting).
+    pub ball_tests: u64,
+    /// Nodes that ran the UBF test (denominator for ball-tests/node).
+    pub tested_nodes: u64,
+    /// Hardened-protocol retransmissions.
+    pub retransmits: u64,
+    /// Hardened-flood improved-distance re-forwards.
+    pub reforwards: u64,
+}
+
+impl ProtocolSummary {
+    /// Messages per node, if the span recorded a network size.
+    pub fn msgs_per_node(&self) -> Option<f64> {
+        (self.nodes > 0).then(|| self.messages as f64 / self.nodes as f64)
+    }
+
+    /// Payload bytes per node, if the span recorded a network size.
+    pub fn bytes_per_node(&self) -> Option<f64> {
+        (self.nodes > 0).then(|| self.bytes as f64 / self.nodes as f64)
+    }
+
+    /// Candidate balls tested per tested node.
+    pub fn ball_tests_per_node(&self) -> Option<f64> {
+        (self.tested_nodes > 0).then(|| self.ball_tests as f64 / self.tested_nodes as f64)
+    }
+}
+
+/// The rolled-up view of one trace: a row per span family, in
+/// first-seen order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSummary {
+    /// Aggregated rows, in first-seen span order.
+    pub rows: Vec<ProtocolSummary>,
+}
+
+impl TraceSummary {
+    /// The row for span family `name`, if the trace contains it.
+    pub fn get(&self, name: &str) -> Option<&ProtocolSummary> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the rows as a fixed-width text table (the format quoted
+    /// in EXPERIMENTS.md).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>10} {:>10} {:>12} {:>14}\n",
+            "span", "nodes", "messages", "msg/node", "bytes/node", "ball-tests/nd"
+        ));
+        for r in &self.rows {
+            let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+            out.push_str(&format!(
+                "{:<18} {:>7} {:>10} {:>10} {:>12} {:>14}\n",
+                r.name,
+                r.nodes,
+                r.messages,
+                fmt(r.msgs_per_node()),
+                fmt(r.bytes_per_node()),
+                fmt(r.ball_tests_per_node()),
+            ));
+        }
+        out
+    }
+}
+
+/// Rolls `records` up into per-span-family cost rows.
+pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
+    let mut rows: Vec<ProtocolSummary> = Vec::new();
+    // Open spans as (id, name); events walk up past "round" spans.
+    let mut stack: Vec<(u32, &'static str)> = Vec::new();
+    let row_index = |rows: &mut Vec<ProtocolSummary>, name: &str| -> usize {
+        if let Some(i) = rows.iter().position(|r| r.name == name) {
+            return i;
+        }
+        rows.push(ProtocolSummary { name: name.to_string(), ..ProtocolSummary::default() });
+        rows.len() - 1
+    };
+
+    for rec in records {
+        match &rec.event {
+            TraceEvent::SpanOpen { name, .. } => stack.push((rec.span, name)),
+            TraceEvent::SpanClose { .. } => {
+                stack.pop();
+            }
+            event => {
+                let bucket = stack
+                    .iter()
+                    .rev()
+                    .find(|&&(_, name)| name != "round")
+                    .map_or("(root)", |&(_, name)| name);
+                let i = row_index(&mut rows, bucket);
+                let row = &mut rows[i];
+                match *event {
+                    TraceEvent::NetSize { nodes, .. } => row.nodes = row.nodes.max(nodes as u64),
+                    TraceEvent::Round {
+                        sent,
+                        bytes,
+                        delivered,
+                        dropped,
+                        duplicated,
+                        delayed,
+                        crash_lost,
+                        ..
+                    } => {
+                        row.rounds += 1;
+                        row.messages += sent;
+                        row.bytes += bytes;
+                        row.delivered += delivered;
+                        row.dropped += dropped;
+                        row.duplicated += duplicated;
+                        row.delayed += delayed;
+                        row.crash_lost += crash_lost;
+                    }
+                    TraceEvent::BallTests { tests, .. } => {
+                        row.ball_tests += tests;
+                        row.tested_nodes += 1;
+                    }
+                    TraceEvent::Retransmits { resends, .. } => row.retransmits += resends,
+                    TraceEvent::Reforwards { count, .. } => row.reforwards += count,
+                    // Convergence totals duplicate the per-round sums;
+                    // counting both would double-charge the span.
+                    TraceEvent::Convergence { .. }
+                    | TraceEvent::Degenerate { .. }
+                    | TraceEvent::Halo { .. }
+                    | TraceEvent::Counter { .. }
+                    | TraceEvent::SpanOpen { .. }
+                    | TraceEvent::SpanClose { .. } => {}
+                }
+            }
+        }
+    }
+    TraceSummary { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    #[test]
+    fn events_attribute_past_round_spans_and_same_names_aggregate() {
+        let mut t = Trace::enabled();
+        for _ in 0..2 {
+            t.open("ubf");
+            t.event(TraceEvent::NetSize { nodes: 10, edges: 20 });
+            t.open("round");
+            t.event(TraceEvent::Round {
+                round: 1,
+                sent: 40,
+                bytes: 320,
+                delivered: 40,
+                dropped: 2,
+                duplicated: 0,
+                delayed: 0,
+                crash_lost: 0,
+            });
+            t.close();
+            t.event(TraceEvent::Convergence {
+                rounds: 1,
+                messages: 40,
+                bytes: 320,
+                quiescent: true,
+            });
+            t.close();
+        }
+        t.open("detect");
+        t.event(TraceEvent::BallTests { node: 0, tests: 30, boundary: true });
+        t.event(TraceEvent::BallTests { node: 1, tests: 10, boundary: false });
+        t.close();
+
+        let s = summarize(t.records());
+        assert_eq!(s.rows.len(), 2);
+        let ubf = s.get("ubf").expect("ubf row");
+        // Two runs aggregate; convergence events do not double-count.
+        assert_eq!(ubf.messages, 80);
+        assert_eq!(ubf.bytes, 640);
+        assert_eq!(ubf.rounds, 2);
+        assert_eq!(ubf.dropped, 4);
+        assert_eq!(ubf.nodes, 10);
+        assert_eq!(ubf.msgs_per_node(), Some(8.0));
+        let det = s.get("detect").expect("detect row");
+        assert_eq!(det.ball_tests, 40);
+        assert_eq!(det.tested_nodes, 2);
+        assert_eq!(det.ball_tests_per_node(), Some(20.0));
+        assert_eq!(det.msgs_per_node(), None, "no NetSize in the detect span");
+        // The table renders a line per row plus a header.
+        assert_eq!(s.render_table().lines().count(), 3);
+    }
+}

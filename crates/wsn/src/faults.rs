@@ -133,7 +133,7 @@ pub struct Crash {
 /// Counters of injected faults, reported in
 /// [`crate::sim::RunStats::faults`]. All zero on the perfect-delivery
 /// path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct FaultCounts {
     /// Transmissions dropped by link loss.

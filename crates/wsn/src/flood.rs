@@ -123,6 +123,9 @@ pub struct HardenedFragmentFlood {
     best: BTreeMap<NodeId, u32>,
     /// Forwards still owed re-broadcasts: `(origin, fwd_ttl, left)`.
     pending: Vec<(NodeId, u32, u32)>,
+    /// Forwards triggered by a *better* copy of an already-seen origin —
+    /// the work the max-TTL hardening does on top of the plain flood.
+    reforwards: u64,
 }
 
 impl HardenedFragmentFlood {
@@ -135,6 +138,7 @@ impl HardenedFragmentFlood {
             repeats: repeats.max(1),
             best: BTreeMap::new(),
             pending: Vec::new(),
+            reforwards: 0,
         }
     }
 
@@ -145,6 +149,13 @@ impl HardenedFragmentFlood {
         } else {
             0
         }
+    }
+
+    /// Forwards this node performed because a better copy of an
+    /// already-seen origin arrived (0 on a perfect radio). Harvested by
+    /// traced runners as [`ballfit_obs::TraceEvent::Reforwards`].
+    pub fn reforwards(&self) -> u64 {
+        self.reforwards
     }
 
     fn forward(&mut self, origin: NodeId, fwd_ttl: u32, ctx: &mut Ctx<'_, FloodMsg>) {
@@ -174,10 +185,14 @@ impl Protocol for HardenedFragmentFlood {
             return;
         }
         let (origin, ttl) = *msg;
+        let known = self.best.contains_key(&origin);
         let improved = self.best.get(&origin).is_none_or(|&t| ttl > t);
         if improved {
             self.best.insert(origin, ttl);
             if ttl > 0 {
+                if known {
+                    self.reforwards += 1;
+                }
                 self.forward(origin, ttl - 1, ctx);
             }
         }
@@ -266,6 +281,9 @@ mod tests {
             let sizes: Vec<usize> = (0..topo.len()).map(|i| sim.node(i).fragment_size()).collect();
             assert_eq!(sizes, plain, "ttl={ttl}");
             assert_eq!(stats.messages, plain_msgs, "repeats=1 must not add messages");
+            for i in 0..topo.len() {
+                assert_eq!(sim.node(i).reforwards(), 0, "perfect radio never re-forwards");
+            }
         }
     }
 

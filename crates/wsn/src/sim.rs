@@ -14,6 +14,16 @@
 //!
 //! Delivery order within a round is deterministic (sorted by destination,
 //! then source, then send order), so protocol runs are reproducible.
+//!
+//! Every run can additionally emit a deterministic structured trace
+//! ([`Simulator::run_traced`] / [`Simulator::run_with_faults_traced`]):
+//! a `"round"` span per executed round with per-round message/byte and
+//! fault-attribution accounting, recorded in logical time only. The
+//! plain entry points are the [`Trace::disabled`] special case, so the
+//! traced and untraced engines are literally the same code.
+
+pub use ballfit_obs::MsgBytes;
+use ballfit_obs::{Trace, TraceEvent};
 
 use crate::faults::{FaultCounts, FaultPlan, Xoshiro256PlusPlus};
 use crate::topology::{NodeId, Topology};
@@ -21,8 +31,10 @@ use crate::topology::{NodeId, Topology};
 /// Per-node protocol behaviour. One instance exists per node; the engine
 /// invokes the callbacks with a [`Ctx`] through which messages are sent.
 pub trait Protocol {
-    /// Message type exchanged between neighbors.
-    type Msg: Clone;
+    /// Message type exchanged between neighbors. The [`MsgBytes`] bound
+    /// gives every transmission a deterministic wire size, so byte
+    /// overhead is accounted alongside message counts.
+    type Msg: Clone + MsgBytes;
 
     /// Called once for every node before round 0.
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
@@ -50,9 +62,10 @@ pub struct Ctx<'a, M> {
     neighbors: &'a [NodeId],
     outbox: &'a mut Vec<(NodeId, NodeId, M)>,
     sent: &'a mut u64,
+    bytes: &'a mut u64,
 }
 
-impl<M: Clone> Ctx<'_, M> {
+impl<M: Clone + MsgBytes> Ctx<'_, M> {
     /// The node this context belongs to.
     #[inline]
     pub fn node(&self) -> NodeId {
@@ -79,6 +92,7 @@ impl<M: Clone> Ctx<'_, M> {
             to
         );
         *self.sent += 1;
+        *self.bytes += msg.msg_bytes();
         self.outbox.push((self.node, to, msg));
     }
 
@@ -89,26 +103,69 @@ impl<M: Clone> Ctx<'_, M> {
         let Some((&last, rest)) = self.neighbors.split_last() else {
             return;
         };
+        let size = msg.msg_bytes();
         for &to in rest {
             *self.sent += 1;
+            *self.bytes += size;
             self.outbox.push((self.node, to, msg.clone()));
         }
         *self.sent += 1;
+        *self.bytes += size;
         self.outbox.push((self.node, last, msg));
     }
 }
 
 /// Statistics from a protocol run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunStats {
     /// Number of rounds executed (message-delivery rounds).
     pub rounds: usize,
     /// Total messages sent across all nodes and rounds.
     pub messages: u64,
+    /// Total payload bytes sent ([`MsgBytes`] wire sizes).
+    pub bytes: u64,
     /// `true` if the run stopped because no messages were in flight.
     pub quiescent: bool,
     /// Injected-fault counters; all zero on the perfect-delivery path.
     pub faults: FaultCounts,
+    /// Messages sent per round: index 0 is the start phase (`on_start`
+    /// sends), index `r ≥ 1` the sends of executed round `r`. Length is
+    /// always `rounds + 1`. A node revived at round `r` contributes its
+    /// late `on_start` sends to bucket `r`.
+    pub per_round_messages: Vec<u64>,
+    /// Payload bytes sent per round; same bucket layout as
+    /// [`RunStats::per_round_messages`].
+    pub per_round_bytes: Vec<u64>,
+}
+
+/// Adds `delta` to `buckets[index]`, growing the vector with zeros on
+/// demand.
+fn bucket_add(buckets: &mut Vec<u64>, index: usize, delta: u64) {
+    if buckets.len() <= index {
+        buckets.resize(index + 1, 0);
+    }
+    buckets[index] += delta;
+}
+
+/// Normalizes the per-round vectors to `rounds + 1` buckets, emits the
+/// end-of-run [`TraceEvent::Convergence`] record and assembles the
+/// stats. Shared tail of both engines.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    trace: &mut Trace,
+    rounds: usize,
+    messages: u64,
+    bytes: u64,
+    quiescent: bool,
+    faults: FaultCounts,
+    mut per_round_messages: Vec<u64>,
+    mut per_round_bytes: Vec<u64>,
+) -> RunStats {
+    per_round_messages.resize(rounds + 1, 0);
+    per_round_bytes.resize(rounds + 1, 0);
+    trace.event(TraceEvent::Convergence { rounds, messages, bytes, quiescent });
+    RunStats { rounds, messages, bytes, quiescent, faults, per_round_messages, per_round_bytes }
 }
 
 /// The simulation engine: a topology plus one protocol instance per node.
@@ -129,40 +186,75 @@ impl<'t, P: Protocol> Simulator<'t, P> {
     /// first. Returns run statistics; inspect per-node outcomes via
     /// [`Simulator::node`] / [`Simulator::into_nodes`].
     pub fn run(&mut self, max_rounds: usize) -> RunStats {
-        let mut sent: u64 = 0;
-        let mut inflight: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+        self.run_traced(max_rounds, &mut Trace::disabled())
+    }
 
-        // Start phase.
+    /// [`Simulator::run`] with structured tracing: emits the network
+    /// size, one `"round"` span per executed round (round 0 is the
+    /// start phase) with message/byte/delivery accounting, and an
+    /// end-of-run convergence record. With [`Trace::disabled`] this *is*
+    /// `run` — the plain entry point delegates here.
+    pub fn run_traced(&mut self, max_rounds: usize, trace: &mut Trace) -> RunStats {
+        let mut sent: u64 = 0;
+        let mut bytes: u64 = 0;
+        let mut per_round_messages: Vec<u64> = Vec::new();
+        let mut per_round_bytes: Vec<u64> = Vec::new();
+        let mut inflight: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+        trace.event(TraceEvent::NetSize { nodes: self.nodes.len(), edges: self.topo.edge_count() });
+
+        // Start phase ("round 0" of the accounting).
         for id in 0..self.nodes.len() {
             let mut ctx = Ctx {
                 node: id,
                 neighbors: self.topo.neighbors(id),
                 outbox: &mut inflight,
                 sent: &mut sent,
+                bytes: &mut bytes,
             };
             self.nodes[id].on_start(&mut ctx);
         }
+        bucket_add(&mut per_round_messages, 0, sent);
+        bucket_add(&mut per_round_bytes, 0, bytes);
+        trace.open("round");
+        trace.event(TraceEvent::Round {
+            round: 0,
+            sent,
+            bytes,
+            delivered: 0,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+            crash_lost: 0,
+        });
+        trace.close();
+        let (mut prev_sent, mut prev_bytes) = (sent, bytes);
 
         let mut rounds = 0;
         while rounds < max_rounds {
             if inflight.is_empty() && !self.nodes.iter().any(Protocol::wants_tick) {
-                return RunStats {
+                return finish_run(
+                    trace,
                     rounds,
-                    messages: sent,
-                    quiescent: true,
-                    faults: FaultCounts::default(),
-                };
+                    sent,
+                    bytes,
+                    true,
+                    FaultCounts::default(),
+                    per_round_messages,
+                    per_round_bytes,
+                );
             }
             rounds += 1;
             // Deterministic delivery order.
             let mut deliveries = std::mem::take(&mut inflight);
             deliveries.sort_by_key(|&(from, to, _)| (to, from));
+            let delivered = deliveries.len() as u64;
             for (from, to, msg) in &deliveries {
                 let mut ctx = Ctx {
                     node: *to,
                     neighbors: self.topo.neighbors(*to),
                     outbox: &mut inflight,
                     sent: &mut sent,
+                    bytes: &mut bytes,
                 };
                 self.nodes[*to].on_message(*from, msg, &mut ctx);
             }
@@ -172,12 +264,38 @@ impl<'t, P: Protocol> Simulator<'t, P> {
                     neighbors: self.topo.neighbors(id),
                     outbox: &mut inflight,
                     sent: &mut sent,
+                    bytes: &mut bytes,
                 };
                 self.nodes[id].on_round_end(rounds - 1, &mut ctx);
             }
+            bucket_add(&mut per_round_messages, rounds, sent - prev_sent);
+            bucket_add(&mut per_round_bytes, rounds, bytes - prev_bytes);
+            trace.open("round");
+            trace.event(TraceEvent::Round {
+                round: rounds,
+                sent: sent - prev_sent,
+                bytes: bytes - prev_bytes,
+                delivered,
+                dropped: 0,
+                duplicated: 0,
+                delayed: 0,
+                crash_lost: 0,
+            });
+            trace.close();
+            prev_sent = sent;
+            prev_bytes = bytes;
         }
         let quiescent = inflight.is_empty() && !self.nodes.iter().any(Protocol::wants_tick);
-        RunStats { rounds, messages: sent, quiescent, faults: FaultCounts::default() }
+        finish_run(
+            trace,
+            rounds,
+            sent,
+            bytes,
+            quiescent,
+            FaultCounts::default(),
+            per_round_messages,
+            per_round_bytes,
+        )
     }
 
     /// Runs the protocol on an unreliable radio described by `plan`: the
@@ -200,10 +318,32 @@ impl<'t, P: Protocol> Simulator<'t, P> {
     ///
     /// Panics if `plan` carries a NaN or out-of-range probability.
     pub fn run_with_faults(&mut self, max_rounds: usize, plan: &FaultPlan) -> RunStats {
+        self.run_with_faults_traced(max_rounds, plan, &mut Trace::disabled())
+    }
+
+    /// [`Simulator::run_with_faults`] with structured tracing. Round
+    /// records additionally attribute the fault layer's work: drops,
+    /// duplications, delays and crash-lost deliveries per round, as
+    /// deltas of the run's [`FaultCounts`]. Sends from a node revived
+    /// mid-run fold into the next executed round's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` carries a NaN or out-of-range probability.
+    pub fn run_with_faults_traced(
+        &mut self,
+        max_rounds: usize,
+        plan: &FaultPlan,
+        trace: &mut Trace,
+    ) -> RunStats {
         plan.validate();
         let n = self.nodes.len();
         let mut sent: u64 = 0;
+        let mut bytes: u64 = 0;
+        let mut per_round_messages: Vec<u64> = Vec::new();
+        let mut per_round_bytes: Vec<u64> = Vec::new();
         let mut counts = FaultCounts::default();
+        trace.event(TraceEvent::NetSize { nodes: n, edges: self.topo.edge_count() });
         let mut rng = plan.stream();
         let events = plan.schedule();
         let mut next_event = 0usize;
@@ -235,10 +375,31 @@ impl<'t, P: Protocol> Simulator<'t, P> {
                 neighbors: self.topo.neighbors(id),
                 outbox: &mut outbox,
                 sent: &mut sent,
+                bytes: &mut bytes,
             };
             self.nodes[id].on_start(&mut ctx);
         }
         flush_outbox(&mut outbox, 0, plan, &mut rng, &mut queue, &mut seq, &mut counts);
+        bucket_add(&mut per_round_messages, 0, sent);
+        bucket_add(&mut per_round_bytes, 0, bytes);
+        trace.open("round");
+        trace.event(TraceEvent::Round {
+            round: 0,
+            sent,
+            bytes,
+            delivered: 0,
+            dropped: counts.dropped,
+            duplicated: counts.duplicated,
+            delayed: counts.delayed,
+            crash_lost: counts.crash_lost,
+        });
+        trace.close();
+        // Bucket cursors (per-round vectors) and trace cursors (Round
+        // records) advance independently: revive-time sends land in the
+        // bucket of the round *before* the one whose record reports
+        // them, so both views stay exact sums of the run totals.
+        let (mut prev_sent, mut prev_bytes) = (sent, bytes);
+        let (mut ev_sent, mut ev_bytes, mut ev_counts) = (sent, bytes, counts);
 
         let mut rounds = 0;
         let mut due: Vec<(usize, u64, NodeId, NodeId, P::Msg)> = Vec::new();
@@ -261,6 +422,7 @@ impl<'t, P: Protocol> Simulator<'t, P> {
                         neighbors: self.topo.neighbors(node),
                         outbox: &mut outbox,
                         sent: &mut sent,
+                        bytes: &mut bytes,
                     };
                     self.nodes[node].on_start(&mut ctx);
                     flush_outbox(
@@ -274,13 +436,37 @@ impl<'t, P: Protocol> Simulator<'t, P> {
                     );
                 }
             }
+            // Late `on_start` sends belong to the round that just
+            // completed (they are due with the upcoming deliveries,
+            // exactly like round-0 start sends).
+            bucket_add(&mut per_round_messages, rounds, sent - prev_sent);
+            bucket_add(&mut per_round_bytes, rounds, bytes - prev_bytes);
+            (prev_sent, prev_bytes) = (sent, bytes);
             let wants_tick =
                 self.nodes.iter().enumerate().any(|(id, node)| alive[id] && node.wants_tick());
             if queue.is_empty() && next_event >= events.len() && !wants_tick {
-                return RunStats { rounds, messages: sent, quiescent: true, faults: counts };
+                return finish_run(
+                    trace,
+                    rounds,
+                    sent,
+                    bytes,
+                    true,
+                    counts,
+                    per_round_messages,
+                    per_round_bytes,
+                );
             }
             if rounds >= max_rounds {
-                return RunStats { rounds, messages: sent, quiescent: false, faults: counts };
+                return finish_run(
+                    trace,
+                    rounds,
+                    sent,
+                    bytes,
+                    false,
+                    counts,
+                    per_round_messages,
+                    per_round_bytes,
+                );
             }
             rounds += 1;
 
@@ -296,16 +482,19 @@ impl<'t, P: Protocol> Simulator<'t, P> {
                 }
             }
             due.sort_by_key(|&(_, s, from, to, _)| (to, from, s));
+            let mut delivered: u64 = 0;
             for (_, _, from, to, msg) in &due {
                 if !alive[*to] {
                     counts.crash_lost += 1;
                     continue;
                 }
+                delivered += 1;
                 let mut ctx = Ctx {
                     node: *to,
                     neighbors: self.topo.neighbors(*to),
                     outbox: &mut outbox,
                     sent: &mut sent,
+                    bytes: &mut bytes,
                 };
                 self.nodes[*to].on_message(*from, msg, &mut ctx);
             }
@@ -319,10 +508,27 @@ impl<'t, P: Protocol> Simulator<'t, P> {
                     neighbors: self.topo.neighbors(id),
                     outbox: &mut outbox,
                     sent: &mut sent,
+                    bytes: &mut bytes,
                 };
                 self.nodes[id].on_round_end(rounds - 1, &mut ctx);
             }
             flush_outbox(&mut outbox, rounds, plan, &mut rng, &mut queue, &mut seq, &mut counts);
+            bucket_add(&mut per_round_messages, rounds, sent - prev_sent);
+            bucket_add(&mut per_round_bytes, rounds, bytes - prev_bytes);
+            (prev_sent, prev_bytes) = (sent, bytes);
+            trace.open("round");
+            trace.event(TraceEvent::Round {
+                round: rounds,
+                sent: sent - ev_sent,
+                bytes: bytes - ev_bytes,
+                delivered,
+                dropped: counts.dropped - ev_counts.dropped,
+                duplicated: counts.duplicated - ev_counts.duplicated,
+                delayed: counts.delayed - ev_counts.delayed,
+                crash_lost: counts.crash_lost - ev_counts.crash_lost,
+            });
+            trace.close();
+            (ev_sent, ev_bytes, ev_counts) = (sent, bytes, counts);
         }
     }
 
@@ -679,5 +885,87 @@ mod tests {
         sim.run_with_faults(10, &FaultPlan::lossy(0, -0.5));
     }
 
+    #[test]
+    fn per_round_accounting_sums_to_totals() {
+        let topo = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mut sim = Simulator::new(&topo, |_| TwoHop::default());
+        let stats = sim.run(10);
+        // Every node broadcasts its 2-entry neighbor list once, in the
+        // start phase: bucket 0 carries all 12 messages, round 1 only
+        // delivers them.
+        assert_eq!(stats.per_round_messages, vec![12, 0]);
+        assert_eq!(stats.per_round_messages.len(), stats.rounds + 1);
+        // Vec<NodeId> wire size: 8-byte length prefix + 2 × 8 bytes.
+        assert_eq!(stats.bytes, 12 * 24);
+        assert_eq!(stats.per_round_bytes, vec![288, 0]);
+        assert_eq!(stats.per_round_messages.iter().sum::<u64>(), stats.messages);
+        assert_eq!(stats.per_round_bytes.iter().sum::<u64>(), stats.bytes);
+    }
+
+    #[test]
+    fn traced_run_is_inert_and_round_records_sum_to_totals() {
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut plain = Simulator::new(&topo, |_| Relay { seen: false });
+        let plain_stats = plain.run(100);
+
+        let mut trace = Trace::enabled();
+        let mut traced = Simulator::new(&topo, |_| Relay { seen: false });
+        let traced_stats = traced.run_traced(100, &mut trace);
+        assert_eq!(plain_stats, traced_stats, "tracing must not perturb the run");
+
+        let mut round_sent = 0;
+        let mut round_bytes = 0;
+        let mut rounds_seen = 0;
+        let mut convergence = None;
+        for rec in trace.records() {
+            match rec.event {
+                TraceEvent::Round { sent, bytes, .. } => {
+                    rounds_seen += 1;
+                    round_sent += sent;
+                    round_bytes += bytes;
+                }
+                TraceEvent::Convergence { rounds, messages, bytes, quiescent } => {
+                    convergence = Some((rounds, messages, bytes, quiescent));
+                }
+                _ => {}
+            }
+        }
+        // One record per executed round plus the start phase.
+        assert_eq!(rounds_seen, traced_stats.rounds + 1);
+        assert_eq!(round_sent, traced_stats.messages);
+        assert_eq!(round_bytes, traced_stats.bytes);
+        assert_eq!(
+            convergence,
+            Some((traced_stats.rounds, traced_stats.messages, traced_stats.bytes, true))
+        );
+
+        // The zero-fault engine produces the byte-identical trace.
+        let mut fault_trace = Trace::enabled();
+        let mut faulty = Simulator::new(&topo, |_| Relay { seen: false });
+        let faulty_stats = faulty.run_with_faults_traced(100, &FaultPlan::none(), &mut fault_trace);
+        assert_eq!(traced_stats, faulty_stats);
+        assert_eq!(trace.records(), fault_trace.records());
+        assert_eq!(trace.to_jsonl(), fault_trace.to_jsonl());
+    }
+
+    #[test]
+    fn faulty_round_records_attribute_drops_per_round() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut trace = Trace::enabled();
+        let mut sim = Simulator::new(&topo, |_| Relay { seen: false });
+        let stats = sim.run_with_faults_traced(50, &FaultPlan::lossy(3, 1.0), &mut trace);
+        let dropped: u64 = trace
+            .records()
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Round { dropped, .. } => Some(dropped),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(dropped, stats.faults.dropped);
+        assert_eq!(dropped, stats.messages, "fully lossy radio drops every send");
+    }
+
     use crate::faults::{Crash, FaultPlan};
+    use ballfit_obs::{Trace, TraceEvent};
 }

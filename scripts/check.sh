@@ -5,7 +5,8 @@
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
 #   3. ballfit-lint             determinism / locality / panic-safety /
 #                               float-safety / fault-scope / churn-scope /
-#                               par-scope invariants (crates/lint)
+#                               par-scope / obs-scope invariants
+#                               (crates/lint)
 #   4. cargo test               tier-1 test suite, run with
 #                               BALLFIT_THREADS=2 so the deterministic
 #                               pool's parallel path is exercised
@@ -13,6 +14,9 @@
 #                               (validated in-process via --validate)
 #   6. churn_sweep --smoke      incremental-vs-full churn sweep emits
 #                               valid JSON (exactness asserted per event)
+#   7. cost_profile --smoke     traced cost profile emits valid JSON and a
+#                               valid JSONL trace; a second run plus
+#                               trace_diff pins the trace byte-identical
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips clippy and runs tests in the default profile only.
@@ -52,6 +56,13 @@ cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --validate "$S
 step "churn_sweep --smoke (incremental boundary maintenance sweep)"
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin churn_sweep -- --smoke
 cargo run -q --release -p ballfit-bench --bin churn_sweep -- --validate "$SMOKE_DIR/churn_sweep.json"
+
+step "cost_profile --smoke (traced cost profile + trace determinism)"
+BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin cost_profile -- --smoke --trace "$SMOKE_DIR/cost_profile_a.jsonl"
+cargo run -q --release -p ballfit-bench --bin cost_profile -- --validate "$SMOKE_DIR/cost_profile.json"
+cargo run -q --release -p ballfit-bench --bin cost_profile -- --validate-trace "$SMOKE_DIR/cost_profile_a.jsonl"
+BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin cost_profile -- --smoke --trace "$SMOKE_DIR/cost_profile_b.jsonl"
+cargo run -q --release -p ballfit-obs --bin trace_diff -- "$SMOKE_DIR/cost_profile_a.jsonl" "$SMOKE_DIR/cost_profile_b.jsonl"
 
 echo
 echo "check.sh: all gates green"

@@ -85,6 +85,24 @@ fn churn_plan_roundtrip() {
 }
 
 #[test]
+fn run_stats_roundtrip() {
+    let m = model();
+    let candidates: Vec<bool> = (0..m.len()).map(|i| i % 3 == 0).collect();
+    let mut sim = ballfit_wsn::sim::Simulator::new(m.topology(), |id| {
+        ballfit_wsn::flood::FragmentFlood::new(candidates[id], 4)
+    });
+    let stats = sim.run(8);
+    // The per-round vectors are genuine decompositions of the totals.
+    assert_eq!(stats.per_round_messages.iter().sum::<u64>(), stats.messages);
+    assert_eq!(stats.per_round_bytes.iter().sum::<u64>(), stats.bytes);
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: ballfit_wsn::sim::RunStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+    // RunStats carries a total order and hashing for result-set dedup.
+    assert_eq!(back.cmp(&stats), std::cmp::Ordering::Equal);
+}
+
+#[test]
 fn detection_stats_roundtrip() {
     let m = model();
     let result = Pipeline::default().run(&m);
