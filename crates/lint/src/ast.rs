@@ -1,0 +1,749 @@
+//! A lightweight item-level AST over the [`crate::lexer`] token stream.
+//!
+//! The interprocedural passes need to know *which function a token belongs
+//! to* and *what that function can call* — nothing more. So this parser
+//! recognizes exactly the item grammar that matters (modules, use-trees,
+//! functions, impl blocks, traits) and treats everything else as an opaque
+//! [`ItemKind::Other`]. Function bodies are **not** parsed into expressions:
+//! a body is a token-index range into the original stream, and the call
+//! graph extracts call sites from it with the same token-pattern matching
+//! the direct passes use.
+//!
+//! The parser is tolerant by construction: any token sequence it does not
+//! understand is skipped to the next item boundary (`;` or a balanced
+//! `{...}` block at the current nesting level), so a file that compiles
+//! always yields *some* item list and a file that does not cannot wedge
+//! the analyzer. Recovery never loses functions in practice — the
+//! round-trip test in `tests/lint_clean.rs` pins the workspace item count.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// An item plus the attribute facts the passes care about.
+#[derive(Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// 1-based line of the item's keyword token.
+    pub line: u32,
+    /// Carried a `#[cfg(test)]` attribute (not `cfg(not(test))`).
+    pub cfg_test: bool,
+}
+
+/// Item kinds the analyzer distinguishes.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// `mod name;` or `mod name { ... }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Inline body items, `None` for `mod name;` declarations.
+        inline: Option<Vec<Item>>,
+    },
+    /// `use ...;` — flattened into one binding per leaf.
+    Use {
+        /// Every name the declaration brings into scope.
+        imports: Vec<UseImport>,
+    },
+    /// A free function.
+    Fn(FnItem),
+    /// `impl Type { ... }` or `impl Trait for Type { ... }`.
+    Impl(ImplItem),
+    /// `trait Name { ... }` — method signatures (and defaults) collected.
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Declared methods (bodies present only for defaulted ones).
+        fns: Vec<FnItem>,
+    },
+    /// Anything else (struct/enum/const/static/type/macro/extern block).
+    Other,
+}
+
+/// One function, free or associated.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `[start, end)` of the signature: from the `fn`
+    /// keyword up to (excluding) the body `{` or the terminating `;`.
+    pub sig: (usize, usize),
+    /// Token-index range `[start, end)` of the body *contents* (between
+    /// the braces, both exclusive); `None` for bodiless declarations.
+    pub body: Option<(usize, usize)>,
+    /// Carried `#[cfg(test)]` (directly or via the enclosing impl).
+    pub cfg_test: bool,
+}
+
+/// One impl block with the functions it owns.
+#[derive(Debug)]
+pub struct ImplItem {
+    /// Trait being implemented (last path segment), `None` for inherent
+    /// impls.
+    pub trait_name: Option<String>,
+    /// The `Self` type (last path segment at the top nesting level),
+    /// `None` when it is not a plain path (e.g. `impl Trait for &T`
+    /// falls back to the referent's name, tuples/slices to `None`).
+    pub self_ty: Option<String>,
+    /// Associated functions in source order.
+    pub fns: Vec<FnItem>,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// One binding introduced by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Full path segments including the leaf (`["std", "collections",
+    /// "BTreeMap"]`); for globs, the path of the module the glob opens.
+    pub path: Vec<String>,
+    /// The name bound in scope: the leaf segment, the `as` alias, or
+    /// `"*"` for glob imports.
+    pub name: String,
+}
+
+/// Parses one file's token stream into an item tree.
+pub fn parse(toks: &[Tok]) -> Ast {
+    let mut p = Parser { toks, pos: 0 };
+    Ast { items: p.parse_items(toks.len()) }
+}
+
+/// Counts all items in `items`, recursing into inline modules (impl/trait
+/// member functions are not counted separately). Used by the round-trip
+/// test to pin parser coverage.
+pub fn item_count(items: &[Item]) -> usize {
+    let mut n = 0;
+    for it in items {
+        n += 1;
+        if let ItemKind::Mod { inline: Some(children), .. } = &it.kind {
+            n += item_count(children);
+        }
+    }
+    n
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, i: usize) -> Option<&'a Tok> {
+        self.toks.get(i)
+    }
+
+    fn cur(&self) -> Option<&'a Tok> {
+        self.at(self.pos)
+    }
+
+    fn cur_line(&self) -> u32 {
+        self.cur().map_or(0, |t| t.line)
+    }
+
+    /// Parses items until `end` (exclusive) or an unmatched `}` (which is
+    /// consumed by the caller).
+    fn parse_items(&mut self, end: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < end {
+            if self.cur().is_some_and(|t| t.is_punct("}")) {
+                break;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item(end) {
+                items.push(item);
+            }
+            if self.pos == before {
+                // Defensive: never wedge on unexpected tokens.
+                self.pos += 1;
+            }
+        }
+        items
+    }
+
+    fn parse_item(&mut self, end: usize) -> Option<Item> {
+        let cfg_test = self.skip_attrs(end);
+        self.skip_qualifiers(end);
+        let t = self.cur()?;
+        let line = t.line;
+        if t.kind != TokKind::Ident {
+            self.skip_to_item_end(end);
+            return Some(Item { kind: ItemKind::Other, line, cfg_test });
+        }
+        let kind = match t.text.as_str() {
+            "mod" => self.parse_mod(end),
+            "use" => self.parse_use(end),
+            "fn" => ItemKind::Fn(self.parse_fn(end, cfg_test)),
+            "impl" => self.parse_impl(end, cfg_test),
+            "trait" => self.parse_trait(end, cfg_test),
+            _ => {
+                self.skip_to_item_end(end);
+                ItemKind::Other
+            }
+        };
+        Some(Item { kind, line, cfg_test })
+    }
+
+    /// Skips leading `#[...]` / `#![...]` attributes; reports whether one
+    /// of them was `#[cfg(test)]` (and not `cfg(not(test))`).
+    fn skip_attrs(&mut self, end: usize) -> bool {
+        let mut cfg_test = false;
+        while self.pos < end && self.cur().is_some_and(|t| t.is_punct("#")) {
+            let mut j = self.pos + 1;
+            if self.at(j).is_some_and(|t| t.is_punct("!")) {
+                j += 1;
+            }
+            if !self.at(j).is_some_and(|t| t.is_punct("[")) {
+                break;
+            }
+            let close = self.skip_balanced(j, "[", "]", end);
+            let attr = &self.toks[j..close.min(end)];
+            let has = |s: &str| attr.iter().any(|t| t.is_ident(s));
+            if has("cfg") && has("test") && !has("not") {
+                cfg_test = true;
+            }
+            self.pos = close;
+        }
+        cfg_test
+    }
+
+    /// Skips visibility and fn qualifiers (`pub(crate)`, `const fn`,
+    /// `async`, `unsafe`, `extern "C"`, `default`), leaving `pos` at the
+    /// item keyword.
+    fn skip_qualifiers(&mut self, end: usize) {
+        loop {
+            let Some(t) = self.cur() else { return };
+            match t.text.as_str() {
+                "pub" => {
+                    self.pos += 1;
+                    if self.cur().is_some_and(|t| t.is_punct("(")) {
+                        self.pos = self.skip_balanced(self.pos, "(", ")", end);
+                    }
+                }
+                "default" | "async" | "unsafe" => self.pos += 1,
+                "extern" => {
+                    // `extern "C" fn` is a qualifier; `extern "C" { ... }`
+                    // and `extern crate x;` are items — stop before them.
+                    let mut j = self.pos + 1;
+                    if self.at(j).is_some_and(|t| t.kind == TokKind::Str) {
+                        j += 1;
+                    }
+                    if self.at(j).is_some_and(|t| t.is_ident("fn")) {
+                        self.pos = j;
+                    }
+                    return;
+                }
+                "const" => {
+                    // Qualifier only when a fn follows (possibly through
+                    // more qualifiers); `const NAME: T = ...;` is an item.
+                    let mut j = self.pos + 1;
+                    while self
+                        .at(j)
+                        .is_some_and(|t| matches!(t.text.as_str(), "async" | "unsafe" | "extern"))
+                    {
+                        j += 1;
+                        if self.at(j).is_some_and(|t| t.kind == TokKind::Str) {
+                            j += 1;
+                        }
+                    }
+                    if self.at(j).is_some_and(|t| t.is_ident("fn")) {
+                        self.pos += 1;
+                    } else {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn parse_mod(&mut self, end: usize) -> ItemKind {
+        self.pos += 1; // `mod`
+        let name = self.take_ident().unwrap_or_default();
+        if self.cur().is_some_and(|t| t.is_punct("{")) {
+            let close = self.skip_balanced(self.pos, "{", "}", end);
+            self.pos += 1; // `{`
+            let children = self.parse_items(close.saturating_sub(1));
+            self.pos = close;
+            ItemKind::Mod { name, inline: Some(children) }
+        } else {
+            if self.cur().is_some_and(|t| t.is_punct(";")) {
+                self.pos += 1;
+            }
+            ItemKind::Mod { name, inline: None }
+        }
+    }
+
+    fn parse_use(&mut self, end: usize) -> ItemKind {
+        self.pos += 1; // `use`
+        let mut imports = Vec::new();
+        let stop = self.find_semicolon(self.pos, end);
+        self.parse_use_tree(stop, &[], &mut imports);
+        self.pos = stop.min(end);
+        if self.cur().is_some_and(|t| t.is_punct(";")) {
+            self.pos += 1;
+        }
+        ItemKind::Use { imports }
+    }
+
+    /// Parses one use-tree (up to `stop`) appending flattened bindings.
+    fn parse_use_tree(&mut self, stop: usize, prefix: &[String], out: &mut Vec<UseImport>) {
+        let mut path: Vec<String> = prefix.to_vec();
+        while self.pos < stop {
+            let Some(t) = self.cur() else { return };
+            if t.kind == TokKind::Ident {
+                path.push(t.text.clone());
+                self.pos += 1;
+                if self.cur().is_some_and(|t| t.is_ident("as")) {
+                    self.pos += 1;
+                    let alias = self.take_ident().unwrap_or_default();
+                    out.push(UseImport { path: path.clone(), name: alias });
+                    return;
+                }
+                if self.pos < stop && self.cur().is_some_and(|t| t.is_punct("::")) {
+                    self.pos += 1;
+                    continue;
+                }
+                // Leaf: `use a::b::Leaf`. `self` in a group (`use a::{self}`)
+                // binds the module itself under its own name.
+                let name = if path.last().is_some_and(|s| s == "self") {
+                    path.pop();
+                    path.last().cloned().unwrap_or_default()
+                } else {
+                    path.last().cloned().unwrap_or_default()
+                };
+                out.push(UseImport { path, name });
+                return;
+            } else if t.is_punct("*") {
+                self.pos += 1;
+                out.push(UseImport { path, name: "*".to_string() });
+                return;
+            } else if t.is_punct("{") {
+                let close = self.skip_balanced(self.pos, "{", "}", stop);
+                self.pos += 1;
+                loop {
+                    if self.pos >= close.saturating_sub(1) {
+                        break;
+                    }
+                    self.parse_use_tree(close.saturating_sub(1), &path, out);
+                    if self.cur().is_some_and(|t| t.is_punct(",")) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.pos = close;
+                return;
+            } else {
+                // `::crate` leading colons etc.
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, end: usize, cfg_test: bool) -> FnItem {
+        let start = self.pos;
+        let line = self.cur_line();
+        self.pos += 1; // `fn`
+        let name = self.take_ident().unwrap_or_default();
+        // Scan for the body `{` or terminating `;` at paren/bracket depth
+        // 0. Generic params never contain stray braces in this workspace
+        // (no const-generic block expressions), so angle depth is not
+        // tracked here.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while self.pos < end {
+            let t = &self.toks[self.pos];
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+            } else if t.is_punct("[") {
+                bracket += 1;
+            } else if t.is_punct("]") {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 {
+                if t.is_punct("{") {
+                    let sig = (start, self.pos);
+                    let close = self.skip_balanced(self.pos, "{", "}", end);
+                    let body = (self.pos + 1, close.saturating_sub(1));
+                    self.pos = close;
+                    return FnItem { name, line, sig, body: Some(body), cfg_test };
+                }
+                if t.is_punct(";") {
+                    let sig = (start, self.pos);
+                    self.pos += 1;
+                    return FnItem { name, line, sig, body: None, cfg_test };
+                }
+            }
+            self.pos += 1;
+        }
+        FnItem { name, line, sig: (start, self.pos), body: None, cfg_test }
+    }
+
+    fn parse_impl(&mut self, end: usize, cfg_test: bool) -> ItemKind {
+        let line = self.cur_line();
+        self.pos += 1; // `impl`
+        self.skip_generics(end);
+        // Header: `Path<..> for Path<..> where ... {` — trait name is the
+        // last angle-depth-0 ident before `for`; Self type the last one
+        // after it (before `where`/`{`).
+        let mut angle = 0i32;
+        let mut before_for: Option<String> = None;
+        let mut after: Option<String> = None;
+        let mut saw_for = false;
+        while self.pos < end {
+            let t = &self.toks[self.pos];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if t.is_punct("<<") {
+                angle += 2;
+            } else if t.is_punct(">>") {
+                angle -= 2;
+            } else if t.is_punct("->") {
+                // `impl Fn(..) -> T for ..` style — the `>` of `->` is fused.
+            } else if angle <= 0 {
+                if t.is_ident("for") {
+                    saw_for = true;
+                    before_for = after.take();
+                } else if t.is_ident("where") {
+                    // Constraint types must not override the Self type.
+                    while self.pos < end && !self.toks[self.pos].is_punct("{") {
+                        self.pos += 1;
+                    }
+                    continue;
+                } else if t.is_punct("{") {
+                    break;
+                } else if t.kind == TokKind::Ident
+                    && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "as")
+                {
+                    after = Some(t.text.clone());
+                }
+            }
+            self.pos += 1;
+        }
+        let (trait_name, self_ty) = if saw_for { (before_for, after) } else { (None, after) };
+        let mut fns = Vec::new();
+        if self.cur().is_some_and(|t| t.is_punct("{")) {
+            let close = self.skip_balanced(self.pos, "{", "}", end);
+            self.pos += 1;
+            self.parse_member_fns(close.saturating_sub(1), cfg_test, &mut fns);
+            self.pos = close;
+        }
+        ItemKind::Impl(ImplItem { trait_name, self_ty, fns, line })
+    }
+
+    fn parse_trait(&mut self, end: usize, cfg_test: bool) -> ItemKind {
+        self.pos += 1; // `trait`
+        let name = self.take_ident().unwrap_or_default();
+        // Skip generics / supertraits / where clause up to the body.
+        while self.pos < end && !self.toks[self.pos].is_punct("{") {
+            if self.toks[self.pos].is_punct(";") {
+                // `trait Alias = ..;` — no body.
+                self.pos += 1;
+                return ItemKind::Trait { name, fns: Vec::new() };
+            }
+            self.pos += 1;
+        }
+        let mut fns = Vec::new();
+        if self.cur().is_some_and(|t| t.is_punct("{")) {
+            let close = self.skip_balanced(self.pos, "{", "}", end);
+            self.pos += 1;
+            self.parse_member_fns(close.saturating_sub(1), cfg_test, &mut fns);
+            self.pos = close;
+        }
+        ItemKind::Trait { name, fns }
+    }
+
+    /// Collects `fn` members inside an impl/trait body, skipping
+    /// associated consts/types and macros.
+    fn parse_member_fns(&mut self, end: usize, outer_cfg_test: bool, out: &mut Vec<FnItem>) {
+        while self.pos < end {
+            let before = self.pos;
+            let cfg_test = self.skip_attrs(end) || outer_cfg_test;
+            self.skip_qualifiers(end);
+            match self.cur() {
+                Some(t) if t.is_ident("fn") => out.push(self.parse_fn(end, cfg_test)),
+                Some(_) => self.skip_to_item_end(end),
+                None => return,
+            }
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips `<...>` if present at `pos` (after `impl`/a name).
+    fn skip_generics(&mut self, end: usize) {
+        if !self.cur().is_some_and(|t| t.is_punct("<")) {
+            return;
+        }
+        let mut depth = 0i32;
+        while self.pos < end {
+            let t = &self.toks[self.pos];
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct("<<") {
+                depth += 2;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct(">>") {
+                depth -= 2;
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skips an opaque item: everything up to a `;` at depth 0 or through
+    /// the first balanced `{...}` block at depth 0 (whichever comes
+    /// first). Handles `struct S(u32);`, `const X: [u8; 3] = ..;`,
+    /// `macro_rules! m { .. }`, `extern "C" { .. }`, struct bodies.
+    fn skip_to_item_end(&mut self, end: usize) {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while self.pos < end {
+            let t = &self.toks[self.pos];
+            if t.is_punct("(") {
+                paren += 1;
+            } else if t.is_punct(")") {
+                paren -= 1;
+            } else if t.is_punct("[") {
+                bracket += 1;
+            } else if t.is_punct("]") {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 {
+                if t.is_punct(";") {
+                    self.pos += 1;
+                    return;
+                }
+                if t.is_punct("{") {
+                    self.pos = self.skip_balanced(self.pos, "{", "}", end);
+                    // `struct S { .. }` ends here; `= Struct { .. };` for a
+                    // const continues to the `;`.
+                    if self.cur().is_some_and(|t| t.is_punct(";")) {
+                        self.pos += 1;
+                    }
+                    return;
+                }
+                if t.is_punct("}") {
+                    return; // enclosing scope closes — item was malformed
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Given `open` at an opening delimiter, returns the index just past
+    /// its match (clamped to `end`).
+    fn skip_balanced(&self, open: usize, op: &str, cl: &str, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct(op) {
+                depth += 1;
+            } else if t.is_punct(cl) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    fn find_semicolon(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = from;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(";") {
+                return i;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        let t = self.cur()?;
+        if t.kind == TokKind::Ident {
+            self.pos += 1;
+            Some(t.text.clone())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src).toks)
+    }
+
+    #[test]
+    fn parses_free_fns_and_bodies() {
+        let ast = parse_src("pub fn a() -> u32 { 1 }\nfn b();\nconst fn c(x: u32) -> u32 { x }");
+        let fns: Vec<_> = ast
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Fn(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].name, "a");
+        assert!(fns[0].body.is_some());
+        assert_eq!(fns[1].name, "b");
+        assert!(fns[1].body.is_none());
+        assert_eq!(fns[2].name, "c");
+    }
+
+    #[test]
+    fn parses_impl_headers() {
+        let src = r#"
+            impl UbfProtocol { fn helper(&self) {} }
+            impl<M: Clone> Protocol for Hardened<M> where M: Send {
+                fn on_start(&mut self) {}
+                fn on_message(&mut self) {}
+            }
+            impl std::fmt::Display for Wide { fn fmt(&self) {} }
+        "#;
+        let ast = parse_src(src);
+        let impls: Vec<_> = ast
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Impl(im) => Some(im),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(impls.len(), 3);
+        assert_eq!(impls[0].trait_name, None);
+        assert_eq!(impls[0].self_ty.as_deref(), Some("UbfProtocol"));
+        assert_eq!(impls[0].fns.len(), 1);
+        assert_eq!(impls[1].trait_name.as_deref(), Some("Protocol"));
+        assert_eq!(impls[1].self_ty.as_deref(), Some("Hardened"));
+        assert_eq!(impls[1].fns.len(), 2);
+        assert_eq!(impls[2].trait_name.as_deref(), Some("Display"));
+        assert_eq!(impls[2].self_ty.as_deref(), Some("Wide"));
+    }
+
+    #[test]
+    fn parses_use_trees() {
+        let src = "use std::collections::{BTreeMap, BTreeSet as Set};\nuse ballfit_wsn::sim::*;\nuse crate::detector::{self, detect};";
+        let ast = parse_src(src);
+        let mut all = Vec::new();
+        for it in &ast.items {
+            if let ItemKind::Use { imports } = &it.kind {
+                all.extend(imports.iter().cloned());
+            }
+        }
+        assert!(all
+            .iter()
+            .any(|u| u.name == "BTreeMap" && u.path == vec!["std", "collections", "BTreeMap"]));
+        assert!(all
+            .iter()
+            .any(|u| u.name == "Set" && u.path == vec!["std", "collections", "BTreeSet"]));
+        assert!(all.iter().any(|u| u.name == "*" && u.path == vec!["ballfit_wsn", "sim"]));
+        assert!(all.iter().any(|u| u.name == "detector" && u.path == vec!["crate", "detector"]));
+        assert!(all
+            .iter()
+            .any(|u| u.name == "detect" && u.path == vec!["crate", "detector", "detect"]));
+    }
+
+    #[test]
+    fn parses_inline_mods_and_cfg_test() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+            mod decl;
+            #[cfg(not(test))]
+            mod shipped { fn f() {} }
+        "#;
+        let ast = parse_src(src);
+        assert_eq!(ast.items.len(), 3);
+        assert!(ast.items[0].cfg_test);
+        match &ast.items[0].kind {
+            ItemKind::Mod { name, inline: Some(children) } => {
+                assert_eq!(name, "tests");
+                assert_eq!(children.len(), 2);
+            }
+            other => panic!("expected inline mod, got {other:?}"),
+        }
+        assert!(!ast.items[2].cfg_test, "cfg(not(test)) is not a test scope");
+    }
+
+    #[test]
+    fn opaque_items_do_not_derail_the_parser() {
+        let src = r#"
+            pub struct S(pub u32);
+            pub struct T { pub x: [u8; 4] }
+            pub const N: usize = 3;
+            static TABLE: [u8; 2] = [0; 2];
+            macro_rules! m { ($x:expr) => { $x }; }
+            pub enum E { A, B(u32) }
+            pub type Alias = Vec<u32>;
+            fn after_all_that() {}
+        "#;
+        let ast = parse_src(src);
+        let fns: Vec<_> = ast
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Fn(f) => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fns, vec!["after_all_that"]);
+        assert_eq!(item_count(&ast.items), 8);
+    }
+
+    #[test]
+    fn trait_methods_are_collected() {
+        let src = r#"
+            pub trait Protocol {
+                type Msg: Clone;
+                fn on_start(&mut self);
+                fn wants_tick(&self) -> bool { false }
+            }
+        "#;
+        let ast = parse_src(src);
+        match &ast.items[0].kind {
+            ItemKind::Trait { name, fns } => {
+                assert_eq!(name, "Protocol");
+                let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+                assert_eq!(names, vec!["on_start", "wants_tick"]);
+                assert!(fns[0].body.is_none());
+                assert!(fns[1].body.is_some());
+            }
+            other => panic!("expected trait, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,794 @@
+//! Workspace symbol table and cross-crate call graph.
+//!
+//! Built from the per-file [`crate::ast`] item trees, this module gives
+//! the interprocedural passes the one relation they need: *which
+//! workspace functions can this function reach?* Resolution is
+//! heuristic — no type inference — but tuned to over-approximate safely:
+//!
+//! * **Path calls** (`helper()`, `crate::geom::orient3d()`,
+//!   `Type::assoc()`) resolve through `use` imports, `crate`/`self`/
+//!   `super` prefixes and the `ballfit_*` crate aliases into the free-fn
+//!   and method tables.
+//! * **Method calls** (`recv.name(..)`) resolve precisely when the
+//!   receiver is `self` (the impl owner's methods) or a typed parameter
+//!   (`ctx: &mut Ctx<..>` ⇒ `Ctx`'s methods); otherwise they fall back
+//!   to *every* workspace method of that name — except for names on
+//!   [`crate::passes::LintConfig::method_fallback_skip`], which collide
+//!   with std (`insert`, `iter`, `len`, ...) and would connect everything
+//!   to everything.
+//!
+//! Unresolvable calls (std, external) produce no edge: the passes only
+//! reason about workspace-defined code, which is exactly the code the
+//! invariants govern.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Ast, Item, ItemKind, UseImport};
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::passes::LintConfig;
+
+/// One analyzed source file: label + token stream + item tree.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path used in diagnostics.
+    pub label: String,
+    /// Lexer output (tokens + allow directives).
+    pub lexed: Lexed,
+    /// Parsed item tree.
+    pub ast: Ast,
+}
+
+impl FileUnit {
+    /// Lexes and parses one source file.
+    pub fn new(label: String, src: &str) -> FileUnit {
+        let lexed = crate::lexer::lex(src);
+        let ast = crate::ast::parse(&lexed.toks);
+        FileUnit { label, lexed, ast }
+    }
+}
+
+/// One function known to the workspace symbol table.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the `FileUnit` slice the graph was built from.
+    pub file_idx: usize,
+    /// Crate directory name (`core`, `wsn`, ...).
+    pub krate: String,
+    /// Module path within the crate (`["detector"]`, `["tests", "x"]`).
+    pub module: Vec<String>,
+    /// Impl/trait owner type for associated fns, `None` for free fns.
+    pub owner: Option<String>,
+    /// Trait the enclosing impl implements (`Some("Protocol")` marks
+    /// protocol handlers).
+    pub trait_name: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` code or a `tests/` file.
+    pub is_test: bool,
+    /// Signature token range (see [`crate::ast::FnItem::sig`]).
+    pub sig: (usize, usize),
+    /// Body token range, if the fn has one.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnNode {
+    /// Short display label: `Owner::name` or `name`.
+    pub fn label(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{}::{}", o, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All workspace functions in deterministic (file, source) order.
+    pub fns: Vec<FnNode>,
+    /// `edges[i]` = sorted, deduplicated callee indices of `fns[i]`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds symbol table + edges for all `units`.
+    pub fn build(units: &[FileUnit], cfg: &LintConfig) -> CallGraph {
+        let mut fns: Vec<FnNode> = Vec::new();
+        let mut imports_per_file: Vec<Vec<UseImport>> = Vec::new();
+        for (file_idx, u) in units.iter().enumerate() {
+            let (krate, base_module, file_is_test) = locate(&u.label);
+            let mut module = base_module.clone();
+            collect_fns(&u.ast.items, file_idx, &krate, &mut module, file_is_test, &mut fns);
+            let mut imports = Vec::new();
+            collect_imports(&u.ast.items, &mut imports);
+            imports_per_file.push(imports);
+        }
+
+        let tables = Tables::index(&fns);
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
+        for f in &fns {
+            let mut out: Vec<usize> = Vec::new();
+            if let Some((lo, hi)) = f.body {
+                let toks = &units[f.file_idx].lexed.toks;
+                let params = param_types(&toks[f.sig.0..f.sig.1]);
+                for call in extract_calls(toks, lo, hi.min(toks.len())) {
+                    let targets = match call {
+                        Call::Path(segs) => {
+                            tables.resolve_path(&segs, f, &imports_per_file[f.file_idx], cfg)
+                        }
+                        Call::Method { name, receiver } => {
+                            tables.resolve_method(&name, receiver.as_deref(), f, &params, cfg)
+                        }
+                    };
+                    out.extend(targets);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// Deterministic BFS from `start`: returns the shortest call chain
+    /// (as fn indices, `start` first) to the nearest function satisfying
+    /// `target`, or `None`. Never expands test functions or functions
+    /// whose owner is a trusted API boundary
+    /// ([`LintConfig::trusted_owners`]), and never returns `start`
+    /// itself — direct findings belong to the intraprocedural passes.
+    pub fn shortest_path(
+        &self,
+        start: usize,
+        cfg: &LintConfig,
+        target: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        let mut prev: Vec<usize> = vec![usize::MAX; self.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        prev[start] = start;
+        queue.push_back(start);
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.edges[i] {
+                if prev[j] != usize::MAX {
+                    continue;
+                }
+                let callee = &self.fns[j];
+                if callee.is_test {
+                    continue;
+                }
+                prev[j] = i;
+                if target(j) {
+                    let mut path = vec![j];
+                    let mut k = j;
+                    while k != start {
+                        k = prev[k];
+                        path.push(k);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                // Trusted API boundaries (e.g. `Ctx`) are terminal: their
+                // internals belong to the simulator, not the caller.
+                let trusted = callee.owner.as_ref().is_some_and(|o| cfg.trusted_owners.contains(o));
+                if !trusted {
+                    queue.push_back(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Derives `(crate, module path, is_test_file)` from a workspace-relative
+/// label like `crates/core/src/detector.rs`.
+fn locate(label: &str) -> (String, Vec<String>, bool) {
+    let norm = label.replace('\\', "/");
+    let mut krate = String::new();
+    let mut rest = norm.as_str();
+    if let Some(r) = norm.strip_prefix("crates/") {
+        if let Some(slash) = r.find('/') {
+            krate = r[..slash].to_string();
+            rest = &r[slash + 1..];
+        }
+    }
+    let (root, is_test) = match rest.split_once('/') {
+        Some(("src", tail)) => (tail, false),
+        Some(("tests", tail)) => (tail, true),
+        Some(("benches", tail)) => (tail, true),
+        _ => (rest, false),
+    };
+    let stem = root.strip_suffix(".rs").unwrap_or(root);
+    let mut module: Vec<String> = if is_test { vec!["tests".to_string()] } else { Vec::new() };
+    if stem != "lib" && stem != "main" {
+        for seg in stem.split('/') {
+            if seg == "mod" {
+                continue;
+            }
+            module.push(seg.to_string());
+        }
+    }
+    (krate, module, is_test)
+}
+
+fn collect_fns(
+    items: &[Item],
+    file_idx: usize,
+    krate: &str,
+    module: &mut Vec<String>,
+    in_test: bool,
+    out: &mut Vec<FnNode>,
+) {
+    for item in items {
+        let test = in_test || item.cfg_test;
+        match &item.kind {
+            ItemKind::Mod { name, inline: Some(children) } => {
+                let mod_test = test || name == "tests";
+                module.push(name.clone());
+                collect_fns(children, file_idx, krate, module, mod_test, out);
+                module.pop();
+            }
+            ItemKind::Fn(f) => out.push(FnNode {
+                file_idx,
+                krate: krate.to_string(),
+                module: module.clone(),
+                owner: None,
+                trait_name: None,
+                name: f.name.clone(),
+                line: f.line,
+                is_test: test || f.cfg_test,
+                sig: f.sig,
+                body: f.body,
+            }),
+            ItemKind::Impl(im) => {
+                for f in &im.fns {
+                    out.push(FnNode {
+                        file_idx,
+                        krate: krate.to_string(),
+                        module: module.clone(),
+                        owner: im.self_ty.clone(),
+                        trait_name: im.trait_name.clone(),
+                        name: f.name.clone(),
+                        line: f.line,
+                        is_test: test || f.cfg_test,
+                        sig: f.sig,
+                        body: f.body,
+                    });
+                }
+            }
+            ItemKind::Trait { name, fns } => {
+                for f in fns {
+                    out.push(FnNode {
+                        file_idx,
+                        krate: krate.to_string(),
+                        module: module.clone(),
+                        owner: Some(name.clone()),
+                        trait_name: None,
+                        name: f.name.clone(),
+                        line: f.line,
+                        is_test: test || f.cfg_test,
+                        sig: f.sig,
+                        body: f.body,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_imports(items: &[Item], out: &mut Vec<UseImport>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Use { imports } => out.extend(imports.iter().cloned()),
+            ItemKind::Mod { inline: Some(children), .. } => collect_imports(children, out),
+            _ => {}
+        }
+    }
+}
+
+/// A call site extracted from a function body.
+#[derive(Debug)]
+enum Call {
+    /// `a::b::name(..)` or bare `name(..)` — segments in order.
+    Path(Vec<String>),
+    /// `.name(..)` with the receiver ident when it is a simple
+    /// `ident.name(..)` chain head (`self`, a parameter, a local).
+    Method { name: String, receiver: Option<String> },
+}
+
+/// Extracts call sites from `toks[lo..hi]`.
+fn extract_calls(toks: &[Tok], lo: usize, hi: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let prev = if i > lo { Some(&toks[i - 1]) } else { None };
+        // Method call: `recv.name(..)`.
+        if prev.is_some_and(|p| p.is_punct(".")) {
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+                let receiver = match (i >= lo + 2).then(|| &toks[i - 2]) {
+                    Some(r)
+                        if r.kind == TokKind::Ident
+                            && !(i >= lo + 3 && toks[i - 3].is_punct(".")) =>
+                    {
+                        Some(r.text.clone())
+                    }
+                    _ => None,
+                };
+                out.push(Call::Method { name: t.text.clone(), receiver });
+            }
+            i += 1;
+            continue;
+        }
+        if prev.is_some_and(|p| p.is_punct("::")) {
+            // Mid-path segment; the path head already consumed it.
+            i += 1;
+            continue;
+        }
+        if is_expr_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        // Path head: collect `a :: b :: c` (skipping turbofish).
+        let mut segs = vec![t.text.clone()];
+        let mut j = i + 1;
+        loop {
+            if toks.get(j).is_some_and(|n| n.is_punct("::")) {
+                match toks.get(j + 1) {
+                    Some(n) if n.kind == TokKind::Ident => {
+                        segs.push(n.text.clone());
+                        j += 2;
+                    }
+                    Some(n) if n.is_punct("<") => {
+                        // `::<T>` — skip the generic args, keep the path.
+                        let mut depth = 0i32;
+                        let mut k = j + 1;
+                        while k < hi {
+                            let g = &toks[k];
+                            if g.is_punct("<") {
+                                depth += 1;
+                            } else if g.is_punct("<<") {
+                                depth += 2;
+                            } else if g.is_punct(">") {
+                                depth -= 1;
+                            } else if g.is_punct(">>") {
+                                depth -= 2;
+                            }
+                            k += 1;
+                            if depth <= 0 {
+                                break;
+                            }
+                        }
+                        j = k;
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let macro_call = toks.get(j).is_some_and(|n| n.is_punct("!"));
+        let has_parens = toks.get(j).is_some_and(|n| n.is_punct("("));
+        if !macro_call && (has_parens || segs.len() >= 2) {
+            out.push(Call::Path(segs));
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+fn is_expr_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "as"
+            | "where"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "use"
+            | "struct"
+            | "enum"
+            | "const"
+            | "static"
+            | "type"
+            | "trait"
+            | "unsafe"
+            | "await"
+    )
+}
+
+/// Parses parameter-name → type-name pairs out of a signature token
+/// slice (`fn name<G>(a: Foo, ctx: &mut Ctx<'_, M>) -> R`). Only the
+/// leading path ident of each type is kept — enough for method
+/// resolution, which works on bare type names.
+fn param_types(sig: &[Tok]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    // Skip `fn name` and any generic params, then find the param list.
+    let mut i = 0;
+    while i < sig.len() && !sig[i].is_punct("(") {
+        if sig[i].is_punct("<") {
+            // Generic params may contain `Fn(..)` parens; skip balanced.
+            let mut depth = 0i32;
+            while i < sig.len() {
+                let t = &sig[i];
+                if t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct("<<") {
+                    depth += 2;
+                } else if t.is_punct(">") {
+                    depth -= 1;
+                } else if t.is_punct(">>") {
+                    depth -= 2;
+                }
+                i += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        i += 1;
+    }
+    if i >= sig.len() {
+        return out;
+    }
+    // Split the param list on top-level commas.
+    let mut depth_paren = 0i32;
+    let mut depth_angle = 0i32;
+    let mut depth_bracket = 0i32;
+    let mut chunk: Vec<&Tok> = Vec::new();
+    let mut chunks: Vec<Vec<&Tok>> = Vec::new();
+    for t in &sig[i..] {
+        if t.is_punct("(") {
+            depth_paren += 1;
+            if depth_paren == 1 {
+                continue;
+            }
+        } else if t.is_punct(")") {
+            depth_paren -= 1;
+            if depth_paren == 0 {
+                break;
+            }
+        } else if t.is_punct("[") {
+            depth_bracket += 1;
+        } else if t.is_punct("]") {
+            depth_bracket -= 1;
+        } else if t.is_punct("<") {
+            depth_angle += 1;
+        } else if t.is_punct("<<") {
+            depth_angle += 2;
+        } else if t.is_punct(">") {
+            depth_angle -= 1;
+        } else if t.is_punct(">>") {
+            depth_angle -= 2;
+        } else if t.is_punct(",") && depth_paren == 1 && depth_angle <= 0 && depth_bracket == 0 {
+            chunks.push(std::mem::take(&mut chunk));
+            continue;
+        }
+        chunk.push(t);
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    for chunk in chunks {
+        let Some(colon) = chunk.iter().position(|t| t.is_punct(":")) else { continue };
+        let name = chunk[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref");
+        let Some(name) = name else { continue };
+        // First path ident of the type, skipping refs and qualifiers.
+        let mut ty = None;
+        for t in &chunk[colon + 1..] {
+            match t.kind {
+                TokKind::Ident if matches!(t.text.as_str(), "mut" | "dyn" | "impl") => {}
+                TokKind::Ident => {
+                    ty = Some(t.text.clone());
+                    break;
+                }
+                TokKind::Lifetime => {}
+                TokKind::Punct if t.text == "&" => {}
+                _ => break,
+            }
+        }
+        if let Some(ty) = ty {
+            out.insert(name.text.clone(), ty);
+        }
+    }
+    out
+}
+
+/// Symbol tables: free fns by (crate, module, name), methods by
+/// (owner, name) and by bare name.
+struct Tables {
+    free: BTreeMap<(String, String, String), Vec<usize>>,
+    free_by_crate: BTreeMap<(String, String), Vec<usize>>,
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Tables {
+    fn index(fns: &[FnNode]) -> Tables {
+        let mut t = Tables {
+            free: BTreeMap::new(),
+            free_by_crate: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+        };
+        for (i, f) in fns.iter().enumerate() {
+            match &f.owner {
+                None => {
+                    t.free
+                        .entry((f.krate.clone(), f.module.join("::"), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                    t.free_by_crate.entry((f.krate.clone(), f.name.clone())).or_default().push(i);
+                }
+                Some(owner) => {
+                    t.methods.entry((owner.clone(), f.name.clone())).or_default().push(i);
+                    t.methods_by_name.entry(f.name.clone()).or_default().push(i);
+                }
+            }
+        }
+        t
+    }
+
+    fn resolve_path(
+        &self,
+        segs: &[String],
+        caller: &FnNode,
+        imports: &[UseImport],
+        cfg: &LintConfig,
+    ) -> Vec<usize> {
+        if segs.is_empty() {
+            return Vec::new();
+        }
+        // Expand a `use` binding for the path head.
+        let mut segs: Vec<String> = segs.to_vec();
+        if let Some(imp) = imports.iter().find(|u| u.name == segs[0]) {
+            let mut p = imp.path.clone();
+            p.extend(segs.drain(1..));
+            segs = p;
+        }
+        // `Self::assoc(..)` inside an impl.
+        if segs[0] == "Self" {
+            if segs.len() == 2 {
+                if let Some(owner) = &caller.owner {
+                    if let Some(v) = self.methods.get(&(owner.clone(), segs[1].clone())) {
+                        return v.clone();
+                    }
+                }
+            }
+            return Vec::new();
+        }
+        let alias_crate = |s: &str| -> Option<String> {
+            cfg.crate_aliases.iter().find(|(a, _)| a == s).map(|(_, k)| k.clone())
+        };
+        let (krate, rest): (Option<String>, Vec<String>) = match segs[0].as_str() {
+            "crate" => (Some(caller.krate.clone()), segs[1..].to_vec()),
+            "self" => {
+                let mut m = caller.module.clone();
+                m.extend(segs[1..].to_vec());
+                (Some(caller.krate.clone()), m)
+            }
+            "super" => {
+                let mut m = caller.module.clone();
+                m.pop();
+                m.extend(segs[1..].to_vec());
+                (Some(caller.krate.clone()), m)
+            }
+            head => match alias_crate(head) {
+                Some(k) => (Some(k), segs[1..].to_vec()),
+                None => (None, segs.clone()),
+            },
+        };
+        if rest.is_empty() {
+            return Vec::new();
+        }
+        let name = rest.last().cloned().unwrap_or_default();
+        let mods = &rest[..rest.len() - 1];
+        match krate {
+            Some(k) => {
+                if let Some(v) = self.free.get(&(k.clone(), mods.join("::"), name.clone())) {
+                    return v.clone();
+                }
+                if let Some(last) = mods.last() {
+                    if let Some(v) = self.methods.get(&(last.clone(), name.clone())) {
+                        return v.clone();
+                    }
+                }
+                Vec::new()
+            }
+            None => {
+                // Bare or relative path in the caller's own crate.
+                let mut rel = caller.module.clone();
+                rel.extend(mods.to_vec());
+                if let Some(v) =
+                    self.free.get(&(caller.krate.clone(), rel.join("::"), name.clone()))
+                {
+                    return v.clone();
+                }
+                if !mods.is_empty() {
+                    if let Some(v) =
+                        self.free.get(&(caller.krate.clone(), mods.join("::"), name.clone()))
+                    {
+                        return v.clone();
+                    }
+                    if let Some(v) =
+                        self.methods.get(&(mods.last().cloned().unwrap(), name.clone()))
+                    {
+                        return v.clone();
+                    }
+                    Vec::new()
+                } else {
+                    self.free_by_crate
+                        .get(&(caller.krate.clone(), name))
+                        .cloned()
+                        .unwrap_or_default()
+                }
+            }
+        }
+    }
+
+    fn resolve_method(
+        &self,
+        name: &str,
+        receiver: Option<&str>,
+        caller: &FnNode,
+        params: &BTreeMap<String, String>,
+        cfg: &LintConfig,
+    ) -> Vec<usize> {
+        if receiver == Some("self") {
+            if let Some(owner) = &caller.owner {
+                if let Some(v) = self.methods.get(&(owner.clone(), name.to_string())) {
+                    return v.clone();
+                }
+            }
+        }
+        if let Some(r) = receiver {
+            if let Some(ty) = params.get(r) {
+                if let Some(v) = self.methods.get(&(ty.clone(), name.to_string())) {
+                    return v.clone();
+                }
+            }
+        }
+        // Unknown receiver: every workspace method of that name, unless
+        // the name collides with std and would wire the graph into a
+        // clique.
+        if cfg.method_fallback_skip.iter().any(|s| s == name) {
+            return Vec::new();
+        }
+        self.methods_by_name.get(name).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<FileUnit>, CallGraph) {
+        let units: Vec<FileUnit> =
+            files.iter().map(|(l, s)| FileUnit::new(l.to_string(), s)).collect();
+        let cfg = LintConfig::default();
+        let g = CallGraph::build(&units, &cfg);
+        (units, g)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap_or_else(|| panic!("fn {name} indexed"))
+    }
+
+    #[test]
+    fn locate_maps_labels_to_modules() {
+        assert_eq!(locate("crates/core/src/lib.rs"), ("core".into(), vec![], false));
+        assert_eq!(
+            locate("crates/core/src/detector.rs"),
+            ("core".into(), vec!["detector".into()], false)
+        );
+        assert_eq!(locate("crates/geom/src/a/mod.rs"), ("geom".into(), vec!["a".into()], false));
+        assert_eq!(
+            locate("crates/geom/src/a/b.rs"),
+            ("geom".into(), vec!["a".into(), "b".into()], false)
+        );
+        assert_eq!(
+            locate("crates/core/tests/clean.rs"),
+            ("core".into(), vec!["tests".into(), "clean".into()], true)
+        );
+    }
+
+    #[test]
+    fn resolves_cross_module_and_cross_crate_calls() {
+        let (_u, g) = graph(&[
+            (
+                "crates/core/src/a.rs",
+                "use crate::b::helper;\npub fn entry() { helper(); ballfit_geom::dist(); }",
+            ),
+            ("crates/core/src/b.rs", "pub fn helper() { crate::b::deeper(); }\npub fn deeper() {}"),
+            ("crates/geom/src/lib.rs", "pub fn dist() {}"),
+        ]);
+        let entry = idx(&g, "entry");
+        assert_eq!(
+            g.edges[entry],
+            vec![idx(&g, "helper"), idx(&g, "dist")]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(g.edges[idx(&g, "helper")], vec![idx(&g, "deeper")]);
+    }
+
+    #[test]
+    fn resolves_self_and_param_typed_method_calls() {
+        let src = r#"
+            pub struct Widget;
+            impl Widget {
+                pub fn run(&mut self, ctx: &mut Helper) { self.step(); ctx.assist(); }
+                fn step(&mut self) {}
+            }
+            pub struct Helper;
+            impl Helper { pub fn assist(&mut self) {} }
+        "#;
+        let (_u, g) = graph(&[("crates/core/src/w.rs", src)]);
+        let run = idx(&g, "run");
+        let mut expect = vec![idx(&g, "step"), idx(&g, "assist")];
+        expect.sort_unstable();
+        assert_eq!(g.edges[run], expect);
+    }
+
+    #[test]
+    fn fallback_skips_std_colliding_names() {
+        let src = r#"
+            pub struct S;
+            impl S { pub fn insert(&mut self) {} }
+            pub fn f(v: &mut Vec<u32>) { v.insert(0); }
+        "#;
+        let (_u, g) = graph(&[("crates/core/src/s.rs", src)]);
+        let f = idx(&g, "f");
+        assert!(g.edges[f].is_empty(), "std-name fallback must not create edges: {:?}", g.edges[f]);
+    }
+
+    #[test]
+    fn shortest_path_finds_two_hop_chains() {
+        let (_u, g) = graph(&[(
+            "crates/core/src/chain.rs",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}",
+        )]);
+        let cfg = LintConfig::default();
+        let (a, c) = (idx(&g, "a"), idx(&g, "c"));
+        let path = g.shortest_path(a, &cfg, |i| i == c).expect("chain found");
+        assert_eq!(path, vec![a, idx(&g, "b"), c]);
+        assert!(g.shortest_path(c, &cfg, |i| i == a).is_none());
+    }
+
+    #[test]
+    fn param_types_survive_generics_and_refs() {
+        let lexed = crate::lexer::lex(
+            "fn on_message<F: Fn(u32) -> u32>(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, M>) {",
+        );
+        let sig_end = lexed.toks.iter().position(|t| t.is_punct("{")).unwrap();
+        let params = param_types(&lexed.toks[..sig_end]);
+        assert_eq!(params.get("from").map(String::as_str), Some("NodeId"));
+        assert_eq!(params.get("ctx").map(String::as_str), Some("Ctx"));
+        assert_eq!(params.get("msg").map(String::as_str), Some("Self"));
+    }
+}

@@ -118,8 +118,11 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             b'"' => {
+                // Attribute the token to its *opening* quote (matching raw
+                // strings), not to whatever line the literal ends on.
+                let tok_line = line;
                 i = skip_cooked_string(b, i, &mut line);
-                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line });
             }
             b'\'' => {
                 // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
@@ -201,15 +204,34 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// Is a float literal for the purposes of the float-safety pass?
+///
+/// A naive `contains('e')` test misclassifies suffixed integers — the
+/// `e` of `3usize` or `12uTest` is part of the *suffix*, not an
+/// exponent. Only three shapes make a literal float: a decimal point
+/// after the digit run, an exponent (`e`/`E` with an optional sign and
+/// at least one digit), or an explicit `f32`/`f64` suffix.
 pub fn is_float_literal(text: &str) -> bool {
     if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
         return false;
     }
-    text.contains('.')
-        || text.contains('e')
-        || text.contains('E')
-        || text.ends_with("f64")
-        || text.ends_with("f32")
+    let b = text.as_bytes();
+    let mut i = 0;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'.' {
+        return true;
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            return true;
+        }
+    }
+    matches!(&text[i..], "f32" | "f64")
 }
 
 fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
@@ -277,7 +299,15 @@ fn skip_cooked_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A line-continuation escape (`\` at end of line) consumes
+                // the newline; count it or every later token in the file
+                // is attributed one line early.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -414,5 +444,67 @@ mod tests {
         let lexed = lex(src);
         let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).expect("b lexed");
         assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_directives() {
+        // A `//` inside a raw string is data, not a comment — a directive
+        // there must NOT be harvested.
+        let src = "let a = r#\"// ballfit-lint: allow(determinism)\"#;\nlet b = 1;\n";
+        let lexed = lex(src);
+        assert!(lexed.allows.is_empty(), "{:?}", lexed.allows);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).expect("b lexed");
+        assert_eq!(b_tok.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        // `"#` inside an `r##"..."##` literal does not terminate it.
+        let ids = idents("let a = r##\"quote \"# HashMap inside\"##; let b = 0;");
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_and_lines() {
+        let src = "/* outer /* inner\n /* deeper */ */ still\n */ let a = 1;\n";
+        let lexed = lex(src);
+        let a_tok = lexed.toks.iter().find(|t| t.is_ident("a")).expect("a lexed");
+        assert_eq!(a_tok.line, 3);
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn suffixed_integers_are_not_floats() {
+        // `3usize` contains an `e` but it belongs to the suffix, not an
+        // exponent; same for `7u32`/`255u8`.
+        assert!(!is_float_literal("3usize"));
+        assert!(!is_float_literal("7u32"));
+        assert!(!is_float_literal("255u8"));
+        assert!(!is_float_literal("1_000i64"));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("1E-9"));
+        assert!(is_float_literal("1_0.5"));
+        assert!(is_float_literal("2.")); // trailing-dot float
+        assert!(!is_float_literal("0xEE"));
+    }
+
+    #[test]
+    fn string_line_continuations_count_newlines() {
+        // `\` at end of line inside a cooked string consumes the newline;
+        // the line counter must still advance.
+        let src = "let a = \"one \\\ntwo\";\nlet b = 1;\n";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).expect("b lexed");
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn cooked_strings_report_their_opening_line() {
+        let src = "let a = \"one\ntwo\"; let c = 2;\nlet b = 1;\n";
+        let lexed = lex(src);
+        let s = lexed.toks.iter().find(|t| t.kind == TokKind::Str).expect("str lexed");
+        assert_eq!(s.line, 1);
+        let c_tok = lexed.toks.iter().find(|t| t.is_ident("c")).expect("c lexed");
+        assert_eq!(c_tok.line, 2);
     }
 }

@@ -38,13 +38,33 @@
 //!   detectors and the runner layer emit observations, so per-protocol
 //!   cost accounting cannot be skewed from inside a message handler.
 //!
+//! Four **interprocedural** passes extend these one-call-deep checks to
+//! whole call chains, using an item-level AST ([`ast`]) and a workspace
+//! call graph ([`callgraph`]):
+//!
+//! * [`passes::Pass::DeterminismTaint`] — protocol fns and detector
+//!   entry points must not *transitively* reach nondeterminism sources.
+//! * [`passes::Pass::PanicReachability`] — protocol handlers must not
+//!   transitively reach `unwrap`/`expect`/`panic!`/indexing outside
+//!   annotated invariant sites.
+//! * [`passes::Pass::TransitiveLocality`] — protocol handlers must not
+//!   reach global-state accessors through helpers.
+//! * [`passes::Pass::StaleAllow`] — every `allow(...)` directive must
+//!   suppress at least one finding; dead directives are errors.
+//!
 //! Findings can be locally waived with a justification comment on the
-//! same or preceding line: `// ballfit-lint: allow(float-safety)`.
+//! same or preceding line: `// ballfit-lint: allow(float-safety)`. For
+//! the transitive passes the directive goes at the *source* site (the
+//! panic/nondeterminism token), marking an audited invariant.
 //!
 //! Run it with `cargo run -p ballfit-lint` from anywhere in the
-//! workspace; it exits nonzero when violations exist. The
-//! `tests/lint_clean.rs` integration test pins the workspace to zero
-//! findings, and `scripts/check.sh` runs it as part of the tier-1 gate.
+//! workspace; it exits nonzero when violations exist. `--json PATH`
+//! additionally emits a stable machine-readable report ([`report`]),
+//! and `--diff BASELINE` gates on drift against a committed report
+//! (`results/lint_baseline.json`). The `tests/lint_clean.rs`
+//! integration test pins the workspace to zero findings, and
+//! `scripts/check.sh` runs analyzer, report validation and drift gate
+//! as part of the tier-1 gate.
 //!
 //! The crate is dependency-free by design (no `syn`): builds must work in
 //! offline/vendorless environments, and token-level matching plus brace
@@ -53,10 +73,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
 pub mod passes;
+pub mod report;
 
-pub use passes::{analyze_source, Diagnostic, LintConfig, Pass};
+pub use passes::{analyze_files, analyze_source, Analysis, Diagnostic, LintConfig, Pass};
 
 use std::fs;
 use std::io;
@@ -83,9 +106,10 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Analyzes every `.rs` file of the configured crates under
-/// `workspace_root`. Returned diagnostics are ordered by file then line.
-/// File labels in diagnostics are workspace-relative.
-pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+/// `workspace_root` with all twelve passes (token-level +
+/// interprocedural). Returned diagnostics are sorted by file, line,
+/// pass, message; file labels are workspace-relative.
+pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<Analysis> {
     let mut files = Vec::new();
     for krate in &cfg.crates {
         let dir = workspace_root.join("crates").join(krate);
@@ -101,14 +125,14 @@ pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<
             format!("no .rs files under {} for crates {:?}", workspace_root.display(), cfg.crates),
         ));
     }
-    let mut diags = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let src = fs::read_to_string(&path)?;
         let label =
             path.strip_prefix(workspace_root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-        diags.extend(analyze_source(&label, &src, cfg));
+        sources.push((label, src));
     }
-    Ok(diags)
+    Ok(analyze_files(&sources, cfg))
 }
 
 /// The workspace root baked in at compile time (`crates/lint/../..`),

@@ -1,19 +1,25 @@
 //! CLI for the ballfit workspace invariant analyzer.
 //!
 //! ```text
-//! cargo run -p ballfit-lint            # analyze the workspace, exit 1 on findings
+//! cargo run -p ballfit-lint                 # analyze the workspace, exit 1 on findings
 //! cargo run -p ballfit-lint -- --root /path/to/workspace
-//! cargo run -p ballfit-lint -- crates/core/src/protocols.rs   # specific files
+//! cargo run -p ballfit-lint -- --json results/lint_baseline.json
+//! cargo run -p ballfit-lint -- --diff results/lint_baseline.json
+//! cargo run -p ballfit-lint -- crates/core/src/protocols.rs   # specific files (token-level only)
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ballfit_lint::{analyze_source, analyze_workspace, default_workspace_root, LintConfig};
+use ballfit_lint::{
+    analyze_source, analyze_workspace, default_workspace_root, report, Analysis, LintConfig,
+};
 
 fn main() -> ExitCode {
     let mut root = default_workspace_root();
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
+    let mut diff_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,15 +30,45 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --json requires an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--diff" => match args.next() {
+                Some(p) => diff_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --diff requires a baseline report path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety / fault-scope / churn-scope / par-scope / obs-scope\n\
+                    "ballfit-lint: enforce determinism / locality / panic-safety / float-safety /\n\
+                     fault-scope / churn-scope / par-scope / obs-scope, plus the interprocedural\n\
+                     determinism-taint / panic-reachability / transitive-locality passes and the\n\
+                     stale-allow audit\n\
                      \n\
-                     USAGE: ballfit-lint [--root <workspace>] [FILE.rs ...]\n\
+                     USAGE: ballfit-lint [--root <workspace>] [--json <report.json>]\n\
+                     \x20                   [--diff <baseline.json>] [FILE.rs ...]\n\
                      \n\
                      With no FILE arguments, analyzes every .rs file in the workspace's\n\
-                     crates/{{core,wsn,geom,mds,netgen,par,obs}}. Suppress a finding with a\n\
-                     `// ballfit-lint: allow(<pass>)` comment on the same or previous line."
+                     crates/{{core,wsn,geom,mds,netgen,par,obs}} with all 12 passes. FILE\n\
+                     arguments run the 8 token-level passes on those files only (the\n\
+                     interprocedural passes need the whole workspace).\n\
+                     \n\
+                     --json writes a stable machine-readable report (fixed key order,\n\
+                     per-diagnostic fingerprints; byte-identical across runs on identical\n\
+                     sources). --diff compares the current run's fingerprints against a\n\
+                     committed baseline and exits nonzero on any drift; regenerate the\n\
+                     baseline with `--json results/lint_baseline.json` and commit it.\n\
+                     \n\
+                     Suppress a finding with a `// ballfit-lint: allow(<pass>)` comment on\n\
+                     the same or previous line; for the transitive passes, annotate the\n\
+                     source site (the panic/nondeterminism token). Every directive must\n\
+                     suppress something — stale ones fail the stale-allow audit."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -45,38 +81,103 @@ fn main() -> ExitCode {
     }
 
     let cfg = LintConfig::default();
-    let diags = if files.is_empty() {
-        match analyze_workspace(&root, &cfg) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("error: failed to scan {}: {e}", root.display());
-                return ExitCode::from(2);
-            }
+    if !files.is_empty() {
+        if json_out.is_some() || diff_baseline.is_some() {
+            eprintln!("error: --json/--diff need the whole workspace; drop the FILE arguments");
+            return ExitCode::from(2);
         }
-    } else {
-        let mut d = Vec::new();
+        let mut diags = Vec::new();
         for f in &files {
             match std::fs::read_to_string(f) {
-                Ok(src) => d.extend(analyze_source(&f.to_string_lossy(), &src, &cfg)),
+                Ok(src) => diags.extend(analyze_source(&f.to_string_lossy(), &src, &cfg)),
                 Err(e) => {
                     eprintln!("error: cannot read {}: {e}", f.display());
                     return ExitCode::from(2);
                 }
             }
         }
-        d
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        return if diags.is_empty() {
+            eprintln!("ballfit-lint: clean (token-level passes)");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("ballfit-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        };
+    }
+
+    let analysis: Analysis = match analyze_workspace(&root, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
     };
 
-    for d in &diags {
+    if let Some(path) = &json_out {
+        let rendered = report::render(&analysis);
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("error: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("ballfit-lint: report written to {}", path.display());
+    }
+
+    if let Some(baseline_path) = &diff_baseline {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let current = report::entries(&analysis.diagnostics);
+        let drift = match report::diff(&current, &baseline) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for a in &drift.added {
+            eprintln!("lint drift: new finding {a}");
+        }
+        for r in &drift.removed {
+            eprintln!("lint drift: baseline finding gone {r} (regenerate the baseline)");
+        }
+        return if drift.is_empty() {
+            eprintln!(
+                "ballfit-lint: no drift against {} ({} finding(s))",
+                baseline_path.display(),
+                current.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "ballfit-lint: {} added / {} removed vs {}",
+                drift.added.len(),
+                drift.removed.len(),
+                baseline_path.display()
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    for d in &analysis.diagnostics {
         eprintln!("{d}");
     }
-    if diags.is_empty() {
+    if analysis.diagnostics.is_empty() {
         eprintln!(
-            "ballfit-lint: clean (passes: determinism, locality, panic-safety, float-safety, fault-scope, churn-scope, par-scope, obs-scope)"
+            "ballfit-lint: clean ({} files, {} functions; passes: determinism, locality, \
+             panic-safety, float-safety, fault-scope, churn-scope, par-scope, obs-scope, \
+             determinism-taint, panic-reachability, transitive-locality, stale-allow)",
+            analysis.files, analysis.functions
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("ballfit-lint: {} violation(s)", diags.len());
+        eprintln!("ballfit-lint: {} violation(s)", analysis.diagnostics.len());
         ExitCode::FAILURE
     }
 }

@@ -33,10 +33,37 @@
 //!   writes its own trace records could skew the very accounting the
 //!   observability layer exists to certify (and would run per-node,
 //!   breaking the single-sink determinism argument).
+//!
+//! On top of the eight token-level passes, four **interprocedural**
+//! passes run over the whole workspace at once (via [`analyze_files`]),
+//! using the [`crate::callgraph`] built from the [`crate::ast`] item
+//! trees:
+//!
+//! * **determinism-taint** — a `Protocol` impl fn or detector entry
+//!   point ([`LintConfig::taint_entry_points`]) that *transitively*
+//!   reaches a nondeterminism source (`HashMap`, `thread_rng`,
+//!   wall-clock `now()`, `RandomState`, `from_entropy`) through any
+//!   chain of workspace helpers is tainted. A local
+//!   `allow(determinism)` does **not** launder taint — only
+//!   `allow(determinism-taint)` at the source site marks it as an
+//!   audited invariant.
+//! * **panic-reachability** — protocol handlers may not transitively
+//!   reach `unwrap`/`expect`/`panic!`-family macros or direct indexing;
+//!   `allow(panic-reachability)` at the panic site documents a checked
+//!   invariant and exempts that source.
+//! * **transitive-locality** — protocol handlers may not reach
+//!   global-state accessors or whole-network types through helpers;
+//!   the `Ctx` API boundary ([`LintConfig::trusted_owners`]) is
+//!   terminal, since its internals belong to the simulator.
+//! * **stale-allow** — every `// ballfit-lint: allow(pass)` directive
+//!   must suppress at least one finding (or annotate a real transitive
+//!   source); dead or misspelled directives are errors, so escape
+//!   hatches cannot silently outlive the code they excused.
 
-use crate::lexer::{is_float_literal, lex, Tok, TokKind};
+use crate::callgraph::{CallGraph, FileUnit, FnNode};
+use crate::lexer::{is_float_literal, lex, Lexed, Tok, TokKind};
 
-/// The eight passes.
+/// The twelve passes (eight token-level, four interprocedural).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -66,6 +93,18 @@ pub enum Pass {
     /// `Protocol` impls: only the simulator, the detectors and the
     /// runner layer emit observations.
     ObsScope,
+    /// Interprocedural: protocol fns and detector entry points must not
+    /// transitively reach nondeterminism sources.
+    DeterminismTaint,
+    /// Interprocedural: protocol fns must not transitively reach
+    /// `unwrap`/`expect`/`panic!`/indexing outside annotated invariants.
+    PanicReachability,
+    /// Interprocedural: protocol fns must not reach global-state
+    /// accessors through helpers.
+    TransitiveLocality,
+    /// Workspace audit: every `allow(...)` directive must suppress a
+    /// finding or annotate a transitive source.
+    StaleAllow,
 }
 
 impl Pass {
@@ -80,8 +119,28 @@ impl Pass {
             Pass::ChurnScope => "churn-scope",
             Pass::ParScope => "par-scope",
             Pass::ObsScope => "obs-scope",
+            Pass::DeterminismTaint => "determinism-taint",
+            Pass::PanicReachability => "panic-reachability",
+            Pass::TransitiveLocality => "transitive-locality",
+            Pass::StaleAllow => "stale-allow",
         }
     }
+
+    /// All passes in report order.
+    pub const ALL: [Pass; 12] = [
+        Pass::Determinism,
+        Pass::Locality,
+        Pass::PanicSafety,
+        Pass::FloatSafety,
+        Pass::FaultScope,
+        Pass::ChurnScope,
+        Pass::ParScope,
+        Pass::ObsScope,
+        Pass::DeterminismTaint,
+        Pass::PanicReachability,
+        Pass::TransitiveLocality,
+        Pass::StaleAllow,
+    ];
 }
 
 /// One finding.
@@ -169,6 +228,25 @@ pub struct LintConfig {
     /// a protocol must not write its own observation records. (`MsgBytes`
     /// is deliberately absent: the `Protocol::Msg` bound requires it.)
     pub obs_idents: Vec<String>,
+    /// `(alias, crate-dir)` pairs mapping `use ballfit_wsn::..`-style
+    /// crate names to the `crates/<dir>` layout, so cross-crate paths
+    /// resolve in the call graph.
+    pub crate_aliases: Vec<(String, String)>,
+    /// Method names excluded from by-name fallback resolution in the
+    /// call graph: they collide with std (`insert`, `len`, `iter`, ...)
+    /// and an unknown receiver would otherwise connect every data
+    /// structure user to every workspace type with that method.
+    pub method_fallback_skip: Vec<String>,
+    /// Owner types whose methods are a verified API boundary: the
+    /// interprocedural passes stop traversal there (`Ctx` — its
+    /// internals belong to the simulator, and its `send` assert *is*
+    /// the locality guard).
+    pub trusted_owners: Vec<String>,
+    /// `Owner::name` labels of detector entry points that must be
+    /// determinism-taint-free in addition to all protocol fns: these are
+    /// the public seams the reproduction's same-seed ⇒ same-boundary
+    /// claim is stated over.
+    pub taint_entry_points: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -255,6 +333,181 @@ impl Default for LintConfig {
                 "to_jsonl",
                 "write_jsonl",
                 "SpanId",
+            ]),
+            crate_aliases: [
+                ("ballfit", "core"),
+                ("ballfit_wsn", "wsn"),
+                ("ballfit_geom", "geom"),
+                ("ballfit_mds", "mds"),
+                ("ballfit_netgen", "netgen"),
+                ("ballfit_par", "par"),
+                ("ballfit_obs", "obs"),
+            ]
+            .iter()
+            .map(|(a, k)| (a.to_string(), k.to_string()))
+            .collect(),
+            method_fallback_skip: s(&[
+                // std collection / iterator / option / slice vocabulary:
+                // by-name fallback on these would wire the graph into a
+                // clique through BTreeMap and Vec call sites.
+                "len",
+                "is_empty",
+                "get",
+                "get_mut",
+                "insert",
+                "remove",
+                "push",
+                "pop",
+                "clear",
+                "contains",
+                "contains_key",
+                "iter",
+                "iter_mut",
+                "into_iter",
+                "next",
+                "clone",
+                "cmp",
+                "eq",
+                "ne",
+                "hash",
+                "fmt",
+                "map",
+                "and_then",
+                "or_else",
+                "unwrap_or",
+                "unwrap_or_else",
+                "unwrap_or_default",
+                "is_some",
+                "is_none",
+                "is_some_and",
+                "is_none_or",
+                "is_ok",
+                "is_err",
+                "ok",
+                "err",
+                "as_ref",
+                "as_mut",
+                "as_str",
+                "as_slice",
+                "as_bytes",
+                "to_string",
+                "to_vec",
+                "to_owned",
+                "into",
+                "from",
+                "extend",
+                "entry",
+                "or_default",
+                "or_insert",
+                "or_insert_with",
+                "keys",
+                "values",
+                "sort",
+                "sort_by",
+                "sort_by_key",
+                "sort_unstable",
+                "sort_unstable_by",
+                "dedup",
+                "retain",
+                "drain",
+                "split_last",
+                "split_first",
+                "split_once",
+                "binary_search",
+                "binary_search_by",
+                "windows",
+                "chunks",
+                "first",
+                "last",
+                "min",
+                "max",
+                "abs",
+                "sqrt",
+                "powi",
+                "powf",
+                "floor",
+                "ceil",
+                "round",
+                "total_cmp",
+                "partial_cmp",
+                "max_by",
+                "min_by",
+                "max_by_key",
+                "min_by_key",
+                "count",
+                "sum",
+                "product",
+                "fold",
+                "filter",
+                "filter_map",
+                "flat_map",
+                "flatten",
+                "collect",
+                "rev",
+                "zip",
+                "enumerate",
+                "take",
+                "skip",
+                "chain",
+                "any",
+                "all",
+                "find",
+                "position",
+                "copied",
+                "cloned",
+                "starts_with",
+                "ends_with",
+                "trim",
+                "split",
+                "join",
+                "push_str",
+                "saturating_sub",
+                "saturating_add",
+                "wrapping_sub",
+                "wrapping_add",
+                "checked_sub",
+                "checked_add",
+                "to_bits",
+                "from_bits",
+                "swap",
+                "resize",
+                "truncate",
+                "reserve",
+                "with_capacity",
+                "new",
+                "default",
+                "range",
+                "append",
+                "peek",
+                "min_element",
+                "max_element",
+                "mul_add",
+                "hypot",
+                "clamp",
+                "rem_euclid",
+                "div_euclid",
+                "write",
+                "read",
+                "flush",
+                "take_while",
+                "skip_while",
+                "step_by",
+                "then",
+                "then_some",
+                "then_with",
+                "replace",
+                "take_mut",
+                "get_or_insert_with",
+                "expect",
+                "unwrap",
+            ]),
+            trusted_owners: s(&["Ctx"]),
+            taint_entry_points: s(&[
+                "BoundaryDetector::detect",
+                "BoundaryDetector::detect_view",
+                "BoundaryDetector::detect_view_traced",
+                "IncrementalDetector::apply",
+                "IncrementalDetector::apply_traced",
             ]),
         }
     }
@@ -345,13 +598,27 @@ fn classify_header(toks: &[Tok], open: usize, cfg: &LintConfig) -> ScopeKind {
     ScopeKind::Block
 }
 
-/// Runs all passes over one source file.
+/// Runs the eight token-level passes over one source file.
 ///
 /// `file` is the label used in diagnostics *and* for path-based policy
 /// (test files under a `tests/` directory are treated as test code; the
-/// float-safety exemption list matches on path suffix).
+/// float-safety exemption list matches on path suffix). The
+/// interprocedural passes need the whole workspace at once — use
+/// [`analyze_files`] for those.
 pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
     let lexed = lex(src);
+    let mut allow_used = vec![false; lexed.allows.len()];
+    direct_diagnostics(file, &lexed, cfg, &mut allow_used)
+}
+
+/// The token-level passes, with allow-directive usage tracked into
+/// `allow_used` (parallel to `lexed.allows`) for the stale-allow audit.
+fn direct_diagnostics(
+    file: &str,
+    lexed: &Lexed,
+    cfg: &LintConfig,
+    allow_used: &mut [bool],
+) -> Vec<Diagnostic> {
     let toks = &lexed.toks;
     let flags = scope_flags(toks, cfg);
     let file_is_test = file.contains("/tests/") || file.ends_with("/build.rs");
@@ -362,10 +629,13 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
 
     let mut out = Vec::new();
     let mut push = |pass: Pass, line: u32, message: String| {
-        let suppressed = lexed
-            .allows
-            .iter()
-            .any(|(l, p)| (p == pass.name() || p == "all") && (*l == line || *l + 1 == line));
+        let mut suppressed = false;
+        for (idx, (l, p)) in lexed.allows.iter().enumerate() {
+            if (p == pass.name() || p == "all") && (*l == line || *l + 1 == line) {
+                suppressed = true;
+                allow_used[idx] = true;
+            }
+        }
         if !suppressed {
             out.push(Diagnostic { pass, file: file.to_string(), line, message });
         }
@@ -610,6 +880,273 @@ pub fn analyze_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic
         }
     }
     out
+}
+
+/// Workspace-level analysis result: all diagnostics (token-level +
+/// interprocedural) plus the symbol-table sizes the report records.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, pass, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files analyzed.
+    pub files: usize,
+    /// Number of functions in the workspace symbol table.
+    pub functions: usize,
+}
+
+/// The three transitive sink→source passes share one driver; this names
+/// the per-pass specifics.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transitive {
+    Determinism,
+    Panic,
+    Locality,
+}
+
+impl Transitive {
+    fn pass(self) -> Pass {
+        match self {
+            Transitive::Determinism => Pass::DeterminismTaint,
+            Transitive::Panic => Pass::PanicReachability,
+            Transitive::Locality => Pass::TransitiveLocality,
+        }
+    }
+}
+
+/// Runs all twelve passes over a set of in-memory files. This is the
+/// primary entry point: [`crate::analyze_workspace`] reads the
+/// workspace's sources and delegates here, and the splice tests feed it
+/// doctored file sets directly.
+pub fn analyze_files(files: &[(String, String)], cfg: &LintConfig) -> Analysis {
+    let units: Vec<FileUnit> =
+        files.iter().map(|(label, src)| FileUnit::new(label.clone(), src)).collect();
+    let mut allow_used: Vec<Vec<bool>> =
+        units.iter().map(|u| vec![false; u.lexed.allows.len()]).collect();
+
+    let mut diags = Vec::new();
+    for (u, used) in units.iter().zip(allow_used.iter_mut()) {
+        diags.extend(direct_diagnostics(&u.label, &u.lexed, cfg, used));
+    }
+
+    let graph = CallGraph::build(&units, cfg);
+    for kind in [Transitive::Determinism, Transitive::Panic, Transitive::Locality] {
+        run_transitive(kind, &units, &graph, cfg, &mut allow_used, &mut diags);
+    }
+
+    // Stale-allow audit: every directive must have earned its keep above.
+    let known: Vec<&str> = Pass::ALL.iter().map(|p| p.name()).collect();
+    for (u, used) in units.iter().zip(allow_used.iter()) {
+        for ((line, pass), used) in u.lexed.allows.iter().zip(used.iter()) {
+            if *used {
+                continue;
+            }
+            let message = if pass == "all" || known.contains(&pass.as_str()) {
+                format!(
+                    "`allow({pass})` suppresses no findings; stale escape hatches hide real regressions — delete the directive"
+                )
+            } else {
+                format!("`allow({pass})` names no known pass; fix the typo or delete the directive")
+            };
+            diags.push(Diagnostic {
+                pass: Pass::StaleAllow,
+                file: u.label.clone(),
+                line: *line,
+                message,
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pass.name(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.pass.name(),
+            b.message.as_str(),
+        ))
+    });
+    diags.dedup();
+    Analysis { diagnostics: diags, files: units.len(), functions: graph.fns.len() }
+}
+
+/// One sink→source pass: find every sink fn, BFS to the nearest
+/// source-carrying fn, report the chain.
+fn run_transitive(
+    kind: Transitive,
+    units: &[FileUnit],
+    graph: &CallGraph,
+    cfg: &LintConfig,
+    allow_used: &mut [Vec<bool>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let pass = kind.pass();
+    // Source scan: first unexcused source token per fn. An
+    // `allow(<pass>)` on the source line marks an audited invariant —
+    // the source is excused and the directive counts as used.
+    let sources: Vec<Option<(u32, String)>> = graph
+        .fns
+        .iter()
+        .map(|f| {
+            if f.is_test {
+                return None;
+            }
+            let trusted = f.owner.as_ref().is_some_and(|o| cfg.trusted_owners.contains(o));
+            if trusted {
+                return None;
+            }
+            scan_sources(kind, &units[f.file_idx], f, cfg, &mut allow_used[f.file_idx])
+        })
+        .collect();
+
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !is_sink(kind, f, cfg) {
+            continue;
+        }
+        let Some(path) = graph.shortest_path(i, cfg, |j| sources[j].is_some()) else {
+            continue;
+        };
+        let src_fn = *path.last().expect("path is non-empty");
+        let (src_line, src_desc) = sources[src_fn].clone().expect("target carries a source");
+        let chain = path.iter().map(|&k| format!("`{}`", graph.fns[k].label())).collect::<Vec<_>>();
+        let src_file = &units[graph.fns[src_fn].file_idx].label;
+        let detail =
+            format!("{src_desc} at {src_file}:{src_line} via {}", chain.join(" \u{2192} "));
+        let message = match kind {
+            Transitive::Determinism => format!(
+                "`{}` transitively reaches nondeterminism: {detail}; same-seed runs must stay byte-identical — make the helper deterministic or take the value as an input",
+                f.label()
+            ),
+            Transitive::Panic => format!(
+                "`{}` can transitively panic: {detail}; handle the failure arm in the helper, or annotate the checked invariant with `// ballfit-lint: allow(panic-reachability)` at the panic site",
+                f.label()
+            ),
+            Transitive::Locality => format!(
+                "`{}` reaches global network state through helpers: {detail}; the paper's 1-hop contract forbids handlers from consulting whole-network structures even indirectly",
+                f.label()
+            ),
+        };
+        // The sink's own line can carry an allow too (for deliberate
+        // regression fixtures).
+        let sink_unit = &units[f.file_idx];
+        let mut suppressed = false;
+        for (idx, (l, p)) in sink_unit.lexed.allows.iter().enumerate() {
+            if (p == pass.name() || p == "all") && (*l == f.line || *l + 1 == f.line) {
+                suppressed = true;
+                allow_used[f.file_idx][idx] = true;
+            }
+        }
+        if !suppressed {
+            diags.push(Diagnostic { pass, file: sink_unit.label.clone(), line: f.line, message });
+        }
+    }
+}
+
+/// Is `f` a sink for this transitive pass?
+fn is_sink(kind: Transitive, f: &FnNode, cfg: &LintConfig) -> bool {
+    if f.is_test || f.body.is_none() {
+        return false;
+    }
+    let protocol = f.trait_name.as_ref().is_some_and(|t| cfg.protocol_traits.contains(t));
+    match kind {
+        Transitive::Determinism => protocol || cfg.taint_entry_points.contains(&f.label()),
+        Transitive::Panic | Transitive::Locality => protocol,
+    }
+}
+
+/// Scans one fn for source tokens of the given transitive pass. Returns
+/// the first unexcused source; excused sources mark their directive used.
+fn scan_sources(
+    kind: Transitive,
+    unit: &FileUnit,
+    f: &FnNode,
+    cfg: &LintConfig,
+    allow_used: &mut [bool],
+) -> Option<(u32, String)> {
+    let toks = &unit.lexed.toks;
+    let Some((blo, bhi)) = f.body else { return None };
+    let pass_name = kind.pass().name();
+    let mut excuse = |line: u32| -> bool {
+        let mut hit = false;
+        for (idx, (l, p)) in unit.lexed.allows.iter().enumerate() {
+            if p == pass_name && (*l == line || *l + 1 == line) {
+                hit = true;
+                allow_used[idx] = true;
+            }
+        }
+        hit
+    };
+    // Locality also denies *naming* whole-network types, and a signature
+    // mention (`model: &NetworkModel`) is as load-bearing as a body one.
+    let (lo, hi) = match kind {
+        Transitive::Locality => (f.sig.0, bhi.min(toks.len())),
+        _ => (blo, bhi.min(toks.len())),
+    };
+    for i in lo..hi {
+        let t = &toks[i];
+        let found: Option<String> = match kind {
+            Transitive::Determinism => match t.text.as_str() {
+                "HashMap" | "HashSet" | "RandomState" if t.kind == TokKind::Ident => {
+                    Some(format!("`{}`", t.text))
+                }
+                "thread_rng" | "from_entropy" if t.kind == TokKind::Ident => {
+                    Some(format!("`{}`", t.text))
+                }
+                "SystemTime" | "Instant"
+                    if t.kind == TokKind::Ident
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(i + 2).is_some_and(|n| n.is_ident("now")) =>
+                {
+                    Some(format!("`{}::now()`", t.text))
+                }
+                _ => None,
+            },
+            Transitive::Panic => {
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_err" | "expect_err")
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    Some(format!("`.{}()`", t.text))
+                } else if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                {
+                    Some(format!("`{}!`", t.text))
+                } else if t.is_punct("[") && i > 0 {
+                    let p = &toks[i - 1];
+                    let indexes = p.kind == TokKind::Ident && !is_keyword(&p.text)
+                        || p.is_punct(")")
+                        || p.is_punct("]");
+                    // Only body indexing counts; `[` can't appear in the
+                    // sig scan range for this pass.
+                    indexes.then(|| "direct indexing".to_string())
+                } else {
+                    None
+                }
+            }
+            Transitive::Locality => {
+                if t.kind == TokKind::Ident && cfg.locality_denied_types.contains(&t.text) {
+                    Some(format!("`{}`", t.text))
+                } else if i >= blo
+                    && t.kind == TokKind::Ident
+                    && cfg.locality_denied_methods.contains(&t.text)
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    Some(format!("`.{}()`", t.text))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(desc) = found {
+            if !excuse(t.line) {
+                return Some((t.line, desc));
+            }
+        }
+    }
+    None
 }
 
 /// Is the operand at `i` (looking `forward` or backward from a `==`) a

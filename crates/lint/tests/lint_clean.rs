@@ -4,17 +4,20 @@
 //! the ISSUE cares about — a `HashMap` iteration or a global-state
 //! accessor call creeping into the protocol layer — would fail this test.
 
-use ballfit_lint::{analyze_source, analyze_workspace, default_workspace_root, LintConfig, Pass};
+use ballfit_lint::{
+    analyze_files, analyze_source, analyze_workspace, ast, default_workspace_root, lexer, report,
+    LintConfig, Pass,
+};
 
 #[test]
 fn workspace_is_invariant_clean() {
     let root = default_workspace_root();
-    let diags =
+    let analysis =
         analyze_workspace(&root, &LintConfig::default()).expect("workspace sources are readable");
     assert!(
-        diags.is_empty(),
+        analysis.diagnostics.is_empty(),
         "invariant violations in the workspace:\n{}",
-        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        analysis.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
     );
 }
 
@@ -202,6 +205,270 @@ fn trace_emission_inside_a_handler_would_fail() {
         diags.iter().any(|d| d.pass == Pass::ObsScope),
         "Trace inside a Protocol impl must be caught: {diags:?}"
     );
+}
+
+/// Splices one statement into `GroupingProtocol::on_message` and pairs
+/// the poisoned runner module with a scratch helper file, returning the
+/// file set the interprocedural passes see. The violation lives in the
+/// scratch file, *two* calls away from the handler — invisible to every
+/// token-level pass.
+fn spliced_with_scratch(
+    call: &str,
+    scratch_label: &str,
+    scratch_src: &str,
+) -> Vec<(String, String)> {
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(needle, &format!("{needle}\n        {call}"));
+    vec![
+        ("crates/core/src/protocols.rs".to_string(), poisoned),
+        (scratch_label.to_string(), scratch_src.to_string()),
+    ]
+}
+
+#[test]
+fn determinism_taint_two_calls_deep_is_caught() {
+    // The direct determinism pass is pacified at the source site with
+    // `allow(determinism)` — which must NOT launder the *transitive*
+    // pass: the handler still reaches `thread_rng` through two helpers.
+    let scratch = r#"
+pub fn helper_a() -> u64 {
+    helper_b()
+}
+
+fn helper_b() -> u64 {
+    // ballfit-lint: allow(determinism)
+    let _rng = thread_rng();
+    0
+}
+"#;
+    let files = spliced_with_scratch(
+        "let _cheat = crate::scratch_taint::helper_a();",
+        "crates/core/src/scratch_taint.rs",
+        scratch,
+    );
+    let analysis = analyze_files(&files, &LintConfig::default());
+    let hit =
+        analysis.diagnostics.iter().find(|d| d.pass == Pass::DeterminismTaint).unwrap_or_else(
+            || panic!("taint two calls deep must be caught: {:?}", analysis.diagnostics),
+        );
+    assert_eq!(hit.file, "crates/core/src/protocols.rs", "{hit}");
+    assert!(hit.message.contains("thread_rng"), "{hit}");
+    assert!(
+        hit.message.contains("`helper_a`") && hit.message.contains("`helper_b`"),
+        "chain must name both helpers: {hit}"
+    );
+    // No stale-allow noise: the source-site directive suppressed the
+    // direct finding, so it earned its keep.
+    assert!(
+        !analysis.diagnostics.iter().any(|d| d.pass == Pass::StaleAllow),
+        "{:?}",
+        analysis.diagnostics
+    );
+    // Fingerprints are a pure function of the sources.
+    let again = analyze_files(&files, &LintConfig::default());
+    assert_eq!(
+        report::entries(&analysis.diagnostics),
+        report::entries(&again.diagnostics),
+        "fingerprints must be byte-stable across runs"
+    );
+}
+
+#[test]
+fn panic_reachability_two_calls_deep_is_caught() {
+    // `unwrap` in plain library code is legal (the direct pass only
+    // polices handler bodies) — but a handler *reaching* it through
+    // helpers is not.
+    let scratch = r#"
+pub fn helper_a(xs: &[u64]) -> u64 {
+    helper_b(xs)
+}
+
+fn helper_b(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+"#;
+    let files = spliced_with_scratch(
+        "let _cheat = crate::scratch_panic::helper_a(&[]);",
+        "crates/core/src/scratch_panic.rs",
+        scratch,
+    );
+    let analysis = analyze_files(&files, &LintConfig::default());
+    let hit =
+        analysis.diagnostics.iter().find(|d| d.pass == Pass::PanicReachability).unwrap_or_else(
+            || panic!("panic two calls deep must be caught: {:?}", analysis.diagnostics),
+        );
+    assert_eq!(hit.file, "crates/core/src/protocols.rs", "{hit}");
+    assert!(hit.message.contains("`.unwrap()`"), "{hit}");
+    assert!(hit.message.contains("`helper_b`"), "{hit}");
+}
+
+#[test]
+fn panic_reachability_respects_source_site_allow() {
+    // Annotating the checked invariant at the panic site excuses the
+    // whole chain — and the directive counts as used (no stale-allow).
+    let scratch = r#"
+pub fn helper_a(xs: &[u64]) -> u64 {
+    helper_b(xs)
+}
+
+fn helper_b(xs: &[u64]) -> u64 {
+    // ballfit-lint: allow(panic-reachability)
+    xs.first().copied().unwrap()
+}
+"#;
+    let files = spliced_with_scratch(
+        "let _cheat = crate::scratch_panic::helper_a(&[]);",
+        "crates/core/src/scratch_panic.rs",
+        scratch,
+    );
+    let analysis = analyze_files(&files, &LintConfig::default());
+    assert!(
+        !analysis.diagnostics.iter().any(|d| d.pass == Pass::PanicReachability),
+        "{:?}",
+        analysis.diagnostics
+    );
+    assert!(
+        !analysis.diagnostics.iter().any(|d| d.pass == Pass::StaleAllow),
+        "source-site allow must count as used: {:?}",
+        analysis.diagnostics
+    );
+}
+
+#[test]
+fn transitive_locality_two_calls_deep_is_caught() {
+    // Naming `NetworkModel` in a helper's signature is fine on its own;
+    // a Protocol handler reaching that helper is the violation.
+    let scratch = r#"
+pub fn helper_a() -> usize {
+    helper_b()
+}
+
+fn helper_b(model: &NetworkModel) -> usize {
+    model.node_count()
+}
+"#;
+    let files = spliced_with_scratch(
+        "let _cheat = crate::scratch_local::helper_a();",
+        "crates/core/src/scratch_local.rs",
+        scratch,
+    );
+    let analysis = analyze_files(&files, &LintConfig::default());
+    let hit =
+        analysis.diagnostics.iter().find(|d| d.pass == Pass::TransitiveLocality).unwrap_or_else(
+            || panic!("global state two calls deep must be caught: {:?}", analysis.diagnostics),
+        );
+    assert_eq!(hit.file, "crates/core/src/protocols.rs", "{hit}");
+    assert!(hit.message.contains("`NetworkModel`"), "{hit}");
+    assert!(hit.message.contains("`helper_b`"), "{hit}");
+}
+
+#[test]
+fn stale_allow_directives_are_flagged() {
+    let src = "\
+// ballfit-lint: allow(float-safety)
+pub fn quiet() -> u64 {
+    7
+}
+
+// ballfit-lint: allow(flot-safety)
+pub fn typo() -> u64 {
+    8
+}
+";
+    let files = vec![("crates/core/src/scratch_allow.rs".to_string(), src.to_string())];
+    let analysis = analyze_files(&files, &LintConfig::default());
+    let stale: Vec<_> =
+        analysis.diagnostics.iter().filter(|d| d.pass == Pass::StaleAllow).collect();
+    assert_eq!(stale.len(), 2, "{:?}", analysis.diagnostics);
+    assert!(stale[0].message.contains("suppresses no findings"), "{}", stale[0]);
+    assert!(stale[1].message.contains("names no known pass"), "{}", stale[1]);
+}
+
+#[test]
+fn every_workspace_file_parses_into_items() {
+    fn collect(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        let mut entries: Vec<_> =
+            std::fs::read_dir(dir).unwrap().map(|e| e.unwrap().path()).collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                collect(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    collect(&default_workspace_root().join("crates"), &mut files);
+    assert!(files.len() >= 60, "expected the whole workspace, got {} files", files.len());
+    for path in &files {
+        let src = std::fs::read_to_string(path).unwrap();
+        let parsed = ast::parse(&lexer::lex(&src).toks);
+        assert!(!parsed.items.is_empty(), "no items parsed from {}", path.display());
+    }
+}
+
+#[test]
+fn parser_pins_fixture_item_count() {
+    let src = r#"
+//! Fixture: one of each item shape the parser distinguishes.
+use std::fmt::{self, Display};
+
+mod inner {
+    pub fn nested() {}
+}
+
+pub struct Widget {
+    pub id: u64,
+}
+
+impl Display for Widget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+pub trait Renders {
+    fn render(&self) -> String;
+}
+
+pub fn free_standing() -> u64 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {}
+}
+"#;
+    let parsed = ast::parse(&lexer::lex(src).toks);
+    // use + mod inner (+ nested fn) + struct + impl + trait + free fn +
+    // tests mod (+ its fn): 7 top-level items, 9 counting inline-mod fns.
+    assert_eq!(parsed.items.len(), 7, "{:#?}", parsed.items);
+    assert_eq!(ast::item_count(&parsed.items), 9, "{:#?}", parsed.items);
+}
+
+#[test]
+fn workspace_report_is_reproducible_and_diff_clean() {
+    let root = default_workspace_root();
+    let cfg = LintConfig::default();
+    let a = analyze_workspace(&root, &cfg).expect("workspace sources are readable");
+    let b = analyze_workspace(&root, &cfg).expect("workspace sources are readable");
+    let rendered_a = report::render(&a);
+    let rendered_b = report::render(&b);
+    assert_eq!(rendered_a, rendered_b, "report must be byte-identical across runs");
+    // The report parses back and round-trips through the drift gate.
+    let drift = report::diff(&report::entries(&a.diagnostics), &rendered_b)
+        .expect("rendered report is valid baseline input");
+    assert!(drift.is_empty(), "added {:?} removed {:?}", drift.added, drift.removed);
+    assert!(a.functions >= 900, "symbol table shrank suspiciously: {}", a.functions);
 }
 
 #[test]

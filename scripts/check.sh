@@ -3,10 +3,22 @@
 #
 #   1. cargo fmt --check        formatting
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
-#   3. ballfit-lint             determinism / locality / panic-safety /
-#                               float-safety / fault-scope / churn-scope /
-#                               par-scope / obs-scope invariants
-#                               (crates/lint)
+#   3. ballfit-lint             the 8 token-level passes (determinism /
+#                               locality / panic-safety / float-safety /
+#                               fault-scope / churn-scope / par-scope /
+#                               obs-scope) plus the interprocedural
+#                               determinism-taint / panic-reachability /
+#                               transitive-locality passes and the
+#                               stale-allow audit (crates/lint). The step
+#                               also emits the machine-readable report
+#                               twice (must be byte-identical), validates
+#                               it with the in-process bench::json
+#                               validator, and diffs fingerprints against
+#                               the committed results/lint_baseline.json.
+#                               After a deliberate lint change, regenerate
+#                               the baseline and commit it:
+#                                 cargo run -p ballfit-lint -- \
+#                                     --json results/lint_baseline.json
 #   4. cargo test               tier-1 test suite, run with
 #                               BALLFIT_THREADS=2 so the deterministic
 #                               pool's parallel path is exercised
@@ -41,15 +53,20 @@ if [[ "$FAST" -eq 0 ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
 fi
 
-step "ballfit-lint (invariant analyzer)"
-cargo run -q -p ballfit-lint
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+step "ballfit-lint (invariant analyzer + report + drift gate)"
+cargo run -q -p ballfit-lint -- --json "$SMOKE_DIR/lint_a.json"
+cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --validate "$SMOKE_DIR/lint_a.json"
+cargo run -q -p ballfit-lint -- --json "$SMOKE_DIR/lint_b.json"
+cmp "$SMOKE_DIR/lint_a.json" "$SMOKE_DIR/lint_b.json"
+cargo run -q -p ballfit-lint -- --diff results/lint_baseline.json
 
 step "cargo test (BALLFIT_THREADS=2)"
 BALLFIT_THREADS=2 cargo test -q --workspace
 
 step "robustness_sweep --smoke (fault-injection degradation sweep)"
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --smoke
 cargo run -q --release -p ballfit-bench --bin robustness_sweep -- --validate "$SMOKE_DIR/robustness_sweep.json"
 
