@@ -34,7 +34,7 @@ use ballfit::grouping::group_boundaries;
 use ballfit::landmarks::elect_landmarks;
 use ballfit::protocols::{
     run_grouping_protocol_traced, run_hardened_grouping, run_hardened_ubf,
-    run_landmark_protocol_with_faults, run_ubf_protocol_traced, RetryConfig,
+    run_landmark_protocol_with_faults, run_ubf_protocol_traced, Backoff,
 };
 use ballfit_netgen::builder::NetworkBuilder;
 use ballfit_netgen::model::NetworkModel;
@@ -140,7 +140,7 @@ fn run_cell(
 ) -> CellResult {
     let n = model.len();
     let topo = model.topology();
-    let retry = RetryConfig::default();
+    let retry = Backoff::default();
     // Duplication and delay ride along with loss (the "misbehaving
     // radio" axis); the crash axis stays pure so the (0, 0) cell is a
     // clean baseline.

@@ -13,7 +13,7 @@ use crate::ubf::ubf_test;
 use crate::view::NetView;
 
 /// Result of boundary-node detection on a network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BoundaryDetection {
     /// Phase-1 (UBF) candidate flags per node.
     pub candidates: Vec<bool>,

@@ -113,6 +113,33 @@ pub struct IncrementalDetector {
     label: Vec<Option<usize>>,
 }
 
+/// A serializable point-in-time image of an [`IncrementalDetector`],
+/// taken with [`IncrementalDetector::checkpoint`] and revived with
+/// [`IncrementalDetector::restore`]. The node → group label map is not
+/// stored — it is a pure function of `groups` and is rebuilt on restore —
+/// and the worker-thread count is an execution parameter, re-supplied at
+/// restore time. Restoring and replaying the remaining topology events is
+/// byte-identical to the uninterrupted run (the crash-recovery pin in
+/// `tests/robustness.rs`).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DetectorCheckpoint {
+    /// The configuration in force.
+    pub config: DetectorConfig,
+    /// Per-slot UBF candidate flags.
+    pub candidates: Vec<bool>,
+    /// Per-slot degenerate-neighborhood flags.
+    pub degenerate: Vec<bool>,
+    /// Per-slot candidate-ball counts (Theorem 1 accounting).
+    pub balls: Vec<u64>,
+    /// Per-slot IFF fragment sizes (0 for non-candidates).
+    pub fragments: Vec<usize>,
+    /// Per-slot boundary flags.
+    pub boundary: Vec<bool>,
+    /// Boundary groups in canonical order (size desc, min-ID asc).
+    pub groups: Vec<BoundaryGroup>,
+}
+
 /// The detector's read view of a dynamic topology: dead slots appear as
 /// isolated nodes and take the degenerate-neighborhood path, exactly as
 /// they would in a from-scratch run over the same slot space.
@@ -219,6 +246,41 @@ impl IncrementalDetector {
             balls_tested: self.balls.iter().sum(),
             degenerate_nodes: (0..self.degenerate.len()).filter(|&i| self.degenerate[i]).collect(),
         }
+    }
+
+    /// Captures the full detection state as a serializable checkpoint.
+    /// The label map is derivable from `groups` and is therefore omitted.
+    pub fn checkpoint(&self) -> DetectorCheckpoint {
+        DetectorCheckpoint {
+            config: self.config,
+            candidates: self.candidates.clone(),
+            degenerate: self.degenerate.clone(),
+            balls: self.balls.clone(),
+            fragments: self.fragments.clone(),
+            boundary: self.boundary.clone(),
+            groups: self.groups.clone(),
+        }
+    }
+
+    /// Revives a detector from a checkpoint without any recomputation:
+    /// the per-slot state is adopted verbatim and the label map is
+    /// rebuilt from the stored groups. `parallelism` only affects future
+    /// whole-network sweeps; per-event repairs are sequential either way,
+    /// so restored state evolves byte-identically at every thread count.
+    pub fn restore(checkpoint: &DetectorCheckpoint, parallelism: Parallelism) -> Self {
+        let mut det = IncrementalDetector {
+            config: checkpoint.config,
+            parallelism,
+            candidates: checkpoint.candidates.clone(),
+            degenerate: checkpoint.degenerate.clone(),
+            balls: checkpoint.balls.clone(),
+            fragments: checkpoint.fragments.clone(),
+            boundary: checkpoint.boundary.clone(),
+            groups: checkpoint.groups.clone(),
+            label: vec![None; checkpoint.boundary.len()],
+        };
+        det.relabel();
+        det
     }
 
     /// Repairs the detection state after `dynamic` applied the event that
@@ -586,6 +648,37 @@ mod tests {
             inc.apply(&dynamic, &delta);
             assert_matches_scratch(&inc, &dynamic);
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let pts = box_points(5, 0.8);
+        let mut dynamic = DynamicTopology::new(&pts, 1.0);
+        let mut inc = IncrementalDetector::new(DetectorConfig::default(), &dynamic);
+
+        // Perturb, checkpoint mid-stream, then replay the tail on both
+        // the original and the restored detector.
+        let delta = dynamic.apply(&TopologyEvent::Leave { node: 31 });
+        inc.apply(&dynamic, &delta);
+        let checkpoint = inc.checkpoint();
+        let mut revived =
+            IncrementalDetector::restore(&checkpoint, ballfit_par::Parallelism::sequential());
+        assert_eq!(revived.detection(), inc.detection(), "restore must be lossless");
+        assert_eq!(revived.fragments(), inc.fragments());
+
+        let tail = [
+            TopologyEvent::Leave { node: 32 },
+            TopologyEvent::Join { position: pts[31] },
+            TopologyEvent::Move { node: 40, to: pts[40] + Vec3::new(0.4, 0.0, 0.0) },
+        ];
+        for ev in &tail {
+            let delta = dynamic.apply(ev);
+            let a = inc.apply(&dynamic, &delta);
+            let b = revived.apply(&dynamic, &delta);
+            assert_eq!(a, b, "replayed diffs diverged");
+        }
+        assert_eq!(revived.detection(), inc.detection());
+        assert_matches_scratch(&revived, &dynamic);
     }
 
     #[test]

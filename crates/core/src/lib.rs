@@ -30,7 +30,10 @@
 //! [`incremental::IncrementalDetector`] follows a churning topology by
 //! recomputing only the dirty halo of each event, pinned exact against
 //! the from-scratch detector (both run over the shared [`view::NetView`]
-//! abstraction).
+//! abstraction). The [`chaos`] module stresses both layers at once —
+//! radio faults injected while the topology churns — and grades each
+//! epoch with a typed [`chaos::DetectionOutcome`] instead of failing
+//! outright.
 //!
 //! # Quickstart
 //!
@@ -63,6 +66,7 @@ pub mod applications;
 pub mod cdg;
 pub mod cdm;
 pub mod cells;
+pub mod chaos;
 pub mod config;
 pub mod detector;
 pub mod edgeflip;

@@ -24,12 +24,15 @@
 //!
 //! For unreliable radios ([`ballfit_wsn::faults::FaultPlan`]) the module
 //! also provides hardened variants: [`HardenedUbf`] (ack/retransmit table
-//! exchange) and [`HardenedGrouping`] (periodic label re-broadcast over a
-//! bounded horizon), plus [`ballfit_wsn::flood::HardenedFragmentFlood`]
-//! in the substrate crate. On a perfect radio each hardened protocol
-//! produces exactly the same outputs as its plain counterpart; the
-//! runners return [`ConvergenceFailure`] instead of asserting, so
-//! truncated runs are loud in release builds too.
+//! exchange) and [`HardenedGrouping`] (evidence-tracked label repair),
+//! plus [`ballfit_wsn::flood::HardenedFragmentFlood`] in the substrate
+//! crate. All retransmission follows the exponential [`Backoff`] schedule
+//! with a bounded per-neighbor budget — there is no fixed worst-case
+//! re-broadcast horizon. On a perfect radio each hardened protocol
+//! produces exactly the same outputs as its plain counterpart (and, for
+//! grouping, the same round count); the runners return
+//! [`ConvergenceFailure`] instead of asserting, so truncated runs are
+//! loud in release builds too.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -81,21 +84,40 @@ fn require_quiescent(
     }
 }
 
-/// Retransmission policy of the hardened protocols: after an initial
-/// transmission, re-send every `period + 1` rounds, at most `attempts`
-/// times. The defaults survive ≥ 30% link loss with high probability
-/// (failure needs all `attempts + 1` copies dropped).
+/// Adaptive retransmission policy of the hardened protocols: after an
+/// initial quiet period of `first` rounds a pending retransmission fires,
+/// and the cooldown doubles on every subsequent attempt (capped at
+/// `cap`), up to `attempts` fires total. The short first countdown keeps
+/// repair latency low when something *was* lost, while the exponential
+/// tail means a fault-free exchange quiesces as soon as the success
+/// evidence arrives — nobody waits out a worst-case horizon — and a
+/// genuinely dead link drains a bounded budget instead of re-sending
+/// forever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryConfig {
-    /// Quiet rounds between retransmissions.
-    pub period: usize,
+pub struct Backoff {
+    /// Quiet rounds before the first retransmission fires.
+    pub first: usize,
+    /// Ceiling for the doubling cooldown, in rounds.
+    pub cap: usize,
     /// Maximum number of retransmissions (beyond the first send).
     pub attempts: u32,
 }
 
-impl Default for RetryConfig {
+impl Default for Backoff {
+    /// Cooldowns 2, 4, 8, 16, 16, …: a schedule that survives ≥ 30% link
+    /// loss with high probability (failure needs all `attempts + 1`
+    /// copies dropped).
     fn default() -> Self {
-        RetryConfig { period: 2, attempts: 8 }
+        Backoff { first: 2, cap: 16, attempts: 8 }
+    }
+}
+
+impl Backoff {
+    /// Upper bound on the rounds a full retry schedule can span: the
+    /// initial countdown plus every capped exponential cooldown. Runners
+    /// size their hang-stop budgets from this.
+    pub fn worst_case_span(&self) -> usize {
+        self.first + (self.attempts as usize + 1) * (self.cap.max(1) + 1)
     }
 }
 
@@ -269,31 +291,32 @@ impl MsgBytes for UbfMsg {
 }
 
 /// Loss-tolerant UBF table exchange: tables are acknowledged, and a node
-/// retransmits (unicast) to every neighbor that has not acked, every
-/// [`RetryConfig::period`] + 1 rounds, up to [`RetryConfig::attempts`]
-/// times. Duplicate tables are idempotent (last write wins with identical
-/// content) and re-trigger the ack, so lost acks also heal. On a perfect
-/// radio the schedule is: tables round 0, acks round 1, done — no
-/// retransmission ever fires, and the decision matches [`UbfProtocol`]
-/// exactly.
+/// retransmits (unicast) to every neighbor that has not acked, on the
+/// exponential [`Backoff`] schedule. Duplicate tables are idempotent
+/// (last write wins with identical content) and re-trigger the ack, so
+/// lost acks also heal. On a perfect radio the schedule is: tables round
+/// 0, acks round 1, done — no retransmission ever fires, and the
+/// decision matches [`UbfProtocol`] exactly.
 #[derive(Debug, Clone)]
 pub struct HardenedUbf {
     inner: UbfProtocol,
-    retry: RetryConfig,
+    backoff: Backoff,
     acked: BTreeSet<NodeId>,
     attempts_left: u32,
     cooldown: usize,
+    delay: usize,
 }
 
 impl HardenedUbf {
     /// Wraps a [`UbfProtocol`] state with the retransmission policy.
-    pub fn new(inner: UbfProtocol, retry: RetryConfig) -> Self {
+    pub fn new(inner: UbfProtocol, backoff: Backoff) -> Self {
         HardenedUbf {
             inner,
-            retry,
+            backoff,
             acked: BTreeSet::new(),
-            attempts_left: retry.attempts,
-            cooldown: retry.period,
+            attempts_left: backoff.attempts,
+            cooldown: backoff.first,
+            delay: backoff.first,
         }
     }
 
@@ -301,11 +324,11 @@ impl HardenedUbf {
     pub fn for_model(
         model: &NetworkModel,
         source: &CoordinateSource,
-        retry: RetryConfig,
+        backoff: Backoff,
     ) -> Vec<HardenedUbf> {
         UbfProtocol::for_model(model, source)
             .into_iter()
-            .map(|inner| HardenedUbf::new(inner, retry))
+            .map(|inner| HardenedUbf::new(inner, backoff))
             .collect()
     }
 
@@ -318,7 +341,13 @@ impl HardenedUbf {
 
     /// Retransmissions this node actually performed (spent retry budget).
     pub fn retransmissions(&self) -> u64 {
-        u64::from(self.retry.attempts - self.attempts_left)
+        u64::from(self.backoff.attempts - self.attempts_left)
+    }
+
+    /// True if the retry budget ran out with some neighbor still unacked:
+    /// the node decided from a partial table set (degraded coverage).
+    pub fn exhausted(&self) -> bool {
+        self.attempts_left == 0 && !self.fully_acked()
     }
 
     fn fully_acked(&self) -> bool {
@@ -355,7 +384,8 @@ impl Protocol for HardenedUbf {
             self.cooldown -= 1;
             return;
         }
-        self.cooldown = self.retry.period;
+        self.delay = (self.delay * 2).min(self.backoff.cap.max(1));
+        self.cooldown = self.delay;
         self.attempts_left -= 1;
         for &(j, _) in &self.inner.own_table {
             if !self.acked.contains(&j) {
@@ -383,10 +413,10 @@ pub fn run_hardened_ubf(
     model: &NetworkModel,
     cfg: &UbfConfig,
     source: &CoordinateSource,
-    retry: RetryConfig,
+    backoff: Backoff,
     plan: &FaultPlan,
 ) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
-    run_hardened_ubf_traced(model, cfg, source, retry, plan, &mut Trace::disabled())
+    run_hardened_ubf_traced(model, cfg, source, backoff, plan, &mut Trace::disabled())
 }
 
 /// [`run_hardened_ubf`] with structured tracing: a `"hardened-ubf"`
@@ -401,13 +431,13 @@ pub fn run_hardened_ubf_traced(
     model: &NetworkModel,
     cfg: &UbfConfig,
     source: &CoordinateSource,
-    retry: RetryConfig,
+    backoff: Backoff,
     plan: &FaultPlan,
     trace: &mut Trace,
 ) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
-    let states = HardenedUbf::for_model(model, source, retry);
+    let states = HardenedUbf::for_model(model, source, backoff);
     let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
-    let budget = 4 + (retry.attempts as usize + 1) * (retry.period + 2) + plan.round_slack();
+    let budget = 4 + backoff.worst_case_span() + plan.round_slack();
     trace.open("hardened-ubf");
     let stats = sim.run_with_faults_traced(budget, plan, trace);
     for node in 0..model.len() {
@@ -501,35 +531,104 @@ pub fn run_grouping_protocol_traced(
     Ok((labels, stats.messages))
 }
 
-/// Loss-tolerant boundary grouping: identical min-ID label flooding, but
-/// every member re-broadcasts its current label every
-/// [`RetryConfig::period`] + 1 rounds for a fixed `horizon` of rounds.
-/// Min-label flooding is monotone and idempotent, so re-broadcasts and
-/// duplicate deliveries are harmless, and any label update lost to the
-/// radio is re-offered on the next beat. With a sufficient horizon
-/// (≥ boundary diameter × expected per-hop retries) the labels converge
-/// to the same fixed point as [`GroupingProtocol`].
+/// Messages of the hardened grouping exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupMsg {
+    /// The sender's current label state (`None` = non-member), broadcast
+    /// at start and on every adoption.
+    Announce(Option<NodeId>),
+    /// Unicast repair probe carrying the sender's label; the receiver
+    /// answers with [`GroupMsg::Echo`] whether or not it is a member.
+    Repair(NodeId),
+    /// Unicast reply to a [`GroupMsg::Repair`] probe.
+    Echo(Option<NodeId>),
+}
+
+impl MsgBytes for GroupMsg {
+    /// One tag byte plus the label payload.
+    fn msg_bytes(&self) -> u64 {
+        match self {
+            GroupMsg::Announce(label) | GroupMsg::Echo(label) => 1 + label.msg_bytes(),
+            GroupMsg::Repair(label) => 1 + label.msg_bytes(),
+        }
+    }
+}
+
+/// Per-neighbor repair schedule of [`HardenedGrouping`]: the last label
+/// state heard from the neighbor and the backoff state toward it.
+#[derive(Debug, Clone)]
+struct PeerRepair {
+    /// The neighbor's last announced label state, if anything was heard.
+    heard: Option<Option<NodeId>>,
+    /// Evidence says the neighbor agrees (same label, or a non-member).
+    confirmed: bool,
+    cooldown: usize,
+    delay: usize,
+    attempts_left: u32,
+}
+
+impl PeerRepair {
+    fn armed(backoff: Backoff) -> Self {
+        PeerRepair {
+            heard: None,
+            confirmed: false,
+            cooldown: backoff.first,
+            delay: backoff.first,
+            attempts_left: backoff.attempts,
+        }
+    }
+
+    /// Fresh evidence (or an adoption) invalidated the old schedule:
+    /// restart it with a full budget.
+    fn rearm(&mut self, backoff: Backoff) {
+        self.confirmed = false;
+        self.cooldown = backoff.first;
+        self.delay = backoff.first;
+        self.attempts_left = backoff.attempts;
+    }
+
+    fn pending(&self) -> bool {
+        !self.confirmed && self.attempts_left > 0
+    }
+
+    fn exhausted(&self) -> bool {
+        !self.confirmed && self.attempts_left == 0
+    }
+}
+
+/// Loss-tolerant boundary grouping with quiescence-aware termination:
+/// min-ID label flooding in which every member tracks, per neighbor, the
+/// last label state it heard, and unicasts [`GroupMsg::Repair`] probes on
+/// the exponential [`Backoff`] schedule to any neighbor not yet confirmed
+/// to agree with it. A probe is answered with [`GroupMsg::Echo`] (by
+/// non-members too), so one surviving round trip settles the pair in
+/// either direction. On a perfect radio the confirming evidence always
+/// arrives before the first countdown expires: fault-free runs send zero
+/// repair probes and finish in exactly as many rounds as
+/// [`GroupingProtocol`] — there is no fixed re-broadcast horizon to wait
+/// out. Under loss the per-neighbor budgets bound the total repair
+/// traffic; a neighbor whose budget runs out unconfirmed is surfaced via
+/// [`HardenedGrouping::exhausted`] instead of being silently wrong.
 #[derive(Debug, Clone)]
 pub struct HardenedGrouping {
     member: bool,
     label: Option<NodeId>,
-    period: usize,
-    remaining: usize,
-    cooldown: usize,
-    rebroadcasts: u64,
+    backoff: Backoff,
+    peers: BTreeMap<NodeId, PeerRepair>,
+    repairs: u64,
+    last_round: Option<usize>,
 }
 
 impl HardenedGrouping {
-    /// Creates per-node state; the node re-broadcasts its label every
-    /// `period + 1` rounds until `horizon` rounds have elapsed.
-    pub fn new(id: NodeId, member: bool, period: usize, horizon: usize) -> Self {
+    /// Creates per-node state; `member` marks boundary nodes.
+    pub fn new(id: NodeId, member: bool, backoff: Backoff) -> Self {
         HardenedGrouping {
             member,
             label: member.then_some(id),
-            period,
-            remaining: if member { horizon } else { 0 },
-            cooldown: period,
-            rebroadcasts: 0,
+            backoff,
+            peers: BTreeMap::new(),
+            repairs: 0,
+            last_round: None,
         }
     }
 
@@ -538,56 +637,138 @@ impl HardenedGrouping {
         self.label
     }
 
-    /// Periodic label re-broadcasts this node performed (the hardening
+    /// Repair probes this node sent (spent retry budget — the hardening
     /// overhead beyond plain min-label flooding).
-    pub fn rebroadcasts(&self) -> u64 {
-        self.rebroadcasts
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Neighbors whose repair budget ran out without agreement: the
+    /// labels across those edges may be stale (degraded coverage).
+    pub fn exhausted(&self) -> u64 {
+        self.peers.values().filter(|p| p.exhausted()).count() as u64
+    }
+
+    /// Records evidence of `from`'s label state and updates the repair
+    /// schedule toward it (members only).
+    fn note(&mut self, from: NodeId, their: Option<NodeId>, ctx: &mut Ctx<'_, GroupMsg>) {
+        if !self.member {
+            return;
+        }
+        let backoff = self.backoff;
+        let mut adopt = None;
+        let peer = self.peers.entry(from).or_insert_with(|| PeerRepair::armed(backoff));
+        peer.heard = Some(their);
+        match their {
+            None => peer.confirmed = true,
+            Some(l) => {
+                if self.label.is_none_or(|current| l < current) {
+                    adopt = Some(l);
+                } else if self.label == Some(l) {
+                    peer.confirmed = true;
+                } else {
+                    // The neighbor is behind: restart the schedule toward
+                    // it with a full budget so our label reaches it.
+                    peer.rearm(backoff);
+                }
+            }
+        }
+        if let Some(l) = adopt {
+            self.adopt(l, ctx);
+        }
+    }
+
+    /// Adopts a smaller label: broadcast it and re-evaluate every repair
+    /// schedule against the new value.
+    fn adopt(&mut self, label: NodeId, ctx: &mut Ctx<'_, GroupMsg>) {
+        self.label = Some(label);
+        ctx.broadcast(GroupMsg::Announce(Some(label)));
+        let backoff = self.backoff;
+        for peer in self.peers.values_mut() {
+            let agrees = peer.heard == Some(None) || peer.heard == Some(Some(label));
+            if agrees {
+                peer.confirmed = true;
+            } else {
+                peer.rearm(backoff);
+            }
+        }
     }
 }
 
 impl Protocol for HardenedGrouping {
-    type Msg = NodeId;
+    type Msg = GroupMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-        if let Some(l) = self.label {
-            ctx.broadcast(l);
+        // Everyone announces its state — non-members included, so members
+        // can confirm mixed edges without probing them.
+        ctx.broadcast(GroupMsg::Announce(self.label));
+        if self.member {
+            let backoff = self.backoff;
+            self.peers = ctx.neighbors().iter().map(|&v| (v, PeerRepair::armed(backoff))).collect();
         }
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        match *msg {
+            GroupMsg::Announce(their) | GroupMsg::Echo(their) => self.note(from, their, ctx),
+            GroupMsg::Repair(l) => {
+                self.note(from, Some(l), ctx);
+                // Answer every probe — non-members too — so the prober
+                // can confirm this edge and stand down.
+                ctx.send(from, GroupMsg::Echo(self.label));
+            }
+        }
+    }
+
+    fn on_round_end(&mut self, round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
         if !self.member {
             return;
         }
-        if self.label.is_none_or(|current| *msg < current) {
-            self.label = Some(*msg);
-            ctx.broadcast(*msg);
+        // A gap in observed rounds means this node was crashed in between:
+        // neighbors may have moved on while it was dark. Re-announce and
+        // restart every schedule with a fresh budget.
+        let gap = match self.last_round {
+            Some(prev) => round > prev + 1,
+            None => round > 0,
+        };
+        if gap {
+            ctx.broadcast(GroupMsg::Announce(self.label));
+            let backoff = self.backoff;
+            for peer in self.peers.values_mut() {
+                peer.rearm(backoff);
+            }
         }
-    }
-
-    fn on_round_end(&mut self, _round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
-        if self.remaining == 0 {
-            return;
+        self.last_round = Some(round);
+        let Some(label) = self.label else { return };
+        let cap = self.backoff.cap.max(1);
+        let mut fired = 0;
+        for (&v, peer) in self.peers.iter_mut() {
+            if !peer.pending() {
+                continue;
+            }
+            if peer.cooldown > 0 {
+                peer.cooldown -= 1;
+                continue;
+            }
+            peer.delay = (peer.delay * 2).min(cap);
+            peer.cooldown = peer.delay;
+            peer.attempts_left -= 1;
+            fired += 1;
+            ctx.send(v, GroupMsg::Repair(label));
         }
-        self.remaining -= 1;
-        if self.cooldown > 0 {
-            self.cooldown -= 1;
-            return;
-        }
-        self.cooldown = self.period;
-        if let Some(l) = self.label {
-            self.rebroadcasts += 1;
-            ctx.broadcast(l);
-        }
+        self.repairs += fired;
     }
 
     fn wants_tick(&self) -> bool {
-        self.remaining > 0
+        self.member && self.peers.values().any(PeerRepair::pending)
     }
 }
 
-/// Runs hardened boundary grouping on an unreliable radio. The
-/// re-broadcast horizon is sized from the topology and the plan
-/// (`n + round_slack + 2`), which is generous for any connected boundary.
+/// Runs hardened boundary grouping on an unreliable radio. Termination is
+/// quiescence-aware — the run ends as soon as no messages are in flight
+/// and every repair schedule is confirmed or exhausted — so fault-free
+/// runs pay no horizon; the round budget is only a hang-stop sized so
+/// even a fully re-armed worst-case schedule can drain.
 ///
 /// # Errors
 ///
@@ -595,16 +776,16 @@ impl Protocol for HardenedGrouping {
 pub fn run_hardened_grouping(
     topo: &Topology,
     boundary: &[bool],
-    retry: RetryConfig,
+    backoff: Backoff,
     plan: &FaultPlan,
 ) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
-    run_hardened_grouping_traced(topo, boundary, retry, plan, &mut Trace::disabled())
+    run_hardened_grouping_traced(topo, boundary, backoff, plan, &mut Trace::disabled())
 }
 
 /// [`run_hardened_grouping`] with structured tracing: a
 /// `"hardened-grouping"` span around the faulty run, plus one
-/// [`TraceEvent::Retransmits`] record per node that performed periodic
-/// label re-broadcasts (the hardening overhead).
+/// [`TraceEvent::Retransmits`] record per node that sent repair probes
+/// (the hardening overhead).
 ///
 /// # Errors
 ///
@@ -612,17 +793,16 @@ pub fn run_hardened_grouping(
 pub fn run_hardened_grouping_traced(
     topo: &Topology,
     boundary: &[bool],
-    retry: RetryConfig,
+    backoff: Backoff,
     plan: &FaultPlan,
     trace: &mut Trace,
 ) -> Result<(Vec<Option<NodeId>>, u64), ConvergenceFailure> {
-    let horizon = topo.len() + plan.round_slack() + 2;
-    let mut sim =
-        Simulator::new(topo, |id| HardenedGrouping::new(id, boundary[id], retry.period, horizon));
+    let mut sim = Simulator::new(topo, |id| HardenedGrouping::new(id, boundary[id], backoff));
+    let budget = 2 * topo.len() + 2 * backoff.worst_case_span() + plan.round_slack() + 8;
     trace.open("hardened-grouping");
-    let stats = sim.run_with_faults_traced(horizon + plan.round_slack() + 4, plan, trace);
+    let stats = sim.run_with_faults_traced(budget, plan, trace);
     for node in 0..topo.len() {
-        let resends = sim.node(node).rebroadcasts();
+        let resends = sim.node(node).repairs();
         if resends > 0 {
             trace.event(TraceEvent::Retransmits { node, resends });
         }
@@ -1002,7 +1182,7 @@ mod tests {
             run_ubf_protocol(&model, &cfg.ubf, &cfg.coordinates).expect("plain quiesces");
         let plan = FaultPlan::none();
         let (hardened, hardened_msgs) =
-            run_hardened_ubf(&model, &cfg.ubf, &cfg.coordinates, RetryConfig::default(), &plan)
+            run_hardened_ubf(&model, &cfg.ubf, &cfg.coordinates, Backoff::default(), &plan)
                 .expect("hardened quiesces");
         assert_eq!(hardened, plain, "fault-free hardened UBF diverged from plain");
         // Tables (2·|E|) + one ack per table (2·|E|), no retransmissions.
@@ -1018,11 +1198,50 @@ mod tests {
         let (hardened, _) = run_hardened_grouping(
             model.topology(),
             &detection.boundary,
-            RetryConfig::default(),
+            Backoff::default(),
             &FaultPlan::none(),
         )
         .expect("hardened quiesces");
         assert_eq!(hardened, plain, "fault-free hardened grouping diverged from plain");
+    }
+
+    #[test]
+    fn fault_free_hardened_grouping_finishes_in_plain_round_count() {
+        let model = model();
+        let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+        let mut plain_trace = Trace::enabled();
+        let (plain, _) =
+            run_grouping_protocol_traced(model.topology(), &detection.boundary, &mut plain_trace)
+                .expect("plain quiesces");
+        let mut hard_trace = Trace::enabled();
+        let (hardened, _) = run_hardened_grouping_traced(
+            model.topology(),
+            &detection.boundary,
+            Backoff::default(),
+            &FaultPlan::none(),
+            &mut hard_trace,
+        )
+        .expect("hardened quiesces");
+        assert_eq!(hardened, plain);
+        let rounds = |trace: &Trace| {
+            trace
+                .records()
+                .iter()
+                .find_map(|r| match r.event {
+                    TraceEvent::Convergence { rounds, .. } => Some(rounds),
+                    _ => None,
+                })
+                .expect("engine records a convergence event")
+        };
+        assert_eq!(
+            rounds(&hard_trace),
+            rounds(&plain_trace),
+            "quiescence-aware hardening must not pay a horizon on a perfect radio"
+        );
+        assert!(
+            !hard_trace.records().iter().any(|r| matches!(r.event, TraceEvent::Retransmits { .. })),
+            "a perfect radio must never fire a repair probe"
+        );
     }
 
     #[test]
@@ -1031,7 +1250,7 @@ mod tests {
         let topo = Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
         let boundary = vec![true; n];
         let plan = FaultPlan::lossy(9, 0.3).with_duplication(0.1).with_max_delay(1);
-        let (labels, _) = run_hardened_grouping(&topo, &boundary, RetryConfig::default(), &plan)
+        let (labels, _) = run_hardened_grouping(&topo, &boundary, Backoff::default(), &plan)
             .expect("hardened grouping quiesces");
         assert_eq!(labels, vec![Some(0); n], "all ring members must learn label 0");
     }
@@ -1064,7 +1283,7 @@ mod tests {
             &model,
             &cfg.ubf,
             &cfg.coordinates,
-            RetryConfig::default(),
+            Backoff::default(),
             &FaultPlan::none(),
             &mut trace,
         )
@@ -1076,23 +1295,18 @@ mod tests {
     }
 
     #[test]
-    fn hardened_grouping_trace_attributes_rebroadcasts_to_members() {
+    fn hardened_grouping_trace_attributes_repairs_to_members() {
         let n = 24;
         let topo = Topology::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
         let boundary = vec![true; n];
         let plan = FaultPlan::lossy(9, 0.3);
         let mut trace = Trace::enabled();
-        let (labels, _) = run_hardened_grouping_traced(
-            &topo,
-            &boundary,
-            RetryConfig::default(),
-            &plan,
-            &mut trace,
-        )
-        .expect("hardened grouping quiesces");
+        let (labels, _) =
+            run_hardened_grouping_traced(&topo, &boundary, Backoff::default(), &plan, &mut trace)
+                .expect("hardened grouping quiesces");
         assert_eq!(labels, vec![Some(0); n]);
-        // Every member runs the periodic re-broadcast beat, so every node
-        // must appear exactly once with a positive count.
+        // Repairs are evidence-triggered: only nodes that actually missed
+        // a confirmation spend budget, each reported exactly once.
         let mut seen = BTreeSet::new();
         for rec in trace.records() {
             if let TraceEvent::Retransmits { node, resends } = rec.event {
@@ -1100,11 +1314,22 @@ mod tests {
                 assert!(seen.insert(node), "node {node} reported twice");
             }
         }
-        assert_eq!(seen.len(), n, "all ring members re-broadcast");
         let summary = ballfit_obs::summary::summarize(trace.records());
         let row = summary.get("hardened-grouping").expect("row present");
-        assert!(row.retransmits > 0);
         assert!(row.dropped > 0, "the lossy plan must have dropped messages");
+        assert!(row.retransmits > 0, "a 30% lossy ring must trigger repair probes");
+        assert_eq!(
+            row.retransmits,
+            trace
+                .records()
+                .iter()
+                .filter_map(|r| match r.event {
+                    TraceEvent::Retransmits { resends, .. } => Some(resends),
+                    _ => None,
+                })
+                .sum::<u64>(),
+            "summary must roll per-node repair counts up to the run total"
+        );
     }
 
     #[test]

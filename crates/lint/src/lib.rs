@@ -37,6 +37,11 @@
 //!   `TraceEvent`, ...) out of `Protocol` impls: only the simulator, the
 //!   detectors and the runner layer emit observations, so per-protocol
 //!   cost accounting cannot be skewed from inside a message handler.
+//! * [`passes::Pass::RecoveryScope`] — keeps the checkpoint/restore API
+//!   (`TopologySnapshot`, `DetectorCheckpoint`, `checkpoint`, `restore`,
+//!   `snapshot`) out of `Protocol` impls: crash recovery restores the
+//!   *simulation* and replays; a handler snapshotting its own state
+//!   would break replay byte-identity.
 //!
 //! Four **interprocedural** passes extend these one-call-deep checks to
 //! whole call chains, using an item-level AST ([`ast`]) and a workspace
@@ -106,7 +111,7 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Analyzes every `.rs` file of the configured crates under
-/// `workspace_root` with all twelve passes (token-level +
+/// `workspace_root` with all thirteen passes (token-level +
 /// interprocedural). Returned diagnostics are sorted by file, line,
 /// pass, message; file labels are workspace-relative.
 pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<Analysis> {

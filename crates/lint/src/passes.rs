@@ -1,4 +1,4 @@
-//! The eight invariant passes and the scope tracker they share.
+//! The nine invariant passes and the scope tracker they share.
 //!
 //! Scope recognition is purely structural: when a `{` opens, the tokens
 //! between it and the previous `{` / `}` / `;` form its "header". A header
@@ -33,8 +33,14 @@
 //!   writes its own trace records could skew the very accounting the
 //!   observability layer exists to certify (and would run per-node,
 //!   breaking the single-sink determinism argument).
+//! * **recovery-scope** — the checkpoint/restore API
+//!   (`TopologySnapshot`, `DetectorCheckpoint`, `checkpoint`,
+//!   `restore`, `snapshot`) never inside a protocol-impl scope: recovery
+//!   is an orchestration concern of the chaos/churn layer, and a
+//!   protocol that snapshots or restores its own state would sidestep
+//!   the replay-identity pins that make crash recovery auditable.
 //!
-//! On top of the eight token-level passes, four **interprocedural**
+//! On top of the nine token-level passes, four **interprocedural**
 //! passes run over the whole workspace at once (via [`analyze_files`]),
 //! using the [`crate::callgraph`] built from the [`crate::ast`] item
 //! trees:
@@ -63,7 +69,7 @@
 use crate::callgraph::{CallGraph, FileUnit, FnNode};
 use crate::lexer::{is_float_literal, lex, Lexed, Tok, TokKind};
 
-/// The twelve passes (eight token-level, four interprocedural).
+/// The thirteen passes (nine token-level, four interprocedural).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -93,6 +99,11 @@ pub enum Pass {
     /// `Protocol` impls: only the simulator, the detectors and the
     /// runner layer emit observations.
     ObsScope,
+    /// Checkpoint/restore machinery (`TopologySnapshot`,
+    /// `DetectorCheckpoint`, `checkpoint`, `restore`, `snapshot`) never
+    /// inside `Protocol` impls: recovery belongs to the orchestration
+    /// layer, not to message handlers.
+    RecoveryScope,
     /// Interprocedural: protocol fns and detector entry points must not
     /// transitively reach nondeterminism sources.
     DeterminismTaint,
@@ -119,6 +130,7 @@ impl Pass {
             Pass::ChurnScope => "churn-scope",
             Pass::ParScope => "par-scope",
             Pass::ObsScope => "obs-scope",
+            Pass::RecoveryScope => "recovery-scope",
             Pass::DeterminismTaint => "determinism-taint",
             Pass::PanicReachability => "panic-reachability",
             Pass::TransitiveLocality => "transitive-locality",
@@ -127,7 +139,7 @@ impl Pass {
     }
 
     /// All passes in report order.
-    pub const ALL: [Pass; 12] = [
+    pub const ALL: [Pass; 13] = [
         Pass::Determinism,
         Pass::Locality,
         Pass::PanicSafety,
@@ -136,6 +148,7 @@ impl Pass {
         Pass::ChurnScope,
         Pass::ParScope,
         Pass::ObsScope,
+        Pass::RecoveryScope,
         Pass::DeterminismTaint,
         Pass::PanicReachability,
         Pass::TransitiveLocality,
@@ -228,6 +241,12 @@ pub struct LintConfig {
     /// a protocol must not write its own observation records. (`MsgBytes`
     /// is deliberately absent: the `Protocol::Msg` bound requires it.)
     pub obs_idents: Vec<String>,
+    /// The checkpoint/restore API surface; allowed anywhere in the
+    /// orchestration layers but banned inside protocol impls — crash
+    /// recovery works by restoring the *simulation* from a snapshot and
+    /// replaying, never by a handler snapshotting or restoring its own
+    /// state mid-run (which would break replay byte-identity).
+    pub recovery_idents: Vec<String>,
     /// `(alias, crate-dir)` pairs mapping `use ballfit_wsn::..`-style
     /// crate names to the `crates/<dir>` layout, so cross-crate paths
     /// resolve in the call graph.
@@ -289,7 +308,11 @@ impl Default for LintConfig {
                 "SplitMix64",
                 "Xoshiro256PlusPlus",
             ]),
-            fault_allowed_paths: s(&["crates/wsn/", "crates/core/src/protocols.rs"]),
+            fault_allowed_paths: s(&[
+                "crates/wsn/",
+                "crates/core/src/protocols.rs",
+                "crates/core/src/chaos.rs",
+            ]),
             churn_idents: s(&[
                 "ChurnPlan",
                 "ChurnEvent",
@@ -304,6 +327,7 @@ impl Default for LintConfig {
             churn_allowed_paths: s(&[
                 "crates/wsn/",
                 "crates/core/src/incremental.rs",
+                "crates/core/src/chaos.rs",
                 "crates/netgen/src/churn.rs",
             ]),
             par_thread_idents: s(&[
@@ -333,6 +357,13 @@ impl Default for LintConfig {
                 "to_jsonl",
                 "write_jsonl",
                 "SpanId",
+            ]),
+            recovery_idents: s(&[
+                "TopologySnapshot",
+                "DetectorCheckpoint",
+                "checkpoint",
+                "restore",
+                "snapshot",
             ]),
             crate_aliases: [
                 ("ballfit", "core"),
@@ -841,6 +872,19 @@ fn direct_diagnostics(
                 t.line,
                 format!(
                     "`{}` inside a protocol impl; only the simulator and the detectors emit traces — message handlers must stay observation-free",
+                    t.text
+                ),
+            );
+        }
+
+        // ---- recovery-scope ----------------------------------------------
+        if in_proto && !in_test && t.kind == TokKind::Ident && cfg.recovery_idents.contains(&t.text)
+        {
+            push(
+                Pass::RecoveryScope,
+                t.line,
+                format!(
+                    "`{}` inside a protocol impl; checkpoint/restore is an orchestration concern — a handler snapshotting or restoring its own state would break replay byte-identity",
                     t.text
                 ),
             );
@@ -1611,6 +1655,36 @@ mod tests {
     #[test]
     fn obs_scope_exempts_test_code() {
         let in_mod = "#[cfg(test)]\nmod tests { impl Protocol for P { type Msg = (); fn on_start(&mut self, _c: &mut Ctx<'_, ()>) { let _t = Trace::disabled(); } } }";
+        assert!(run("crates/core/src/protocols.rs", in_mod).is_empty());
+    }
+
+    // ---- recovery-scope -------------------------------------------------
+
+    #[test]
+    fn recovery_scope_flags_checkpoint_api_inside_protocol_impl() {
+        // A handler snapshotting or restoring its own state sidesteps the
+        // replay-identity pins that make crash recovery auditable.
+        let src = r#"
+            impl Protocol for Cheater {
+                type Msg = ();
+                fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                    let snap: DetectorCheckpoint = self.checkpoint();
+                }
+            }
+        "#;
+        let diags = run("crates/core/src/protocols.rs", src);
+        assert_eq!(passes(&diags), vec!["recovery-scope", "recovery-scope"], "{diags:?}");
+        assert!(diags[0].message.contains("orchestration"));
+    }
+
+    #[test]
+    fn recovery_scope_allows_orchestration_code_and_tests() {
+        // The incremental detector and the chaos layer own the API.
+        let inc = "pub fn checkpoint(&self) -> DetectorCheckpoint { self.state.snapshot() }";
+        assert!(run("crates/core/src/incremental.rs", inc).is_empty());
+        let wsn = "pub fn restore(snap: &TopologySnapshot) -> DynamicTopology { snap.build() }";
+        assert!(run("crates/wsn/src/churn.rs", wsn).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests { impl Protocol for P { type Msg = (); fn on_start(&mut self, _c: &mut Ctx<'_, ()>) { let _s = self.checkpoint(); } } }";
         assert!(run("crates/core/src/protocols.rs", in_mod).is_empty());
     }
 

@@ -207,6 +207,26 @@ fn trace_emission_inside_a_handler_would_fail() {
     );
 }
 
+#[test]
+fn checkpoint_restore_inside_a_handler_would_fail() {
+    // A handler snapshotting or restoring its own state mid-run would
+    // sidestep the replay-identity pins: recovery restores the whole
+    // simulation from an orchestration-layer checkpoint and replays.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(
+        needle,
+        &format!("{needle}\n        let _snap: DetectorCheckpoint = self.state.checkpoint();"),
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::RecoveryScope),
+        "checkpoint API inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
 /// Splices one statement into `GroupingProtocol::on_message` and pairs
 /// the poisoned runner module with a scratch helper file, returning the
 /// file set the interprocedural passes see. The violation lives in the

@@ -73,6 +73,13 @@ pub fn write_record(out: &mut String, rec: &TraceRecord) {
         TraceEvent::Counter { name, value } => {
             let _ = write!(out, ",\"ev\":\"counter\",\"name\":\"{name}\",\"value\":{value}");
         }
+        TraceEvent::Verdict { exact, cause, unreached, coverage_ppm } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"verdict\",\"exact\":{exact},\"cause\":\"{cause}\",\
+                 \"unreached\":{unreached},\"coverage_ppm\":{coverage_ppm}"
+            );
+        }
     }
     out.push('}');
 }
@@ -216,6 +223,12 @@ mod tests {
         t.event(TraceEvent::Convergence { rounds: 1, messages: 4, bytes: 32, quiescent: true });
         t.event(TraceEvent::Halo { size: 5, promoted: 1, demoted: 0, regrouped: 2 });
         t.event(TraceEvent::Counter { name: "boundary", value: 9 });
+        t.event(TraceEvent::Verdict {
+            exact: false,
+            cause: "retry-exhausted",
+            unreached: 3,
+            coverage_ppm: 985_000,
+        });
         t.close();
         let doc = t.to_jsonl();
         let parsed = parse_jsonl(&doc).expect("trace JSONL parses");
@@ -225,6 +238,10 @@ mod tests {
         let round = round.expect("round line present");
         assert!(round.contains(&("sent".to_string(), "4".to_string())));
         assert!(round.contains(&("dropped".to_string(), "1".to_string())));
+        let verdict = parsed.iter().find(|p| p.iter().any(|(k, v)| k == "ev" && v == "verdict"));
+        let verdict = verdict.expect("verdict line present");
+        assert!(verdict.contains(&("cause".to_string(), "retry-exhausted".to_string())));
+        assert!(verdict.contains(&("coverage_ppm".to_string(), "985000".to_string())));
     }
 
     #[test]

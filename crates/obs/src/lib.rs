@@ -144,6 +144,20 @@ pub enum TraceEvent {
         /// Counter value.
         value: u64,
     },
+    /// A convergence-watchdog verdict: how one detection epoch ended.
+    /// Coverage travels as parts-per-million so the record stays
+    /// float-free and totally ordered.
+    Verdict {
+        /// Whether the epoch converged to the exact centralized result.
+        exact: bool,
+        /// Static degradation cause (`"none"`, `"partition"`,
+        /// `"crash-quorum"`, `"retry-exhausted"`, `"truncated"`).
+        cause: &'static str,
+        /// Live nodes whose distributed state disagreed with the oracle.
+        unreached: u64,
+        /// Fraction of live nodes covered, in parts per million.
+        coverage_ppm: u64,
+    },
 }
 
 /// One trace record: a monotonic sequence number, the span it belongs

@@ -36,10 +36,16 @@ pub struct ProtocolSummary {
     pub ball_tests: u64,
     /// Nodes that ran the UBF test (denominator for ball-tests/node).
     pub tested_nodes: u64,
-    /// Hardened-protocol retransmissions.
+    /// Hardened-protocol retransmissions (spent retry budget).
     pub retransmits: u64,
     /// Hardened-flood improved-distance re-forwards.
     pub reforwards: u64,
+    /// Convergence-watchdog verdicts recorded in the span.
+    pub verdicts: u64,
+    /// Verdicts that reported a degraded (non-exact) outcome.
+    pub degraded: u64,
+    /// Live nodes reported unreached across all verdicts.
+    pub unreached: u64,
 }
 
 impl ProtocolSummary {
@@ -151,6 +157,13 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
                     }
                     TraceEvent::Retransmits { resends, .. } => row.retransmits += resends,
                     TraceEvent::Reforwards { count, .. } => row.reforwards += count,
+                    TraceEvent::Verdict { exact, unreached, .. } => {
+                        row.verdicts += 1;
+                        if !exact {
+                            row.degraded += 1;
+                        }
+                        row.unreached += unreached;
+                    }
                     // Convergence totals duplicate the per-round sums;
                     // counting both would double-charge the span.
                     TraceEvent::Convergence { .. }
@@ -219,5 +232,29 @@ mod tests {
         assert_eq!(det.msgs_per_node(), None, "no NetSize in the detect span");
         // The table renders a line per row plus a header.
         assert_eq!(s.render_table().lines().count(), 3);
+    }
+
+    #[test]
+    fn verdicts_roll_up_into_watchdog_counters() {
+        let mut t = Trace::enabled();
+        t.open("watchdog");
+        t.event(TraceEvent::Verdict {
+            exact: true,
+            cause: "none",
+            unreached: 0,
+            coverage_ppm: 1_000_000,
+        });
+        t.event(TraceEvent::Verdict {
+            exact: false,
+            cause: "partition",
+            unreached: 7,
+            coverage_ppm: 930_000,
+        });
+        t.close();
+        let s = summarize(t.records());
+        let row = s.get("watchdog").expect("watchdog row");
+        assert_eq!(row.verdicts, 2);
+        assert_eq!(row.degraded, 1);
+        assert_eq!(row.unreached, 7);
     }
 }

@@ -316,6 +316,42 @@ impl TopologyDelta {
     }
 }
 
+/// A serializable point-in-time image of a [`DynamicTopology`]: slot
+/// positions, liveness flags and the radio range. The spatial grid and
+/// the adjacency are deliberately *not* stored — both are deterministic
+/// functions of `(positions, alive, range)` and are reconstructed by
+/// [`DynamicTopology::restore`], so a snapshot is small and a restore is
+/// pinned byte-identical to the maintained state it was taken from.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct TopologySnapshot {
+    /// All slot positions (dead slots keep their last position).
+    pub positions: Vec<Vec3>,
+    /// Per-slot liveness.
+    pub alive: Vec<bool>,
+    /// The radio range.
+    pub range: f64,
+}
+
+impl TopologySnapshot {
+    /// Panics if the snapshot is internally inconsistent: mismatched
+    /// lengths, a non-finite position, or a non-positive radio range.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.positions.len(),
+            self.alive.len(),
+            "snapshot positions/alive length mismatch"
+        );
+        assert!(
+            self.range.is_finite() && self.range > 0.0,
+            "snapshot radio range must be positive"
+        );
+        for (i, p) in self.positions.iter().enumerate() {
+            assert!(p.is_finite(), "snapshot slot {i} has non-finite position {p}");
+        }
+    }
+}
+
 /// A unit-disk topology maintained incrementally under churn.
 ///
 /// Node IDs are stable slots; dead slots stay (isolated, position frozen)
@@ -487,6 +523,48 @@ impl DynamicTopology {
             }
         }
         Topology::from_edges(self.positions.len(), &edges)
+    }
+
+    /// Captures the checkpointable state: positions, liveness, range.
+    /// Pair with [`DynamicTopology::restore`] for crash recovery — the
+    /// derived structures (grid, adjacency) are rebuilt on restore.
+    pub fn snapshot(&self) -> TopologySnapshot {
+        TopologySnapshot {
+            positions: self.positions.clone(),
+            alive: self.alive.clone(),
+            range: self.range,
+        }
+    }
+
+    /// Reconstructs a dynamic topology from a snapshot. The maintained
+    /// adjacency is rebuilt with [`DynamicTopology::rebuild_reference`]
+    /// semantics, so `restore(dt.snapshot())` is byte-identical to `dt`
+    /// (the maintained topology is pinned equal to its from-scratch
+    /// reference), and replaying the same events afterwards produces the
+    /// same deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot fails [`TopologySnapshot::validate`].
+    pub fn restore(snapshot: &TopologySnapshot) -> Self {
+        snapshot.validate();
+        // The grid holds live slots only: build over every slot, then
+        // evict the dead ones (cell layout depends only on the range).
+        let mut grid = SpatialGrid::build(&snapshot.positions, snapshot.range);
+        for (i, &alive) in snapshot.alive.iter().enumerate() {
+            if !alive {
+                grid.remove(i, snapshot.positions[i]);
+            }
+        }
+        let mut restored = DynamicTopology {
+            positions: snapshot.positions.clone(),
+            alive: snapshot.alive.clone(),
+            range: snapshot.range,
+            grid,
+            topo: Topology::from_edges(snapshot.positions.len(), &[]),
+        };
+        restored.topo = restored.rebuild_reference();
+        restored
     }
 }
 
@@ -684,6 +762,47 @@ mod tests {
         // A no-op move produces an empty delta.
         let delta = dt.apply(&TopologyEvent::Move { node: 1, to: Vec3::new(1.8, 0.0, 0.0) });
         assert!(delta.is_edgeless());
+    }
+
+    #[test]
+    fn snapshot_restore_is_byte_identical_and_replayable() {
+        let pts = cloud(60, 4, 2.0);
+        let mut dt = DynamicTopology::new(&pts, 1.0);
+        dt.apply(&TopologyEvent::Leave { node: 3 });
+        dt.apply(&TopologyEvent::Join { position: Vec3::new(0.2, 0.1, 0.0) });
+        dt.apply(&TopologyEvent::Move { node: 7, to: Vec3::new(1.1, -0.4, 0.3) });
+
+        let snap = dt.snapshot();
+        snap.validate();
+        let mut restored = DynamicTopology::restore(&snap);
+        assert_eq!(restored.positions(), dt.positions());
+        assert_eq!(restored.live_nodes(), dt.live_nodes());
+        assert_eq!(restored.radio_range(), dt.radio_range());
+        assert_eq!(restored.topology(), dt.topology(), "restored adjacency diverged");
+
+        // Replaying the same events on both sides stays byte-identical:
+        // the restored grid holds exactly the live slots, so neighbor
+        // queries agree.
+        let tail = [
+            TopologyEvent::Leave { node: 11 },
+            TopologyEvent::Join { position: Vec3::new(-0.6, 0.3, 0.9) },
+            TopologyEvent::Move { node: 20, to: Vec3::new(0.4, 0.4, -1.2) },
+        ];
+        for ev in &tail {
+            let a = dt.apply(ev);
+            let b = restored.apply(ev);
+            assert_eq!(a, b, "replay delta diverged");
+            assert_eq!(restored.topology(), dt.topology());
+        }
+        assert_eq!(restored.topology(), &restored.rebuild_reference());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn inconsistent_snapshot_is_rejected() {
+        let snap =
+            TopologySnapshot { positions: vec![Vec3::ZERO], alive: vec![true, false], range: 1.0 };
+        DynamicTopology::restore(&snap);
     }
 
     #[test]

@@ -98,9 +98,11 @@ impl Protocol for FragmentFlood {
 /// Loss-tolerant variant of [`FragmentFlood`] for unreliable radios
 /// ([`crate::faults::FaultPlan`]), hardened two ways:
 ///
-/// * **Re-broadcast** — every forward is repeated on the following
-///   `repeats − 1` rounds, so a token crosses a link unless all
-///   `repeats` copies are dropped.
+/// * **Re-broadcast** — every forward is repeated `repeats − 1` more
+///   times on an exponentially spaced schedule (gaps of 1, 2, 4, …
+///   rounds, capped at [`REPEAT_GAP_CAP`]), so a token crosses a link
+///   unless all `repeats` copies are dropped — and a burst of correlated
+///   loss cannot eat the whole budget in consecutive rounds.
 /// * **Max-TTL tracking** — the node remembers the *best* (largest)
 ///   remaining TTL seen per origin and re-forwards when a better copy
 ///   arrives. On a lossy radio the first arrival may come via a longer
@@ -121,11 +123,27 @@ pub struct HardenedFragmentFlood {
     repeats: u32,
     /// Best remaining TTL seen per origin (own origin: the full TTL).
     best: BTreeMap<NodeId, u32>,
-    /// Forwards still owed re-broadcasts: `(origin, fwd_ttl, left)`.
-    pending: Vec<(NodeId, u32, u32)>,
+    /// Forwards still owed re-broadcasts, with their backoff state.
+    pending: Vec<PendingRepeat>,
     /// Forwards triggered by a *better* copy of an already-seen origin —
     /// the work the max-TTL hardening does on top of the plain flood.
     reforwards: u64,
+}
+
+/// Ceiling for the doubling gap between repeat broadcasts, in rounds.
+pub const REPEAT_GAP_CAP: u32 = 8;
+
+/// One forward still owed re-broadcasts: the token, how many repeats are
+/// left, and the exponential-backoff cursor (`cooldown` quiet round-ends
+/// before the next fire; `gap` doubles after each fire up to
+/// [`REPEAT_GAP_CAP`]).
+#[derive(Debug, Clone)]
+struct PendingRepeat {
+    origin: NodeId,
+    fwd_ttl: u32,
+    left: u32,
+    cooldown: u32,
+    gap: u32,
 }
 
 impl HardenedFragmentFlood {
@@ -161,7 +179,15 @@ impl HardenedFragmentFlood {
     fn forward(&mut self, origin: NodeId, fwd_ttl: u32, ctx: &mut Ctx<'_, FloodMsg>) {
         ctx.broadcast((origin, fwd_ttl));
         if self.repeats > 1 {
-            self.pending.push((origin, fwd_ttl, self.repeats - 1));
+            // First repeat on the very next round (cooldown 0), then the
+            // gap doubles: 1, 2, 4, … rounds between copies.
+            self.pending.push(PendingRepeat {
+                origin,
+                fwd_ttl,
+                left: self.repeats - 1,
+                cooldown: 0,
+                gap: 1,
+            });
         }
     }
 }
@@ -199,11 +225,19 @@ impl Protocol for HardenedFragmentFlood {
     }
 
     fn on_round_end(&mut self, _round: usize, ctx: &mut Ctx<'_, Self::Msg>) {
-        let due = std::mem::take(&mut self.pending);
-        for (origin, fwd_ttl, left) in due {
-            ctx.broadcast((origin, fwd_ttl));
-            if left > 1 {
-                self.pending.push((origin, fwd_ttl, left - 1));
+        let mut due = std::mem::take(&mut self.pending);
+        for mut rep in due.drain(..) {
+            if rep.cooldown > 0 {
+                rep.cooldown -= 1;
+                self.pending.push(rep);
+                continue;
+            }
+            ctx.broadcast((rep.origin, rep.fwd_ttl));
+            rep.left -= 1;
+            if rep.left > 0 {
+                rep.gap = (rep.gap * 2).min(REPEAT_GAP_CAP);
+                rep.cooldown = rep.gap - 1;
+                self.pending.push(rep);
             }
         }
     }

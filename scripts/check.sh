@@ -3,10 +3,11 @@
 #
 #   1. cargo fmt --check        formatting
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
-#   3. ballfit-lint             the 8 token-level passes (determinism /
+#   3. ballfit-lint             the 9 token-level passes (determinism /
 #                               locality / panic-safety / float-safety /
 #                               fault-scope / churn-scope / par-scope /
-#                               obs-scope) plus the interprocedural
+#                               obs-scope / recovery-scope) plus the
+#                               interprocedural
 #                               determinism-taint / panic-reachability /
 #                               transitive-locality passes and the
 #                               stale-allow audit (crates/lint). The step
@@ -29,6 +30,9 @@
 #   7. cost_profile --smoke     traced cost profile emits valid JSON and a
 #                               valid JSONL trace; a second run plus
 #                               trace_diff pins the trace byte-identical
+#   8. chaos_sweep --smoke      combined fault+churn chaos sweep emits
+#                               valid JSON (adaptive recovery exercised;
+#                               outcomes graded by the watchdog)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips clippy and runs tests in the default profile only.
@@ -80,6 +84,10 @@ cargo run -q --release -p ballfit-bench --bin cost_profile -- --validate "$SMOKE
 cargo run -q --release -p ballfit-bench --bin cost_profile -- --validate-trace "$SMOKE_DIR/cost_profile_a.jsonl"
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin cost_profile -- --smoke --trace "$SMOKE_DIR/cost_profile_b.jsonl"
 cargo run -q --release -p ballfit-obs --bin trace_diff -- "$SMOKE_DIR/cost_profile_a.jsonl" "$SMOKE_DIR/cost_profile_b.jsonl"
+
+step "chaos_sweep --smoke (faults under churn: adaptive recovery sweep)"
+BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin chaos_sweep -- --smoke
+cargo run -q --release -p ballfit-bench --bin chaos_sweep -- --validate "$SMOKE_DIR/chaos_sweep.json"
 
 echo
 echo "check.sh: all gates green"

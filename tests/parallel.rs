@@ -4,6 +4,7 @@
 //! index-ordered reassembly; no reduction-order dependence) pinned at the
 //! pipeline level, on the thread ladder of the E17 acceptance criterion.
 
+use ballfit::chaos::{run_chaos, ChaosConfig};
 use ballfit::config::DetectorConfig;
 use ballfit::detector::{BoundaryDetection, BoundaryDetector};
 use ballfit::incremental::IncrementalDetector;
@@ -65,6 +66,36 @@ fn ground_truth_metrics_are_thread_count_invariant() {
         let stats =
             DetectionStats::evaluate_with(&model, &detection, Parallelism::threads(threads));
         assert_eq!(stats, reference, "evaluate_with diverged at {threads} threads");
+    }
+}
+
+/// E19 under parallelism: a full chaos run — faults injected while the
+/// topology churns, every epoch graded by the watchdog — produces a
+/// report equal at every ladder count to the sequential run (outcomes,
+/// coverage, jaccard, lag, repair counts, events, diffs, detection).
+#[test]
+fn chaos_report_is_identical_at_every_thread_count() {
+    let model = model(Scenario::SpaceOneHole, 21);
+    let churn = ChurnPlan::none()
+        .with_seed(4)
+        .with_epochs(2)
+        .with_join_rate(0.02)
+        .with_leave_rate(0.02)
+        .with_move_rate(0.02)
+        .with_max_drift(0.4 * model.radio_range());
+    let config = ChaosConfig::new(DetectorConfig::paper(0, 0), churn)
+        .with_loss(0.20)
+        .with_duplication(0.05)
+        .with_max_delay(1)
+        .with_crash_fraction(0.10)
+        .with_fault_seed(7);
+    let reference = run_chaos(&model, &config, 7, Parallelism::sequential())
+        .expect("in-shape sampling never exhausts");
+    assert!(!reference.events.is_empty(), "churn must actually mutate the topology");
+    for threads in THREAD_LADDER {
+        let report = run_chaos(&model, &config, 7, Parallelism::threads(threads))
+            .expect("in-shape sampling never exhausts");
+        assert_eq!(report, reference, "chaos report diverged at {threads} threads");
     }
 }
 
