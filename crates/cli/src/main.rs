@@ -5,6 +5,7 @@
 //! ballfit-cli detect   --net net.json --error 20 [--json]
 //! ballfit-cli mesh     --net net.json --error 20 --k 3 --out-prefix mesh
 //! ballfit-cli sweep    --scenario one_hole --surface 500 --interior 800 --seed 1
+//! ballfit-cli serve    [--threads N]   # JSONL requests on stdin
 //! ballfit-cli scenarios
 //! ```
 
@@ -37,6 +38,8 @@ COMMANDS:
              [--error P] [--k K] [--seed X]
   sweep      --scenario S                  Error sweep 0..100% on a fresh network
              [--surface N] [--interior N] [--degree D] [--seed X]
+  serve      [--threads N]                 Serve JSONL requests from stdin
+                                           (multi-tenant; see ballfit-serve)
 ";
 
 fn main() -> ExitCode {
@@ -59,15 +62,7 @@ fn main() -> ExitCode {
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     match args.command()? {
         "scenarios" => {
-            for s in [
-                Scenario::SolidSphere,
-                Scenario::BendedPipe,
-                Scenario::SpaceOneHole,
-                Scenario::SpaceTwoHoles,
-                Scenario::Underwater,
-                Scenario::SolidBox,
-                Scenario::Torus,
-            ] {
+            for s in Scenario::ALL {
                 println!("{:<12} ({} boundaries expected)", s.name(), s.expected_boundaries());
             }
             Ok(())
@@ -76,23 +71,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "detect" => detect(args),
         "mesh" => mesh(args),
         "sweep" => sweep(args),
+        "serve" => serve(args),
         other => Err(format!("unknown command '{other}'").into()),
     }
 }
 
 fn scenario_by_name(name: &str) -> Result<Scenario, String> {
-    [
-        Scenario::SolidSphere,
-        Scenario::BendedPipe,
-        Scenario::SpaceOneHole,
-        Scenario::SpaceTwoHoles,
-        Scenario::Underwater,
-        Scenario::SolidBox,
-        Scenario::Torus,
-    ]
-    .into_iter()
-    .find(|s| s.name() == name)
-    .ok_or_else(|| format!("unknown scenario '{name}' (try `ballfit-cli scenarios`)"))
+    Scenario::by_name(name)
+        .ok_or_else(|| format!("unknown scenario '{name}' (try `ballfit-cli scenarios`)"))
 }
 
 fn build_network(args: &Args) -> Result<NetworkModel, Box<dyn std::error::Error>> {
@@ -191,5 +177,14 @@ fn sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             stats.truth, stats.found, stats.correct, stats.mistaken, stats.missing
         )?;
     }
+    Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let parallelism = match args.get_parsed::<usize>("threads")? {
+        Some(n) => ballfit_par::Parallelism::threads(n),
+        None => ballfit_par::Parallelism::from_env(),
+    };
+    ballfit_serve::run_stdio(parallelism)?;
     Ok(())
 }

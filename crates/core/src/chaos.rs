@@ -323,7 +323,12 @@ fn epoch_seed(base: u64, epoch: usize) -> u64 {
 /// Builds the epoch's fault plan: the configured loss/duplication/delay
 /// knobs plus `crash_fraction` of the *live* population (partial
 /// Fisher–Yates over `live`, so dead churn slots are never "crashed").
-fn epoch_plan(config: &ChaosConfig, epoch: usize, live: &[NodeId]) -> FaultPlan {
+///
+/// Public so long-lived front ends (`ballfit-serve`'s `inject` request)
+/// can derive the identical per-epoch fault stream a [`run_chaos`]
+/// schedule would: the plan is a pure function of
+/// `(config, epoch, live)`.
+pub fn epoch_plan(config: &ChaosConfig, epoch: usize, live: &[NodeId]) -> FaultPlan {
     let seed = epoch_seed(config.fault_seed, epoch);
     let mut plan = FaultPlan::lossy(seed, config.loss)
         .with_duplication(config.duplication)
@@ -477,6 +482,124 @@ fn is_partitioned(dynamic: &DynamicTopology, perm_down: &[bool]) -> bool {
     reachable.iter().any(|&v| !seen[v])
 }
 
+/// One epoch's watchdog-judged detection verdict, as produced by
+/// [`run_epoch`]: the graded outcome plus the cost counters that price
+/// it. [`EpochOutcome`] wraps this with the schedule-level context
+/// (epoch index, applied events, population counts) that only the full
+/// [`run_chaos`] loop knows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochVerdict {
+    /// The watchdog-judged detection outcome.
+    pub outcome: DetectionOutcome,
+    /// Jaccard index of the live distributed vs. oracle boundary sets.
+    pub jaccard: f64,
+    /// Rounds the faulty protocol stack ran (all three phases).
+    pub rounds: usize,
+    /// Rounds the same stack runs fault-free on this topology.
+    pub clean_rounds: usize,
+    /// Retry budget spent: UBF retransmissions + grouping repair probes.
+    pub repairs: u64,
+    /// Budget-exhaustion incidents (UBF nodes + grouping edges).
+    pub exhausted: u64,
+}
+
+impl EpochVerdict {
+    /// Detection lag: extra rounds the faults cost over the fault-free
+    /// baseline on the identical topology.
+    pub fn lag(&self) -> usize {
+        self.rounds.saturating_sub(self.clean_rounds)
+    }
+}
+
+/// Runs one chaos epoch's detection on a fixed topology: the hardened
+/// stack under `plan`, the fault-free baseline that prices the lag, and
+/// the convergence watchdog judging the distributed result against
+/// `oracle` (which must be exact for the current state of `dynamic`).
+/// Records the verdict as a [`TraceEvent::Verdict`] inside a
+/// `"watchdog"` span, exactly as the [`run_chaos`] epoch loop does —
+/// this *is* that loop's detection step, factored out so a long-lived
+/// service can judge epochs one `inject` request at a time.
+pub fn run_epoch(
+    dynamic: &DynamicTopology,
+    config: &ChaosConfig,
+    plan: &FaultPlan,
+    oracle: &IncrementalDetector,
+    trace: &mut Trace,
+) -> EpochVerdict {
+    let live = dynamic.live_nodes();
+    let run = run_stack(dynamic, config, plan, trace);
+    let clean = run_stack(dynamic, config, &FaultPlan::none(), &mut Trace::disabled());
+
+    let mut perm_down = vec![false; dynamic.len()];
+    for c in &plan.crashes {
+        if c.up_at.is_none() {
+            perm_down[c.node] = true;
+        }
+    }
+    let perm_crashed = perm_down.iter().filter(|d| **d).count();
+    let oracle_boundary = oracle.boundary();
+    let mut oracle_label: Vec<Option<NodeId>> = vec![None; dynamic.len()];
+    for group in oracle.groups() {
+        for &m in group {
+            oracle_label[m] = Some(group[0]);
+        }
+    }
+    let mut unreached = Vec::new();
+    let (mut inter, mut union) = (0usize, 0usize);
+    for &v in &live {
+        let ours = run.boundary[v];
+        let theirs = oracle_boundary[v];
+        inter += usize::from(ours && theirs);
+        union += usize::from(ours || theirs);
+        if ours != theirs || (theirs && run.labels[v] != oracle_label[v]) {
+            unreached.push(v);
+        }
+    }
+    let coverage =
+        if live.is_empty() { 1.0 } else { 1.0 - unreached.len() as f64 / live.len() as f64 };
+    let jaccard = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+    let boundary: Vec<NodeId> = live.iter().copied().filter(|&v| run.boundary[v]).collect();
+    let exact = unreached.is_empty() && run.quiescent;
+    let outcome = if exact {
+        DetectionOutcome::Exact { boundary }
+    } else {
+        let cause = if is_partitioned(dynamic, &perm_down) {
+            DegradeCause::Partition
+        } else if !live.is_empty() && 4 * perm_crashed >= live.len() {
+            DegradeCause::CrashQuorum
+        } else if run.exhausted > 0 {
+            DegradeCause::RetryExhausted
+        } else if !run.quiescent {
+            DegradeCause::Truncated
+        } else {
+            // Residual disagreement with budgets intact: evidence was
+            // lost in flight — charge it to the repair layer.
+            DegradeCause::RetryExhausted
+        };
+        DetectionOutcome::Degraded { boundary, coverage, unreached, cause }
+    };
+    trace.open("watchdog");
+    trace.event(TraceEvent::Verdict {
+        exact,
+        cause: outcome.cause().map_or("none", DegradeCause::as_str),
+        unreached: match &outcome {
+            DetectionOutcome::Exact { .. } => 0,
+            DetectionOutcome::Degraded { unreached, .. } => unreached.len() as u64,
+        },
+        coverage_ppm: (outcome.coverage() * 1_000_000.0).round() as u64,
+    });
+    trace.close();
+
+    EpochVerdict {
+        outcome,
+        jaccard,
+        rounds: run.rounds,
+        clean_rounds: clean.rounds,
+        repairs: run.repairs,
+        exhausted: run.exhausted,
+    }
+}
+
 /// Runs the full chaos schedule: per epoch, the churn events are
 /// applied (oracle kept exact event by event), then the hardened
 /// detection stack runs under that epoch's derived fault plan and the
@@ -537,87 +660,26 @@ pub fn run_chaos_traced(
             cursor += 1;
         }
 
-        // 2. Faults: derive the epoch's radio and run the stack under it,
-        // plus the fault-free baseline that prices the detection lag.
+        // 2–3. Faults + watchdog: derive the epoch's radio, run the stack
+        // and the fault-free baseline under it, and judge the result
+        // against the oracle.
         let dynamic = driver.dynamic();
         let live = dynamic.live_nodes();
         let plan = epoch_plan(config, epoch, &live);
         plan.validate();
-        let run = run_stack(dynamic, config, &plan, trace);
-        let clean = run_stack(dynamic, config, &FaultPlan::none(), &mut Trace::disabled());
-
-        // 3. Watchdog: judge the distributed result against the oracle.
-        let mut perm_down = vec![false; dynamic.len()];
-        for c in &plan.crashes {
-            if c.up_at.is_none() {
-                perm_down[c.node] = true;
-            }
-        }
-        let perm_crashed = perm_down.iter().filter(|d| **d).count();
-        let oracle_boundary = oracle.boundary();
-        let mut oracle_label: Vec<Option<NodeId>> = vec![None; dynamic.len()];
-        for group in oracle.groups() {
-            for &m in group {
-                oracle_label[m] = Some(group[0]);
-            }
-        }
-        let mut unreached = Vec::new();
-        let (mut inter, mut union) = (0usize, 0usize);
-        for &v in &live {
-            let ours = run.boundary[v];
-            let theirs = oracle_boundary[v];
-            inter += usize::from(ours && theirs);
-            union += usize::from(ours || theirs);
-            if ours != theirs || (theirs && run.labels[v] != oracle_label[v]) {
-                unreached.push(v);
-            }
-        }
-        let coverage =
-            if live.is_empty() { 1.0 } else { 1.0 - unreached.len() as f64 / live.len() as f64 };
-        let jaccard = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
-        let boundary: Vec<NodeId> = live.iter().copied().filter(|&v| run.boundary[v]).collect();
-        let exact = unreached.is_empty() && run.quiescent;
-        let outcome = if exact {
-            DetectionOutcome::Exact { boundary }
-        } else {
-            let cause = if is_partitioned(dynamic, &perm_down) {
-                DegradeCause::Partition
-            } else if !live.is_empty() && 4 * perm_crashed >= live.len() {
-                DegradeCause::CrashQuorum
-            } else if run.exhausted > 0 {
-                DegradeCause::RetryExhausted
-            } else if !run.quiescent {
-                DegradeCause::Truncated
-            } else {
-                // Residual disagreement with budgets intact: evidence was
-                // lost in flight — charge it to the repair layer.
-                DegradeCause::RetryExhausted
-            };
-            DetectionOutcome::Degraded { boundary, coverage, unreached, cause }
-        };
-        trace.open("watchdog");
-        trace.event(TraceEvent::Verdict {
-            exact,
-            cause: outcome.cause().map_or("none", DegradeCause::as_str),
-            unreached: match &outcome {
-                DetectionOutcome::Exact { .. } => 0,
-                DetectionOutcome::Degraded { unreached, .. } => unreached.len() as u64,
-            },
-            coverage_ppm: (outcome.coverage() * 1_000_000.0).round() as u64,
-        });
-        trace.close();
+        let verdict = run_epoch(dynamic, config, &plan, &oracle, trace);
 
         epochs.push(EpochOutcome {
             epoch,
             events: applied,
             live: live.len(),
             crashed: plan.crashes.len(),
-            outcome,
-            jaccard,
-            rounds: run.rounds,
-            clean_rounds: clean.rounds,
-            repairs: run.repairs,
-            exhausted: run.exhausted,
+            outcome: verdict.outcome,
+            jaccard: verdict.jaccard,
+            rounds: verdict.rounds,
+            clean_rounds: verdict.clean_rounds,
+            repairs: verdict.repairs,
+            exhausted: verdict.exhausted,
         });
         trace.close();
     }

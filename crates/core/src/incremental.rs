@@ -79,6 +79,11 @@ pub struct BoundaryDiff {
     /// the closed `w`-ball of the event's seeds (UBF) united with the
     /// closed `T`-ball of the candidacy flips and the event node (IFF).
     pub halo: Vec<NodeId>,
+    /// Unit balls tested while repairing this event's halo (Theorem 1
+    /// accounting) — the event's UBF compute cost, as opposed to the
+    /// cumulative per-slot totals [`crate::detector::BoundaryDetection`]
+    /// reports.
+    pub balls: u64,
 }
 
 impl BoundaryDiff {
@@ -328,7 +333,7 @@ impl IncrementalDetector {
         // are sufficient (added neighbors are reachable through the event
         // node and need no seeding of their own).
         let ubf_set = closed_ball(view.topology(), &seeds, w);
-        let mut flips = self.recompute_ubf(&view, &ubf_set);
+        let (mut flips, balls) = self.recompute_ubf(&view, &ubf_set);
         flips.push(delta.node);
         flips.extend_from_slice(&delta.removed);
         flips.sort_unstable();
@@ -352,7 +357,7 @@ impl IncrementalDetector {
         }
 
         let regrouped = self.repair_groups(view.topology(), &seeds, &promoted, &demoted);
-        BoundaryDiff { promoted, demoted, regrouped, halo }
+        BoundaryDiff { promoted, demoted, regrouped, halo, balls }
     }
 
     /// Extends all per-node state to `n` slots (new slots join as
@@ -369,8 +374,9 @@ impl IncrementalDetector {
 
     /// Recomputes UBF candidacy for exactly `nodes` — the same per-node
     /// code path as the from-scratch detector. Returns the nodes whose
-    /// candidate flag actually flipped (ascending, since `nodes` is).
-    fn recompute_ubf(&mut self, view: &NetView<'_>, nodes: &[NodeId]) -> Vec<NodeId> {
+    /// candidate flag actually flipped (ascending, since `nodes` is) and
+    /// the number of unit balls the recompute tested.
+    fn recompute_ubf(&mut self, view: &NetView<'_>, nodes: &[NodeId]) -> (Vec<NodeId>, u64) {
         // Per-node UBF tests are independent, so big batches — the
         // bootstrap and the from-scratch exactness baselines — shard over
         // workers; per-event halos stay on the caller (they are a handful
@@ -391,6 +397,7 @@ impl IncrementalDetector {
         };
 
         let mut flips = Vec::new();
+        let mut tested = 0u64;
         for (&node, outcome) in nodes.iter().zip(outcomes) {
             let was = self.candidates[node];
             match outcome {
@@ -398,6 +405,7 @@ impl IncrementalDetector {
                     self.candidates[node] = out.is_boundary;
                     self.degenerate[node] = false;
                     self.balls[node] = out.balls_tested as u64;
+                    tested += out.balls_tested as u64;
                 }
                 None => {
                     self.candidates[node] = self.config.ubf.degenerate_is_boundary;
@@ -409,7 +417,7 @@ impl IncrementalDetector {
                 flips.push(node);
             }
         }
-        flips
+        (flips, tested)
     }
 
     /// Recomputes IFF fragment sizes and boundary flags for exactly

@@ -33,7 +33,10 @@
 //! abstraction). The [`chaos`] module stresses both layers at once —
 //! radio faults injected while the topology churns — and grades each
 //! epoch with a typed [`chaos::DetectionOutcome`] instead of failing
-//! outright.
+//! outright. Above all of this sits the `ballfit-serve` crate, which
+//! exposes many concurrent detector instances behind a deterministic
+//! JSONL wire protocol — this crate stays a library and never depends
+//! on the service layer (enforced by the `serve-scope` lint pass).
 //!
 //! # Quickstart
 //!

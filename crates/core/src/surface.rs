@@ -16,6 +16,7 @@ use crate::detector::BoundaryDetection;
 use crate::edgeflip::{faces_of, flip_to_manifold_empty_faces, FlipRecord};
 use crate::landmarks::elect_landmarks;
 use crate::triangulate::complete_triangulation;
+use crate::view::NetView;
 
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -124,7 +125,22 @@ impl SurfaceBuilder {
     /// Runs steps I–V on a single boundary group. Returns `None` when the
     /// group yields fewer than the configured minimum landmarks.
     pub fn build_group(&self, model: &NetworkModel, group: &[NodeId]) -> Option<BoundarySurface> {
-        let topo = model.topology();
+        let view = NetView::new(model.topology(), model.positions(), model.radio_range());
+        self.build_group_view(&view, group)
+    }
+
+    /// [`SurfaceBuilder::build_group`] over a bare [`NetView`] — the
+    /// entry point for callers that hold a churned
+    /// [`ballfit_wsn::churn::DynamicTopology`] rather than a generated
+    /// [`NetworkModel`] (the serve layer's `mesh` query). Meshing only
+    /// reads connectivity and positions, so the two paths are identical
+    /// on the same inputs.
+    pub fn build_group_view(
+        &self,
+        view: &NetView<'_>,
+        group: &[NodeId],
+    ) -> Option<BoundarySurface> {
+        let topo = view.topology();
         let member = |n: NodeId| group.binary_search(&n).is_ok();
 
         // Step I: landmarks + cells.
@@ -173,7 +189,7 @@ impl SurfaceBuilder {
         }
         let faces: Vec<[usize; 3]> =
             faces_ids.iter().map(|t| [index_of[&t[0]], index_of[&t[1]], index_of[&t[2]]]).collect();
-        let vertices = landmarks.iter().map(|&l| model.positions()[l]).collect();
+        let vertices = landmarks.iter().map(|&l| view.positions()[l]).collect();
         let mesh = TriMesh::new(vertices, faces).expect("landmark faces index landmarks");
         let audit = mesh.audit();
         let euler = mesh.euler_characteristic();

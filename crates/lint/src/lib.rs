@@ -7,7 +7,7 @@
 //! in round handlers, no NaN-order traps in float sorts). Those properties
 //! are easy to regress silently — a `HashMap` iteration here, a
 //! convenience `model.positions()` call there — so this crate enforces
-//! them mechanically over `crates/{core,wsn,geom,mds,netgen,par,obs}`:
+//! them mechanically over `crates/{core,wsn,geom,mds,netgen,par,obs,serve}`:
 //!
 //! * [`passes::Pass::Determinism`] — denies `HashMap`/`HashSet`,
 //!   `thread_rng`, `SystemTime::now`, `Instant::now`.
@@ -42,6 +42,11 @@
 //!   `snapshot`) out of `Protocol` impls: crash recovery restores the
 //!   *simulation* and replays; a handler snapshotting its own state
 //!   would break replay byte-identity.
+//! * [`passes::Pass::ServeScope`] — keeps the multi-tenant service API
+//!   (`Service`, `ServeRequest`, `serve_log`, ...) out of `Protocol`
+//!   impls and confined to `crates/serve` in non-test code: the daemon
+//!   orchestrates the detectors from above, and algorithm crates must
+//!   not grow a dependency on the wire layer.
 //!
 //! Four **interprocedural** passes extend these one-call-deep checks to
 //! whole call chains, using an item-level AST ([`ast`]) and a workspace
@@ -111,7 +116,7 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Analyzes every `.rs` file of the configured crates under
-/// `workspace_root` with all thirteen passes (token-level +
+/// `workspace_root` with all fourteen passes (token-level +
 /// interprocedural). Returned diagnostics are sorted by file, line,
 /// pass, message; file labels are workspace-relative.
 pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<Analysis> {

@@ -47,16 +47,16 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "ballfit-lint: enforce determinism / locality / panic-safety / float-safety /\n\
-                     fault-scope / churn-scope / par-scope / obs-scope / recovery-scope, plus the\n\
-                     interprocedural determinism-taint / panic-reachability / transitive-locality\n\
-                     passes and the stale-allow audit\n\
+                     fault-scope / churn-scope / par-scope / obs-scope / recovery-scope /\n\
+                     serve-scope, plus the interprocedural determinism-taint /\n\
+                     panic-reachability / transitive-locality passes and the stale-allow audit\n\
                      \n\
                      USAGE: ballfit-lint [--root <workspace>] [--json <report.json>]\n\
                      \x20                   [--diff <baseline.json>] [FILE.rs ...]\n\
                      \n\
                      With no FILE arguments, analyzes every .rs file in the workspace's\n\
-                     crates/{{core,wsn,geom,mds,netgen,par,obs}} with all 13 passes. FILE\n\
-                     arguments run the 9 token-level passes on those files only (the\n\
+                     crates/{{core,wsn,geom,mds,netgen,par,obs,serve}} with all 14 passes. FILE\n\
+                     arguments run the 10 token-level passes on those files only (the\n\
                      interprocedural passes need the whole workspace).\n\
                      \n\
                      --json writes a stable machine-readable report (fixed key order,\n\
@@ -172,8 +172,8 @@ fn main() -> ExitCode {
         eprintln!(
             "ballfit-lint: clean ({} files, {} functions; passes: determinism, locality, \
              panic-safety, float-safety, fault-scope, churn-scope, par-scope, obs-scope, \
-             recovery-scope, determinism-taint, panic-reachability, transitive-locality, \
-             stale-allow)",
+             recovery-scope, serve-scope, determinism-taint, panic-reachability, \
+             transitive-locality, stale-allow)",
             analysis.files, analysis.functions
         );
         ExitCode::SUCCESS

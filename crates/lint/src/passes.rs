@@ -1,4 +1,4 @@
-//! The nine invariant passes and the scope tracker they share.
+//! The ten invariant passes and the scope tracker they share.
 //!
 //! Scope recognition is purely structural: when a `{` opens, the tokens
 //! between it and the previous `{` / `}` / `;` form its "header". A header
@@ -39,8 +39,14 @@
 //!   is an orchestration concern of the chaos/churn layer, and a
 //!   protocol that snapshots or restores its own state would sidestep
 //!   the replay-identity pins that make crash recovery auditable.
+//! * **serve-scope** — the multi-tenant service API (`Service`,
+//!   `ServeRequest`, `serve_log` and friends) never inside a
+//!   protocol-impl scope, and outside `crates/serve/` only in test
+//!   code: the daemon sits *above* the detectors, so algorithm crates
+//!   must not grow a dependency on the wire layer — requests flow down,
+//!   never up.
 //!
-//! On top of the nine token-level passes, four **interprocedural**
+//! On top of the ten token-level passes, four **interprocedural**
 //! passes run over the whole workspace at once (via [`analyze_files`]),
 //! using the [`crate::callgraph`] built from the [`crate::ast`] item
 //! trees:
@@ -69,7 +75,7 @@
 use crate::callgraph::{CallGraph, FileUnit, FnNode};
 use crate::lexer::{is_float_literal, lex, Lexed, Tok, TokKind};
 
-/// The thirteen passes (nine token-level, four interprocedural).
+/// The fourteen passes (ten token-level, four interprocedural).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -104,6 +110,12 @@ pub enum Pass {
     /// inside `Protocol` impls: recovery belongs to the orchestration
     /// layer, not to message handlers.
     RecoveryScope,
+    /// The multi-tenant service API (`Service`, `ServeRequest`,
+    /// `serve_log`, …) never inside `Protocol` impls, and outside
+    /// `crates/serve` only in test code: the daemon orchestrates the
+    /// detectors from above, and algorithm crates must not reach back
+    /// up into the wire layer.
+    ServeScope,
     /// Interprocedural: protocol fns and detector entry points must not
     /// transitively reach nondeterminism sources.
     DeterminismTaint,
@@ -131,6 +143,7 @@ impl Pass {
             Pass::ParScope => "par-scope",
             Pass::ObsScope => "obs-scope",
             Pass::RecoveryScope => "recovery-scope",
+            Pass::ServeScope => "serve-scope",
             Pass::DeterminismTaint => "determinism-taint",
             Pass::PanicReachability => "panic-reachability",
             Pass::TransitiveLocality => "transitive-locality",
@@ -139,7 +152,7 @@ impl Pass {
     }
 
     /// All passes in report order.
-    pub const ALL: [Pass; 13] = [
+    pub const ALL: [Pass; 14] = [
         Pass::Determinism,
         Pass::Locality,
         Pass::PanicSafety,
@@ -149,6 +162,7 @@ impl Pass {
         Pass::ParScope,
         Pass::ObsScope,
         Pass::RecoveryScope,
+        Pass::ServeScope,
         Pass::DeterminismTaint,
         Pass::PanicReachability,
         Pass::TransitiveLocality,
@@ -247,6 +261,16 @@ pub struct LintConfig {
     /// replaying, never by a handler snapshotting or restoring its own
     /// state mid-run (which would break replay byte-identity).
     pub recovery_idents: Vec<String>,
+    /// The multi-tenant service API surface; naming one of these inside
+    /// a protocol impl (anywhere), or outside
+    /// [`LintConfig::serve_allowed_paths`] in non-test code, is a
+    /// serve-scope violation: the daemon orchestrates the detectors from
+    /// above, and algorithm crates must not grow a dependency on the
+    /// wire layer.
+    pub serve_idents: Vec<String>,
+    /// Path fragments where the service API is at home (the serve crate
+    /// itself; the CLI and benches are not scanned crates).
+    pub serve_allowed_paths: Vec<String>,
     /// `(alias, crate-dir)` pairs mapping `use ballfit_wsn::..`-style
     /// crate names to the `crates/<dir>` layout, so cross-crate paths
     /// resolve in the call graph.
@@ -272,7 +296,7 @@ impl Default for LintConfig {
     fn default() -> Self {
         let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         LintConfig {
-            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par", "obs"]),
+            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par", "obs", "serve"]),
             protocol_traits: s(&["Protocol"]),
             locality_denied_methods: s(&[
                 // NetworkModel: ground truth a real node cannot observe.
@@ -329,6 +353,7 @@ impl Default for LintConfig {
                 "crates/core/src/incremental.rs",
                 "crates/core/src/chaos.rs",
                 "crates/netgen/src/churn.rs",
+                "crates/serve/",
             ]),
             par_thread_idents: s(&[
                 "JoinHandle",
@@ -346,7 +371,13 @@ impl Default for LintConfig {
                 "AtomicI32",
                 "AtomicI64",
             ]),
-            par_api_idents: s(&["Parallelism", "par_map", "par_map_init", "par_for_each_init"]),
+            par_api_idents: s(&[
+                "Parallelism",
+                "par_map",
+                "par_map_init",
+                "par_map_owned",
+                "par_for_each_init",
+            ]),
             par_allowed_paths: s(&["crates/par/"]),
             obs_idents: s(&[
                 "Trace",
@@ -365,6 +396,17 @@ impl Default for LintConfig {
                 "restore",
                 "snapshot",
             ]),
+            serve_idents: s(&[
+                "Service",
+                "ServeRequest",
+                "ServeResponse",
+                "ServeError",
+                "serve_log",
+                "serve_jsonl",
+                "serve_transcript",
+                "run_stdio",
+            ]),
+            serve_allowed_paths: s(&["crates/serve/"]),
             crate_aliases: [
                 ("ballfit", "core"),
                 ("ballfit_wsn", "wsn"),
@@ -373,6 +415,7 @@ impl Default for LintConfig {
                 ("ballfit_netgen", "netgen"),
                 ("ballfit_par", "par"),
                 ("ballfit_obs", "obs"),
+                ("ballfit_serve", "serve"),
             ]
             .iter()
             .map(|(a, k)| (a.to_string(), k.to_string()))
@@ -629,7 +672,7 @@ fn classify_header(toks: &[Tok], open: usize, cfg: &LintConfig) -> ScopeKind {
     ScopeKind::Block
 }
 
-/// Runs the eight token-level passes over one source file.
+/// Runs the ten token-level passes over one source file.
 ///
 /// `file` is the label used in diagnostics *and* for path-based policy
 /// (test files under a `tests/` directory are treated as test code; the
@@ -657,6 +700,7 @@ fn direct_diagnostics(
     let fault_allowed = cfg.fault_allowed_paths.iter().any(|s| file.contains(s.as_str()));
     let churn_allowed = cfg.churn_allowed_paths.iter().any(|s| file.contains(s.as_str()));
     let par_allowed = cfg.par_allowed_paths.iter().any(|s| file.contains(s.as_str()));
+    let serve_allowed = cfg.serve_allowed_paths.iter().any(|s| file.contains(s.as_str()));
 
     let mut out = Vec::new();
     let mut push = |pass: Pass, line: u32, message: String| {
@@ -890,6 +934,29 @@ fn direct_diagnostics(
             );
         }
 
+        // ---- serve-scope -------------------------------------------------
+        if t.kind == TokKind::Ident && cfg.serve_idents.contains(&t.text) {
+            if in_proto {
+                push(
+                    Pass::ServeScope,
+                    t.line,
+                    format!(
+                        "`{}` inside a protocol impl; the service layer sits above the simulator — a message handler must not talk to the daemon",
+                        t.text
+                    ),
+                );
+            } else if !serve_allowed && !in_test {
+                push(
+                    Pass::ServeScope,
+                    t.line,
+                    format!(
+                        "`{}` outside `crates/serve`; the wire/service API belongs to the daemon layer (plus the CLI, benches and tests) — algorithm crates must not depend on it",
+                        t.text
+                    ),
+                );
+            }
+        }
+
         // ---- float-safety ------------------------------------------------
         if !in_test && !float_exempt {
             if t.is_ident("partial_cmp") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
@@ -957,7 +1024,7 @@ impl Transitive {
     }
 }
 
-/// Runs all twelve passes over a set of in-memory files. This is the
+/// Runs all fourteen passes over a set of in-memory files. This is the
 /// primary entry point: [`crate::analyze_workspace`] reads the
 /// workspace's sources and delegates here, and the splice tests feed it
 /// doctored file sets directly.

@@ -227,6 +227,39 @@ fn checkpoint_restore_inside_a_handler_would_fail() {
     );
 }
 
+#[test]
+fn service_api_inside_a_handler_would_fail() {
+    // A handler talking to the serve daemon inverts the layering: the
+    // service orchestrates the detectors from above, and a simulated
+    // node must not even know the wire layer exists.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(
+        needle,
+        &format!("{needle}\n        let _svc = Service::new(Parallelism::sequential());"),
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::ServeScope),
+        "Service inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn service_api_outside_the_serve_crate_would_fail() {
+    // Fine in the serve crate (and in test code), banned in the
+    // detector: algorithm crates must not depend on the wire layer.
+    let src = "pub fn answer(req: &ServeRequest) -> ServeResponse { todo!() }";
+    assert!(analyze_source("crates/serve/src/service.rs", src, &LintConfig::default()).is_empty());
+    assert!(
+        analyze_source("crates/core/tests/serve_probe.rs", src, &LintConfig::default()).is_empty()
+    );
+    let diags = analyze_source("crates/core/src/detector.rs", src, &LintConfig::default());
+    assert!(diags.iter().any(|d| d.pass == Pass::ServeScope), "{diags:?}");
+}
+
 /// Splices one statement into `GroupingProtocol::on_message` and pairs
 /// the poisoned runner module with a scratch helper file, returning the
 /// file set the interprocedural passes see. The violation lives in the

@@ -44,6 +44,24 @@ impl Scenario {
         Scenario::SolidSphere,
     ];
 
+    /// Every scenario, paper gallery first, extras last.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::SolidSphere,
+        Scenario::BendedPipe,
+        Scenario::SpaceOneHole,
+        Scenario::SpaceTwoHoles,
+        Scenario::Underwater,
+        Scenario::SolidBox,
+        Scenario::Torus,
+    ];
+
+    /// Looks a scenario up by its [`Scenario::name`] string — the inverse
+    /// used by the CLI's `--scenario` flag and the serve wire protocol's
+    /// `create` request.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// Short machine-friendly name (used in CSV output and file names).
     pub fn name(&self) -> &'static str {
         match self {
@@ -183,6 +201,14 @@ mod tests {
         assert_eq!(Scenario::SpaceTwoHoles.expected_boundaries(), 3);
         assert_eq!(Scenario::Underwater.expected_boundaries(), 1);
         assert_eq!(Scenario::PAPER_GALLERY.len(), 5);
+    }
+
+    #[test]
+    fn by_name_inverts_name_for_every_scenario() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::by_name(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::by_name("klein_bottle"), None);
     }
 
     #[test]

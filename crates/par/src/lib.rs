@@ -175,6 +175,81 @@ where
     result
 }
 
+/// Maps `f` over `inputs` *by value*, in parallel, preserving input
+/// order.
+///
+/// The owned counterpart of [`par_map`]: each item is moved into exactly
+/// one worker, so `f` can consume non-`Clone` state (the serve layer
+/// shards whole network instances this way) and hand back ownership in
+/// its output. The result is exactly
+/// `inputs.into_iter().map(f).collect()` — byte for byte, at every
+/// thread count — provided `f` is deterministic in its argument.
+pub fn par_map_owned<I, O, F>(par: Parallelism, inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = inputs.len();
+    let threads = par.get().min(n);
+    if threads <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    // Items are moved into per-chunk cells; workers claim chunks from the
+    // shared cursor and take each cell's item exactly once. Reassembly is
+    // by chunk index, as in `par_map_init`.
+    let chunk = chunk_len(n, threads);
+    let chunks = n.div_ceil(chunk);
+    let cells: Vec<std::sync::Mutex<Option<I>>> =
+        inputs.into_iter().map(|item| std::sync::Mutex::new(Some(item))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<O>)>();
+    let mut slots: Vec<Option<Vec<O>>> = Vec::new();
+    slots.resize_with(chunks, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let cells = &cells;
+            let f = &f;
+            scope.spawn(move || loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                let out: Vec<O> = cells[start..end]
+                    .iter()
+                    .map(|cell| {
+                        let item = cell
+                            .lock()
+                            .expect("no worker panics while holding an item cell")
+                            .take()
+                            .expect("each item cell is taken exactly once");
+                        f(item)
+                    })
+                    .collect();
+                if tx.send((c, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (c, out) in rx {
+            slots[c] = Some(out);
+        }
+    });
+
+    let mut result = Vec::with_capacity(n);
+    for slot in slots {
+        result.extend(slot.expect("all chunks completed"));
+    }
+    result
+}
+
 /// Runs `f(&mut scratch, index)` for every index in `0..count`, sharded
 /// across workers with one `init`-built scratch per worker.
 ///
@@ -270,6 +345,29 @@ mod tests {
         );
         let expect: Vec<(usize, u32)> = inputs.iter().copied().enumerate().collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_owned_matches_sequential_at_every_thread_count() {
+        // Boxes are non-Clone-dependent owned state: each must be moved
+        // into exactly one worker and returned in input order.
+        let make = || (0..611u64).map(Box::new).collect::<Vec<_>>();
+        let f = |x: Box<u64>| *x ^ 0xA5A5_5A5A_0F0F_F0F0;
+        let expect: Vec<u64> = make().into_iter().map(f).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let got = par_map_owned(Parallelism::threads(threads), make(), f);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_owned_handles_edge_lengths() {
+        for n in [0usize, 1, 2, 255, 256, 257] {
+            let inputs: Vec<usize> = (0..n).collect();
+            let expect: Vec<usize> = inputs.iter().map(|x| x * 2).collect();
+            let got = par_map_owned(Parallelism::threads(4), inputs, |x| x * 2);
+            assert_eq!(got, expect, "n = {n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! The serve daemon: JSONL requests on stdin, one response line per
+//! request line on stdout. `--threads N` sets the worker pool that
+//! instances shard across (default: the `BALLFIT_THREADS` environment
+//! override, else all available cores); the response bytes are identical
+//! at every thread count.
+
+use ballfit_par::Parallelism;
+
+const USAGE: &str = "usage: ballfit-serve [--threads N]
+Reads JSONL requests from stdin to EOF and writes one JSONL response per
+request line to stdout. See the ballfit-serve crate docs for the wire
+protocol.";
+
+fn main() {
+    let mut parallelism = Parallelism::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer\n{USAGE}");
+                    std::process::exit(2);
+                });
+                parallelism = Parallelism::threads(n);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = ballfit_serve::run_stdio(parallelism) {
+        eprintln!("ballfit-serve: io error: {e}");
+        std::process::exit(1);
+    }
+}

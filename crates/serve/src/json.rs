@@ -1,0 +1,441 @@
+//! A small JSON value layer for the wire protocol.
+//!
+//! `bench::json` only *validates* RFC 8259 well-formedness; the serve
+//! layer also has to read request fields, so this module adds a
+//! recursive-descent parser producing a [`JsonValue`] tree, plus the
+//! canonical string/float writers the response encoder uses. Design
+//! points, all in service of the determinism contract:
+//!
+//! * Numbers keep their **raw token** ([`JsonValue::Num`]). Integer
+//!   fields parse losslessly via `str::parse::<u64>` (no float
+//!   round-trip, no float comparisons); float fields go through
+//!   `str::parse::<f64>`, whose result is a pure function of the token.
+//! * Writing floats uses Rust's shortest-round-trip `Display`, so
+//!   `write → parse → write` is a fixed point and response logs are
+//!   byte-stable across runs and platforms.
+//! * Object keys keep insertion order; the *encoder* (not serde, not a
+//!   map) decides key order, so responses have a fixed key layout.
+//! * Parsing never panics: malformed input, oversized nesting, bad
+//!   escapes, and trailing garbage all return [`JsonError`].
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Deeper input is rejected
+/// (never a stack overflow) — wire messages are a few levels deep.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value. Numbers carry their source token verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source token (e.g. `"-1.5e3"`).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, keys in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if this is a number whose raw
+    /// token is one (`"3"` yes, `"3.0"` and `"-3"` no) — exact by
+    /// construction, no float detour.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as a finite `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse::<f64>().ok().filter(|v| v.is_finite()),
+            _ => None,
+        }
+    }
+}
+
+/// Why a JSON text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable cause.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.reason, self.at)
+    }
+}
+
+/// Parses one complete JSON value from `text`; trailing non-whitespace
+/// is an error.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError { at: pos, reason: "trailing characters" });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError { at: *pos, reason: "nesting too deep" });
+    }
+    match bytes.get(*pos) {
+        None => Err(JsonError { at: *pos, reason: "unexpected end of input" }),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(JsonError { at: *pos, reason: "unexpected character" }),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &'static str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError { at: *pos, reason: "invalid literal" })
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(JsonError { at: *pos, reason: "expected object key" });
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError { at: *pos, reason: "expected ':'" });
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos, depth + 1)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            _ => return Err(JsonError { at: *pos, reason: "expected ',' or '}'" }),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(JsonError { at: *pos, reason: "expected ',' or ']'" }),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    *pos += 1; // '"'
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError { at: *pos, reason: "unterminated string" }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require \uXXXX for the low half.
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err(JsonError { at: *pos, reason: "lone surrogate" });
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(JsonError { at: *pos, reason: "invalid surrogate" });
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp)
+                                .ok_or(JsonError { at: *pos, reason: "invalid codepoint" })?
+                        } else {
+                            char::from_u32(hi)
+                                .ok_or(JsonError { at: *pos, reason: "invalid codepoint" })?
+                        };
+                        out.push(c);
+                        continue; // parse_hex4 already advanced past the digits
+                    }
+                    _ => return Err(JsonError { at: *pos, reason: "invalid escape" }),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(JsonError { at: *pos, reason: "control character in string" })
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| JsonError { at: start, reason: "invalid utf-8" })?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let Some(hex) = bytes.get(*pos..*pos + 4) else {
+        return Err(JsonError { at: *pos, reason: "truncated \\u escape" });
+    };
+    let s = std::str::from_utf8(hex).map_err(|_| JsonError { at: *pos, reason: "bad hex" })?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| JsonError { at: *pos, reason: "bad hex" })?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one zero, or a nonzero digit run.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(JsonError { at: *pos, reason: "invalid number" }),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(JsonError { at: *pos, reason: "invalid number" });
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(JsonError { at: *pos, reason: "invalid number" });
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError { at: start, reason: "invalid utf-8" })?;
+    Ok(JsonValue::Num(raw.to_string()))
+}
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` in Rust's shortest-round-trip form — a pure
+/// function of the bits, so encodings are byte-stable. Callers validate
+/// finiteness at the wire boundary; a non-finite value here is a bug.
+pub fn push_f64(out: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "wire floats are validated finite");
+    out.push_str(&format!("{v}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values_and_keeps_raw_number_tokens() {
+        let v = parse(r#"{"op":"create","n":42,"x":-1.5e3,"ok":true,"xs":[1,2,null]}"#).unwrap();
+        assert_eq!(v.get("op").and_then(JsonValue::as_str), Some("create"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("x"), Some(&JsonValue::Num("-1.5e3".to_string())));
+        assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(-1500.0));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(JsonValue::as_arr).map(<[_]>::len), Some(3));
+    }
+
+    #[test]
+    fn integer_accessor_rejects_floats_and_negatives() {
+        let v = parse(r#"{"a":3,"b":3.0,"c":-3}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("c").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("c").and_then(JsonValue::as_f64), Some(-3.0));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#""a\"b\\c\nd\u0041\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA😀"));
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err(), "over-deep nesting must fail");
+    }
+
+    #[test]
+    fn float_writer_is_shortest_round_trip() {
+        for v in [0.0, 1.0, -2.5, 0.1, 1e300, 123456.789] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            let back: f64 = out.parse().unwrap();
+            assert!((back - v).abs() < f64::MIN_POSITIVE, "{v} -> {out}");
+        }
+        let mut out = String::new();
+        push_f64(&mut out, 1.0);
+        assert_eq!(out, "1");
+    }
+}

@@ -3,11 +3,11 @@
 #
 #   1. cargo fmt --check        formatting
 #   2. cargo clippy -D warnings style lints ([workspace.lints] deny set)
-#   3. ballfit-lint             the 9 token-level passes (determinism /
+#   3. ballfit-lint             the 10 token-level passes (determinism /
 #                               locality / panic-safety / float-safety /
 #                               fault-scope / churn-scope / par-scope /
-#                               obs-scope / recovery-scope) plus the
-#                               interprocedural
+#                               obs-scope / recovery-scope / serve-scope)
+#                               plus the interprocedural
 #                               determinism-taint / panic-reachability /
 #                               transitive-locality passes and the
 #                               stale-allow audit (crates/lint). The step
@@ -33,6 +33,11 @@
 #   8. chaos_sweep --smoke      combined fault+churn chaos sweep emits
 #                               valid JSON (adaptive recovery exercised;
 #                               outcomes graded by the watchdog)
+#   9. ballfit-serve replay     a canned JSONL request log piped through
+#                               the daemon twice (different worker
+#                               counts) must produce byte-identical,
+#                               JSONL-valid response logs; then
+#                               serve_load --smoke emits valid JSON
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips clippy and runs tests in the default profile only.
@@ -88,6 +93,26 @@ cargo run -q --release -p ballfit-obs --bin trace_diff -- "$SMOKE_DIR/cost_profi
 step "chaos_sweep --smoke (faults under churn: adaptive recovery sweep)"
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin chaos_sweep -- --smoke
 cargo run -q --release -p ballfit-bench --bin chaos_sweep -- --validate "$SMOKE_DIR/chaos_sweep.json"
+
+step "ballfit-serve (wire replay determinism + serve_load --smoke)"
+cat > "$SMOKE_DIR/serve_requests.jsonl" <<'EOF'
+{"op":"create","id":"a","scene":{"scenario":"sphere","surface":80,"interior":120,"degree":13,"seed":7},"config":{"error":0}}
+{"op":"events","id":"a","events":[{"kind":"join","position":[0.1,0.2,0.3]},{"kind":"leave","node":5}]}
+{"op":"query","id":"a","what":"boundary"}
+{"op":"query","id":"a","what":"stats"}
+{"op":"inject","id":"a","faults":{"loss":0.1,"crash_fraction":0.05,"seed":3}}
+{"op":"checkpoint","id":"a"}
+{"op":"query","id":"nope","what":"boundary"}
+{"op":"shutdown"}
+EOF
+cargo run -q --release -p ballfit-serve --bin ballfit-serve -- --threads 1 \
+    < "$SMOKE_DIR/serve_requests.jsonl" > "$SMOKE_DIR/serve_responses_a.jsonl"
+cargo run -q --release -p ballfit-serve --bin ballfit-serve -- --threads 4 \
+    < "$SMOKE_DIR/serve_requests.jsonl" > "$SMOKE_DIR/serve_responses_b.jsonl"
+cmp "$SMOKE_DIR/serve_responses_a.jsonl" "$SMOKE_DIR/serve_responses_b.jsonl"
+cargo run -q --release -p ballfit-bench --bin serve_load -- --validate-log "$SMOKE_DIR/serve_responses_a.jsonl"
+BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin serve_load -- --smoke
+cargo run -q --release -p ballfit-bench --bin serve_load -- --validate "$SMOKE_DIR/serve_load.json"
 
 echo
 echo "check.sh: all gates green"

@@ -176,3 +176,214 @@ fn surface_stats_roundtrip() {
         assert_eq!(back, surface.stats);
     }
 }
+
+#[test]
+fn serve_wire_request_roundtrip() {
+    use ballfit_serve::{
+        CreateSource, FaultKnobs, QueryKind, ServeRequest, WireCheckpoint, WireConfig,
+        WireDetector, WireEvent, WireScene, WireSnapshot,
+    };
+    let requests = vec![
+        ServeRequest::Create {
+            id: "a".to_string(),
+            source: CreateSource::Scene(WireScene {
+                scenario: "two_holes".to_string(),
+                surface: 90,
+                interior: 140,
+                degree: 12.5,
+                seed: 3,
+            }),
+            config: WireConfig {
+                error: Some(20),
+                noise_seed: 5,
+                theta: Some(16),
+                ttl: Some(4),
+                witness_hops: Some(2),
+            },
+        },
+        ServeRequest::Create {
+            id: "b".to_string(),
+            source: CreateSource::Positions {
+                positions: vec![[0.0, 0.0, 0.0], [0.25, -0.5, 0.75]],
+                range: 1.0,
+            },
+            config: WireConfig::default(),
+        },
+        ServeRequest::Events {
+            id: "a".to_string(),
+            events: vec![
+                WireEvent::Join { position: [1.0, 2.0, 3.0] },
+                WireEvent::Leave { node: 4 },
+                WireEvent::Move { node: 2, to: [0.5, 0.5, 0.5] },
+            ],
+        },
+        ServeRequest::Query { id: "a".to_string(), what: QueryKind::Mesh },
+        ServeRequest::Checkpoint { id: "a".to_string() },
+        ServeRequest::Restore {
+            id: "c".to_string(),
+            checkpoint: WireCheckpoint {
+                epoch: 4,
+                injects: 2,
+                config: WireConfig::default(),
+                snapshot: WireSnapshot {
+                    range: 1.25,
+                    positions: vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]],
+                    alive: vec![true, false],
+                },
+                detector: WireDetector {
+                    candidates: vec![true, false],
+                    degenerate: vec![false, true],
+                    balls: vec![12, 0],
+                    fragments: vec![1, 0],
+                    boundary: vec![true, false],
+                    groups: vec![vec![0]],
+                },
+            },
+        },
+        ServeRequest::Inject {
+            id: "a".to_string(),
+            faults: FaultKnobs {
+                loss: 0.2,
+                duplication: 0.01,
+                max_delay: 2,
+                crash_fraction: 0.1,
+                crash_down: 2,
+                crash_up: None,
+                seed: 77,
+            },
+        },
+        ServeRequest::Shutdown,
+    ];
+    for req in requests {
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ServeRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+        // The serde surface and the canonical wire codec agree: a request
+        // that went through serde still parses from its canonical line.
+        let line = ballfit_serve::encode_request(&back);
+        assert_eq!(ballfit_serve::parse_request(&line).unwrap(), req);
+    }
+}
+
+#[test]
+fn serve_wire_response_roundtrip() {
+    use ballfit_serve::{MeshRow, ServeError, ServeResponse, StatsRow};
+    let responses = vec![
+        ServeResponse::Created {
+            id: "a".to_string(),
+            nodes: 200,
+            live: 198,
+            boundary: 80,
+            groups: 2,
+            balls: 12345,
+        },
+        ServeResponse::Applied {
+            id: "a".to_string(),
+            epoch: 3,
+            applied: 2,
+            promoted: 1,
+            demoted: 0,
+            regrouped: 4,
+            halo: 31,
+            balls: 88,
+            boundary: 81,
+            groups: 2,
+        },
+        ServeResponse::BoundaryNodes { id: "a".to_string(), nodes: vec![1, 5, 9] },
+        ServeResponse::FragmentList { id: "a".to_string(), fragments: vec![(1, 40), (5, 41)] },
+        ServeResponse::StatsRows {
+            id: "a".to_string(),
+            rows: vec![StatsRow {
+                span: "churn-event".to_string(),
+                nodes: 200,
+                rounds: 0,
+                messages: 0,
+                bytes: 0,
+                delivered: 0,
+                dropped: 0,
+                duplicated: 0,
+                delayed: 0,
+                crash_lost: 0,
+                ball_tests: 64,
+                tested_nodes: 7,
+                retransmits: 0,
+                reforwards: 0,
+                verdicts: 0,
+                degraded: 0,
+                unreached: 0,
+            }],
+        },
+        ServeResponse::MeshList {
+            id: "a".to_string(),
+            meshes: vec![MeshRow {
+                group: 0,
+                size: 80,
+                landmarks: 12,
+                faces: 20,
+                euler: 2,
+                manifold_ppm: 1_000_000,
+            }],
+        },
+        ServeResponse::Injected {
+            id: "a".to_string(),
+            epoch: 1,
+            exact: false,
+            cause: "retry-exhausted".to_string(),
+            coverage_ppm: 985_000,
+            unreached: 3,
+            boundary: 79,
+            rounds: 44,
+            clean_rounds: 28,
+            repairs: 120,
+            exhausted: 2,
+            live: 195,
+            crashed: 9,
+        },
+        ServeResponse::ShutdownOk,
+        ServeResponse::Error(ServeError::DeadNode { id: "a".to_string(), node: 13 }),
+    ];
+    for resp in responses {
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ServeResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn serve_malformed_inputs_yield_typed_errors_not_panics() {
+    use ballfit_serve::{QueryKind, ServeRequest, Service};
+    // Parser layer: every malformed line maps to a typed code.
+    for (line, code) in [
+        ("", "bad-json"),
+        ("{\"op\":", "bad-json"),
+        ("42", "bad-request"),
+        ("{\"op\":\"warp\"}", "unknown-op"),
+        ("{\"op\":\"create\",\"id\":\"x\",\"positions\":[[0,0,0]],\"range\":0}", "bad-request"),
+        ("{\"op\":\"inject\",\"id\":\"x\",\"faults\":{\"crash_fraction\":2}}", "bad-request"),
+    ] {
+        let err = ballfit_serve::parse_request(line).expect_err(line);
+        assert_eq!(err.code(), code, "{line}");
+    }
+    // Service layer: unknown instance ids and events for crashed nodes
+    // answer with typed errors and leave the service serving.
+    let mut svc = Service::sequential();
+    let transcript = concat!(
+        "{\"op\":\"query\",\"id\":\"ghost\",\"what\":\"stats\"}\n",
+        "{\"op\":\"create\",\"id\":\"n\",\"positions\":[[0,0,0],[0.5,0,0],[1,0,0]],\"range\":0.8}\n",
+        "{\"op\":\"events\",\"id\":\"n\",\"events\":[{\"kind\":\"leave\",\"node\":1}]}\n",
+        "{\"op\":\"events\",\"id\":\"n\",\"events\":[{\"kind\":\"move\",\"node\":1,\"to\":[0,1,0]}]}\n",
+        "{\"op\":\"query\",\"id\":\"n\",\"what\":\"fragments\"}\n",
+    );
+    let out = svc.serve_jsonl(transcript);
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines[0].starts_with("{\"err\":\"unknown-instance\""), "{out}");
+    assert!(lines[1].starts_with("{\"ok\":\"create\""), "{out}");
+    assert!(lines[2].starts_with("{\"ok\":\"events\""), "{out}");
+    assert!(lines[3].starts_with("{\"err\":\"dead-node\""), "{out}");
+    assert!(lines[4].starts_with("{\"ok\":\"query\""), "{out}");
+    // The instance still answers typed queries after the rejected batch.
+    assert!(matches!(
+        svc.handle(&ServeRequest::Query { id: "n".to_string(), what: QueryKind::Boundary }),
+        ballfit_serve::ServeResponse::BoundaryNodes { .. }
+    ));
+}

@@ -1,0 +1,337 @@
+//! Integration: the serve protocol's determinism contract.
+//!
+//! * **Replay identity** — one request log, one response log: byte-
+//!   identical across repeated runs and across worker-thread counts
+//!   (the E20 thread ladder).
+//! * **Serve ≡ direct** — driving a single instance through the wire
+//!   protocol produces exactly the state an in-process
+//!   [`IncrementalDetector`] driver computes, event by event.
+//! * **Checkpoint/restore through the wire** — checkpointing at event
+//!   `k`, reviving on a *fresh* service, and replaying the tail matches
+//!   the uninterrupted run byte-for-byte, inject epochs included.
+//! * **Typed failure** — malformed lines and bad targets get typed
+//!   error responses in place; nothing panics, and later requests on
+//!   the same transcript are unaffected.
+
+use ballfit::incremental::IncrementalDetector;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::churn::ChurnDriver;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_par::Parallelism;
+use ballfit_serve::{
+    encode_request, encode_response, CreateSource, FaultKnobs, QueryKind, ServeRequest,
+    ServeResponse, Service, WireConfig, WireEvent,
+};
+use ballfit_wsn::churn::{ChurnPlan, DynamicTopology, TopologyEvent};
+
+/// The E20 thread ladder.
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+fn model(scenario: Scenario, seed: u64) -> NetworkModel {
+    NetworkBuilder::new(scenario)
+        .surface_nodes(120)
+        .interior_nodes(180)
+        .target_degree(13.0)
+        .require_connected(false)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn wire_positions(model: &NetworkModel) -> Vec<[f64; 3]> {
+    model.positions().iter().map(|p| [p.x, p.y, p.z]).collect()
+}
+
+fn wire_event(ev: &TopologyEvent) -> WireEvent {
+    match *ev {
+        TopologyEvent::Join { position } => {
+            WireEvent::Join { position: [position.x, position.y, position.z] }
+        }
+        TopologyEvent::Leave { node } => WireEvent::Leave { node },
+        TopologyEvent::Move { node, to } => WireEvent::Move { node, to: [to.x, to.y, to.z] },
+    }
+}
+
+/// A canned multi-tenant request log: three instances (one scene-built,
+/// two from explicit positions), interleaved events, queries, injects,
+/// and a checkpoint, closed by a shutdown.
+fn multi_tenant_log() -> Vec<ServeRequest> {
+    let m1 = model(Scenario::SolidSphere, 11);
+    let m2 = model(Scenario::SolidBox, 12);
+    let mut log = vec![
+        ServeRequest::Create {
+            id: "sphere".to_string(),
+            source: CreateSource::Scene(ballfit_serve::WireScene {
+                scenario: "sphere".to_string(),
+                surface: 80,
+                interior: 120,
+                degree: 13.0,
+                seed: 7,
+            }),
+            config: WireConfig { error: Some(0), ..WireConfig::default() },
+        },
+        ServeRequest::Create {
+            id: "b1".to_string(),
+            source: CreateSource::Positions {
+                positions: wire_positions(&m1),
+                range: m1.radio_range(),
+            },
+            config: WireConfig::default(),
+        },
+        ServeRequest::Create {
+            id: "b2".to_string(),
+            source: CreateSource::Positions {
+                positions: wire_positions(&m2),
+                range: m2.radio_range(),
+            },
+            config: WireConfig::default(),
+        },
+    ];
+    let plan = ChurnPlan::none()
+        .with_seed(5)
+        .with_epochs(3)
+        .with_join_rate(0.02)
+        .with_leave_rate(0.02)
+        .with_move_rate(0.03)
+        .with_max_drift(0.4);
+    for (i, (id, m)) in [("b1", &m1), ("b2", &m2)].iter().enumerate() {
+        let mut driver = ChurnDriver::new(m, plan.seed.wrapping_add(i as u64));
+        for ev in plan.schedule(m.len()) {
+            let (resolved, _) = driver.step(&ev).unwrap();
+            log.push(ServeRequest::Events {
+                id: id.to_string(),
+                events: vec![wire_event(&resolved)],
+            });
+        }
+        log.push(ServeRequest::Query { id: id.to_string(), what: QueryKind::Boundary });
+        log.push(ServeRequest::Query { id: id.to_string(), what: QueryKind::Groups });
+        log.push(ServeRequest::Query { id: id.to_string(), what: QueryKind::Stats });
+    }
+    log.push(ServeRequest::Inject {
+        id: "sphere".to_string(),
+        faults: FaultKnobs { loss: 0.1, crash_fraction: 0.05, seed: 3, ..FaultKnobs::default() },
+    });
+    log.push(ServeRequest::Checkpoint { id: "b1".to_string() });
+    log.push(ServeRequest::Query { id: "sphere".to_string(), what: QueryKind::Fragments });
+    log.push(ServeRequest::Shutdown);
+    log.push(ServeRequest::Query { id: "b2".to_string(), what: QueryKind::Boundary });
+    log
+}
+
+#[test]
+fn response_log_is_byte_identical_across_runs_and_thread_counts() {
+    let log = multi_tenant_log();
+    let jsonl: String = log.iter().map(|r| encode_request(r) + "\n").collect();
+
+    let reference = Service::sequential().serve_jsonl(&jsonl);
+    let again = Service::sequential().serve_jsonl(&jsonl);
+    assert_eq!(reference, again, "repeat run diverged");
+    assert_eq!(reference.lines().count(), log.len(), "one response line per request line");
+
+    for threads in THREAD_LADDER {
+        let out = Service::new(Parallelism::threads(threads)).serve_jsonl(&jsonl);
+        assert_eq!(out, reference, "thread count {threads} changed response bytes");
+    }
+}
+
+#[test]
+fn serve_equals_direct_incremental_driver() {
+    let m = model(Scenario::SpaceOneHole, 23);
+    let plan = ChurnPlan::none()
+        .with_seed(9)
+        .with_epochs(4)
+        .with_join_rate(0.02)
+        .with_leave_rate(0.03)
+        .with_move_rate(0.03)
+        .with_max_drift(0.5);
+
+    // Direct side: DynamicTopology + sequential IncrementalDetector.
+    let mut driver = ChurnDriver::new(&m, plan.seed ^ 0xBEEF);
+    let schedule = plan.schedule(m.len());
+    let mut direct_dyn = DynamicTopology::new(m.positions(), m.radio_range());
+    let mut direct = IncrementalDetector::new_with_parallelism(
+        WireConfig::default().to_detector(),
+        &direct_dyn,
+        Parallelism::sequential(),
+    );
+
+    // Serve side: same network via the wire, events replayed batch by batch.
+    let mut svc = Service::sequential();
+    let created = svc.handle(&ServeRequest::Create {
+        id: "x".to_string(),
+        source: CreateSource::Positions { positions: wire_positions(&m), range: m.radio_range() },
+        config: WireConfig::default(),
+    });
+    match created {
+        ServeResponse::Created { nodes, balls, .. } => {
+            assert_eq!(nodes, m.len());
+            assert_eq!(balls, direct.detection().balls_tested, "bootstrap ball tally diverged");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    for ev in &schedule {
+        let (resolved, _) = driver.step(ev).unwrap();
+
+        let delta = direct_dyn.apply(&resolved);
+        let diff = direct.apply(&direct_dyn, &delta);
+
+        let resp = svc.handle(&ServeRequest::Events {
+            id: "x".to_string(),
+            events: vec![wire_event(&resolved)],
+        });
+        match resp {
+            ServeResponse::Applied { promoted, demoted, regrouped, halo, balls, .. } => {
+                assert_eq!(promoted, diff.promoted.len(), "promoted diverged at {resolved:?}");
+                assert_eq!(demoted, diff.demoted.len(), "demoted diverged at {resolved:?}");
+                assert_eq!(regrouped, diff.regrouped.len(), "regrouped diverged at {resolved:?}");
+                assert_eq!(halo, diff.halo.len(), "halo diverged at {resolved:?}");
+                assert_eq!(balls, diff.balls, "ball tally diverged at {resolved:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // Final state: the wire's boundary/groups are the direct detector's.
+    let expected_boundary: Vec<usize> =
+        (0..direct_dyn.len()).filter(|&i| direct.boundary()[i] && direct_dyn.is_live(i)).collect();
+    match svc.handle(&ServeRequest::Query { id: "x".to_string(), what: QueryKind::Boundary }) {
+        ServeResponse::BoundaryNodes { nodes, .. } => assert_eq!(nodes, expected_boundary),
+        other => panic!("unexpected {other:?}"),
+    }
+    match svc.handle(&ServeRequest::Query { id: "x".to_string(), what: QueryKind::Groups }) {
+        ServeResponse::GroupList { groups, .. } => {
+            assert_eq!(groups.as_slice(), direct.groups(), "group lists diverged")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn wire_checkpoint_restore_replay_matches_uninterrupted_run() {
+    let m = model(Scenario::SolidSphere, 31);
+    let plan = ChurnPlan::none()
+        .with_seed(41)
+        .with_epochs(6)
+        .with_join_rate(0.02)
+        .with_leave_rate(0.03)
+        .with_move_rate(0.02)
+        .with_max_drift(0.4);
+    let mut driver = ChurnDriver::new(&m, 77);
+    let mut batches: Vec<Vec<WireEvent>> = vec![Vec::new(); plan.epochs];
+    for ev in plan.schedule(m.len()) {
+        let (resolved, _) = driver.step(&ev).unwrap();
+        batches[ev.epoch].push(wire_event(&resolved));
+    }
+    let create = ServeRequest::Create {
+        id: "cp".to_string(),
+        source: CreateSource::Positions { positions: wire_positions(&m), range: m.radio_range() },
+        config: WireConfig { error: Some(0), ..WireConfig::default() },
+    };
+    let events_req =
+        |b: &Vec<WireEvent>| ServeRequest::Events { id: "cp".to_string(), events: b.clone() };
+    let inject_req = ServeRequest::Inject {
+        id: "cp".to_string(),
+        faults: FaultKnobs { loss: 0.08, crash_fraction: 0.04, seed: 13, ..FaultKnobs::default() },
+    };
+    let finals = [
+        ServeRequest::Query { id: "cp".to_string(), what: QueryKind::Boundary },
+        ServeRequest::Query { id: "cp".to_string(), what: QueryKind::Groups },
+        ServeRequest::Query { id: "cp".to_string(), what: QueryKind::Fragments },
+    ];
+
+    // Uninterrupted reference: create, all 6 batches with an inject in
+    // the middle, then the final queries.
+    let mut uninterrupted = Service::sequential();
+    uninterrupted.handle(&create);
+    let mut reference_tail: Vec<String> = Vec::new();
+    for (k, b) in batches.iter().enumerate() {
+        let resp = uninterrupted.handle(&events_req(b));
+        if k >= 3 {
+            reference_tail.push(encode_response(&resp));
+        }
+        if k == 4 {
+            reference_tail.push(encode_response(&uninterrupted.handle(&inject_req)));
+        }
+    }
+    for q in &finals {
+        reference_tail.push(encode_response(&uninterrupted.handle(q)));
+    }
+
+    // Interrupted: first 3 batches, wire checkpoint, fresh service,
+    // wire restore, replay the tail.
+    let mut first = Service::sequential();
+    first.handle(&create);
+    for b in &batches[..3] {
+        first.handle(&events_req(b));
+    }
+    let checkpoint = match first.handle(&ServeRequest::Checkpoint { id: "cp".to_string() }) {
+        ServeResponse::CheckpointTaken { checkpoint, .. } => checkpoint,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(checkpoint.epoch, 3, "three events epochs before the checkpoint");
+
+    // Round-trip the checkpoint through its wire encoding: the revived
+    // service must work from parsed bytes, not shared memory.
+    let restore_line = encode_request(&ServeRequest::Restore { id: "cp".to_string(), checkpoint });
+    let restore = ballfit_serve::parse_request(&restore_line).unwrap();
+
+    let mut second = Service::sequential();
+    match second.handle(&restore) {
+        ServeResponse::Restored { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    let mut replay_tail: Vec<String> = Vec::new();
+    for (k, b) in batches.iter().enumerate().skip(3) {
+        replay_tail.push(encode_response(&second.handle(&events_req(b))));
+        if k == 4 {
+            replay_tail.push(encode_response(&second.handle(&inject_req)));
+        }
+    }
+    for q in &finals {
+        replay_tail.push(encode_response(&second.handle(q)));
+    }
+    assert_eq!(replay_tail, reference_tail, "restored replay diverged from uninterrupted run");
+}
+
+#[test]
+fn malformed_lines_and_bad_targets_get_typed_errors_in_place() {
+    let input = concat!(
+        "{\"op\":\"events\",\"id\":\"nope\",\"events\":[]}\n",
+        "{]\n",
+        "{\"op\":\"create\",\"id\":\"a\",\"positions\":[[0,0,0],[0.9,0,0]],\"range\":1.0}\n",
+        "{\"op\":\"create\",\"id\":\"a\",\"positions\":[[0,0,0]],\"range\":1.0}\n",
+        "{\"op\":\"events\",\"id\":\"a\",\"events\":[{\"kind\":\"leave\",\"node\":0},{\"kind\":\"move\",\"node\":0,\"to\":[1,1,1]}]}\n",
+        "{\"op\":\"create\",\"id\":\"s\",\"scene\":{\"scenario\":\"klein_bottle\"}}\n",
+        "{\"op\":\"query\",\"id\":\"a\",\"what\":\"boundary\"}\n",
+        "{\"op\":\"shutdown\"}\n",
+        "{\"op\":\"query\",\"id\":\"a\",\"what\":\"boundary\"}\n",
+    );
+    let out = Service::sequential().serve_jsonl(input);
+    let codes: Vec<&str> = out
+        .lines()
+        .map(|l| {
+            if let Some(rest) = l.strip_prefix("{\"err\":\"") {
+                rest.split('"').next().unwrap()
+            } else {
+                "ok"
+            }
+        })
+        .collect();
+    assert_eq!(
+        codes,
+        vec![
+            "unknown-instance",
+            "bad-json",
+            "ok",
+            "duplicate-instance",
+            "dead-node",
+            "bad-scene",
+            "ok",
+            "ok",
+            "after-shutdown",
+        ],
+        "full transcript:\n{out}"
+    );
+}
