@@ -41,7 +41,7 @@ use ballfit::detector::BoundaryDetector;
 use ballfit::protocols::{run_grouping_protocol_traced, run_ubf_protocol_traced};
 use ballfit::view::NetView;
 use ballfit_bench::json;
-use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::builder::{NetworkBuilder, Placement};
 use ballfit_netgen::model::NetworkModel;
 use ballfit_netgen::scenario::Scenario;
 use ballfit_obs::summary::summarize;
@@ -57,6 +57,16 @@ const SMOKE_LADDER: [f64; 2] = [10.0, 14.0];
 
 /// Network seed (matches the E15 reference model family).
 const SEED: u64 = 77;
+
+/// Node count of the at-scale re-fit (5 000 under `--smoke`): the small
+/// fixed-shape ladder above measures exponents at a few hundred nodes,
+/// where boundary effects are large; this section re-fits the Theorem-1
+/// ball-test exponent at 10⁵ nodes on the flat-CSR storage.
+const AT_SCALE_N: usize = 100_000;
+
+/// Degree calibration happens at this node count, then the range is
+/// scaled by (cal/n)^(1/3) to hold density in the fixed volume.
+const AT_SCALE_CAL_N: usize = 2_000;
 
 struct Row {
     target_degree: f64,
@@ -126,6 +136,57 @@ fn profile(density: f64, smoke: bool) -> (Row, String) {
         grouping_msgs_per_node: per_node("grouping", |r| r.messages),
     };
     (row, trace.to_jsonl())
+}
+
+/// One rung of the at-scale section: untraced detection only (protocol
+/// simulators at 10⁵ nodes would dominate the runtime without changing
+/// the exponent being measured — ball tests are counted by the detector
+/// itself).
+struct ScaleRow {
+    target_degree: f64,
+    mean_degree: f64,
+    nodes: usize,
+    edges: usize,
+    ball_tests_per_node: f64,
+}
+
+fn profile_at_scale(density: f64, smoke: bool) -> ScaleRow {
+    let n = if smoke { 5_000 } else { AT_SCALE_N };
+    let surface_of = |total: usize| -> usize {
+        let cal_surface = 2 * AT_SCALE_CAL_N / 5;
+        let s = cal_surface as f64 * (total as f64 / AT_SCALE_CAL_N as f64).powf(2.0 / 3.0);
+        (s.round() as usize).min(total - 1).max(1)
+    };
+    // Calibrate the range at a tractable size, then scale it down as
+    // n^(-1/3). Uniform placement: blue-noise pool thinning at 10⁵ nodes
+    // is infeasible and irrelevant to the exponent.
+    let build = |total: usize, range: Option<f64>| -> NetworkModel {
+        let surface = surface_of(total);
+        let builder = NetworkBuilder::new(Scenario::SolidSphere)
+            .surface_nodes(surface)
+            .interior_nodes(total - surface)
+            .placement(Placement::Uniform)
+            .require_connected(false)
+            .seed(SEED);
+        match range {
+            Some(r) => builder.radio_range(r),
+            None => builder.target_degree(density),
+        }
+        .build()
+        .unwrap_or_else(|e| panic!("at-scale network at degree {density} failed: {e}"))
+    };
+    let cal = build(AT_SCALE_CAL_N, None);
+    let range = cal.radio_range() * (AT_SCALE_CAL_N as f64 / n as f64).powf(1.0 / 3.0);
+    let model = build(n, Some(range));
+    let detection = BoundaryDetector::new(DetectorConfig::default()).detect(&model);
+    let edges = model.topology().edge_count();
+    ScaleRow {
+        target_degree: density,
+        mean_degree: 2.0 * edges as f64 / n as f64,
+        nodes: n,
+        edges,
+        ball_tests_per_node: detection.balls_tested as f64 / n as f64,
+    }
 }
 
 /// Least-squares slope of `ln y` against `ln x`: the measured growth
@@ -224,6 +285,23 @@ fn main() {
     let ubf_msg_slope = loglog_slope(&pick(|r| r.ubf_msgs_per_node));
     let ubf_byte_slope = loglog_slope(&pick(|r| r.ubf_bytes_per_node));
 
+    eprintln!(
+        "at-scale re-fit: degree ladder {ladder:?} at n={}",
+        if smoke { 5_000 } else { AT_SCALE_N }
+    );
+    let mut scale_rows = Vec::new();
+    for &density in ladder {
+        let row = profile_at_scale(density, smoke);
+        eprintln!(
+            "  rho={:>4.1}: measured degree {:.2}, {:.1} ball tests/node (n={})",
+            row.target_degree, row.mean_degree, row.ball_tests_per_node, row.nodes
+        );
+        scale_rows.push(row);
+    }
+    let at_scale_points: Vec<(f64, f64)> =
+        scale_rows.iter().map(|r| (r.mean_degree, r.ball_tests_per_node)).collect();
+    let at_scale_ball_slope = loglog_slope(&at_scale_points);
+
     let mut doc = String::new();
     doc.push_str("{\n");
     let _ = writeln!(
@@ -255,6 +333,20 @@ fn main() {
         doc.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     doc.push_str("  ],\n");
+    doc.push_str("  \"at_scale\": {\n    \"rows\": [\n");
+    for (i, r) in scale_rows.iter().enumerate() {
+        let _ = write!(
+            doc,
+            "      {{\"target_degree\": {:.1}, \"mean_degree\": {:.4}, \"nodes\": {}, \
+             \"edges\": {}, \"ball_tests_per_node\": {:.4}}}",
+            r.target_degree, r.mean_degree, r.nodes, r.edges, r.ball_tests_per_node
+        );
+        doc.push_str(if i + 1 < scale_rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(
+        doc,
+        "    ],\n    \"fits\": {{\"ball_tests_loglog_slope\": {at_scale_ball_slope:.4}}}\n  }},"
+    );
     let _ = writeln!(
         doc,
         "  \"fits\": {{\"ball_tests_loglog_slope\": {ball_slope:.4}, \
@@ -268,7 +360,8 @@ fn main() {
     println!("wrote {}", path.display());
     println!(
         "measured exponents: ball tests/node ~ rho^{ball_slope:.2}, \
-         UBF msgs/node ~ rho^{ubf_msg_slope:.2}, UBF bytes/node ~ rho^{ubf_byte_slope:.2}"
+         UBF msgs/node ~ rho^{ubf_msg_slope:.2}, UBF bytes/node ~ rho^{ubf_byte_slope:.2}; \
+         at scale: ball tests/node ~ rho^{at_scale_ball_slope:.2}"
     );
     if let Some(tp) = trace_out {
         std::fs::write(&tp, &traces).expect("trace JSONL is writable");

@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use ballfit_wsn::Topology;
+
 use crate::surface::BoundarySurface;
 
 /// A computed partition: `region[v]` is the region index of mesh vertex
@@ -45,22 +47,6 @@ impl Partition {
     }
 }
 
-fn mesh_adjacency(surface: &BoundarySurface) -> Vec<Vec<usize>> {
-    let index_of =
-        |lm: usize| surface.landmarks.binary_search(&lm).expect("edge endpoints are landmarks");
-    let mut adj = vec![Vec::new(); surface.landmarks.len()];
-    for &(a, b) in &surface.edges {
-        let (ia, ib) = (index_of(a), index_of(b));
-        adj[ia].push(ib);
-        adj[ib].push(ia);
-    }
-    for list in &mut adj {
-        list.sort_unstable();
-        list.dedup();
-    }
-    adj
-}
-
 /// Partitions a surface into `k` regions by farthest-point seeding and
 /// synchronized BFS growth (ties go to the lower region index).
 ///
@@ -71,7 +57,7 @@ pub fn partition_surface(surface: &BoundarySurface, k: usize) -> Partition {
     let n = surface.landmarks.len();
     assert!(k >= 1, "need at least one region");
     assert!(k <= n, "more regions than vertices");
-    let adj = mesh_adjacency(surface);
+    let adj: Topology = surface.mesh_topology();
 
     // Farthest-point seeding on hop distance, seeded at vertex 0.
     let bfs = |start: usize| -> Vec<Option<usize>> {
@@ -80,7 +66,8 @@ pub fn partition_surface(surface: &BoundarySurface, k: usize) -> Partition {
         let mut queue = VecDeque::from([start]);
         while let Some(u) = queue.pop_front() {
             let du = dist[u].expect("queued vertices are labeled");
-            for &v in &adj[u] {
+            for &v in adj.neighbors(u) {
+                let v = v as usize;
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
                     queue.push_back(v);
@@ -112,7 +99,8 @@ pub fn partition_surface(surface: &BoundarySurface, k: usize) -> Partition {
     }
     while let Some(u) = queue.pop_front() {
         let r = region[u];
-        for &v in &adj[u] {
+        for &v in adj.neighbors(u) {
+            let v = v as usize;
             if region[v] == usize::MAX {
                 region[v] = r;
                 queue.push_back(v);
@@ -181,7 +169,7 @@ mod tests {
     fn regions_are_connected() {
         let surface = sphere_surface();
         let p = partition_surface(&surface, 3);
-        let adj = mesh_adjacency(&surface);
+        let adj = surface.mesh_topology();
         for r in 0..p.regions() {
             let members = p.members(r);
             // BFS within the region from its seed reaches every member.
@@ -190,7 +178,8 @@ mod tests {
             seen[start] = true;
             let mut queue = VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
-                for &v in &adj[u] {
+                for &v in adj.neighbors(u) {
+                    let v = v as usize;
                     if !seen[v] && p.region[v] == r {
                         seen[v] = true;
                         queue.push_back(v);

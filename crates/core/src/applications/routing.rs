@@ -7,6 +7,7 @@
 //! one of the paper's motivations for building the mesh at all.
 
 use ballfit_geom::Vec3;
+use ballfit_wsn::Topology;
 
 use crate::surface::BoundarySurface;
 
@@ -46,27 +47,17 @@ impl RouteOutcome {
 #[derive(Debug, Clone)]
 pub struct GreedyRouter {
     positions: Vec<Vec3>,
-    adjacency: Vec<Vec<usize>>,
+    mesh: Topology,
 }
 
 impl GreedyRouter {
     /// Builds the router from a constructed surface (mesh-vertex indices
-    /// are positions in `surface.landmarks`).
+    /// are positions in `surface.landmarks`). The mesh adjacency is the
+    /// shared CSR [`Topology`] from [`BoundarySurface::mesh_topology`].
     pub fn new(surface: &BoundarySurface) -> Self {
         let positions = surface.mesh.vertices().to_vec();
-        let index_of =
-            |lm: usize| surface.landmarks.binary_search(&lm).expect("edge endpoints are landmarks");
-        let mut adjacency = vec![Vec::new(); positions.len()];
-        for &(a, b) in &surface.edges {
-            let (ia, ib) = (index_of(a), index_of(b));
-            adjacency[ia].push(ib);
-            adjacency[ib].push(ia);
-        }
-        for list in &mut adjacency {
-            list.sort_unstable();
-            list.dedup();
-        }
-        GreedyRouter { positions, adjacency }
+        let mesh = surface.mesh_topology();
+        GreedyRouter { positions, mesh }
     }
 
     /// Number of routable vertices.
@@ -92,9 +83,11 @@ impl GreedyRouter {
         // The strict-progress rule bounds the walk by the vertex count.
         while current != to {
             let here = self.positions[current].distance_squared(target);
-            let next = self.adjacency[current]
+            let next = self
+                .mesh
+                .neighbors(current)
                 .iter()
-                .copied()
+                .map(|&n| n as usize)
                 .map(|n| (self.positions[n].distance_squared(target), n))
                 .filter(|&(d, _)| d < here)
                 .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
@@ -120,7 +113,8 @@ impl GreedyRouter {
                 return dist[to];
             }
             let du = dist[u].expect("queued nodes have distances");
-            for &v in &self.adjacency[u] {
+            for &v in self.mesh.neighbors(u) {
+                let v = v as usize;
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
                     queue.push_back(v);

@@ -24,6 +24,7 @@ pub fn build_cdg(topo: &Topology, group: &[NodeId], cells: &CellAssignment) -> V
     for &u in group {
         let Some(ou) = cells.owner_of(u) else { continue };
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if group.binary_search(&v).is_err() {
                 continue;
             }

@@ -395,7 +395,8 @@ fn run_stack(
     };
     let states: Vec<HardenedUbf> = (0..n)
         .map(|i| {
-            let table = topo.neighbors(i).iter().map(|&j| (j, measure(i, j))).collect();
+            let table =
+                topo.neighbors(i).iter().map(|&j| (j as NodeId, measure(i, j as NodeId))).collect();
             HardenedUbf::new(UbfProtocol::new(i, table), backoff)
         })
         .collect();
@@ -473,6 +474,7 @@ fn is_partitioned(dynamic: &DynamicTopology, perm_down: &[bool]) -> bool {
     let mut queue = VecDeque::from([start]);
     while let Some(u) = queue.pop_front() {
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if !seen[v] && dynamic.is_live(v) && !perm_down[v] {
                 seen[v] = true;
                 queue.push_back(v);

@@ -168,6 +168,7 @@ fn closed_ball(topo: &Topology, seeds: &[NodeId], radius: u32) -> Vec<NodeId> {
             continue;
         }
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if dist[v].is_none() {
                 dist[v] = Some(d + 1);
                 queue.push_back(v);
@@ -485,6 +486,7 @@ impl IncrementalDetector {
             let mut queue = VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
                 for &v in topo.neighbors(u) {
+                    let v = v as NodeId;
                     if self.boundary[v] && !visited[v] {
                         visited[v] = true;
                         comp.push(v);

@@ -152,6 +152,7 @@ impl UbfProtocol {
                     .neighbors(i)
                     .iter()
                     .map(|&j| {
+                        let j = j as NodeId;
                         let d = match source {
                             CoordinateSource::GroundTruth => model.true_distance(i, j),
                             CoordinateSource::LocalMds { error, noise_seed, .. } => model
@@ -704,7 +705,11 @@ impl Protocol for HardenedGrouping {
         ctx.broadcast(GroupMsg::Announce(self.label));
         if self.member {
             let backoff = self.backoff;
-            self.peers = ctx.neighbors().iter().map(|&v| (v, PeerRepair::armed(backoff))).collect();
+            self.peers = ctx
+                .neighbors()
+                .iter()
+                .map(|&v| (v as NodeId, PeerRepair::armed(backoff)))
+                .collect();
         }
     }
 

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use ballfit_geom::mesh::{MeshAudit, TriMesh};
 use ballfit_netgen::model::NetworkModel;
 use ballfit_wsn::bfs::hop_distances;
-use ballfit_wsn::NodeId;
+use ballfit_wsn::{NodeId, Topology};
 
 use crate::cdg::{build_cdg, LandmarkEdge};
 use crate::cdm::build_cdm;
@@ -68,6 +68,20 @@ pub struct BoundarySurface {
     pub mesh: TriMesh,
     /// Per-stage statistics.
     pub stats: SurfaceStats,
+}
+
+impl BoundarySurface {
+    /// The landmark mesh as a CSR [`Topology`] over mesh-vertex indices
+    /// (positions in `landmarks`). Shared substrate for the graph-tool
+    /// applications (routing, partitioning) so each does not rebuild its
+    /// own ad-hoc adjacency lists.
+    pub fn mesh_topology(&self) -> Topology {
+        let index_of =
+            |lm: NodeId| self.landmarks.binary_search(&lm).expect("edge endpoints are landmarks");
+        let edges: Vec<(usize, usize)> =
+            self.edges.iter().map(|&(a, b)| (index_of(a), index_of(b))).collect();
+        Topology::from_edges(self.landmarks.len(), &edges)
+    }
 }
 
 /// The surface builder.

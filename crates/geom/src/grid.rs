@@ -4,10 +4,31 @@
 //! distance checks; the paper's networks have thousands of nodes and the
 //! experiment harness sweeps many of them, so the generator bins points into
 //! cells of side `cell_size` and only inspects the 27 neighboring cells.
+//!
+//! Two adjacency builders are provided: [`SpatialGrid::adjacency`] returns
+//! per-node `Vec`s (the historical shape, kept as the reference for
+//! equality pins), and [`SpatialGrid::adjacency_csr`] emits a flat CSR
+//! (offsets + neighbor arena) in two counting passes with no per-node or
+//! transient pair allocation — the million-node path, where peak RSS is
+//! essentially the size of the finished arena.
 
 use std::collections::BTreeMap;
 
 use crate::Vec3;
+
+/// Cell coordinates are clamped to `±KEY_CLAMP` before the `i64` cast.
+///
+/// Without the clamp, a coordinate like `1e300` saturates the float→int
+/// cast to `i64::MAX` and the `±reach` cell-scan offsets overflow (a panic
+/// under debug assertions, silent wraparound in release — neighbors could
+/// be looked up in the wrong cell). Clamping is monotone and shifts any
+/// in-range pair of cell coordinates by at most their true separation, so
+/// the `±reach` scan still covers every candidate pair: points beyond the
+/// clamp collapse into the boundary cells, where the exact distance test
+/// keeps results correct (merely scanning more candidates). At `2^40`
+/// cells the clamp is far outside every generated scene, so normal-scale
+/// behavior is bit-identical.
+const KEY_CLAMP: f64 = (1i64 << 40) as f64;
 
 /// A uniform spatial hash over a set of points, supporting radius queries.
 ///
@@ -27,6 +48,29 @@ pub struct SpatialGrid {
     // BTreeMap rather than HashMap: `adjacency` iterates the cells, and
     // deterministic cell order keeps whole-pipeline runs bit-reproducible.
     cells: BTreeMap<(i64, i64, i64), Vec<usize>>,
+    // The reach-1 half-neighborhood scan offsets (14 entries), hoisted
+    // out of the adjacency builders: every radius-≤-cell_size adjacency
+    // call — the hot path, since `Topology::from_positions` builds grids
+    // with `cell_size == range` — reuses this vector instead of
+    // reallocating it per invocation.
+    half_offsets_r1: Vec<(i64, i64, i64)>,
+}
+
+/// Half-neighborhood cell offsets for a given reach: the origin plus every
+/// offset lexicographically greater than it, so a cell-pair scan visits
+/// each unordered pair exactly once.
+fn half_offsets(reach: i64) -> Vec<(i64, i64, i64)> {
+    let mut o = Vec::new();
+    for dx in -reach..=reach {
+        for dy in -reach..=reach {
+            for dz in -reach..=reach {
+                if (dx, dy, dz) >= (0, 0, 0) {
+                    o.push((dx, dy, dz));
+                }
+            }
+        }
+    }
+    o
 }
 
 impl SpatialGrid {
@@ -47,12 +91,35 @@ impl SpatialGrid {
         for (i, &p) in points.iter().enumerate() {
             cells.entry(Self::key(p, cell_size)).or_default().push(i);
         }
-        SpatialGrid { cell_size, cells }
+        SpatialGrid { cell_size, cells, half_offsets_r1: half_offsets(1) }
+    }
+
+    #[inline]
+    fn cell_coord(x: f64, cell: f64) -> i64 {
+        // NaN clamps to NaN and casts to 0 — same cell NaN always hashed to.
+        (x / cell).floor().clamp(-KEY_CLAMP, KEY_CLAMP) as i64
     }
 
     #[inline]
     fn key(p: Vec3, cell: f64) -> (i64, i64, i64) {
-        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64, (p.z / cell).floor() as i64)
+        (Self::cell_coord(p.x, cell), Self::cell_coord(p.y, cell), Self::cell_coord(p.z, cell))
+    }
+
+    /// The hoisted offset table when it covers `reach`, else a fresh one.
+    fn offsets_for(&self, reach: i64) -> std::borrow::Cow<'_, [(i64, i64, i64)]> {
+        if reach <= 1 {
+            std::borrow::Cow::Borrowed(&self.half_offsets_r1)
+        } else {
+            std::borrow::Cow::Owned(half_offsets(reach))
+        }
+    }
+
+    #[inline]
+    fn reach_for(&self, radius: f64) -> i64 {
+        // The clamp keeps a pathological radius/cell ratio from producing
+        // a reach the ±offset arithmetic could overflow on; past the key
+        // clamp every cell is within reach anyway.
+        (radius / self.cell_size).ceil().clamp(0.0, 2.0 * KEY_CLAMP) as i64
     }
 
     /// Cell side length this grid was built with.
@@ -111,7 +178,7 @@ impl SpatialGrid {
     pub fn points_within(&self, points: &[Vec3], center: Vec3, radius: f64) -> Vec<usize> {
         assert!(radius >= 0.0, "radius must be non-negative");
         let r2 = radius * radius;
-        let reach = (radius / self.cell_size).ceil() as i64;
+        let reach = self.reach_for(radius);
         let (cx, cy, cz) = Self::key(center, self.cell_size);
         let mut out = Vec::new();
         for dx in -reach..=reach {
@@ -130,29 +197,13 @@ impl SpatialGrid {
         out
     }
 
-    /// Builds the full fixed-radius adjacency: `result[i]` holds the sorted
-    /// indices of every point within `radius` of point `i` (excluding `i`).
-    pub fn adjacency(&self, points: &[Vec3], radius: f64) -> Vec<Vec<usize>> {
-        let mut adj = vec![Vec::new(); points.len()];
+    /// Visits every point pair within `radius` exactly once (unordered),
+    /// scanning each occupied cell against its half-neighborhood.
+    fn for_each_pair_within<F: FnMut(usize, usize)>(&self, points: &[Vec3], radius: f64, mut f: F) {
         let r2 = radius * radius;
-        // Scan each occupied cell against its half-neighborhood so every
-        // pair is tested exactly once.
-        let offsets: Vec<(i64, i64, i64)> = {
-            let mut o = Vec::new();
-            let reach = (radius / self.cell_size).ceil() as i64;
-            for dx in -reach..=reach {
-                for dy in -reach..=reach {
-                    for dz in -reach..=reach {
-                        if (dx, dy, dz) > (0, 0, 0) || (dx, dy, dz) == (0, 0, 0) {
-                            o.push((dx, dy, dz));
-                        }
-                    }
-                }
-            }
-            o
-        };
+        let offsets = self.offsets_for(self.reach_for(radius));
         for (&(x, y, z), bucket) in &self.cells {
-            for &(dx, dy, dz) in &offsets {
+            for &(dx, dy, dz) in offsets.iter() {
                 let same = (dx, dy, dz) == (0, 0, 0);
                 let other = if same {
                     bucket
@@ -166,17 +217,77 @@ impl SpatialGrid {
                     let start = if same { ai + 1 } else { 0 };
                     for &j in &other[start..] {
                         if points[i].distance_squared(points[j]) <= r2 {
-                            adj[i].push(j);
-                            adj[j].push(i);
+                            f(i, j);
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Builds the full fixed-radius adjacency: `result[i]` holds the sorted
+    /// indices of every point within `radius` of point `i` (excluding `i`).
+    pub fn adjacency(&self, points: &[Vec3], radius: f64) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); points.len()];
+        self.for_each_pair_within(points, radius, |i, j| {
+            adj[i].push(j);
+            adj[j].push(i);
+        });
         for list in &mut adj {
             list.sort_unstable();
         }
         adj
+    }
+
+    /// Per-point neighbor counts within `radius` — the counting pass of
+    /// [`SpatialGrid::adjacency_csr`] alone, for callers (range
+    /// calibration) that only need degrees.
+    pub fn adjacency_degrees(&self, points: &[Vec3], radius: f64) -> Vec<u32> {
+        let mut deg = vec![0u32; points.len()];
+        self.for_each_pair_within(points, radius, |i, j| {
+            deg[i] += 1;
+            deg[j] += 1;
+        });
+        deg
+    }
+
+    /// Builds the fixed-radius adjacency directly in CSR form: returns
+    /// `(offsets, neighbors)` where point `i`'s sorted neighbor indices
+    /// are `neighbors[offsets[i] as usize..offsets[i + 1] as usize]`.
+    ///
+    /// Two passes (count, then scatter) instead of one pair-buffer pass:
+    /// peak memory is the degree array plus the finished arena, which is
+    /// what lets million-node builds stay near the final footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point count or total directed-degree sum exceeds
+    /// `u32::MAX` (a ~4-billion-entry arena; far past any supported scene).
+    pub fn adjacency_csr(&self, points: &[Vec3], radius: f64) -> (Vec<u32>, Vec<u32>) {
+        assert!(points.len() <= u32::MAX as usize, "point count exceeds u32 index space");
+        let deg = self.adjacency_degrees(points, radius);
+        let total: u64 = deg.iter().map(|&d| d as u64).sum();
+        assert!(total <= u32::MAX as u64, "adjacency arena exceeds u32 index space");
+        let mut offsets = Vec::with_capacity(points.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0u32);
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Scatter: `cursor[i]` tracks the next free slot of point `i`.
+        let mut cursor: Vec<u32> = offsets[..points.len()].to_vec();
+        let mut arena = vec![0u32; total as usize];
+        self.for_each_pair_within(points, radius, |i, j| {
+            arena[cursor[i] as usize] = j as u32;
+            cursor[i] += 1;
+            arena[cursor[j] as usize] = i as u32;
+            cursor[j] += 1;
+        });
+        for i in 0..points.len() {
+            arena[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        (offsets, arena)
     }
 }
 
@@ -226,6 +337,88 @@ mod tests {
         let pts = random_points(200, 7, 2.0);
         let grid = SpatialGrid::build(&pts, 0.35);
         assert_eq!(grid.adjacency(&pts, 1.0), brute_adjacency(&pts, 1.0));
+    }
+
+    /// Regression pin for the hoisted offset table: the cached reach-1
+    /// offsets must reproduce exactly what per-call recomputation built.
+    #[test]
+    fn hoisted_offsets_pin_adjacency_output() {
+        let recomputed = half_offsets(1);
+        assert_eq!(recomputed.len(), 14);
+        for seed in 0..3 {
+            let pts = random_points(250, seed, 2.5);
+            let grid = SpatialGrid::build(&pts, 1.0);
+            assert_eq!(grid.half_offsets_r1, recomputed);
+            assert_eq!(grid.adjacency(&pts, 1.0), brute_adjacency(&pts, 1.0));
+            // Radius below cell size reuses the same cached table.
+            assert_eq!(grid.adjacency(&pts, 0.6), brute_adjacency(&pts, 0.6));
+        }
+    }
+
+    #[test]
+    fn csr_matches_vec_of_vec_adjacency() {
+        for (seed, cell, radius) in [(0u64, 1.0, 1.0), (7, 0.35, 1.0), (11, 0.5, 1.7)] {
+            let pts = random_points(220, seed, 2.0);
+            let grid = SpatialGrid::build(&pts, cell);
+            let reference = grid.adjacency(&pts, radius);
+            let (offsets, arena) = grid.adjacency_csr(&pts, radius);
+            let degrees = grid.adjacency_degrees(&pts, radius);
+            assert_eq!(offsets.len(), pts.len() + 1);
+            assert_eq!(offsets[0], 0);
+            for (i, list) in reference.iter().enumerate() {
+                let slice = &arena[offsets[i] as usize..offsets[i + 1] as usize];
+                assert_eq!(degrees[i] as usize, list.len(), "degree of {i}");
+                assert_eq!(slice.len(), list.len(), "slice of {i}");
+                assert!(slice.iter().map(|&v| v as usize).eq(list.iter().copied()), "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_of_empty_input() {
+        let pts: Vec<Vec3> = Vec::new();
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let (offsets, arena) = grid.adjacency_csr(&pts, 1.0);
+        assert_eq!(offsets, vec![0]);
+        assert!(arena.is_empty());
+    }
+
+    /// Extreme coordinates (far past the cell-key clamp) must neither
+    /// panic on offset overflow nor report wrong neighbors: the clamp
+    /// collapses the far points into boundary cells and the exact
+    /// distance test keeps every query correct.
+    #[test]
+    fn extreme_coordinates_clamp_instead_of_overflowing() {
+        let pts = vec![
+            Vec3::new(1e300, 0.0, 0.0),
+            Vec3::new(1e300, 0.3, 0.0),
+            Vec3::new(-1e300, 0.0, 0.0),
+            Vec3::new(-1e300, 0.0, 0.3),
+            Vec3::ZERO,
+            Vec3::new(0.2, 0.0, 0.0),
+            Vec3::new(f64::MAX, f64::MAX, f64::MAX),
+        ];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.adjacency(&pts, 1.0), brute_adjacency(&pts, 1.0));
+        let (offsets, arena) = grid.adjacency_csr(&pts, 1.0);
+        let as_vecs: Vec<Vec<usize>> = (0..pts.len())
+            .map(|i| {
+                arena[offsets[i] as usize..offsets[i + 1] as usize]
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(as_vecs, brute_adjacency(&pts, 1.0));
+        let mut near = grid.points_within(&pts, Vec3::new(1e300, 0.1, 0.0), 1.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
+        // Membership updates in the clamped cells stay consistent.
+        let mut moved = grid.clone();
+        moved.remove(1, pts[1]);
+        let mut near = moved.points_within(&pts, Vec3::new(1e300, 0.1, 0.0), 1.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0]);
     }
 
     #[test]

@@ -250,8 +250,8 @@ fn calibrate_range(positions: &[Vec3], target: f64) -> Result<f64, GenError> {
 
     let avg_degree = |r: f64| -> f64 {
         let grid = SpatialGrid::build(positions, r.max(1e-6));
-        let adj = grid.adjacency(positions, r);
-        adj.iter().map(Vec::len).sum::<usize>() as f64 / positions.len() as f64
+        let degrees = grid.adjacency_degrees(positions, r);
+        degrees.iter().map(|&d| d as usize).sum::<usize>() as f64 / positions.len() as f64
     };
 
     if avg_degree(hi) < target {

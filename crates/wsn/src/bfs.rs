@@ -26,6 +26,7 @@ pub fn hop_distances<F: Fn(NodeId) -> bool>(
     while let Some(u) = queue.pop_front() {
         let du = dist[u].expect("queued nodes have distances");
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if dist[v].is_none() && allowed(v) {
                 dist[v] = Some(du + 1);
                 queue.push_back(v);
@@ -63,6 +64,7 @@ pub fn multi_source_hops<F: Fn(NodeId) -> bool>(
     while let Some(u) = queue.pop_front() {
         let (du, owner) = best[u].expect("queued nodes are labeled");
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if best[v].is_none() && allowed(v) {
                 best[v] = Some((du + 1, owner));
                 queue.push_back(v);
@@ -100,6 +102,7 @@ pub fn shortest_path<F: Fn(NodeId) -> bool>(
         // Sorted neighbor order ⇒ the first parent that discovers a node is
         // the min-ID parent among the previous BFS layer.
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if dist[v].is_none() && (v == to || allowed(v)) {
                 dist[v] = Some(du + 1);
                 parent[v] = Some(u);
@@ -137,6 +140,7 @@ pub fn nodes_within<F: Fn(NodeId) -> bool>(
             continue;
         }
         for &v in topo.neighbors(u) {
+            let v = v as NodeId;
             if dist[v].is_none() && allowed(v) {
                 dist[v] = Some(du + 1);
                 out.push(v);

@@ -476,7 +476,8 @@ impl DynamicTopology {
                 assert!(self.alive[node], "leave of dead node {node}");
                 self.alive[node] = false;
                 self.grid.remove(node, self.positions[node]);
-                let removed = self.topo.neighbors(node).to_vec();
+                let removed: Vec<NodeId> =
+                    self.topo.neighbors(node).iter().map(|&v| v as NodeId).collect();
                 for &nb in &removed {
                     self.topo.remove_edge(node, nb);
                 }
@@ -485,7 +486,8 @@ impl DynamicTopology {
             TopologyEvent::Move { node, to } => {
                 assert!(self.alive[node], "move of dead node {node}");
                 assert!(to.is_finite(), "move to non-finite position {to}");
-                let old: Vec<NodeId> = self.topo.neighbors(node).to_vec();
+                let old: Vec<NodeId> =
+                    self.topo.neighbors(node).iter().map(|&v| v as NodeId).collect();
                 self.grid.remove(node, self.positions[node]);
                 self.positions[node] = to;
                 let mut new: Vec<NodeId> = self.grid.points_within(&self.positions, to, self.range);
@@ -517,6 +519,7 @@ impl DynamicTopology {
         let mut edges = Vec::with_capacity(compact.edge_count());
         for (ci, &slot) in live.iter().enumerate() {
             for &cj in compact.neighbors(ci) {
+                let cj = cj as usize;
                 if cj > ci {
                     edges.push((slot, live[cj]));
                 }

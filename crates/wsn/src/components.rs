@@ -25,6 +25,7 @@ pub fn components_of<F: Fn(NodeId) -> bool>(topo: &Topology, member: F) -> Vec<V
         while let Some(u) = queue.pop_front() {
             comp.push(u);
             for &v in topo.neighbors(u) {
+                let v = v as NodeId;
                 if !seen[v] && member(v) {
                     seen[v] = true;
                     queue.push_back(v);

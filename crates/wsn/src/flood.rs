@@ -13,9 +13,8 @@
 //!
 //! Integration tests in the `ballfit` crate assert the two agree.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use crate::bfs;
 use crate::sim::{Ctx, Protocol};
 use crate::topology::{NodeId, Topology};
 
@@ -25,14 +24,45 @@ use crate::topology::{NodeId, Topology};
 /// as observable by `i`. Non-members get 0.
 pub fn fragment_sizes<F: Fn(NodeId) -> bool>(topo: &Topology, ttl: u32, member: F) -> Vec<usize> {
     let mut sizes = vec![0usize; topo.len()];
+    // Scratch BFS state shared across sources, marked per-flood with a
+    // generation stamp instead of being cleared: a fresh O(n) visited
+    // array per member made this quadratic in the member count, and the
+    // TTL-scoped flood itself only ever touches a few dozen nodes.
+    let mut stamp = vec![0u32; topo.len()];
+    let mut dist = vec![0u32; topo.len()];
+    let mut queue = VecDeque::new();
+    let mut round = 0u32;
     for i in 0..topo.len() {
         if !member(i) {
             continue;
         }
-        let reached = bfs::nodes_within(topo, i, ttl, &member);
-        // `nodes_within` already restricts traversal to members and
-        // excludes the source; add 1 for the node itself.
-        sizes[i] = reached.len() + 1;
+        if round == u32::MAX {
+            stamp.iter_mut().for_each(|s| *s = 0);
+            round = 0;
+        }
+        round += 1;
+        stamp[i] = round;
+        dist[i] = 0;
+        queue.clear();
+        queue.push_back(i);
+        // The source counts itself.
+        let mut count = 1usize;
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u];
+            if du == ttl {
+                continue;
+            }
+            for &v in topo.neighbors(u) {
+                let v = v as NodeId;
+                if stamp[v] != round && member(v) {
+                    stamp[v] = round;
+                    dist[v] = du + 1;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes[i] = count;
     }
     sizes
 }

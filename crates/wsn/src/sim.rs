@@ -59,7 +59,7 @@ pub trait Protocol {
 #[derive(Debug)]
 pub struct Ctx<'a, M> {
     node: NodeId,
-    neighbors: &'a [NodeId],
+    neighbors: &'a [u32],
     outbox: &'a mut Vec<(NodeId, NodeId, M)>,
     sent: &'a mut u64,
     bytes: &'a mut u64,
@@ -72,9 +72,10 @@ impl<M: Clone + MsgBytes> Ctx<'_, M> {
         self.node
     }
 
-    /// The node's radio neighbors (sorted).
+    /// The node's radio neighbors (sorted), a contiguous slice of the
+    /// topology's flat CSR arena.
     #[inline]
-    pub fn neighbors(&self) -> &[NodeId] {
+    pub fn neighbors(&self) -> &[u32] {
         self.neighbors
     }
 
@@ -86,7 +87,7 @@ impl<M: Clone + MsgBytes> Ctx<'_, M> {
     /// not talk past one hop.
     pub fn send(&mut self, to: NodeId, msg: M) {
         assert!(
-            self.neighbors.binary_search(&to).is_ok(),
+            self.neighbors.binary_search(&(to as u32)).is_ok(),
             "node {} attempted to send to non-neighbor {} — protocol is not localized",
             self.node,
             to
@@ -107,11 +108,11 @@ impl<M: Clone + MsgBytes> Ctx<'_, M> {
         for &to in rest {
             *self.sent += 1;
             *self.bytes += size;
-            self.outbox.push((self.node, to, msg.clone()));
+            self.outbox.push((self.node, to as NodeId, msg.clone()));
         }
         *self.sent += 1;
         *self.bytes += size;
-        self.outbox.push((self.node, last, msg));
+        self.outbox.push((self.node, last as NodeId, msg));
     }
 }
 
@@ -600,7 +601,9 @@ mod tests {
         type Msg = Vec<NodeId>;
 
         fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-            ctx.broadcast(ctx.neighbors().to_vec());
+            // Widen back to NodeId so the message wire size (8 bytes per
+            // entry) is unchanged by the u32 CSR storage.
+            ctx.broadcast(ctx.neighbors().iter().map(|&v| v as NodeId).collect());
         }
 
         fn on_message(&mut self, _from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {

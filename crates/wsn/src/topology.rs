@@ -1,27 +1,51 @@
-//! Immutable network connectivity graphs.
+//! Network connectivity graphs in flat CSR storage.
+//!
+//! Neighbor lists live in one contiguous `u32` arena indexed by per-node
+//! `(start, len, cap)` offset arrays — compressed sparse row with mutation
+//! headroom. Static constructions ([`Topology::from_positions`],
+//! [`Topology::from_edges`]) are *tight*: `cap == len` everywhere, nodes
+//! laid out in index order, so the whole graph is two flat vectors and a
+//! detector sweep walks the arena sequentially. The churn layer mutates a
+//! topology in place through the crate-private edge mutators, which keep
+//! each node's list sorted inside its arena region and relocate a full
+//! region to the arena tail (doubling its capacity, tombstoning the old
+//! slots) when it outgrows it; once tombstones exceed half the arena, a
+//! compaction pass rebuilds the tight canonical layout. Equality is
+//! *semantic* — per-node neighbor slices plus the edge count — so a
+//! slack-bearing maintained topology still compares equal to a tight
+//! from-scratch rebuild, and [`Topology::canonical_csr`] exposes the
+//! tight form for byte-level pins.
 
 use ballfit_geom::grid::SpatialGrid;
 use ballfit_geom::Vec3;
 
-#[cfg(feature = "serde")]
-use serde::{Deserialize, Serialize};
-
 /// Index type for network nodes.
 pub type NodeId = usize;
 
-/// An immutable undirected connectivity graph over `n` nodes.
+/// An undirected connectivity graph over `n` nodes in flat CSR storage.
 ///
-/// Neighbor lists are sorted, deduplicated and symmetric by construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+/// Neighbor lists are sorted, deduplicated and symmetric by construction;
+/// [`Topology::neighbors`] returns them as `&[u32]` slices of the arena.
+#[derive(Clone)]
 pub struct Topology {
-    adjacency: Vec<Vec<NodeId>>,
+    /// Arena offset of each node's neighbor region.
+    start: Vec<u32>,
+    /// Live neighbor count of each node.
+    len: Vec<u32>,
+    /// Slot capacity of each node's region (`cap >= len`; `== len` in
+    /// tight layouts).
+    cap: Vec<u32>,
+    /// The flat neighbor arena.
+    arena: Vec<u32>,
+    /// Number of undirected edges.
     edge_count: usize,
+    /// Arena slots abandoned by region relocations; compaction trigger.
+    dead: u32,
 }
 
 /// Summary statistics over nodal degrees.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DegreeStats {
     /// Minimum degree.
     pub min: usize,
@@ -34,6 +58,8 @@ pub struct DegreeStats {
 impl Topology {
     /// Builds a topology from node positions and a radio transmission
     /// `range` (unit-disk graph in 3D: nodes within `range` are neighbors).
+    /// The adjacency is built directly in CSR form — two counting passes
+    /// over the spatial grid, no per-node allocation.
     ///
     /// # Panics
     ///
@@ -41,12 +67,15 @@ impl Topology {
     pub fn from_positions(positions: &[Vec3], range: f64) -> Self {
         assert!(range.is_finite() && range > 0.0, "radio range must be positive");
         if positions.is_empty() {
-            return Topology { adjacency: Vec::new(), edge_count: 0 };
+            return Topology::empty();
         }
         let grid = SpatialGrid::build(positions, range);
-        let adjacency = grid.adjacency(positions, range);
-        let edge_count = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
-        Topology { adjacency, edge_count }
+        let (offsets, arena) = grid.adjacency_csr(positions, range);
+        let edge_count = arena.len() / 2;
+        let len: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut start = offsets;
+        start.pop();
+        Topology { cap: len.clone(), start, len, arena, edge_count, dead: 0 }
     }
 
     /// Builds a topology from explicit undirected edges over `n` nodes.
@@ -55,33 +84,61 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if an edge references a node `>= n` or is a self-loop.
+    /// Panics if an edge references a node `>= n` or is a self-loop, or if
+    /// `n` exceeds the `u32` index space.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let mut adjacency = vec![Vec::new(); n];
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 index space");
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &(a, b) in edges {
             assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} nodes");
             assert!(a != b, "self-loop at node {a}");
-            adjacency[a].push(b);
-            adjacency[b].push(a);
+            adjacency[a].push(b as u32);
+            adjacency[b].push(a as u32);
         }
         for list in &mut adjacency {
             list.sort_unstable();
             list.dedup();
         }
-        let edge_count = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
-        Topology { adjacency, edge_count }
+        Self::from_lists(&adjacency)
+    }
+
+    /// Flattens per-node neighbor lists into the tight canonical layout.
+    fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(total <= u32::MAX as usize, "adjacency arena exceeds u32 index space");
+        let mut start = Vec::with_capacity(lists.len());
+        let mut len = Vec::with_capacity(lists.len());
+        let mut arena = Vec::with_capacity(total);
+        for list in lists {
+            start.push(arena.len() as u32);
+            len.push(list.len() as u32);
+            arena.extend_from_slice(list);
+        }
+        let edge_count = total / 2;
+        Topology { cap: len.clone(), start, len, arena, edge_count, dead: 0 }
+    }
+
+    fn empty() -> Self {
+        Topology {
+            start: Vec::new(),
+            len: Vec::new(),
+            cap: Vec::new(),
+            arena: Vec::new(),
+            edge_count: 0,
+            dead: 0,
+        }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.adjacency.len()
+        self.len.len()
     }
 
     /// `true` if the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.len.is_empty()
     }
 
     /// Number of undirected edges.
@@ -90,26 +147,28 @@ impl Topology {
         self.edge_count
     }
 
-    /// Sorted neighbor list of `node`.
+    /// Sorted neighbor list of `node`, as a contiguous slice of the flat
+    /// arena.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     #[inline]
-    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adjacency[node]
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        let s = self.start[node] as usize;
+        &self.arena[s..s + self.len[node] as usize]
     }
 
     /// Degree of `node`.
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node].len()
+        self.len[node] as usize
     }
 
     /// Returns `true` if `a` and `b` are radio neighbors.
     #[inline]
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency[a].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
     }
 
     /// The closed neighborhood of `node`: itself plus its neighbors,
@@ -117,7 +176,8 @@ impl Topology {
     pub fn closed_neighborhood(&self, node: NodeId) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.degree(node) + 1);
         let mut inserted_self = false;
-        for &nb in &self.adjacency[node] {
+        for &nb in self.neighbors(node) {
+            let nb = nb as NodeId;
             if !inserted_self && nb > node {
                 out.push(node);
                 inserted_self = true;
@@ -134,6 +194,13 @@ impl Topology {
     /// hops including `node` itself, sorted. `k = 1` equals
     /// [`Topology::closed_neighborhood`].
     pub fn closed_k_hop_neighborhood(&self, node: NodeId, k: u32) -> Vec<NodeId> {
+        if k == 1 {
+            // The dominant case (default witness scope): the answer is the
+            // node's CSR slice plus itself. The BFS below allocates an
+            // O(n) distance array per call, which turns any per-node sweep
+            // quadratic — at ladder scale that memset dominated detection.
+            return self.closed_neighborhood(node);
+        }
         let mut members = crate::bfs::nodes_within(self, node, k, |_| true);
         let insert_at = members.binary_search(&node).err().expect("self not in result");
         members.insert(insert_at, node);
@@ -147,10 +214,9 @@ impl Topology {
     /// Panics on an empty topology.
     pub fn degree_stats(&self) -> DegreeStats {
         assert!(!self.is_empty(), "degree stats of an empty topology");
-        let degrees = self.adjacency.iter().map(Vec::len);
-        let min = degrees.clone().min().unwrap();
-        let max = degrees.clone().max().unwrap();
-        let mean = degrees.sum::<usize>() as f64 / self.len() as f64;
+        let min = self.len.iter().copied().min().unwrap() as usize;
+        let max = self.len.iter().copied().max().unwrap() as usize;
+        let mean = self.len.iter().map(|&d| d as u64).sum::<u64>() as f64 / self.len() as f64;
         DegreeStats { min, max, mean }
     }
 
@@ -172,18 +238,123 @@ impl Topology {
         (0..self.len()).filter(|&i| self.degree(i) == 0).collect()
     }
 
+    /// The tight canonical CSR form: `(offsets, arena)` with
+    /// `offsets.len() == n + 1` and node `i`'s neighbors at
+    /// `arena[offsets[i]..offsets[i + 1]]`. Static constructions are
+    /// already in this layout; a churn-maintained topology may carry
+    /// slack and tombstones, which this strips. Two topologies are
+    /// [`PartialEq`]-equal exactly when their canonical forms are
+    /// byte-identical.
+    pub fn canonical_csr(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = Vec::with_capacity(self.len() + 1);
+        let mut arena = Vec::with_capacity(2 * self.edge_count);
+        offsets.push(0);
+        for i in 0..self.len() {
+            arena.extend_from_slice(self.neighbors(i));
+            offsets.push(arena.len() as u32);
+        }
+        (offsets, arena)
+    }
+
+    /// Arena slots currently allocated (live + slack + tombstoned) — the
+    /// storage actually held, as opposed to the `2 * edge_count` a tight
+    /// layout needs. Static builds have no overhead.
+    pub fn arena_slots(&self) -> usize {
+        self.arena.len()
+    }
+
     // ---- incremental mutation (crate-private: only `churn` uses these) ----
     //
     // `Topology` stays immutable to the outside world; the churn layer
     // maintains one incrementally while preserving the construction
     // invariants (sorted, deduplicated, symmetric neighbor lists and an
     // exact edge count), so `PartialEq` against a from-scratch build stays
-    // meaningful.
+    // meaningful. Mutation works inside each node's `[start, start + cap)`
+    // arena region: removals shift the region's tail left (leaving slack
+    // below `cap`), insertions shift right into slack, and a full region
+    // relocates to the arena tail with doubled capacity. Relocation
+    // abandons the old slots; when those tombstones exceed half the arena,
+    // `compact` rebuilds the tight canonical layout.
 
     /// Appends a node with no edges, returning its ID.
     pub(crate) fn push_isolated(&mut self) -> NodeId {
-        self.adjacency.push(Vec::new());
-        self.adjacency.len() - 1
+        assert!(self.len() < u32::MAX as usize, "node count exceeds u32 index space");
+        self.start.push(self.arena.len() as u32);
+        self.len.push(0);
+        self.cap.push(0);
+        self.len.len() - 1
+    }
+
+    /// Inserts `value` into `node`'s sorted region, relocating the region
+    /// to the arena tail if it is at capacity. `msg` is the panic message
+    /// when the value is already present.
+    fn half_insert(&mut self, node: NodeId, value: u32, msg: &str) {
+        let pos = self.neighbors(node).binary_search(&value).err().expect(msg);
+        let (s, l) = (self.start[node] as usize, self.len[node] as usize);
+        if (l as u32) < self.cap[node] {
+            self.arena.copy_within(s + pos..s + l, s + pos + 1);
+            self.arena[s + pos] = value;
+        } else {
+            // Region full: move it to the arena tail with doubled capacity
+            // and tombstone the old slots. Unused slots are filled with a
+            // sentinel so arena contents stay a deterministic function of
+            // the operation history.
+            let new_cap = (2 * l).max(4);
+            assert!(
+                self.arena.len() + new_cap <= u32::MAX as usize,
+                "adjacency arena exceeds u32 index space"
+            );
+            let new_start = self.arena.len() as u32;
+            self.arena.reserve(new_cap);
+            for k in 0..pos {
+                let v = self.arena[s + k];
+                self.arena.push(v);
+            }
+            self.arena.push(value);
+            for k in pos..l {
+                let v = self.arena[s + k];
+                self.arena.push(v);
+            }
+            self.arena.resize(new_start as usize + new_cap, u32::MAX);
+            self.dead += self.cap[node];
+            self.start[node] = new_start;
+            self.cap[node] = new_cap as u32;
+        }
+        self.len[node] += 1;
+    }
+
+    /// Removes `value` from `node`'s sorted region, shifting the tail left
+    /// (the freed slot becomes slack under `cap`). `msg` is the panic
+    /// message when the value is absent.
+    fn half_remove(&mut self, node: NodeId, value: u32, msg: &str) {
+        let pos = self.neighbors(node).binary_search(&value).expect(msg);
+        let (s, l) = (self.start[node] as usize, self.len[node] as usize);
+        self.arena.copy_within(s + pos + 1..s + l, s + pos);
+        self.len[node] -= 1;
+    }
+
+    /// Rebuilds the tight canonical layout, dropping all tombstones and
+    /// slack.
+    fn compact(&mut self) {
+        let (offsets, arena) = self.canonical_csr();
+        self.arena = arena;
+        let mut start = offsets;
+        start.pop();
+        for i in 0..self.len.len() {
+            self.cap[i] = self.len[i];
+        }
+        self.start = start;
+        self.dead = 0;
+    }
+
+    /// Compacts once relocation tombstones exceed half the arena — an
+    /// amortized-O(1) policy (relocations pay for the slots they abandon)
+    /// whose trigger depends only on the operation history, keeping
+    /// maintained layouts deterministic.
+    fn maybe_compact(&mut self) {
+        if self.dead as usize * 2 > self.arena.len() {
+            self.compact();
+        }
     }
 
     /// Inserts the undirected edge `(a, b)`, keeping both neighbor lists
@@ -191,20 +362,83 @@ impl Topology {
     /// is already present.
     pub(crate) fn insert_edge(&mut self, a: NodeId, b: NodeId) {
         assert!(a != b, "self-loop at node {a}");
-        let ia = self.adjacency[a].binary_search(&b).err().expect("edge already present");
-        self.adjacency[a].insert(ia, b);
-        let ib = self.adjacency[b].binary_search(&a).err().expect("reverse edge already present");
-        self.adjacency[b].insert(ib, a);
+        self.half_insert(a, b as u32, "edge already present");
+        self.half_insert(b, a as u32, "reverse edge already present");
         self.edge_count += 1;
+        self.maybe_compact();
     }
 
     /// Removes the undirected edge `(a, b)`. Panics if absent.
     pub(crate) fn remove_edge(&mut self, a: NodeId, b: NodeId) {
-        let ia = self.adjacency[a].binary_search(&b).expect("edge present");
-        self.adjacency[a].remove(ia);
-        let ib = self.adjacency[b].binary_search(&a).expect("reverse edge present");
-        self.adjacency[b].remove(ib);
+        self.half_remove(a, b as u32, "edge present");
+        self.half_remove(b, a as u32, "reverse edge present");
         self.edge_count -= 1;
+    }
+}
+
+/// Semantic equality: node count, edge count and per-node neighbor
+/// slices — independent of arena layout, so a slack-bearing maintained
+/// topology equals a tight from-scratch rebuild of the same graph.
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.edge_count == other.edge_count
+            && (0..self.len()).all(|i| self.neighbors(i) == other.neighbors(i))
+    }
+}
+
+impl Eq for Topology {}
+
+/// Debug output shows the logical adjacency, not the arena layout.
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let adjacency: Vec<&[u32]> = (0..self.len()).map(|i| self.neighbors(i)).collect();
+        f.debug_struct("Topology")
+            .field("adjacency", &adjacency)
+            .field("edge_count", &self.edge_count)
+            .finish()
+    }
+}
+
+// The serialized shape is the historical `{ adjacency, edge_count }`
+// per-node-list form, independent of the CSR internals: checkpoints and
+// persisted models written before the flat-storage refactor deserialize
+// unchanged, and re-serialization is byte-identical to what the old
+// derived implementation produced.
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use super::{NodeId, Topology};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct TopologyWire {
+        adjacency: Vec<Vec<NodeId>>,
+        edge_count: usize,
+    }
+
+    impl Serialize for Topology {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let adjacency = (0..self.len())
+                .map(|i| self.neighbors(i).iter().map(|&v| v as NodeId).collect())
+                .collect();
+            TopologyWire { adjacency, edge_count: self.edge_count() }.serialize(serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Topology {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let wire = TopologyWire::deserialize(deserializer)?;
+            let lists: Vec<Vec<u32>> = wire
+                .adjacency
+                .iter()
+                .map(|list| list.iter().map(|&v| v as u32).collect())
+                .collect();
+            let mut topo = Topology::from_lists(&lists);
+            // Preserve the persisted count bit-for-bit, as the derived
+            // implementation did.
+            topo.edge_count = wire.edge_count;
+            Ok(topo)
+        }
     }
 }
 
@@ -227,7 +461,7 @@ mod tests {
         let t = Topology::from_positions(&pts, 1.0);
         assert_eq!(t.neighbors(0), &[1]);
         assert_eq!(t.neighbors(1), &[0, 2]);
-        assert_eq!(t.neighbors(3), &[] as &[usize]);
+        assert_eq!(t.neighbors(3), &[] as &[u32]);
         assert_eq!(t.edge_count(), 2);
         assert_eq!(t.isolated_nodes(), vec![3]);
         assert!(!t.is_connected());
@@ -300,6 +534,28 @@ mod tests {
     }
 
     #[test]
+    fn static_builds_are_tight_canonical_csr() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.7, 0.0),
+        ];
+        let t = Topology::from_positions(&pts, 0.9);
+        let (offsets, arena) = t.canonical_csr();
+        assert_eq!(t.arena_slots(), arena.len());
+        assert_eq!(offsets.len(), t.len() + 1);
+        assert_eq!(arena.len(), 2 * t.edge_count());
+        for i in 0..t.len() {
+            assert_eq!(
+                t.neighbors(i),
+                &arena[offsets[i] as usize..offsets[i + 1] as usize],
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
     fn incremental_mutators_preserve_invariants() {
         let mut t = line3();
         let n = t.push_isolated();
@@ -309,6 +565,53 @@ mod tests {
         t.remove_edge(0, 1);
         assert_eq!(t, Topology::from_edges(4, &[(1, 2), (0, 3), (2, 3)]));
         assert_eq!(t.edge_count(), 3);
+    }
+
+    /// A long mutation run that forces many region relocations and at
+    /// least one compaction: the maintained topology must stay equal to a
+    /// tight from-scratch build, and its canonical CSR byte-identical.
+    #[test]
+    fn relocation_and_compaction_keep_csr_canonicalizable() {
+        let n = 12;
+        let mut t = Topology::from_edges(n, &[]);
+        let mut present: Vec<(usize, usize)> = Vec::new();
+        // Grow a dense graph (every insert into a fresh node relocates
+        // its region repeatedly), then strip alternating edges, then
+        // re-add them — exercising slack reuse and the tombstone path.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if (a + b) % 3 != 0 {
+                    t.insert_edge(a, b);
+                    present.push((a, b));
+                }
+            }
+        }
+        let removed: Vec<(usize, usize)> =
+            present.iter().copied().filter(|&(a, b)| (a * 7 + b) % 2 == 0).collect();
+        for &(a, b) in &removed {
+            t.remove_edge(a, b);
+        }
+        for &(a, b) in &removed {
+            t.insert_edge(a, b);
+        }
+        let reference = Topology::from_edges(n, &present);
+        assert_eq!(t, reference);
+        assert_eq!(t.canonical_csr(), reference.canonical_csr());
+        // The compaction policy bounds tombstones to half the arena.
+        assert!(t.dead as usize * 2 <= t.arena.len().max(1));
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        // Build the same graph twice: tight, and with slack from churn.
+        let tight = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut churned = Topology::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3), (1, 3)]);
+        churned.remove_edge(0, 2);
+        churned.remove_edge(1, 3);
+        assert_eq!(churned, tight);
+        assert_eq!(churned.canonical_csr(), tight.canonical_csr());
+        assert_ne!(churned, Topology::from_edges(4, &[(0, 1), (1, 2)]));
+        assert_ne!(churned, Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3)]));
     }
 
     #[test]

@@ -30,7 +30,7 @@ proptest! {
         for a in 0..25 {
             if let Some(da) = d[a] {
                 for &b in topo.neighbors(a) {
-                    let db = d[b].expect("neighbor of reachable node is reachable");
+                    let db = d[b as usize].expect("neighbor of reachable node is reachable");
                     prop_assert!(db <= da + 1 && da <= db + 1);
                 }
             }
@@ -125,7 +125,7 @@ proptest! {
         for (a, b) in topo
             .neighbors(0)
             .iter()
-            .map(|&b| (0, b))
+            .map(|&b| (0usize, b as usize))
             .chain(edges.iter().copied())
         {
             if members[a] && members[b] {

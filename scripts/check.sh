@@ -38,6 +38,10 @@
 #                               counts) must produce byte-identical,
 #                               JSONL-valid response logs; then
 #                               serve_load --smoke emits valid JSON
+#  10. scale_ladder --smoke     CSR scaling ladder (small rungs, one
+#                               subprocess per rung) emits valid JSON;
+#                               two --deterministic runs must be
+#                               byte-identical
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips clippy and runs tests in the default profile only.
@@ -113,6 +117,12 @@ cmp "$SMOKE_DIR/serve_responses_a.jsonl" "$SMOKE_DIR/serve_responses_b.jsonl"
 cargo run -q --release -p ballfit-bench --bin serve_load -- --validate-log "$SMOKE_DIR/serve_responses_a.jsonl"
 BALLFIT_RESULTS="$SMOKE_DIR" cargo run -q --release -p ballfit-bench --bin serve_load -- --smoke
 cargo run -q --release -p ballfit-bench --bin serve_load -- --validate "$SMOKE_DIR/serve_load.json"
+
+step "scale_ladder --smoke (CSR scaling ladder + byte reproducibility)"
+cargo run -q --release -p ballfit-bench --bin scale_ladder -- --smoke --deterministic --out "$SMOKE_DIR/scale_ladder_a.json"
+cargo run -q --release -p ballfit-bench --bin scale_ladder -- --validate "$SMOKE_DIR/scale_ladder_a.json"
+cargo run -q --release -p ballfit-bench --bin scale_ladder -- --smoke --deterministic --out "$SMOKE_DIR/scale_ladder_b.json"
+cmp "$SMOKE_DIR/scale_ladder_a.json" "$SMOKE_DIR/scale_ladder_b.json"
 
 echo
 echo "check.sh: all gates green"

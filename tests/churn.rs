@@ -64,6 +64,15 @@ fn run_exactness_pin(scenario: Scenario, model_seed: u64, plan_seed: u64, events
             "event {i}: incremental adjacency diverged from a from-scratch rebuild"
         );
 
+        // The maintained CSR, canonicalized, is the same flat byte
+        // sequence as the rebuilt one — slack/tombstones never leak into
+        // the logical arrays.
+        assert_eq!(
+            dynamic.topology().canonical_csr(),
+            dynamic.rebuild_reference().canonical_csr(),
+            "event {i}: canonical CSR bytes diverged from a from-scratch rebuild"
+        );
+
         // The maintained detection equals a from-scratch run.
         let view = NetView::new(dynamic.topology(), dynamic.positions(), dynamic.radio_range());
         let full = detector.detect_view(&view);

@@ -1,0 +1,88 @@
+//! Integration: the flat CSR topology storage is observationally
+//! equivalent to the per-node `Vec<Vec<NodeId>>` adjacency it replaced.
+//!
+//! `SpatialGrid::adjacency` (the original reference builder) is kept
+//! precisely so this suite can pin the CSR path against it on every
+//! gallery scenario, and so the churn-maintained CSR can be checked for
+//! canonical-form integrity after slack-driven relocations.
+
+use ballfit_geom::grid::SpatialGrid;
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_wsn::Topology;
+
+fn model(scenario: Scenario, seed: u64) -> NetworkModel {
+    NetworkBuilder::new(scenario)
+        .surface_nodes(160)
+        .interior_nodes(240)
+        .target_degree(14.0)
+        .require_connected(false)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Checks the CSR invariants of a topology and returns the reference
+/// Vec-of-Vec adjacency it must match.
+fn assert_csr_matches_reference(topo: &Topology, reference: &[Vec<usize>]) {
+    assert_eq!(topo.len(), reference.len());
+    let mut edges = 0usize;
+    for (i, want) in reference.iter().enumerate() {
+        let got: Vec<usize> = topo.neighbors(i).iter().map(|&v| v as usize).collect();
+        assert_eq!(&got, want, "node {i}: CSR slice diverged from Vec-of-Vec adjacency");
+        // Slices are sorted and self-loop free — binary-search queries rely
+        // on this.
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "node {i}: slice not strictly sorted");
+        assert!(got.binary_search(&i).is_err(), "node {i}: self loop");
+        edges += got.len();
+    }
+    assert_eq!(topo.edge_count(), edges / 2, "edge count disagrees with slice lengths");
+
+    // The canonical CSR is the tight concatenation of the same slices.
+    let (offsets, arena) = topo.canonical_csr();
+    assert_eq!(offsets.len(), topo.len() + 1);
+    assert_eq!(offsets[0], 0);
+    assert_eq!(*offsets.last().unwrap() as usize, arena.len());
+    assert_eq!(arena.len(), 2 * topo.edge_count());
+    for i in 0..topo.len() {
+        let slice = &arena[offsets[i] as usize..offsets[i + 1] as usize];
+        assert_eq!(slice, topo.neighbors(i), "node {i}: canonical slice diverged");
+    }
+}
+
+#[test]
+fn csr_equals_vec_of_vec_adjacency_on_every_gallery_scenario() {
+    for (k, scenario) in Scenario::ALL.into_iter().enumerate() {
+        let m = model(scenario, 40 + k as u64);
+        let r = m.radio_range();
+        let grid = SpatialGrid::build(m.positions(), r);
+        let reference = grid.adjacency(m.positions(), r);
+        assert_csr_matches_reference(m.topology(), &reference);
+    }
+}
+
+#[test]
+fn static_construction_is_tight() {
+    let m = model(Scenario::SolidSphere, 5);
+    // A freshly built topology carries no mutation slack: the arena holds
+    // exactly the logical entries.
+    assert_eq!(m.topology().arena_slots(), 2 * m.topology().edge_count());
+}
+
+#[test]
+fn from_edges_equals_from_positions_on_the_same_graph() {
+    let m = model(Scenario::SpaceOneHole, 17);
+    let mut edges = Vec::new();
+    for i in 0..m.topology().len() {
+        for &j in m.topology().neighbors(i) {
+            let j = j as usize;
+            if i < j {
+                edges.push((i, j));
+            }
+        }
+    }
+    let rebuilt = Topology::from_edges(m.topology().len(), &edges);
+    assert_eq!(&rebuilt, m.topology());
+    assert_eq!(rebuilt.canonical_csr(), m.topology().canonical_csr());
+}
