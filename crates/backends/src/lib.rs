@@ -1,0 +1,163 @@
+//! Pluggable boundary-detection backends.
+//!
+//! The reproduction's own detector — Unit Ball Fitting + Isolated
+//! Fragment Filtering ([`ballfit::detector::BoundaryDetector`]) — is one
+//! algorithm among several localized boundary-recognition proposals.
+//! This crate defines the algorithm-agnostic surface the rest of the
+//! system (CLI, serve daemon, benches) talks to, so rival detectors can
+//! be run head-to-head on identical inputs with identical accounting:
+//!
+//! * [`BoundaryBackend`] — the trait: detection over a borrowed
+//!   [`NetView`], returning per-node verdicts, boundary groups, and the
+//!   measured message/byte/ball-test cost of the exchange the algorithm
+//!   would perform as a message-passing protocol.
+//! * [`UbfBackend`] — the reference adapter over the existing pipeline.
+//!   Its verdicts are byte-identical to
+//!   [`BoundaryDetector::detect_view`](ballfit::detector::BoundaryDetector::detect_view)
+//!   (pinned by `tests/backends.rs`); its costs come from genuine
+//!   [`Simulator`](ballfit_wsn::sim::Simulator) runs of the UBF table
+//!   exchange, the IFF fragment flood, and the grouping label flood.
+//! * [`StatisticalBackend`] — a reproduction-grade rival in the style of
+//!   Fekete et al., "Neighborhood-Based Topology Recognition in Sensor
+//!   Networks" (arxiv cs/0508006): boundary = nodes whose degree falls
+//!   below a seeded threshold test against the local density estimate
+//!   from their closed neighborhood.
+//! * [`by_name`] / [`configured`] / [`all`] — the registry. Ordering is
+//!   deterministic ([`NAMES`], reference backend first).
+//!
+//! Cost accounting goes through `obs` counters: every backend emits its
+//! exchange rounds ([`TraceEvent::Round`](ballfit_obs::TraceEvent)) and
+//! per-node ball tests into the caller's [`Trace`], reusing the span
+//! names the protocol runners use (`"ubf"`, `"iff"`, `"grouping"`,
+//! `"stat"`), so [`ballfit_obs::summary::summarize`] rolls a backend run
+//! into the same per-protocol rows as the E15/E18 experiments — and the
+//! tallies mirrored on [`BackendDetection`] equal the summary totals
+//! (also pinned by `tests/backends.rs`).
+
+pub mod stat;
+pub mod ubf;
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetection;
+use ballfit::view::NetView;
+use ballfit_obs::Trace;
+use ballfit_par::Parallelism;
+
+pub use stat::StatisticalBackend;
+pub use ubf::UbfBackend;
+
+/// What a backend run produced: the full per-node detection plus the
+/// measured cost of the message exchange that computed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendDetection {
+    /// Per-node verdicts, boundary groups, and ball-test accounting, in
+    /// the shared [`BoundaryDetection`] shape (so
+    /// [`ballfit::metrics::DetectionStats`] evaluates any backend).
+    pub detection: BoundaryDetection,
+    /// Total point-to-point messages of the backend's exchange(s).
+    pub messages: u64,
+    /// Total payload bytes of the backend's exchange(s)
+    /// ([`ballfit_obs::MsgBytes`] wire sizes).
+    pub bytes: u64,
+    /// Total message-delivery rounds across the exchange phases.
+    pub rounds: usize,
+}
+
+impl BackendDetection {
+    /// Final per-node boundary flags.
+    pub fn boundary(&self) -> &[bool] {
+        &self.detection.boundary
+    }
+
+    /// Number of detected boundary nodes.
+    pub fn boundary_count(&self) -> usize {
+        self.detection.boundary_count()
+    }
+
+    /// Unit balls tested (zero for backends that fit no balls).
+    pub fn ball_tests(&self) -> u64 {
+        self.detection.balls_tested
+    }
+}
+
+/// A boundary-detection algorithm over a [`NetView`].
+///
+/// Contract:
+///
+/// * `detect` is a pure function of the view and the backend's own
+///   configuration — byte-identical across repeated runs and across
+///   worker-thread counts (the thread ladder is pinned in
+///   `tests/backends.rs`).
+/// * All cost numbers are measured, not estimated: backends execute
+///   their exchanges on the round-based simulator and report its
+///   [`RunStats`](ballfit_wsn::sim::RunStats). The same numbers are
+///   emitted as trace events, so an enabled [`Trace`] summarizes to the
+///   tallies returned on [`BackendDetection`].
+/// * With [`Trace::disabled`] the trace writes are free; verdicts never
+///   depend on whether tracing is on.
+pub trait BoundaryBackend {
+    /// The registry name (`"ubf"`, `"stat"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs detection on the view, emitting exchange/ball-test events
+    /// into `trace`.
+    fn detect(&self, view: &NetView<'_>, trace: &mut Trace) -> BackendDetection;
+}
+
+/// Registry order: the reference backend first, rivals after, fixed
+/// forever so every enumeration (CLI help, bench matrices, serve
+/// validation) agrees byte-for-byte.
+pub const NAMES: [&str; 2] = ["ubf", "stat"];
+
+/// Builds a backend by registry name with explicit configuration:
+/// `config` parameterizes the UBF pipeline, `seed` the statistical
+/// threshold test, `parallelism` the per-node sweeps. Returns [`None`]
+/// for unknown names.
+pub fn configured(
+    name: &str,
+    config: DetectorConfig,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Option<Box<dyn BoundaryBackend>> {
+    match name {
+        "ubf" => Some(Box::new(UbfBackend::new(config).with_parallelism(parallelism))),
+        "stat" => Some(Box::new(StatisticalBackend::new(seed).with_parallelism(parallelism))),
+        _ => None,
+    }
+}
+
+/// Builds a backend by registry name with default configuration
+/// (ground-truth coordinates, paper IFF parameters, seed 0).
+pub fn by_name(name: &str) -> Option<Box<dyn BoundaryBackend>> {
+    configured(name, DetectorConfig::default(), 0, Parallelism::default())
+}
+
+/// Every registered backend with default configuration, in [`NAMES`]
+/// order.
+pub fn all() -> Vec<Box<dyn BoundaryBackend>> {
+    NAMES.iter().map(|n| by_name(n).expect("registry names construct")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_construct_and_agree() {
+        for name in NAMES {
+            let backend = by_name(name).expect("registered name constructs");
+            assert_eq!(backend.name(), name);
+        }
+        assert!(by_name("nope").is_none());
+        let order: Vec<&str> = all().iter().map(|b| b.name()).collect();
+        assert_eq!(order, NAMES.to_vec(), "all() must follow registry order");
+    }
+
+    #[test]
+    fn configured_threads_through() {
+        let b = configured("ubf", DetectorConfig::paper(10, 7), 0, Parallelism::sequential())
+            .expect("ubf is registered");
+        assert_eq!(b.name(), "ubf");
+        assert!(configured("svw", DetectorConfig::default(), 0, Parallelism::default()).is_none());
+    }
+}

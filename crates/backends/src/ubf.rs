@@ -1,0 +1,112 @@
+//! The reference backend: the paper's UBF → IFF → grouping pipeline
+//! behind the [`BoundaryBackend`] trait.
+//!
+//! Verdicts come straight from
+//! [`BoundaryDetector::detect_view_traced`], so adapting through the
+//! trait cannot drift from the pre-backend entry point — the two are
+//! byte-identical by construction and pinned by `tests/backends.rs`.
+//! Costs are measured, not modeled: the adapter replays the three
+//! message exchanges the distributed pipeline performs (UBF distance
+//! tables, IFF fragment flood, grouping label flood) on the round-based
+//! simulator and sums their [`RunStats`]. Each exchange runs inside a
+//! span named after its protocol runner (`"ubf"`, `"iff"`,
+//! `"grouping"`), following the PR 5 convention that detector spans
+//! reuse runner span names so one summary row carries computation and
+//! traffic together.
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::protocols::{GroupingProtocol, UbfProtocol};
+use ballfit::view::NetView;
+use ballfit_obs::Trace;
+use ballfit_par::Parallelism;
+use ballfit_wsn::flood::FragmentFlood;
+use ballfit_wsn::sim::Simulator;
+
+use crate::{BackendDetection, BoundaryBackend};
+
+/// UBF exchanges quiesce after one broadcast round; small slack keeps
+/// the bound honest without inflating the round tally (quiescent runs
+/// stop early).
+const UBF_MAX_ROUNDS: usize = 4;
+
+/// The paper pipeline as a backend.
+#[derive(Debug, Clone, Copy)]
+pub struct UbfBackend {
+    config: DetectorConfig,
+    parallelism: Parallelism,
+}
+
+impl UbfBackend {
+    /// A backend over the given pipeline configuration, sequential by
+    /// default (matching [`BoundaryDetector::new`]).
+    pub fn new(config: DetectorConfig) -> Self {
+        Self { config, parallelism: Parallelism::default() }
+    }
+
+    /// Sets the worker-thread policy for the per-node UBF sweep.
+    /// Verdicts are independent of this (thread-ladder pinned in
+    /// `tests/backends.rs`).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The pipeline configuration this backend runs with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+}
+
+impl BoundaryBackend for UbfBackend {
+    fn name(&self) -> &'static str {
+        "ubf"
+    }
+
+    fn detect(&self, view: &NetView<'_>, trace: &mut Trace) -> BackendDetection {
+        let detection = BoundaryDetector::new(self.config)
+            .with_parallelism(self.parallelism)
+            .detect_view_traced(view, trace);
+
+        let mut messages = 0u64;
+        let mut bytes = 0u64;
+        let mut rounds = 0usize;
+
+        // UBF distance-table exchange: one broadcast per node, 2·|E|
+        // point-to-point messages on a perfect radio.
+        let states = UbfProtocol::for_view(view, &self.config.coordinates);
+        let mut sim = Simulator::new(view.topology(), |id| states[id].clone());
+        trace.open("ubf");
+        let stats = sim.run_traced(UBF_MAX_ROUNDS, trace);
+        trace.close();
+        assert!(stats.quiescent, "ubf exchange must quiesce on a perfect radio");
+        messages += stats.messages;
+        bytes += stats.bytes;
+        rounds += stats.rounds;
+
+        // IFF fragment flood over the UBF candidates, TTL-scoped.
+        let ttl = self.config.iff.ttl;
+        let mut sim =
+            Simulator::new(view.topology(), |id| FragmentFlood::new(detection.candidates[id], ttl));
+        trace.open("iff");
+        let stats = sim.run_traced(ttl as usize + 2, trace);
+        trace.close();
+        assert!(stats.quiescent, "iff flood must quiesce on a perfect radio");
+        messages += stats.messages;
+        bytes += stats.bytes;
+        rounds += stats.rounds;
+
+        // Grouping label flood over the surviving boundary set.
+        let mut sim =
+            Simulator::new(view.topology(), |id| GroupingProtocol::new(id, detection.boundary[id]));
+        trace.open("grouping");
+        let stats = sim.run_traced(view.len() + 2, trace);
+        trace.close();
+        assert!(stats.quiescent, "grouping flood must quiesce on a perfect radio");
+        messages += stats.messages;
+        bytes += stats.bytes;
+        rounds += stats.rounds;
+
+        BackendDetection { detection, messages, bytes, rounds }
+    }
+}

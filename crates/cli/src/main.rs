@@ -33,7 +33,8 @@ COMMANDS:
   generate   --scenario S --out FILE       Generate a network (JSON)
              [--surface N] [--interior N] [--degree D] [--seed X]
   detect     --net FILE [--error P]        Detect boundary nodes
-             [--seed X] [--json] [--trace FILE]
+             [--backend B] [--seed X] [--json] [--trace FILE]
+             (backends: ubf, stat; default ubf)
   mesh       --net FILE --out-prefix P     Detect + build surface meshes (OBJ)
              [--error P] [--k K] [--seed X]
   sweep      --scenario S                  Error sweep 0..100% on a fresh network
@@ -114,6 +115,14 @@ fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn detect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let backend = args.get("backend").unwrap_or("ubf");
+    if !ballfit_backends::NAMES.contains(&backend) {
+        return Err(format!(
+            "unknown backend '{backend}' (known: {})",
+            ballfit_backends::NAMES.join(", ")
+        )
+        .into());
+    }
     let model = load_network(args)?;
     let error: u32 = args.get_or("error", 0)?;
     let seed: u64 = args.get_or("seed", 0)?;
@@ -123,19 +132,54 @@ fn detect(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         ballfit_obs::Trace::disabled()
     };
-    let result = Pipeline::paper(error, seed).run_traced(&model, &mut trace);
+    if backend == "ubf" {
+        // Reference path: the full pipeline including surface meshing
+        // stays byte-for-byte what it was before backends existed.
+        let result = Pipeline::paper(error, seed).run_traced(&model, &mut trace);
+        if let Some(path) = &trace_path {
+            trace.write_jsonl(std::path::Path::new(path))?;
+            eprintln!("wrote trace {path}");
+        }
+        if args.flag("json") {
+            println!("{}", serde_json::to_string_pretty(&result.stats)?);
+        } else {
+            println!("{}", result.stats);
+            println!("groups: {}", result.detection.groups.len());
+            for (i, g) in result.detection.groups.iter().enumerate() {
+                println!("  boundary {i}: {} nodes", g.len());
+            }
+        }
+        return Ok(());
+    }
+    let view = ballfit::view::NetView::from_model(&model);
+    let detector = ballfit_backends::configured(
+        backend,
+        ballfit::config::DetectorConfig::paper(error, seed),
+        seed,
+        ballfit_par::Parallelism::from_env(),
+    )
+    .expect("backend name validated against the registry");
+    let result = detector.detect(&view, &mut trace);
     if let Some(path) = &trace_path {
         trace.write_jsonl(std::path::Path::new(path))?;
         eprintln!("wrote trace {path}");
     }
+    let stats = ballfit::metrics::DetectionStats::evaluate(&model, &result.detection);
     if args.flag("json") {
-        println!("{}", serde_json::to_string_pretty(&result.stats)?);
+        println!("{}", serde_json::to_string_pretty(&stats)?);
     } else {
-        println!("{}", result.stats);
+        println!("{stats}");
         println!("groups: {}", result.detection.groups.len());
         for (i, g) in result.detection.groups.iter().enumerate() {
             println!("  boundary {i}: {} nodes", g.len());
         }
+        println!(
+            "cost: {} messages, {} bytes, {} rounds, {} ball tests",
+            result.messages,
+            result.bytes,
+            result.rounds,
+            result.ball_tests()
+        );
     }
     Ok(())
 }

@@ -46,6 +46,7 @@ use ballfit_wsn::{NodeId, Topology};
 
 use crate::config::{CoordinateSource, UbfConfig};
 use crate::ubf::ubf_test;
+use crate::view::NetView;
 
 /// A protocol run stopped at its round budget without reaching quiescence:
 /// the reported outputs would be truncated, so runners return this error
@@ -145,8 +146,17 @@ impl UbfProtocol {
     /// Convenience: constructs all per-node states for a model under a
     /// coordinate source (which fixes the measurement oracle).
     pub fn for_model(model: &NetworkModel, source: &CoordinateSource) -> Vec<UbfProtocol> {
-        let topo = model.topology();
-        (0..model.len())
+        Self::for_view(&NetView::from_model(model), source)
+    }
+
+    /// [`UbfProtocol::for_model`] over a borrowed [`NetView`] — the
+    /// shared constructor. A view and its model measure identically
+    /// (same oracle construction), so the two entry points build
+    /// byte-identical tables; the view form is what backend adapters
+    /// (`ballfit-backends`) use to price the exchange on any topology.
+    pub fn for_view(view: &NetView<'_>, source: &CoordinateSource) -> Vec<UbfProtocol> {
+        let topo = view.topology();
+        (0..view.len())
             .map(|i| {
                 let table = topo
                     .neighbors(i)
@@ -154,10 +164,10 @@ impl UbfProtocol {
                     .map(|&j| {
                         let j = j as NodeId;
                         let d = match source {
-                            CoordinateSource::GroundTruth => model.true_distance(i, j),
-                            CoordinateSource::LocalMds { error, noise_seed, .. } => model
+                            CoordinateSource::GroundTruth => view.true_distance(i, j),
+                            CoordinateSource::LocalMds { error, noise_seed, .. } => view
                                 .oracle(*error, *noise_seed)
-                                .measure(i, j, model.true_distance(i, j)),
+                                .measure(i, j, view.true_distance(i, j)),
                         };
                         (j, d)
                     })
@@ -261,14 +271,32 @@ pub fn run_ubf_protocol_traced(
     source: &CoordinateSource,
     trace: &mut Trace,
 ) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
-    let states = UbfProtocol::for_model(model, source);
-    let mut sim = Simulator::new(model.topology(), |id| states[id].clone());
+    run_ubf_protocol_view_traced(&NetView::from_model(model), cfg, source, trace)
+}
+
+/// [`run_ubf_protocol_traced`] over a borrowed [`NetView`] — the shared
+/// runner. Detection backends use this form to execute the exchange on
+/// views that have no backing [`NetworkModel`] (e.g. a churned
+/// `DynamicTopology`); the model entry point is the
+/// `NetView::from_model` special case.
+///
+/// # Errors
+///
+/// [`ConvergenceFailure`] as for [`run_ubf_protocol`].
+pub fn run_ubf_protocol_view_traced(
+    view: &NetView<'_>,
+    cfg: &UbfConfig,
+    source: &CoordinateSource,
+    trace: &mut Trace,
+) -> Result<(Vec<bool>, u64), ConvergenceFailure> {
+    let states = UbfProtocol::for_view(view, source);
+    let mut sim = Simulator::new(view.topology(), |id| states[id].clone());
     trace.open("ubf");
     let stats = sim.run_traced(4, trace);
     trace.close();
     let stats = require_quiescent(stats, "ubf")?;
     let flags =
-        (0..model.len()).map(|i| sim.node(i).decide(model.radio_range(), cfg, source)).collect();
+        (0..view.len()).map(|i| sim.node(i).decide(view.radio_range(), cfg, source)).collect();
     Ok((flags, stats.messages))
 }
 

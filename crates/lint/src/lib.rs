@@ -47,6 +47,12 @@
 //!   impls and confined to `crates/serve` in non-test code: the daemon
 //!   orchestrates the detectors from above, and algorithm crates must
 //!   not grow a dependency on the wire layer.
+//! * [`passes::Pass::BackendScope`] — keeps the pluggable-backend API
+//!   (`BoundaryBackend`, `BackendDetection`, the rival detectors) out
+//!   of `Protocol` impls and confined to `crates/backends` plus its two
+//!   consumers (`crates/serve`, `crates/cli`) in non-test code:
+//!   backends adapt whole detection pipelines from above, so the
+//!   pipeline must compile without knowing the trait exists.
 //!
 //! Four **interprocedural** passes extend these one-call-deep checks to
 //! whole call chains, using an item-level AST ([`ast`]) and a workspace
@@ -116,7 +122,7 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Analyzes every `.rs` file of the configured crates under
-/// `workspace_root` with all fourteen passes (token-level +
+/// `workspace_root` with all fifteen passes (token-level +
 /// interprocedural). Returned diagnostics are sorted by file, line,
 /// pass, message; file labels are workspace-relative.
 pub fn analyze_workspace(workspace_root: &Path, cfg: &LintConfig) -> io::Result<Analysis> {

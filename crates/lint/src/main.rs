@@ -48,15 +48,15 @@ fn main() -> ExitCode {
                 println!(
                     "ballfit-lint: enforce determinism / locality / panic-safety / float-safety /\n\
                      fault-scope / churn-scope / par-scope / obs-scope / recovery-scope /\n\
-                     serve-scope, plus the interprocedural determinism-taint /\n\
+                     serve-scope / backend-scope, plus the interprocedural determinism-taint /\n\
                      panic-reachability / transitive-locality passes and the stale-allow audit\n\
                      \n\
                      USAGE: ballfit-lint [--root <workspace>] [--json <report.json>]\n\
                      \x20                   [--diff <baseline.json>] [FILE.rs ...]\n\
                      \n\
                      With no FILE arguments, analyzes every .rs file in the workspace's\n\
-                     crates/{{core,wsn,geom,mds,netgen,par,obs,serve}} with all 14 passes. FILE\n\
-                     arguments run the 10 token-level passes on those files only (the\n\
+                     crates/{{core,wsn,geom,mds,netgen,par,obs,serve,backends}} with all 15\n\
+                     passes. FILE arguments run the 11 token-level passes on those files only (the\n\
                      interprocedural passes need the whole workspace).\n\
                      \n\
                      --json writes a stable machine-readable report (fixed key order,\n\
@@ -172,8 +172,8 @@ fn main() -> ExitCode {
         eprintln!(
             "ballfit-lint: clean ({} files, {} functions; passes: determinism, locality, \
              panic-safety, float-safety, fault-scope, churn-scope, par-scope, obs-scope, \
-             recovery-scope, serve-scope, determinism-taint, panic-reachability, \
-             transitive-locality, stale-allow)",
+             recovery-scope, serve-scope, backend-scope, determinism-taint, \
+             panic-reachability, transitive-locality, stale-allow)",
             analysis.files, analysis.functions
         );
         ExitCode::SUCCESS

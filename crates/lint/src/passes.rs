@@ -75,7 +75,7 @@
 use crate::callgraph::{CallGraph, FileUnit, FnNode};
 use crate::lexer::{is_float_literal, lex, Lexed, Tok, TokKind};
 
-/// The fourteen passes (ten token-level, four interprocedural).
+/// The fifteen passes (eleven token-level, four interprocedural).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// No `HashMap`/`HashSet`, `thread_rng`, `SystemTime::now`,
@@ -116,6 +116,13 @@ pub enum Pass {
     /// detectors from above, and algorithm crates must not reach back
     /// up into the wire layer.
     ServeScope,
+    /// The pluggable-backend API (`BoundaryBackend`, `BackendDetection`,
+    /// the rival detectors) never inside `Protocol` impls, and outside
+    /// `crates/backends` / `crates/serve` / `crates/cli` only in test
+    /// code: backends *wrap* the detection pipeline from above — a
+    /// protocol handler or an algorithm crate reaching up into the
+    /// backend registry would invert the layering.
+    BackendScope,
     /// Interprocedural: protocol fns and detector entry points must not
     /// transitively reach nondeterminism sources.
     DeterminismTaint,
@@ -144,6 +151,7 @@ impl Pass {
             Pass::ObsScope => "obs-scope",
             Pass::RecoveryScope => "recovery-scope",
             Pass::ServeScope => "serve-scope",
+            Pass::BackendScope => "backend-scope",
             Pass::DeterminismTaint => "determinism-taint",
             Pass::PanicReachability => "panic-reachability",
             Pass::TransitiveLocality => "transitive-locality",
@@ -152,7 +160,7 @@ impl Pass {
     }
 
     /// All passes in report order.
-    pub const ALL: [Pass; 14] = [
+    pub const ALL: [Pass; 15] = [
         Pass::Determinism,
         Pass::Locality,
         Pass::PanicSafety,
@@ -163,6 +171,7 @@ impl Pass {
         Pass::ObsScope,
         Pass::RecoveryScope,
         Pass::ServeScope,
+        Pass::BackendScope,
         Pass::DeterminismTaint,
         Pass::PanicReachability,
         Pass::TransitiveLocality,
@@ -271,6 +280,16 @@ pub struct LintConfig {
     /// Path fragments where the service API is at home (the serve crate
     /// itself; the CLI and benches are not scanned crates).
     pub serve_allowed_paths: Vec<String>,
+    /// The pluggable-backend API surface; naming one of these inside a
+    /// protocol impl (anywhere), or outside
+    /// [`LintConfig::backend_allowed_paths`] in non-test code, is a
+    /// backend-scope violation: backends adapt the detection pipeline
+    /// from above, so the pipeline (and every algorithm crate below it)
+    /// must compile without knowing the trait exists.
+    pub backend_idents: Vec<String>,
+    /// Path fragments where the backend API is at home (the backends
+    /// crate itself plus its two consumers, the daemon and the CLI).
+    pub backend_allowed_paths: Vec<String>,
     /// `(alias, crate-dir)` pairs mapping `use ballfit_wsn::..`-style
     /// crate names to the `crates/<dir>` layout, so cross-crate paths
     /// resolve in the call graph.
@@ -296,7 +315,7 @@ impl Default for LintConfig {
     fn default() -> Self {
         let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         LintConfig {
-            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par", "obs", "serve"]),
+            crates: s(&["core", "wsn", "geom", "mds", "netgen", "par", "obs", "serve", "backends"]),
             protocol_traits: s(&["Protocol"]),
             locality_denied_methods: s(&[
                 // NetworkModel: ground truth a real node cannot observe.
@@ -407,6 +426,13 @@ impl Default for LintConfig {
                 "run_stdio",
             ]),
             serve_allowed_paths: s(&["crates/serve/"]),
+            backend_idents: s(&[
+                "BoundaryBackend",
+                "BackendDetection",
+                "UbfBackend",
+                "StatisticalBackend",
+            ]),
+            backend_allowed_paths: s(&["crates/backends/", "crates/serve/", "crates/cli/"]),
             crate_aliases: [
                 ("ballfit", "core"),
                 ("ballfit_wsn", "wsn"),
@@ -416,6 +442,7 @@ impl Default for LintConfig {
                 ("ballfit_par", "par"),
                 ("ballfit_obs", "obs"),
                 ("ballfit_serve", "serve"),
+                ("ballfit_backends", "backends"),
             ]
             .iter()
             .map(|(a, k)| (a.to_string(), k.to_string()))
@@ -582,6 +609,8 @@ impl Default for LintConfig {
                 "BoundaryDetector::detect_view_traced",
                 "IncrementalDetector::apply",
                 "IncrementalDetector::apply_traced",
+                "UbfBackend::detect",
+                "StatisticalBackend::detect",
             ]),
         }
     }
@@ -701,6 +730,7 @@ fn direct_diagnostics(
     let churn_allowed = cfg.churn_allowed_paths.iter().any(|s| file.contains(s.as_str()));
     let par_allowed = cfg.par_allowed_paths.iter().any(|s| file.contains(s.as_str()));
     let serve_allowed = cfg.serve_allowed_paths.iter().any(|s| file.contains(s.as_str()));
+    let backend_allowed = cfg.backend_allowed_paths.iter().any(|s| file.contains(s.as_str()));
 
     let mut out = Vec::new();
     let mut push = |pass: Pass, line: u32, message: String| {
@@ -957,6 +987,29 @@ fn direct_diagnostics(
             }
         }
 
+        // ---- backend-scope -----------------------------------------------
+        if t.kind == TokKind::Ident && cfg.backend_idents.contains(&t.text) {
+            if in_proto {
+                push(
+                    Pass::BackendScope,
+                    t.line,
+                    format!(
+                        "`{}` inside a protocol impl; backends adapt whole detection pipelines — a message handler must not reach up into the backend layer",
+                        t.text
+                    ),
+                );
+            } else if !backend_allowed && !in_test {
+                push(
+                    Pass::BackendScope,
+                    t.line,
+                    format!(
+                        "`{}` outside `crates/backends` (and its consumers `crates/serve` / `crates/cli`); the pipeline must compile without knowing the backend trait exists",
+                        t.text
+                    ),
+                );
+            }
+        }
+
         // ---- float-safety ------------------------------------------------
         if !in_test && !float_exempt {
             if t.is_ident("partial_cmp") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
@@ -1024,7 +1077,7 @@ impl Transitive {
     }
 }
 
-/// Runs all fourteen passes over a set of in-memory files. This is the
+/// Runs all fifteen passes over a set of in-memory files. This is the
 /// primary entry point: [`crate::analyze_workspace`] reads the
 /// workspace's sources and delegates here, and the splice tests feed it
 /// doctored file sets directly.

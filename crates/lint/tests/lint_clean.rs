@@ -260,6 +260,40 @@ fn service_api_outside_the_serve_crate_would_fail() {
     assert!(diags.iter().any(|d| d.pass == Pass::ServeScope), "{diags:?}");
 }
 
+#[test]
+fn backend_api_inside_a_handler_would_fail() {
+    // Backends adapt whole detection pipelines from above; a message
+    // handler constructing one would nest a full pipeline inside a
+    // single simulated node's round handler.
+    let needle =
+        "fn on_message(&mut self, _from: NodeId, msg: &NodeId, ctx: &mut Ctx<'_, Self::Msg>) {";
+    let src = protocols_source();
+    assert!(src.contains(needle), "GroupingProtocol::on_message signature changed; update fixture");
+    let poisoned = src.replace(
+        needle,
+        &format!("{needle}\n        let _b = UbfBackend::new(DetectorConfig::default());"),
+    );
+    let diags = analyze_source("crates/core/src/protocols.rs", &poisoned, &LintConfig::default());
+    assert!(
+        diags.iter().any(|d| d.pass == Pass::BackendScope),
+        "backend API inside a Protocol impl must be caught: {diags:?}"
+    );
+}
+
+#[test]
+fn backend_api_outside_its_consumers_would_fail() {
+    // Fine in the backends crate, the daemon and test code, banned in
+    // the detector: the pipeline must compile without knowing the
+    // backend trait exists.
+    let src = "pub fn run(b: &dyn BoundaryBackend) -> BackendDetection { todo!() }";
+    assert!(analyze_source("crates/backends/src/lib.rs", src, &LintConfig::default()).is_empty());
+    assert!(analyze_source("crates/serve/src/service.rs", src, &LintConfig::default()).is_empty());
+    assert!(analyze_source("crates/core/tests/backend_probe.rs", src, &LintConfig::default())
+        .is_empty());
+    let diags = analyze_source("crates/core/src/detector.rs", src, &LintConfig::default());
+    assert!(diags.iter().any(|d| d.pass == Pass::BackendScope), "{diags:?}");
+}
+
 /// Splices one statement into `GroupingProtocol::on_message` and pairs
 /// the poisoned runner module with a scratch helper file, returning the
 /// file set the interprocedural passes see. The violation lives in the

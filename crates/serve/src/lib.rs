@@ -40,8 +40,8 @@ pub mod wire;
 pub use service::{Instance, Service};
 pub use wire::{
     encode_request, encode_response, parse_request, CreateSource, FaultKnobs, MeshRow, QueryKind,
-    ServeError, ServeRequest, ServeResponse, StatsRow, WireCheckpoint, WireConfig, WireDetector,
-    WireEvent, WireScene, WireSnapshot,
+    ServeError, ServeRequest, ServeResponse, StatsRow, WireBackend, WireCheckpoint, WireConfig,
+    WireDetector, WireEvent, WireScene, WireSnapshot,
 };
 
 use ballfit_par::Parallelism;

@@ -37,8 +37,23 @@ use ballfit_wsn::churn::{ChurnPlan, DynamicTopology, TopologyEvent, TopologySnap
 
 use crate::wire::{
     CreateSource, FaultKnobs, MeshRow, QueryKind, ServeError, ServeRequest, ServeResponse,
-    StatsRow, WireCheckpoint, WireConfig, WireDetector, WireEvent, WireSnapshot,
+    StatsRow, WireBackend, WireCheckpoint, WireConfig, WireDetector, WireEvent, WireSnapshot,
 };
+
+/// Boundary/group view computed by a non-reference backend. The UBF
+/// pipeline stays incrementally maintained (it drives fragments, mesh
+/// bootstrap, and inject epochs); a rival backend is recomputed from
+/// scratch after create/events/restore and *overlays* the boundary and
+/// group queries. Dead slots are isolated nodes a degree-based rival
+/// rightly flags degenerate, so the overlay masks them out and regroups
+/// over live flags only.
+#[derive(Debug)]
+struct BackendOverlay {
+    /// Per-slot boundary flags, dead slots forced to `false`.
+    boundary: Vec<bool>,
+    /// Boundary groups over the masked flags, canonical order.
+    groups: Vec<Vec<usize>>,
+}
 
 /// One tenant: a dynamic topology, its incrementally-maintained
 /// detector, a structured trace, and the epoch counters that keep
@@ -46,10 +61,13 @@ use crate::wire::{
 #[derive(Debug)]
 pub struct Instance {
     /// The wire config the instance was created with (echoed by
-    /// `checkpoint` so a restore rebuilds the identical detector config).
+    /// `checkpoint` so a restore rebuilds the identical detector config
+    /// *and* backend).
     config: WireConfig,
     dynamic: DynamicTopology,
     detector: IncrementalDetector,
+    /// `Some` iff `config.backend` is not the reference pipeline.
+    overlay: Option<BackendOverlay>,
     trace: Trace,
     /// Events batches applied so far (the next batch's epoch index).
     epoch: u64,
@@ -66,12 +84,69 @@ impl Instance {
             &dynamic,
             Parallelism::sequential(),
         );
-        Instance { config, dynamic, detector, trace: Trace::enabled(), epoch: 0, injects: 0 }
+        let mut inst = Instance {
+            config,
+            dynamic,
+            detector,
+            overlay: None,
+            trace: Trace::enabled(),
+            epoch: 0,
+            injects: 0,
+        };
+        inst.refresh_overlay();
+        inst
+    }
+
+    /// Recomputes the rival-backend overlay (no-op for the reference
+    /// backend). The backend's exchanges record into the instance trace,
+    /// so `query what=stats` carries rival costs next to UBF costs.
+    fn refresh_overlay(&mut self) {
+        if self.config.backend == WireBackend::Ubf {
+            self.overlay = None;
+            return;
+        }
+        let view = NetView::new(
+            self.dynamic.topology(),
+            self.dynamic.positions(),
+            self.dynamic.radio_range(),
+        );
+        let backend = ballfit_backends::configured(
+            self.config.backend.as_str(),
+            self.config.to_detector(),
+            self.config.noise_seed,
+            Parallelism::sequential(),
+        )
+        .expect("wire backend names mirror the registry");
+        let result = backend.detect(&view, &mut self.trace);
+        let mut boundary = result.detection.boundary;
+        for (i, flag) in boundary.iter_mut().enumerate() {
+            if !self.dynamic.is_live(i) {
+                *flag = false;
+            }
+        }
+        let groups = ballfit::grouping::group_boundaries(self.dynamic.topology(), &boundary);
+        self.overlay = Some(BackendOverlay { boundary, groups });
+    }
+
+    /// Per-slot boundary flags of the configured backend.
+    fn boundary_flags(&self) -> &[bool] {
+        match &self.overlay {
+            Some(o) => &o.boundary,
+            None => self.detector.boundary(),
+        }
+    }
+
+    /// Boundary groups of the configured backend, canonical order.
+    fn groups(&self) -> &[Vec<usize>] {
+        match &self.overlay {
+            Some(o) => &o.groups,
+            None => self.detector.groups(),
+        }
     }
 
     /// Live boundary node ids, ascending.
     fn live_boundary(&self) -> Vec<usize> {
-        let flags = self.detector.boundary();
+        let flags = self.boundary_flags();
         (0..self.dynamic.len()).filter(|&i| flags[i] && self.dynamic.is_live(i)).collect()
     }
 
@@ -81,7 +156,7 @@ impl Instance {
             nodes: self.dynamic.len(),
             live: self.dynamic.live_count(),
             boundary: self.live_boundary().len(),
-            groups: self.detector.groups().len(),
+            groups: self.groups().len(),
             balls: self.detector.detection().balls_tested,
         }
     }
@@ -184,6 +259,11 @@ fn apply_events(inst: &mut Instance, id: &str, events: &[WireEvent]) -> ServeRes
     }
     let epoch = inst.epoch;
     inst.epoch += 1;
+    // A rival backend has no incremental form: recompute its overlay
+    // once per successful batch. The diff counters above still report
+    // the incremental UBF repair (they describe maintenance cost, not
+    // the overlay verdicts).
+    inst.refresh_overlay();
     ServeResponse::Applied {
         id: id.to_string(),
         epoch,
@@ -194,7 +274,7 @@ fn apply_events(inst: &mut Instance, id: &str, events: &[WireEvent]) -> ServeRes
         halo,
         balls,
         boundary: inst.live_boundary().len(),
-        groups: inst.detector.groups().len(),
+        groups: inst.groups().len(),
     }
 }
 
@@ -204,7 +284,7 @@ fn query_instance(inst: &Instance, id: &str, what: QueryKind) -> ServeResponse {
             ServeResponse::BoundaryNodes { id: id.to_string(), nodes: inst.live_boundary() }
         }
         QueryKind::Groups => {
-            ServeResponse::GroupList { id: id.to_string(), groups: inst.detector.groups().to_vec() }
+            ServeResponse::GroupList { id: id.to_string(), groups: inst.groups().to_vec() }
         }
         QueryKind::Fragments => {
             let candidates = inst.detector.candidates();
@@ -254,7 +334,7 @@ fn query_instance(inst: &Instance, id: &str, what: QueryKind) -> ServeResponse {
             );
             let builder = SurfaceBuilder::new(ballfit::config::SurfaceConfig::default());
             let mut meshes = Vec::new();
-            for (gi, group) in inst.detector.groups().iter().enumerate() {
+            for (gi, group) in inst.groups().iter().enumerate() {
                 // Mesh the live members only: a dead slot is isolated and
                 // would distort landmark election.
                 let live: Vec<usize> =
@@ -347,19 +427,29 @@ fn restore_instance(cp: &WireCheckpoint) -> Result<Instance, ServeError> {
         groups: det.groups.clone(),
     };
     let detector = IncrementalDetector::restore(&checkpoint, Parallelism::sequential());
-    Ok(Instance {
+    let mut inst = Instance {
         config: cp.config,
         dynamic,
         detector,
+        overlay: None,
         // The trace restarts empty: stats are per-incarnation. The
         // replayed *protocol* work is still byte-identical, which is
         // what the crash-recovery pin checks.
         trace: Trace::enabled(),
         epoch: cp.epoch,
         injects: cp.injects,
-    })
+    };
+    // The checkpoint carries the backend name in its config; the
+    // overlay itself is derived state and is recomputed, not persisted.
+    inst.refresh_overlay();
+    Ok(inst)
 }
 
+/// Inject always exercises the hardened UBF stack against the oracle,
+/// whatever `config.backend` says: the chaos watchdog judges the
+/// *reference* pipeline's fault tolerance, and a rival backend's
+/// overlay is untouched by fault epochs (they leave the topology as
+/// they found it).
 fn inject_instance(inst: &mut Instance, id: &str, faults: &FaultKnobs) -> ServeResponse {
     let ccfg = ChaosConfig::new(inst.config.to_detector(), ChurnPlan::none())
         .with_loss(faults.loss)
@@ -428,7 +518,7 @@ fn apply_to_slot(slot: &mut Option<Instance>, req: &ServeRequest) -> ServeRespon
                         nodes: inst.dynamic.len(),
                         live: inst.dynamic.live_count(),
                         boundary: inst.live_boundary().len(),
-                        groups: inst.detector.groups().len(),
+                        groups: inst.groups().len(),
                     };
                     *slot = Some(inst);
                     resp
@@ -673,6 +763,65 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(before, after, "rejected batch must leave the instance untouched");
+    }
+
+    #[test]
+    fn stat_backend_overlays_boundary_and_survives_checkpoint_restore() {
+        let mut svc = Service::sequential();
+        let create = ServeRequest::Create {
+            id: "s".to_string(),
+            source: CreateSource::Positions { positions: tiny_positions(), range: 1.8 },
+            config: WireConfig { backend: WireBackend::Stat, ..WireConfig::default() },
+        };
+        let (boundary0, groups0) = match svc.handle(&create) {
+            ServeResponse::Created { boundary, groups, .. } => (boundary, groups),
+            other => panic!("unexpected {other:?}"),
+        };
+        let nodes = match svc
+            .handle(&ServeRequest::Query { id: "s".to_string(), what: QueryKind::Boundary })
+        {
+            ServeResponse::BoundaryNodes { nodes, .. } => nodes,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(nodes.len(), boundary0);
+        // Degree statistics on the lattice: sparse corners are boundary,
+        // the fully-connected center is not.
+        assert!(nodes.contains(&0), "corner 0 should look sparse to the stat backend");
+        assert!(!nodes.contains(&13), "center 13 should look dense to the stat backend");
+        // Groups come from the overlay and cover exactly the boundary.
+        match svc.handle(&ServeRequest::Query { id: "s".to_string(), what: QueryKind::Groups }) {
+            ServeResponse::GroupList { groups, .. } => {
+                assert_eq!(groups.len(), groups0);
+                let mut members: Vec<usize> = groups.into_iter().flatten().collect();
+                members.sort_unstable();
+                assert_eq!(members, nodes);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The backend rides the checkpoint; a restore reproduces the view.
+        let cp = match svc.handle(&ServeRequest::Checkpoint { id: "s".to_string() }) {
+            ServeResponse::CheckpointTaken { checkpoint, .. } => checkpoint,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(cp.config.backend, WireBackend::Stat);
+        match svc.handle(&ServeRequest::Restore { id: "s2".to_string(), checkpoint: cp }) {
+            ServeResponse::Restored { boundary, groups, .. } => {
+                assert_eq!(boundary, boundary0);
+                assert_eq!(groups, groups0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Events refresh the overlay: a dead slot can never stay boundary.
+        svc.handle(&ServeRequest::Events {
+            id: "s".to_string(),
+            events: vec![WireEvent::Leave { node: 0 }],
+        });
+        match svc.handle(&ServeRequest::Query { id: "s".to_string(), what: QueryKind::Boundary }) {
+            ServeResponse::BoundaryNodes { nodes, .. } => {
+                assert!(!nodes.contains(&0), "left node must drop out of the overlay");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,42 @@ use crate::json::{self, JsonValue};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
+/// Which detection backend an instance runs: the wire spelling of the
+/// `ballfit_backends` registry names (`ubf`, `stat`). An enum rather
+/// than a free string so [`WireConfig`] stays `Copy` and an invalid
+/// name can never reach an instance — the parser rejects it as a typed
+/// bad-request. A wire test pins the variants against
+/// [`ballfit_backends::NAMES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum WireBackend {
+    /// The reference UBF → IFF → grouping pipeline (incrementally
+    /// maintained under churn).
+    #[default]
+    Ubf,
+    /// Fekete-style statistical degree-threshold detection
+    /// (recomputed from scratch after every epoch).
+    Stat,
+}
+
+impl WireBackend {
+    /// Every wire backend, registry order.
+    pub const ALL: [WireBackend; 2] = [WireBackend::Ubf, WireBackend::Stat];
+
+    /// The registry name this variant denotes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireBackend::Ubf => "ubf",
+            WireBackend::Stat => "stat",
+        }
+    }
+
+    /// Inverse of [`WireBackend::as_str`].
+    pub fn by_name(name: &str) -> Option<WireBackend> {
+        WireBackend::ALL.into_iter().find(|b| b.as_str() == name)
+    }
+}
+
 /// Detector settings expressible on the wire, composed onto
 /// [`ballfit::config::DetectorConfig`] by [`WireConfig::to_detector`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +72,8 @@ pub struct WireConfig {
     pub ttl: Option<u32>,
     /// UBF witness-neighborhood radius override (hops).
     pub witness_hops: Option<u32>,
+    /// Detection backend answering boundary/group queries.
+    pub backend: WireBackend,
 }
 
 impl WireConfig {
@@ -674,12 +712,25 @@ fn parse_config(obj: &JsonValue) -> Parsed<WireConfig> {
     if cfg.as_obj().is_none() {
         return Err(bad("'config' must be an object"));
     }
+    let backend = match cfg.get("backend") {
+        None | Some(JsonValue::Null) => WireBackend::default(),
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| bad("'backend' must be a string"))?;
+            WireBackend::by_name(name).ok_or_else(|| {
+                bad(format!(
+                    "unknown backend '{name}' (known: {})",
+                    WireBackend::ALL.map(WireBackend::as_str).join(", ")
+                ))
+            })?
+        }
+    };
     Ok(WireConfig {
         error: opt_u64(cfg, "error")?.map(|v| v as u32),
         noise_seed: get_u64_or(cfg, "noise_seed", 0)?,
         theta: opt_u64(cfg, "theta")?.map(|v| v as usize),
         ttl: opt_u64(cfg, "ttl")?.map(|v| v as u32),
         witness_hops: opt_u64(cfg, "witness_hops")?.map(|v| v as u32),
+        backend,
     })
 }
 
@@ -949,6 +1000,9 @@ fn push_config(out: &mut String, cfg: &WireConfig) {
             None => out.push_str("null"),
         }
     }
+    out.push(',');
+    push_key(out, "backend");
+    json::push_str_literal(out, cfg.backend.as_str());
     out.push('}');
 }
 
@@ -1424,7 +1478,7 @@ mod tests {
                     positions: vec![[0.0, 0.0, 0.0], [0.75, -0.25, 0.5]],
                     range: 1.0,
                 },
-                config: WireConfig::default(),
+                config: WireConfig { backend: WireBackend::Stat, ..WireConfig::default() },
             },
             ServeRequest::Events {
                 id: "a".to_string(),
@@ -1516,11 +1570,48 @@ mod tests {
             (r#"{"op":"query","id":"x","what":"entropy"}"#, "bad-request"),
             (r#"{"op":"inject","id":"x","faults":{"loss":1.5}}"#, "bad-request"),
             (r#"{"op":"restore","id":"x"}"#, "bad-request"),
+            (
+                r#"{"op":"create","id":"x","positions":[[0,0,0]],"range":1,"config":{"backend":"svw"}}"#,
+                "bad-request",
+            ),
+            (
+                r#"{"op":"create","id":"x","positions":[[0,0,0]],"range":1,"config":{"backend":7}}"#,
+                "bad-request",
+            ),
         ];
         for (line, code) in cases {
             let err = parse_request(line).expect_err(line);
             assert_eq!(err.code(), code, "{line} -> {err}");
         }
+    }
+
+    #[test]
+    fn wire_backends_mirror_the_registry() {
+        // One variant per registry name, same order, every name valid —
+        // adding a backend to `ballfit_backends::NAMES` must extend
+        // `WireBackend` too.
+        let wire: Vec<&str> = WireBackend::ALL.iter().map(|b| b.as_str()).collect();
+        assert_eq!(wire, ballfit_backends::NAMES.to_vec());
+        for name in ballfit_backends::NAMES {
+            let b = WireBackend::by_name(name).expect("registry name has a wire spelling");
+            assert!(ballfit_backends::by_name(b.as_str()).is_some());
+        }
+        assert_eq!(WireBackend::default(), WireBackend::Ubf, "default backend is the reference");
+    }
+
+    #[test]
+    fn backend_parses_permissively_and_encodes_canonically() {
+        let req = parse_request(
+            r#"{"op":"create","id":"x","positions":[[0,0,0]],"range":1,"config":{"backend":"stat"}}"#,
+        )
+        .expect("stat backend parses");
+        match &req {
+            ServeRequest::Create { config, .. } => assert_eq!(config.backend, WireBackend::Stat),
+            other => panic!("unexpected {other:?}"),
+        }
+        let line = encode_request(&req);
+        assert!(line.contains(r#""backend":"stat""#), "{line}");
+        assert_eq!(parse_request(&line).expect("canonical form parses"), req);
     }
 
     #[test]

@@ -124,5 +124,11 @@ cargo run -q --release -p ballfit-bench --bin scale_ladder -- --validate "$SMOKE
 cargo run -q --release -p ballfit-bench --bin scale_ladder -- --smoke --deterministic --out "$SMOKE_DIR/scale_ladder_b.json"
 cmp "$SMOKE_DIR/scale_ladder_a.json" "$SMOKE_DIR/scale_ladder_b.json"
 
+step "backend_matrix --smoke (E22 cross-backend head-to-head + byte reproducibility)"
+cargo run -q --release -p ballfit-bench --bin backend_matrix -- --smoke --threads 1 --out "$SMOKE_DIR/backend_matrix_a.json"
+cargo run -q --release -p ballfit-bench --bin backend_matrix -- --validate "$SMOKE_DIR/backend_matrix_a.json"
+cargo run -q --release -p ballfit-bench --bin backend_matrix -- --smoke --threads 4 --out "$SMOKE_DIR/backend_matrix_b.json"
+cmp "$SMOKE_DIR/backend_matrix_a.json" "$SMOKE_DIR/backend_matrix_b.json"
+
 echo
 echo "check.sh: all gates green"

@@ -1,0 +1,146 @@
+//! Backend conformance: the `BoundaryBackend` trait must be a zero-cost
+//! reshaping of the detection entry points, not a fork of them.
+//!
+//! * `UbfBackend` verdicts are byte-identical to
+//!   `BoundaryDetector::detect_view` on every paper-gallery scenario —
+//!   the trait adapter cannot drift from the reference pipeline.
+//! * Both backends are replay-bit-identical (same input ⇒ same output
+//!   *and* same trace) and byte-identical across the {1, 2, 4, 8}
+//!   thread ladder.
+//! * The message/byte/round tallies a backend reports equal what
+//!   `obs::summary` reconstructs from its trace — the numbers in
+//!   `results/backend_matrix.json` are the numbers in the events.
+
+use ballfit::config::DetectorConfig;
+use ballfit::detector::BoundaryDetector;
+use ballfit::metrics::DetectionStats;
+use ballfit::view::NetView;
+use ballfit_backends::{by_name, configured, StatisticalBackend, UbfBackend};
+use ballfit_backends::{BoundaryBackend, NAMES};
+use ballfit_netgen::builder::NetworkBuilder;
+use ballfit_netgen::model::NetworkModel;
+use ballfit_netgen::scenario::Scenario;
+use ballfit_obs::summary::summarize;
+use ballfit_obs::Trace;
+use ballfit_par::Parallelism;
+
+fn build(scenario: Scenario, seed: u64) -> NetworkModel {
+    // Same sizing rationale as tests/pipeline_scenarios.rs: hole
+    // scenarios need enough surface nodes that each hole boundary
+    // exceeds the IFF fragment threshold.
+    let (surface, interior) = match scenario {
+        Scenario::BendedPipe => (350, 550),
+        Scenario::SpaceOneHole | Scenario::SpaceTwoHoles => (900, 1400),
+        _ => (450, 750),
+    };
+    NetworkBuilder::new(scenario)
+        .surface_nodes(surface)
+        .interior_nodes(interior)
+        .target_degree(17.0)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("{scenario}: generation failed: {e}"))
+}
+
+#[test]
+fn ubf_backend_matches_detect_view_on_every_gallery_scenario() {
+    for (i, &scenario) in Scenario::PAPER_GALLERY.iter().enumerate() {
+        let model = build(scenario, 40 + i as u64);
+        let view = NetView::from_model(&model);
+        let cfg = DetectorConfig::default();
+        let direct = BoundaryDetector::new(cfg).detect_view(&view);
+        let adapted = UbfBackend::new(cfg).detect(&view, &mut Trace::disabled());
+        assert_eq!(adapted.detection, direct, "{scenario}: trait adapter diverged");
+        // The UBF table exchange alone is one broadcast per node
+        // (2·|E| messages); IFF and grouping add to it.
+        let exchange_floor = 2 * model.topology().edge_count() as u64;
+        assert!(adapted.messages > exchange_floor, "{scenario}: missing exchange traffic");
+        assert!(adapted.bytes > 0 && adapted.rounds > 0, "{scenario}: empty cost tally");
+    }
+}
+
+#[test]
+fn ubf_backend_matches_detect_view_with_paper_coordinates() {
+    let model = build(Scenario::SolidSphere, 9);
+    let view = NetView::from_model(&model);
+    let cfg = DetectorConfig::paper(10, 3);
+    let direct = BoundaryDetector::new(cfg).detect_view(&view);
+    let adapted = UbfBackend::new(cfg).detect(&view, &mut Trace::disabled());
+    assert_eq!(adapted.detection, direct, "noisy-MDS adapter diverged");
+}
+
+#[test]
+fn stat_backend_replays_bit_identically() {
+    let model = build(Scenario::SolidSphere, 11);
+    let view = NetView::from_model(&model);
+    let backend = StatisticalBackend::new(42);
+    let mut t1 = Trace::enabled();
+    let mut t2 = Trace::enabled();
+    let first = backend.detect(&view, &mut t1);
+    let second = backend.detect(&view, &mut t2);
+    assert_eq!(first, second, "stat backend replay diverged");
+    assert_eq!(t1.records(), t2.records(), "stat backend trace diverged");
+}
+
+#[test]
+fn thread_ladder_is_byte_identical_for_every_backend() {
+    let model = build(Scenario::SolidSphere, 13);
+    let view = NetView::from_model(&model);
+    for &name in &NAMES {
+        let reference = configured(name, DetectorConfig::default(), 7, Parallelism::sequential())
+            .expect("registered")
+            .detect(&view, &mut Trace::disabled());
+        for threads in [2usize, 4, 8] {
+            let got = configured(name, DetectorConfig::default(), 7, Parallelism::threads(threads))
+                .expect("registered")
+                .detect(&view, &mut Trace::disabled());
+            assert_eq!(got, reference, "{name}: diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn reported_tallies_equal_obs_summary_totals() {
+    let model = build(Scenario::SolidSphere, 17);
+    let view = NetView::from_model(&model);
+    for &name in &NAMES {
+        let backend = by_name(name).expect("registered");
+        let mut trace = Trace::enabled();
+        let result = backend.detect(&view, &mut trace);
+        let summary = summarize(trace.records());
+        let messages: u64 = summary.rows.iter().map(|r| r.messages).sum();
+        let bytes: u64 = summary.rows.iter().map(|r| r.bytes).sum();
+        let rounds: u64 = summary.rows.iter().map(|r| r.rounds).sum();
+        let ball_tests: u64 = summary.rows.iter().map(|r| r.ball_tests).sum();
+        assert_eq!(messages, result.messages, "{name}: message tally != summary");
+        assert_eq!(bytes, result.bytes, "{name}: byte tally != summary");
+        // Each simulator run emits a round-0 start-phase event that
+        // `RunStats::rounds` does not count, so the summary sees exactly
+        // one extra round per exchange phase (ubf/iff/grouping for the
+        // reference backend, degree-exchange/grouping for stat).
+        let phases = match name {
+            "ubf" => 3,
+            "stat" => 2,
+            other => panic!("unknown backend {other}: extend the phase table"),
+        };
+        assert_eq!(rounds, (result.rounds + phases) as u64, "{name}: round tally != summary");
+        assert_eq!(ball_tests, result.ball_tests(), "{name}: ball-test tally != summary");
+    }
+}
+
+#[test]
+fn stat_backend_is_a_credible_cheap_rival_on_the_sphere() {
+    let model = build(Scenario::SolidSphere, 5);
+    let view = NetView::from_model(&model);
+    let stat = StatisticalBackend::new(42).detect(&view, &mut Trace::disabled());
+    let ubf = UbfBackend::new(DetectorConfig::default()).detect(&view, &mut Trace::disabled());
+    let stats = DetectionStats::evaluate(&model, &stat.detection);
+    // Degree statistics trade recall for traffic: well below UBF's
+    // near-perfect J, far above chance, at a fraction of the messages
+    // and zero ball tests.
+    assert!(stats.precision() > 0.75, "stat precision collapsed: {stats}");
+    assert!(stats.recall() > 0.3, "stat recall collapsed: {stats}");
+    assert!(stat.messages * 2 < ubf.messages, "stat lost its traffic advantage");
+    assert_eq!(stat.ball_tests(), 0, "stat fits no balls");
+    assert!(ubf.ball_tests() > 0, "ubf reports its ball tests");
+}

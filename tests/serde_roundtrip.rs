@@ -180,7 +180,7 @@ fn surface_stats_roundtrip() {
 #[test]
 fn serve_wire_request_roundtrip() {
     use ballfit_serve::{
-        CreateSource, FaultKnobs, QueryKind, ServeRequest, WireCheckpoint, WireConfig,
+        CreateSource, FaultKnobs, QueryKind, ServeRequest, WireBackend, WireCheckpoint, WireConfig,
         WireDetector, WireEvent, WireScene, WireSnapshot,
     };
     let requests = vec![
@@ -199,6 +199,7 @@ fn serve_wire_request_roundtrip() {
                 theta: Some(16),
                 ttl: Some(4),
                 witness_hops: Some(2),
+                backend: WireBackend::Stat,
             },
         },
         ServeRequest::Create {
@@ -347,6 +348,21 @@ fn serve_wire_response_roundtrip() {
         let back: ServeResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
     }
+}
+
+#[test]
+fn wire_backend_roundtrip() {
+    use ballfit_serve::{WireBackend, WireConfig};
+    for backend in WireBackend::ALL {
+        let json = serde_json::to_string(&backend).unwrap();
+        let back: WireBackend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, backend);
+        // The wire spelling inverts too (serde uses variant names; the
+        // canonical codec uses the registry spelling — both must hold).
+        assert_eq!(WireBackend::by_name(backend.as_str()), Some(backend));
+    }
+    // A config that never mentions a backend keeps the reference detector.
+    assert_eq!(WireConfig::default().backend, WireBackend::Ubf);
 }
 
 #[test]
